@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Readout-error mitigation study (extension): the paper's calibration
+ * feeds include per-qubit readout errors up to 16.4 % (Agave); using
+ * those same numbers to invert the readout confusion matrices recovers
+ * a large fraction of the lost success probability — the
+ * measurement-mitigation technique mainstream toolchains adopted soon
+ * after the paper.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+#include "sim/mitigation.hh"
+#include "workloads/benchmarks.hh"
+
+using namespace triq;
+
+int
+main()
+{
+    const int day = bench::defaultDay();
+    const int trials = defaultTrials(4000);
+    for (const char *dev_name : {"Agave", "IBMQ14", "UMDTI"}) {
+        Device dev = bench::deviceByName(dev_name);
+        Calibration calib = dev.calibrate(day);
+        Table tab("readout mitigation on " + dev.name() + " (RO err " +
+                  fmtF(100 * dev.noiseSpec().meanRO, 1) + "%, " +
+                  std::to_string(trials) + " trials)");
+        tab.setHeader(
+            {"benchmark", "raw success", "mitigated", "recovery"});
+        std::vector<double> gains;
+        for (const std::string &name : benchmarkNames()) {
+            Circuit program = makeBenchmark(name);
+            if (program.numQubits() > dev.numQubits()) {
+                tab.addRow({name, "X", "X", "-"});
+                continue;
+            }
+            auto pt = bench::runTriq(program, dev, OptLevel::OneQOptCN,
+                                     day, trials);
+            std::vector<double> ro = measuredReadoutErrors(
+                pt.compiled.hwCircuit, calib);
+            double mitigated = mitigatedSuccess(
+                pt.executed.histogram, ro,
+                pt.executed.correctOutcome);
+            double gain = pt.executed.successRate > 0
+                              ? mitigated / pt.executed.successRate
+                              : 0.0;
+            if (gain > 0)
+                gains.push_back(gain);
+            tab.addRow({name, bench::successCell(pt.executed),
+                        fmtF(mitigated, 3), fmtFactor(gain)});
+        }
+        tab.print(std::cout);
+        std::cout << "geomean recovery: " << fmtFactor(geomean(gains))
+                  << "\n\n";
+    }
+    std::cout << "mitigation pays most where readout error dominates "
+                 "(Agave); it cannot\nrecover gate errors, so deep "
+                 "circuits stay limited by 2Q noise\n";
+    return 0;
+}

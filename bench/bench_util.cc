@@ -1,0 +1,65 @@
+#include "bench_util.hh"
+
+#include <cstdlib>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+
+namespace triq
+{
+namespace bench
+{
+
+Device
+deviceByName(const std::string &name)
+{
+    for (auto &d : allStudyDevices())
+        if (d.name() == name)
+            return d;
+    fatal("bench: unknown device '", name, "'");
+}
+
+int
+defaultDay()
+{
+    const char *env = std::getenv("TRIQ_DAY");
+    if (!env)
+        return 3;
+    return std::atoi(env);
+}
+
+RunPoint
+runTriq(const Circuit &program, const Device &dev, OptLevel level, int day,
+        int trials)
+{
+    Calibration calib = dev.calibrate(day);
+    CompileOptions opts;
+    opts.level = level;
+    opts.emitAssembly = false;
+    RunPoint pt;
+    pt.compiled = compileForDevice(program, dev, calib, opts);
+    pt.executed = executeNoisy(pt.compiled.hwCircuit, dev, calib, trials,
+                               0x5EED0000 + static_cast<uint64_t>(day));
+    return pt;
+}
+
+ExecutionResult
+runCompiled(const CompileResult &res, const Device &dev, int day,
+            int trials)
+{
+    Calibration calib = dev.calibrate(day);
+    return executeNoisy(res.hwCircuit, dev, calib, trials,
+                        0x5EED0000 + static_cast<uint64_t>(day));
+}
+
+std::string
+successCell(const ExecutionResult &ex)
+{
+    std::string s = fmtF(ex.successRate, 3);
+    if (!ex.correctIsModal)
+        s += "*";
+    return s;
+}
+
+} // namespace bench
+} // namespace triq

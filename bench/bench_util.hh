@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Shared plumbing for the figure-reproduction harnesses: device lookup,
+ * compile-and-execute helpers, and consistent run configuration.
+ *
+ * Environment knobs:
+ *   TRIQ_TRIALS  trials per success-rate measurement (default 1000;
+ *                the paper used 8192 / 5000 on real hardware)
+ *   TRIQ_DAY     calibration day index (default 3)
+ */
+
+#ifndef TRIQ_BENCH_BENCH_UTIL_HH
+#define TRIQ_BENCH_BENCH_UTIL_HH
+
+#include <string>
+
+#include "core/compiler.hh"
+#include "device/machines.hh"
+#include "sim/executor.hh"
+
+namespace triq
+{
+namespace bench
+{
+
+/** Resolve one of the seven study devices by name. */
+Device deviceByName(const std::string &name);
+
+/** Calibration day index (TRIQ_DAY env, default 3). */
+int defaultDay();
+
+/** A compiled-and-executed experiment point. */
+struct RunPoint
+{
+    CompileResult compiled;
+    ExecutionResult executed;
+};
+
+/**
+ * Compile `program` for `dev` at `level` against day `day`'s
+ * calibration, then execute it noisily on the same calibration.
+ */
+RunPoint runTriq(const Circuit &program, const Device &dev, OptLevel level,
+                 int day, int trials);
+
+/**
+ * Execute an externally compiled result (e.g. a vendor baseline)
+ * against day `day`'s calibration.
+ */
+ExecutionResult runCompiled(const CompileResult &res, const Device &dev,
+                            int day, int trials);
+
+/** Success-rate cell: "0.87" or "0.12*" when not modal (paper: failed). */
+std::string successCell(const ExecutionResult &ex);
+
+} // namespace bench
+} // namespace triq
+
+#endif // TRIQ_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Fig. 1 reproduction: characteristics of the seven devices. Values are
+ * read back from the device models so the table proves the models match
+ * the paper's inventory.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "device/machines.hh"
+
+using namespace triq;
+
+namespace
+{
+
+std::string
+topoDescription(const Device &dev)
+{
+    const Topology &t = dev.topology();
+    if (t.fullyConnected())
+        return "full";
+    int n = t.numQubits(), e = t.numEdges();
+    if (e == n - 1)
+        return "line";
+    if (e == n)
+        return "ring/loops";
+    return "sparse grid";
+}
+
+} // namespace
+
+int
+main()
+{
+    Table tab("Fig. 1: devices used in the study");
+    tab.setHeader({"machine", "qubits", "2Q gates", "coherence(us)",
+                   "1Q err(%)", "2Q err(%)", "RO err(%)", "topology"});
+    for (const Device &dev : allStudyDevices()) {
+        const NoiseSpec &ns = dev.noiseSpec();
+        tab.addRow({dev.name(), fmtI(dev.numQubits()),
+                    fmtI(dev.topology().numEdges()),
+                    fmtF(ns.coherenceUs, 1), fmtF(100 * ns.mean1q, 2),
+                    fmtF(100 * ns.mean2q, 2), fmtF(100 * ns.meanRO, 2),
+                    topoDescription(dev)});
+    }
+    tab.print(std::cout);
+    std::cout << "\npaper reference: IBMQ5 5q/6g, IBMQ14 14q/18g, "
+                 "IBMQ16 16q/22g,\nAgave 4q/3g, Aspen 16q/18g, "
+                 "UMDTI 5q/10g (fully connected)\n";
+    return 0;
+}

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Fig. 7 reproduction: summary of the 12 study benchmarks — qubit
+ * counts and gate counts in the technology-independent CNOT basis.
+ */
+
+#include <iostream>
+
+#include "common/table.hh"
+#include "core/decompose.hh"
+#include "workloads/benchmarks.hh"
+
+using namespace triq;
+
+int
+main()
+{
+    Table tab("Fig. 7: benchmark summary (CNOT-basis gate counts)");
+    tab.setHeader({"benchmark", "qubits", "1Q gates", "2Q gates",
+                   "measured", "depth"});
+    for (const std::string &name : benchmarkNames()) {
+        Circuit c = makeBenchmark(name);
+        Circuit lowered = decomposeToCnotBasis(c);
+        tab.addRow({name, fmtI(c.numQubits()), fmtI(lowered.count1q()),
+                    fmtI(lowered.count2q()),
+                    fmtI(static_cast<long>(c.measuredQubits().size())),
+                    fmtI(lowered.depth())});
+    }
+    tab.print(std::cout);
+    return 0;
+}

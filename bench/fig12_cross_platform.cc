@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Fig. 12 reproduction: success rate for the 12 benchmarks on all seven
+ * systems, compiled with TriQ-1QOptCN. The paper's observations to
+ * check: UMDTI leads on benchmarks that fit its 5 qubits; triangle
+ * benchmarks (Toffoli/Fredkin/Or/Peres) do well on IBMQ5's bowtie;
+ * Agave trails due to its error rates; more qubits help when the
+ * application-topology match is reasonable.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "workloads/benchmarks.hh"
+
+using namespace triq;
+
+int
+main()
+{
+    const int day = bench::defaultDay();
+    const int trials = defaultTrials();
+    std::vector<Device> devices = allStudyDevices();
+
+    Table tab("Fig. 12: success rate, 12 benchmarks x 7 systems, "
+              "TriQ-1QOptCN (" +
+              std::to_string(trials) + " trials)");
+    std::vector<std::string> header{"benchmark"};
+    for (const Device &d : devices)
+        header.push_back(d.name());
+    tab.setHeader(header);
+
+    for (const std::string &name : benchmarkNames()) {
+        Circuit program = makeBenchmark(name);
+        std::vector<std::string> row{name};
+        for (const Device &dev : devices) {
+            if (program.numQubits() > dev.numQubits()) {
+                row.push_back("X");
+                continue;
+            }
+            auto pt = bench::runTriq(program, dev, OptLevel::OneQOptCN,
+                                     day, trials);
+            row.push_back(bench::successCell(pt.executed));
+        }
+        tab.addRow(row);
+    }
+    tab.print(std::cout);
+    std::cout << "(X = benchmark too large for machine; * = correct "
+                 "answer not modal, a failed run)\n";
+    return 0;
+}

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Sec. 8 comparison point: BV4 on the 5-qubit IBM machine across six
+ * days with different error conditions. The paper reports TriQ success
+ * rates of 0.43-0.51 (average 0.47), about 2x the 0.23 reported by the
+ * variability-aware policy study [65]; the noise-unaware vendor model
+ * stands in for the baseline here.
+ */
+
+#include <iostream>
+
+#include "baseline/vendor_compilers.hh"
+#include "bench_util.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+#include "workloads/benchmarks.hh"
+
+using namespace triq;
+
+int
+main()
+{
+    Device dev = bench::deviceByName("IBMQ5");
+    const int trials = defaultTrials();
+    Circuit program = makeBenchmark("BV4");
+
+    Table tab("Sec. 8: BV4 on IBMQ5 across 6 calibration days (" +
+              std::to_string(trials) + " trials)");
+    tab.setHeader({"day", "Qiskit-model", "TriQ-1QOptCN", "improvement"});
+    std::vector<double> triq_sr, ratios;
+    for (int day = 1; day <= 6; ++day) {
+        auto qk = compileQiskitLike(program, dev);
+        auto qk_ex = bench::runCompiled(qk, dev, day, trials);
+        auto cn =
+            bench::runTriq(program, dev, OptLevel::OneQOptCN, day, trials);
+        triq_sr.push_back(cn.executed.successRate);
+        double r = qk_ex.successRate > 0
+                       ? cn.executed.successRate / qk_ex.successRate
+                       : 0.0;
+        if (r > 0)
+            ratios.push_back(r);
+        tab.addRow({fmtI(day), bench::successCell(qk_ex),
+                    bench::successCell(cn.executed), fmtFactor(r)});
+    }
+    tab.print(std::cout);
+    std::cout << "TriQ-1QOptCN: avg " << fmtF(mean(triq_sr), 3)
+              << " range [" << fmtF(minOf(triq_sr), 3) << ", "
+              << fmtF(maxOf(triq_sr), 3) << "]\n"
+              << "paper: avg 0.47, range [0.43, 0.51], ~2x over the "
+                 "noise-unaware baseline\n";
+    return 0;
+}

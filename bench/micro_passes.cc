@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks for the individual compiler passes:
+ * decomposition, reliability-matrix construction, the three mapping
+ * engines, routing, translation and the end-to-end flow. Complements
+ * the figure harnesses with pass-level performance tracking.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/compiler.hh"
+#include "core/decompose.hh"
+#include "core/router.hh"
+#include "device/machines.hh"
+#include "workloads/benchmarks.hh"
+#include "workloads/supremacy.hh"
+
+namespace triq
+{
+namespace
+{
+
+const Device &
+ibmq14()
+{
+    static Device dev = makeIbmQ14();
+    return dev;
+}
+
+const Calibration &
+calib14()
+{
+    static Calibration c = ibmq14().calibrate(3);
+    return c;
+}
+
+void
+BM_DecomposeToffoli(benchmark::State &state)
+{
+    Circuit c = makeBenchmark("Fredkin");
+    for (auto _ : state)
+        benchmark::DoNotOptimize(decomposeToCnotBasis(c));
+}
+BENCHMARK(BM_DecomposeToffoli);
+
+void
+BM_ReliabilityMatrix(benchmark::State &state)
+{
+    for (auto _ : state) {
+        ReliabilityMatrix rel(ibmq14().topology(), calib14(),
+                              Vendor::IBM);
+        benchmark::DoNotOptimize(rel.pairReliability(0, 13));
+    }
+}
+BENCHMARK(BM_ReliabilityMatrix);
+
+void
+BM_Mapper(benchmark::State &state)
+{
+    MapperKind kind = static_cast<MapperKind>(state.range(0));
+    Circuit prog = decomposeToCnotBasis(makeBenchmark("BV8"));
+    ProgramInfo info = ProgramInfo::fromCircuit(prog);
+    ReliabilityMatrix rel(ibmq14().topology(), calib14(), Vendor::IBM);
+    MappingOptions opts;
+    opts.kind = kind;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(mapQubits(info, rel, opts));
+}
+BENCHMARK(BM_Mapper)
+    ->Arg(static_cast<int>(MapperKind::Greedy))
+    ->Arg(static_cast<int>(MapperKind::BranchAndBound))
+    ->Arg(static_cast<int>(MapperKind::Smt));
+
+void
+BM_Router(benchmark::State &state)
+{
+    Circuit prog = decomposeToCnotBasis(makeBenchmark("QFT"));
+    ProgramInfo info = ProgramInfo::fromCircuit(prog);
+    ReliabilityMatrix rel(ibmq14().topology(), calib14(), Vendor::IBM);
+    Mapping m = mapQubits(info, rel, MappingOptions{});
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            routeCircuit(prog, m, ibmq14().topology(), rel));
+}
+BENCHMARK(BM_Router);
+
+void
+BM_Translate(benchmark::State &state)
+{
+    Circuit prog = decomposeToCnotBasis(makeBenchmark("QFT"));
+    ProgramInfo info = ProgramInfo::fromCircuit(prog);
+    ReliabilityMatrix rel(ibmq14().topology(), calib14(), Vendor::IBM);
+    Mapping m = mapQubits(info, rel, MappingOptions{});
+    RoutingResult routed =
+        routeCircuit(prog, m, ibmq14().topology(), rel);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(translateForDevice(
+            routed.circuit, ibmq14().topology(), ibmq14().gateSet(),
+            TranslateOptions{}));
+    state.SetItemsProcessed(state.iterations() *
+                            routed.circuit.numGates());
+}
+BENCHMARK(BM_Translate);
+
+void
+BM_EndToEnd(benchmark::State &state)
+{
+    Circuit prog = makeBenchmark("Adder");
+    CompileOptions opts;
+    opts.emitAssembly = false;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            compileForDevice(prog, ibmq14(), calib14(), opts));
+}
+BENCHMARK(BM_EndToEnd);
+
+void
+BM_EndToEndSupremacy36(benchmark::State &state)
+{
+    Device dev("Grid36", Topology::grid(6, 6), GateSet::ibm(),
+               ibmq14().noiseSpec());
+    Circuit prog = makeSupremacy(6, 6, 32, 1);
+    Calibration calib = dev.calibrate(1);
+    CompileOptions opts;
+    opts.mapping.kind = MapperKind::Greedy;
+    opts.emitAssembly = false;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            compileForDevice(prog, dev, calib, opts));
+}
+BENCHMARK(BM_EndToEndSupremacy36);
+
+} // namespace
+} // namespace triq
+
+BENCHMARK_MAIN();

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * QAOA MaxCut on noisy hardware models — the optimization application
+ * class the paper's introduction motivates.
+ *
+ * Sweeps the depth-1 QAOA angles for a small MaxCut instance, executes
+ * each candidate circuit on two device models (a superconducting grid
+ * and the trapped-ion machine), and reports the best expected cut
+ * found under noise versus the noiseless optimum — showing how device
+ * error rates and topology eat into variational-algorithm quality, and
+ * how the fully connected ion trap preserves more of it.
+ *
+ *   $ ./qaoa_maxcut
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "core/compiler.hh"
+#include "device/machines.hh"
+#include "sim/executor.hh"
+#include "workloads/variational.hh"
+
+using namespace triq;
+
+namespace
+{
+
+/** Expected cut for one (gamma, beta) point on one device. */
+double
+evaluate(const MaxCutGraph &graph, double gamma, double beta,
+         const Device &dev, const Calibration &calib, int trials)
+{
+    Circuit qaoa = makeQaoaMaxCut(graph, {gamma}, {beta});
+    CompileOptions opts;
+    opts.emitAssembly = false;
+    CompileResult res = compileForDevice(qaoa, dev, calib, opts);
+    ExecutionResult run =
+        executeNoisy(res.hwCircuit, dev, calib, trials);
+    // The histogram keys follow ascending measured hardware qubits;
+    // translate them back into program-vertex order.
+    std::vector<std::pair<uint64_t, int>> counts;
+    for (const auto &[key, count] : run.histogram)
+        counts.push_back({outcomeForProgram(key, res.hwCircuit,
+                                            res.finalMap,
+                                            qaoa.measuredQubits()),
+                          count});
+    return expectedCutValue(graph, counts);
+}
+
+} // namespace
+
+int
+main()
+{
+    // QAOA outputs are distributions, not a single correct answer;
+    // silence the executor's non-deterministic-output advisory.
+    setQuiet(true);
+    MaxCutGraph graph = MaxCutGraph::ring(5);
+    const int trials = 1024;
+    std::cout << "MaxCut instance: 5-vertex ring, optimum cut = "
+              << graph.maxCut() << "\n\n";
+
+    std::vector<Device> devices;
+    devices.push_back(makeIbmQ14());
+    devices.push_back(makeUmdTi());
+
+    Table tab("depth-1 QAOA angle sweep: best expected cut under noise");
+    tab.setHeader({"device", "best gamma", "best beta", "noisy <cut>",
+                   "fraction of optimum"});
+    for (const Device &dev : devices) {
+        Calibration calib = dev.calibrate(1);
+        double best_cut = -1.0, best_g = 0.0, best_b = 0.0;
+        for (int gi = 1; gi <= 6; ++gi) {
+            for (int bi = 1; bi <= 6; ++bi) {
+                double gamma = gi * kPi / 7.0;
+                double beta = bi * kPi / 14.0;
+                double cut =
+                    evaluate(graph, gamma, beta, dev, calib, trials);
+                if (cut > best_cut) {
+                    best_cut = cut;
+                    best_g = gamma;
+                    best_b = beta;
+                }
+            }
+        }
+        tab.addRow({dev.name(), fmtF(best_g, 3), fmtF(best_b, 3),
+                    fmtF(best_cut, 3),
+                    fmtF(best_cut / graph.maxCut(), 3)});
+    }
+    tab.print(std::cout);
+    std::cout << "\nthe fully connected, low-error trapped-ion model "
+                 "retains more of the\nvariational signal than the "
+                 "swap-burdened superconducting grid\n";
+    return 0;
+}

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * High-level-language entry point: compile a ScaffLite program (the
+ * repo's C-like Scaffold stand-in) down to device assembly for any of
+ * the seven machines — the full Fig. 4 toolflow in one command.
+ *
+ *   $ ./scafflite_frontend                     # built-in demo program
+ *   $ ./scafflite_frontend prog.scaff IBMQ14   # compile a file
+ */
+
+#include <iostream>
+
+#include "core/compiler.hh"
+#include "device/machines.hh"
+#include "lang/lower.hh"
+#include "sim/executor.hh"
+
+using namespace triq;
+
+namespace
+{
+
+/** A 5-qubit GHZ-preparation-and-verify demo in ScaffLite. */
+const char *kDemoProgram = R"(
+// GHZ state preparation on 4 qubits, then un-compute back to a
+// deterministic basis state so success is checkable on hardware.
+module ghz_roundtrip {
+    qreg q[4];
+    h q[0];
+    for i in 0..2 {
+        cnot q[i], q[i+1];
+    }
+    barrier;
+    for i in 0..2 {
+        cnot q[2-i], q[3-i];
+    }
+    h q[0];
+    x q[3];
+    for i in 0..3 {
+        measure q[i];
+    }
+}
+)";
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Circuit program = argc > 1 ? compileScaffLiteFile(argv[1])
+                               : compileScaffLite(kDemoProgram);
+    std::string dev_name = argc > 2 ? argv[2] : "UMDTI";
+    Device dev = [&] {
+        for (auto &d : allStudyDevices())
+            if (d.name() == dev_name)
+                return d;
+        std::cerr << "unknown device " << dev_name << "\n";
+        std::exit(1);
+    }();
+
+    std::cout << "parsed program:\n" << program.str() << "\n";
+
+    Calibration calib = dev.calibrate(0);
+    CompileOptions opts;
+    CompileResult res = compileForDevice(program, dev, calib, opts);
+    std::cout << "compiled for " << dev.name() << " ("
+              << dev.gateSet().describe() << ")\n";
+    std::cout << res.stats.twoQ << " 2Q gates, " << res.stats.pulses1q
+              << " 1Q pulses, " << res.stats.virtualZ
+              << " error-free virtual-Z rotations\n\n";
+    std::cout << res.assembly << "\n";
+
+    ExecutionResult run = executeNoisy(res.hwCircuit, dev, calib, 2048);
+    std::cout << "simulated success rate: " << run.successRate << "\n";
+    return 0;
+}

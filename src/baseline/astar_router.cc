@@ -1,0 +1,283 @@
+#include "baseline/astar_router.hh"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+
+#include "common/logging.hh"
+
+namespace triq
+{
+
+namespace
+{
+
+/** All-pairs hop distances (BFS from every qubit). */
+std::vector<std::vector<int>>
+allPairsDistance(const Topology &topo)
+{
+    const int n = topo.numQubits();
+    std::vector<std::vector<int>> dist(
+        static_cast<size_t>(n), std::vector<int>(n, -1));
+    for (int s = 0; s < n; ++s) {
+        std::queue<int> q;
+        dist[static_cast<size_t>(s)][static_cast<size_t>(s)] = 0;
+        q.push(s);
+        while (!q.empty()) {
+            int u = q.front();
+            q.pop();
+            for (int v : topo.neighbors(u))
+                if (dist[static_cast<size_t>(s)][static_cast<size_t>(v)] ==
+                    -1) {
+                    dist[static_cast<size_t>(s)][static_cast<size_t>(v)] =
+                        dist[static_cast<size_t>(s)]
+                            [static_cast<size_t>(u)] +
+                        1;
+                    q.push(v);
+                }
+        }
+    }
+    return dist;
+}
+
+/** One pending layer gate as (control, target) program qubits. */
+struct LayerGate
+{
+    ProgQubit c;
+    ProgQubit t;
+};
+
+/** Router state shared across layers. */
+class AstarRouter
+{
+  public:
+    AstarRouter(const Circuit &program, const Topology &topo, long budget)
+        : topo_(topo), dist_(allPairsDistance(topo)), budget_(budget),
+          out_(topo.numQubits(), program.name()),
+          progToHw_(static_cast<size_t>(program.numQubits())),
+          hwToProg_(static_cast<size_t>(topo.numQubits()), -1)
+    {
+        for (size_t p = 0; p < progToHw_.size(); ++p) {
+            progToHw_[p] = static_cast<HwQubit>(p);
+            hwToProg_[p] = static_cast<ProgQubit>(p);
+        }
+    }
+
+    AstarRoutingResult
+    run(const Circuit &program)
+    {
+        AstarRoutingResult res;
+        res.initialMap = progToHw_;
+        for (const auto &g : program.gates()) {
+            switch (g.arity()) {
+              case 0:
+                flushLayer();
+                out_.add(g);
+                break;
+              case 1: {
+                if (touchesLayer(g))
+                    flushLayer();
+                Gate hw = g;
+                hw.qubits[0] = progToHw_[static_cast<size_t>(g.qubit(0))];
+                out_.add(hw);
+                break;
+              }
+              case 2:
+                if (g.kind != GateKind::Cnot)
+                    panic("routeAstarLayered: expected CNOT basis, got ",
+                          g.str());
+                if (touchesLayer(g))
+                    flushLayer();
+                layer_.push_back({g.qubit(0), g.qubit(1)});
+                break;
+              default:
+                panic("routeAstarLayered: composite gate ", g.str());
+            }
+        }
+        flushLayer();
+        res.circuit = std::move(out_);
+        res.swapCount = swapCount_;
+        res.finalMap = progToHw_;
+        res.expansions = expansions_;
+        return res;
+    }
+
+  private:
+    const Topology &topo_;
+    std::vector<std::vector<int>> dist_;
+    long budget_;
+    Circuit out_;
+    std::vector<HwQubit> progToHw_;
+    std::vector<ProgQubit> hwToProg_;
+    std::vector<LayerGate> layer_;
+    int swapCount_ = 0;
+    long expansions_ = 0;
+
+    bool
+    touchesLayer(const Gate &g) const
+    {
+        for (const auto &lg : layer_)
+            for (int i = 0; i < g.arity(); ++i)
+                if (g.qubit(i) == lg.c || g.qubit(i) == lg.t)
+                    return true;
+        return false;
+    }
+
+    int
+    heuristic(const std::vector<ProgQubit> &hw_to_prog) const
+    {
+        // Sum of (distance - 1) over layer gates given the placement.
+        std::vector<HwQubit> where(progToHw_.size(), -1);
+        for (size_t h = 0; h < hw_to_prog.size(); ++h)
+            if (hw_to_prog[h] != -1)
+                where[static_cast<size_t>(hw_to_prog[h])] =
+                    static_cast<HwQubit>(h);
+        int sum = 0;
+        for (const auto &lg : layer_) {
+            HwQubit a = where[static_cast<size_t>(lg.c)];
+            HwQubit b = where[static_cast<size_t>(lg.t)];
+            sum += dist_[static_cast<size_t>(a)][static_cast<size_t>(b)] -
+                   1;
+        }
+        return sum;
+    }
+
+    void
+    applySwap(HwQubit a, HwQubit b)
+    {
+        out_.add(Gate::swap(a, b));
+        ++swapCount_;
+        ProgQubit pa = hwToProg_[static_cast<size_t>(a)];
+        ProgQubit pb = hwToProg_[static_cast<size_t>(b)];
+        std::swap(hwToProg_[static_cast<size_t>(a)],
+                  hwToProg_[static_cast<size_t>(b)]);
+        if (pa != -1)
+            progToHw_[static_cast<size_t>(pa)] = b;
+        if (pb != -1)
+            progToHw_[static_cast<size_t>(pb)] = a;
+    }
+
+    /** A* over swap sequences until every layer gate is adjacent. */
+    void
+    flushLayer()
+    {
+        if (layer_.empty())
+            return;
+        struct Node
+        {
+            std::vector<ProgQubit> hwToProg;
+            int g;
+            int parent;  // Index into `nodes`, -1 for the root.
+            int edge;    // Topology edge swapped to reach this node.
+        };
+        std::vector<Node> nodes;
+        nodes.push_back({hwToProg_, 0, -1, -1});
+        using QEntry = std::pair<int, int>; // (f, node index)
+        std::priority_queue<QEntry, std::vector<QEntry>,
+                            std::greater<QEntry>>
+            open;
+        std::map<std::vector<ProgQubit>, int> best_g;
+        best_g[hwToProg_] = 0;
+        open.push({heuristic(hwToProg_), 0});
+        int goal = -1;
+        long local_expansions = 0;
+        while (!open.empty()) {
+            auto [f, idx] = open.top();
+            open.pop();
+            const Node node = nodes[static_cast<size_t>(idx)];
+            auto it = best_g.find(node.hwToProg);
+            if (it != best_g.end() && it->second < node.g)
+                continue; // Stale entry.
+            if (heuristic(node.hwToProg) == 0) {
+                goal = idx;
+                break;
+            }
+            if (++local_expansions > budget_) {
+                goal = -1;
+                break;
+            }
+            for (int e = 0; e < topo_.numEdges(); ++e) {
+                const Coupling &cp = topo_.edge(e);
+                std::vector<ProgQubit> next = node.hwToProg;
+                std::swap(next[static_cast<size_t>(cp.a)],
+                          next[static_cast<size_t>(cp.b)]);
+                int ng = node.g + 1;
+                auto bit = best_g.find(next);
+                if (bit != best_g.end() && bit->second <= ng)
+                    continue;
+                best_g[next] = ng;
+                nodes.push_back({std::move(next), ng,
+                                 idx, e});
+                open.push({ng + heuristic(nodes.back().hwToProg),
+                           static_cast<int>(nodes.size()) - 1});
+            }
+        }
+        expansions_ += local_expansions;
+        if (goal != -1) {
+            // Replay the swap path in order.
+            std::vector<int> edges;
+            for (int cur = goal; cur != 0;
+                 cur = nodes[static_cast<size_t>(cur)].parent)
+                edges.push_back(nodes[static_cast<size_t>(cur)].edge);
+            std::reverse(edges.begin(), edges.end());
+            for (int e : edges) {
+                const Coupling &cp = topo_.edge(e);
+                applySwap(cp.a, cp.b);
+            }
+        } else {
+            // Budget exhausted: greedy fallback, one gate at a time.
+            warn("routeAstarLayered: A* budget exhausted; "
+                 "falling back to greedy routing for one layer");
+            for (const auto &lg : layer_)
+                greedyRoute(lg);
+        }
+        // Emit the layer's gates at their (now adjacent) positions.
+        for (const auto &lg : layer_) {
+            HwQubit a = progToHw_[static_cast<size_t>(lg.c)];
+            HwQubit b = progToHw_[static_cast<size_t>(lg.t)];
+            if (!topo_.adjacent(a, b))
+                panic("routeAstarLayered: layer gate not adjacent after "
+                      "routing");
+            out_.add(Gate::cnot(a, b));
+        }
+        layer_.clear();
+    }
+
+    /** Move lg.c along a BFS-shortest path until adjacent to lg.t. */
+    void
+    greedyRoute(const LayerGate &lg)
+    {
+        int steps = 0;
+        while (!topo_.adjacent(progToHw_[static_cast<size_t>(lg.c)],
+                               progToHw_[static_cast<size_t>(lg.t)])) {
+            if (++steps > topo_.numQubits() * topo_.numQubits())
+                panic("routeAstarLayered: greedy fallback diverged");
+            HwQubit hc = progToHw_[static_cast<size_t>(lg.c)];
+            HwQubit ht = progToHw_[static_cast<size_t>(lg.t)];
+            HwQubit best = -1;
+            for (HwQubit nb : topo_.neighbors(hc))
+                if (best == -1 ||
+                    dist_[static_cast<size_t>(nb)]
+                         [static_cast<size_t>(ht)] <
+                        dist_[static_cast<size_t>(best)]
+                             [static_cast<size_t>(ht)])
+                    best = nb;
+            applySwap(hc, best);
+        }
+    }
+};
+
+} // namespace
+
+AstarRoutingResult
+routeAstarLayered(const Circuit &program, const Topology &topo,
+                  long expansion_budget)
+{
+    if (program.numQubits() > topo.numQubits())
+        fatal("routeAstarLayered: program needs ", program.numQubits(),
+              " qubits, device has ", topo.numQubits());
+    AstarRouter router(program, topo, expansion_budget);
+    return router.run(program);
+}
+
+} // namespace triq

@@ -1,0 +1,85 @@
+#include "baseline/vendor_compilers.hh"
+
+#include <chrono>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "core/backend.hh"
+#include "core/decompose.hh"
+#include "core/router.hh"
+
+namespace triq
+{
+
+namespace
+{
+
+/**
+ * Compile with identity layout and hop-count routing. The routing
+ * reliability matrix is built from the device's *average* calibration
+ * with a small seeded jitter on each edge: with uniform edge costs the
+ * most-reliable path degenerates to fewest-hops, and the jitter
+ * reproduces the stochastic tie-breaking of the vendor routers.
+ */
+CompileResult
+compileVendorStyle(const Circuit &program, const Device &dev, uint64_t seed)
+{
+    using Clock = std::chrono::steady_clock;
+    auto t0 = Clock::now();
+
+    if (program.numQubits() > dev.numQubits())
+        fatal("vendor compiler: ", program.name(), " needs ",
+              program.numQubits(), " qubits; ", dev.name(), " has ",
+              dev.numQubits());
+
+    Circuit cnot_basis = decomposeToCnotBasis(program);
+
+    Calibration avg = dev.averageCalibration();
+    Rng rng(dev.name() + "/vendor/" + std::to_string(seed));
+    for (auto &e : avg.err2q)
+        e *= rng.uniform(0.95, 1.05);
+    ReliabilityMatrix rel(dev.topology(), avg, dev.vendor());
+
+    ProgramInfo info = ProgramInfo::fromCircuit(cnot_basis);
+    Mapping mapping = trivialMapping(info, rel);
+    RoutingResult routed =
+        routeCircuit(cnot_basis, mapping, dev.topology(), rel);
+
+    TranslateOptions topts;
+    topts.fuseOneQubit = true; // Vendor flows do combine 1Q gates.
+    TranslateResult tr = translateForDevice(routed.circuit, dev.topology(),
+                                            dev.gateSet(), topts);
+
+    CompileResult out;
+    out.hwCircuit = std::move(tr.circuit);
+    out.initialMap = routed.initialMap;
+    out.finalMap = routed.finalMap;
+    out.swapCount = routed.swapCount;
+    out.stats = tr.stats;
+    out.mapperObjective = mapping.minReliability;
+    out.assembly = emitAssembly(out.hwCircuit, dev.vendor());
+    out.compileMs =
+        std::chrono::duration<double, std::milli>(Clock::now() - t0)
+            .count();
+    return out;
+}
+
+} // namespace
+
+CompileResult
+compileQiskitLike(const Circuit &program, const Device &dev, uint64_t seed)
+{
+    if (dev.vendor() != Vendor::IBM)
+        fatal("compileQiskitLike targets IBM devices; got ", dev.name());
+    return compileVendorStyle(program, dev, seed);
+}
+
+CompileResult
+compileQuilLike(const Circuit &program, const Device &dev, uint64_t seed)
+{
+    if (dev.vendor() != Vendor::Rigetti)
+        fatal("compileQuilLike targets Rigetti devices; got ", dev.name());
+    return compileVendorStyle(program, dev, seed);
+}
+
+} // namespace triq

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Models of the vendor compilers the paper compares against (Table 1):
+ *
+ *  - QiskitLike: IBM Qiskit 0.6. Lexicographic ("first few qubits")
+ *    initial layout, greedy stochastic swap insertion driven purely by
+ *    hop distance, no noise awareness, standard u1/u2/u3 1Q combining.
+ *
+ *  - QuilLike: Rigetti Quil 1.9. Simple identity layout, naive
+ *    nearest-path swaps, no noise awareness, Rz/Rx compression.
+ *
+ * Both are built from the same pass library as TriQ, configured the way
+ * Sec. 6.3 describes the vendor flows, so the comparison isolates the
+ * mapping/routing/noise policies rather than code-quality differences.
+ */
+
+#ifndef TRIQ_BASELINE_VENDOR_COMPILERS_HH
+#define TRIQ_BASELINE_VENDOR_COMPILERS_HH
+
+#include "core/compiler.hh"
+
+namespace triq
+{
+
+/**
+ * Compile with the Qiskit-0.6 model.
+ * @param seed Seed for the stochastic swap tie-breaking.
+ */
+CompileResult compileQiskitLike(const Circuit &program, const Device &dev,
+                                uint64_t seed = 7);
+
+/** Compile with the Quil-1.9 model. */
+CompileResult compileQuilLike(const Circuit &program, const Device &dev,
+                              uint64_t seed = 7);
+
+} // namespace triq
+
+#endif // TRIQ_BASELINE_VENDOR_COMPILERS_HH

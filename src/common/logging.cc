@@ -1,0 +1,33 @@
+#include "common/logging.hh"
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+
+namespace triq
+{
+
+namespace
+{
+
+std::atomic<bool> quietFlag{false};
+
+} // namespace
+
+void
+setQuiet(bool quiet)
+{
+    quietFlag.store(quiet);
+}
+
+void
+detail::emit(const char *level, const std::string &msg)
+{
+    bool is_error =
+        std::strcmp(level, "panic") == 0 || std::strcmp(level, "fatal") == 0;
+    if (!is_error && quietFlag.load())
+        return;
+    std::fprintf(stderr, "%s: %s\n", level, msg.c_str());
+}
+
+} // namespace triq

@@ -1,0 +1,175 @@
+#include "common/matrix.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace triq
+{
+
+Matrix::Matrix() : rows_(0), cols_(0)
+{
+}
+
+Matrix::Matrix(int rows, int cols)
+    : rows_(rows), cols_(cols),
+      data_(static_cast<size_t>(rows) * cols, Cplx(0, 0))
+{
+    if (rows < 0 || cols < 0)
+        panic("Matrix: negative dimensions ", rows, "x", cols);
+}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<Cplx>> rows)
+    : rows_(static_cast<int>(rows.size())), cols_(0)
+{
+    for (const auto &row : rows) {
+        if (cols_ == 0)
+            cols_ = static_cast<int>(row.size());
+        else if (static_cast<int>(row.size()) != cols_)
+            panic("Matrix: ragged initializer list");
+        data_.insert(data_.end(), row.begin(), row.end());
+    }
+}
+
+Matrix
+Matrix::identity(int n)
+{
+    Matrix m(n, n);
+    for (int i = 0; i < n; ++i)
+        m.at(i, i) = Cplx(1, 0);
+    return m;
+}
+
+Cplx &
+Matrix::at(int r, int c)
+{
+    if (r < 0 || r >= rows_ || c < 0 || c >= cols_)
+        panic("Matrix::at out of range (", r, ",", c, ") in ", rows_, "x",
+              cols_);
+    return data_[static_cast<size_t>(r) * cols_ + c];
+}
+
+const Cplx &
+Matrix::at(int r, int c) const
+{
+    return const_cast<Matrix *>(this)->at(r, c);
+}
+
+Matrix
+Matrix::operator*(const Matrix &rhs) const
+{
+    if (cols_ != rhs.rows_)
+        panic("Matrix multiply shape mismatch: ", rows_, "x", cols_, " * ",
+              rhs.rows_, "x", rhs.cols_);
+    Matrix out(rows_, rhs.cols_);
+    for (int i = 0; i < rows_; ++i) {
+        for (int k = 0; k < cols_; ++k) {
+            Cplx a = at(i, k);
+            if (a == Cplx(0, 0))
+                continue;
+            for (int j = 0; j < rhs.cols_; ++j)
+                out.at(i, j) += a * rhs.at(k, j);
+        }
+    }
+    return out;
+}
+
+Matrix
+Matrix::operator*(const Cplx &s) const
+{
+    Matrix out = *this;
+    for (auto &v : out.data_)
+        v *= s;
+    return out;
+}
+
+Matrix
+Matrix::operator+(const Matrix &rhs) const
+{
+    if (rows_ != rhs.rows_ || cols_ != rhs.cols_)
+        panic("Matrix add shape mismatch");
+    Matrix out = *this;
+    for (size_t i = 0; i < data_.size(); ++i)
+        out.data_[i] += rhs.data_[i];
+    return out;
+}
+
+Matrix
+Matrix::kron(const Matrix &rhs) const
+{
+    Matrix out(rows_ * rhs.rows_, cols_ * rhs.cols_);
+    for (int i = 0; i < rows_; ++i)
+        for (int j = 0; j < cols_; ++j)
+            for (int k = 0; k < rhs.rows_; ++k)
+                for (int l = 0; l < rhs.cols_; ++l)
+                    out.at(i * rhs.rows_ + k, j * rhs.cols_ + l) =
+                        at(i, j) * rhs.at(k, l);
+    return out;
+}
+
+Matrix
+Matrix::dagger() const
+{
+    Matrix out(cols_, rows_);
+    for (int i = 0; i < rows_; ++i)
+        for (int j = 0; j < cols_; ++j)
+            out.at(j, i) = std::conj(at(i, j));
+    return out;
+}
+
+double
+Matrix::norm() const
+{
+    double s = 0.0;
+    for (const auto &v : data_)
+        s += std::norm(v);
+    return std::sqrt(s);
+}
+
+bool
+Matrix::isUnitary(double tol) const
+{
+    if (rows_ != cols_)
+        return false;
+    Matrix p = (*this) * dagger();
+    return p.approxEqual(identity(rows_), tol);
+}
+
+bool
+Matrix::approxEqual(const Matrix &rhs, double tol) const
+{
+    if (rows_ != rhs.rows_ || cols_ != rhs.cols_)
+        return false;
+    for (size_t i = 0; i < data_.size(); ++i)
+        if (std::abs(data_[i] - rhs.data_[i]) > tol)
+            return false;
+    return true;
+}
+
+bool
+Matrix::equalUpToPhase(const Matrix &rhs, double tol) const
+{
+    if (rows_ != rhs.rows_ || cols_ != rhs.cols_)
+        return false;
+    // Find the largest-magnitude entry of rhs to estimate the phase.
+    size_t imax = 0;
+    double best = -1.0;
+    for (size_t i = 0; i < rhs.data_.size(); ++i) {
+        double m = std::abs(rhs.data_[i]);
+        if (m > best) {
+            best = m;
+            imax = i;
+        }
+    }
+    if (best < tol)
+        return norm() < tol;
+    Cplx phase = data_[imax] / rhs.data_[imax];
+    if (std::abs(std::abs(phase) - 1.0) > tol)
+        return false;
+    for (size_t i = 0; i < data_.size(); ++i)
+        if (std::abs(data_[i] - phase * rhs.data_[i]) > tol)
+            return false;
+    return true;
+}
+
+} // namespace triq

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Dense complex matrices used for gate unitaries and equivalence checks.
+ *
+ * These matrices are tiny (2x2 .. 2^n x 2^n for small n in tests), so the
+ * implementation favors clarity over blocking/vectorization.
+ */
+
+#ifndef TRIQ_COMMON_MATRIX_HH
+#define TRIQ_COMMON_MATRIX_HH
+
+#include <initializer_list>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace triq
+{
+
+/** A dense, row-major complex matrix. */
+class Matrix
+{
+  public:
+    /** Construct an empty (0x0) matrix. */
+    Matrix();
+
+    /** Construct a rows x cols zero matrix. */
+    Matrix(int rows, int cols);
+
+    /** Construct from a nested initializer list (row major). */
+    Matrix(std::initializer_list<std::initializer_list<Cplx>> rows);
+
+    /** The n x n identity matrix. */
+    static Matrix identity(int n);
+
+    int rows() const { return rows_; }
+    int cols() const { return cols_; }
+
+    /** Mutable element access. */
+    Cplx &at(int r, int c);
+
+    /** Const element access. */
+    const Cplx &at(int r, int c) const;
+
+    Cplx &operator()(int r, int c) { return at(r, c); }
+    const Cplx &operator()(int r, int c) const { return at(r, c); }
+
+    /** Matrix product this * rhs. */
+    Matrix operator*(const Matrix &rhs) const;
+
+    /** Scalar product. */
+    Matrix operator*(const Cplx &s) const;
+
+    /** Matrix sum. */
+    Matrix operator+(const Matrix &rhs) const;
+
+    /** Kronecker (tensor) product this (x) rhs. */
+    Matrix kron(const Matrix &rhs) const;
+
+    /** Conjugate transpose. */
+    Matrix dagger() const;
+
+    /** Frobenius norm. */
+    double norm() const;
+
+    /** True if this is unitary within tolerance. */
+    bool isUnitary(double tol = 1e-9) const;
+
+    /** Entry-wise equality within tolerance. */
+    bool approxEqual(const Matrix &rhs, double tol = 1e-9) const;
+
+    /**
+     * Equality up to a global phase: true when there exists a unit-modulus
+     * scalar c with this == c * rhs (within tolerance). Quantum gates are
+     * physically indistinguishable under global phase, so decomposition
+     * checks use this.
+     */
+    bool equalUpToPhase(const Matrix &rhs, double tol = 1e-7) const;
+
+  private:
+    int rows_;
+    int cols_;
+    std::vector<Cplx> data_;
+};
+
+} // namespace triq
+
+#endif // TRIQ_COMMON_MATRIX_HH

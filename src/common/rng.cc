@@ -1,0 +1,148 @@
+#include "common/rng.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace triq
+{
+
+namespace
+{
+
+/** splitmix64: used to expand seeds into full xoshiro state. */
+uint64_t
+splitmix64(uint64_t &x)
+{
+    uint64_t z = (x += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+/** FNV-1a hash for string seeds. */
+uint64_t
+hashString(const std::string &s)
+{
+    uint64_t h = 0xcbf29ce484222325ull;
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+} // namespace
+
+Rng::Rng(uint64_t seed) : cachedNormal_(0.0), hasCachedNormal_(false)
+{
+    uint64_t x = seed;
+    for (auto &w : s_)
+        w = splitmix64(x);
+}
+
+Rng::Rng(const std::string &seed) : Rng(hashString(seed))
+{
+}
+
+uint64_t
+Rng::next()
+{
+    const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53 random mantissa bits -> [0, 1).
+    return (next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+int
+Rng::uniformInt(int n)
+{
+    if (n <= 0)
+        panic("Rng::uniformInt: n must be positive, got ", n);
+    // Rejection sampling to avoid modulo bias.
+    uint64_t un = static_cast<uint64_t>(n);
+    uint64_t limit = UINT64_MAX - UINT64_MAX % un;
+    uint64_t r;
+    do {
+        r = next();
+    } while (r >= limit);
+    return static_cast<int>(r % un);
+}
+
+bool
+Rng::bernoulli(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return uniform() < p;
+}
+
+double
+Rng::normal()
+{
+    if (hasCachedNormal_) {
+        hasCachedNormal_ = false;
+        return cachedNormal_;
+    }
+    double u1, u2;
+    do {
+        u1 = uniform();
+    } while (u1 <= 0.0);
+    u2 = uniform();
+    double r = std::sqrt(-2.0 * std::log(u1));
+    cachedNormal_ = r * std::sin(2.0 * kPi * u2);
+    hasCachedNormal_ = true;
+    return r * std::cos(2.0 * kPi * u2);
+}
+
+double
+Rng::normal(double mean, double stddev)
+{
+    return mean + stddev * normal();
+}
+
+double
+Rng::logNormal(double median, double sigma)
+{
+    if (median <= 0.0)
+        panic("Rng::logNormal: median must be positive, got ", median);
+    return median * std::exp(sigma * normal());
+}
+
+Rng
+Rng::fork(uint64_t tag) const
+{
+    // Derive a child seed from the current state and the tag; the parent
+    // state is not advanced, so forks are order-independent.
+    uint64_t x = s_[0] ^ rotl(s_[2], 13) ^ (tag * 0xD1342543DE82EF95ull);
+    return Rng(splitmix64(x));
+}
+
+} // namespace triq

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for calibration synthesis
+ * and noisy-trajectory simulation.
+ *
+ * We use xoshiro256** (public domain, Blackman & Vigna) rather than
+ * std::mt19937 so that streams are cheap to fork: every (device, day) pair
+ * and every simulation trial can own an independent, reproducible stream.
+ */
+
+#ifndef TRIQ_COMMON_RNG_HH
+#define TRIQ_COMMON_RNG_HH
+
+#include <cstdint>
+#include <string>
+
+namespace triq
+{
+
+/**
+ * A small, fast, seedable random number generator (xoshiro256**).
+ *
+ * All distributions needed by TriQ (uniform, normal, log-normal,
+ * Bernoulli, bounded integers) are provided as member functions so
+ * call sites never depend on <random> distribution quirks, keeping
+ * results identical across standard libraries.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed (expanded via splitmix64). */
+    explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+    /** Construct from a string seed, e.g. "ibmq14/day3". */
+    explicit Rng(const std::string &seed);
+
+    /** Next raw 64 random bits. */
+    uint64_t next();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [0, n). @pre n > 0. */
+    int uniformInt(int n);
+
+    /** Bernoulli trial with success probability p. */
+    bool bernoulli(double p);
+
+    /** Standard normal deviate (Box-Muller, cached pair). */
+    double normal();
+
+    /** Normal deviate with the given mean and standard deviation. */
+    double normal(double mean, double stddev);
+
+    /**
+     * Log-normal deviate parameterized by the *median* m and the
+     * multiplicative spread sigma (standard deviation of ln X).
+     * Median-parameterization keeps calibration means interpretable.
+     */
+    double logNormal(double median, double sigma);
+
+    /** Fork an independent stream keyed by an integer tag. */
+    Rng fork(uint64_t tag) const;
+
+  private:
+    uint64_t s_[4];
+    double cachedNormal_;
+    bool hasCachedNormal_;
+};
+
+} // namespace triq
+
+#endif // TRIQ_COMMON_RNG_HH

@@ -1,0 +1,141 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace triq
+{
+
+namespace
+{
+
+void
+requireNonEmpty(const std::vector<double> &xs, const char *who)
+{
+    if (xs.empty())
+        panic(who, ": empty sample");
+}
+
+} // namespace
+
+double
+mean(const std::vector<double> &xs)
+{
+    requireNonEmpty(xs, "mean");
+    double s = 0.0;
+    for (double x : xs)
+        s += x;
+    return s / static_cast<double>(xs.size());
+}
+
+double
+geomean(const std::vector<double> &xs)
+{
+    requireNonEmpty(xs, "geomean");
+    double s = 0.0;
+    for (double x : xs) {
+        if (x <= 0.0)
+            fatal("geomean: non-positive sample ", x);
+        s += std::log(x);
+    }
+    return std::exp(s / static_cast<double>(xs.size()));
+}
+
+double
+stddev(const std::vector<double> &xs)
+{
+    requireNonEmpty(xs, "stddev");
+    double m = mean(xs);
+    double s = 0.0;
+    for (double x : xs)
+        s += (x - m) * (x - m);
+    return std::sqrt(s / static_cast<double>(xs.size()));
+}
+
+double
+minOf(const std::vector<double> &xs)
+{
+    requireNonEmpty(xs, "minOf");
+    return *std::min_element(xs.begin(), xs.end());
+}
+
+double
+maxOf(const std::vector<double> &xs)
+{
+    requireNonEmpty(xs, "maxOf");
+    return *std::max_element(xs.begin(), xs.end());
+}
+
+double
+quantile(std::vector<double> xs, double q)
+{
+    requireNonEmpty(xs, "quantile");
+    q = std::clamp(q, 0.0, 1.0);
+    std::sort(xs.begin(), xs.end());
+    double pos = q * static_cast<double>(xs.size() - 1);
+    size_t lo = static_cast<size_t>(pos);
+    size_t hi = std::min(lo + 1, xs.size() - 1);
+    double frac = pos - static_cast<double>(lo);
+    return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+RunningStats::RunningStats()
+    : n_(0), mean_(0.0), m2_(0.0),
+      min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity())
+{
+}
+
+void
+RunningStats::push(double x)
+{
+    ++n_;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+}
+
+double
+RunningStats::mean() const
+{
+    if (n_ == 0)
+        panic("RunningStats::mean: no samples");
+    return mean_;
+}
+
+double
+RunningStats::variance() const
+{
+    if (n_ == 0)
+        panic("RunningStats::variance: no samples");
+    return n_ > 1 ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double
+RunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+RunningStats::min() const
+{
+    if (n_ == 0)
+        panic("RunningStats::min: no samples");
+    return min_;
+}
+
+double
+RunningStats::max() const
+{
+    if (n_ == 0)
+        panic("RunningStats::max: no samples");
+    return max_;
+}
+
+} // namespace triq

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Small statistics helpers used when summarizing experiment results
+ * (the paper reports geometric means and max improvement factors).
+ */
+
+#ifndef TRIQ_COMMON_STATS_HH
+#define TRIQ_COMMON_STATS_HH
+
+#include <vector>
+
+namespace triq
+{
+
+/** Arithmetic mean. @pre xs non-empty. */
+double mean(const std::vector<double> &xs);
+
+/** Geometric mean. @pre xs non-empty, all entries > 0. */
+double geomean(const std::vector<double> &xs);
+
+/** Population standard deviation. @pre xs non-empty. */
+double stddev(const std::vector<double> &xs);
+
+/** Minimum. @pre xs non-empty. */
+double minOf(const std::vector<double> &xs);
+
+/** Maximum. @pre xs non-empty. */
+double maxOf(const std::vector<double> &xs);
+
+/** Linear-interpolated quantile, q in [0, 1]. @pre xs non-empty. */
+double quantile(std::vector<double> xs, double q);
+
+/**
+ * Running statistics accumulator (Welford) for streaming summaries.
+ */
+class RunningStats
+{
+  public:
+    RunningStats();
+
+    /** Fold one sample into the summary. */
+    void push(double x);
+
+    /** Number of samples pushed. */
+    long count() const { return n_; }
+
+    double mean() const;
+    double variance() const;
+    double stddev() const;
+    double min() const;
+    double max() const;
+
+  private:
+    long n_;
+    double mean_;
+    double m2_;
+    double min_;
+    double max_;
+};
+
+} // namespace triq
+
+#endif // TRIQ_COMMON_STATS_HH

@@ -1,0 +1,122 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace triq
+{
+
+Table::Table(std::string title) : title_(std::move(title))
+{
+}
+
+void
+Table::setHeader(std::vector<std::string> header)
+{
+    header_ = std::move(header);
+}
+
+void
+Table::addRow(std::vector<std::string> row)
+{
+    if (!header_.empty() && row.size() != header_.size())
+        panic("Table::addRow: row width ", row.size(),
+              " does not match header width ", header_.size());
+    rows_.push_back(std::move(row));
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    size_t ncols = header_.size();
+    for (const auto &r : rows_)
+        ncols = std::max(ncols, r.size());
+    std::vector<size_t> width(ncols, 0);
+    auto widen = [&](const std::vector<std::string> &r) {
+        for (size_t i = 0; i < r.size(); ++i)
+            width[i] = std::max(width[i], r[i].size());
+    };
+    if (!header_.empty())
+        widen(header_);
+    for (const auto &r : rows_)
+        widen(r);
+
+    auto emit = [&](const std::vector<std::string> &r) {
+        for (size_t i = 0; i < r.size(); ++i) {
+            os << r[i];
+            if (i + 1 < r.size())
+                os << std::string(width[i] - r[i].size() + 2, ' ');
+        }
+        os << '\n';
+    };
+
+    if (!title_.empty())
+        os << "== " << title_ << " ==\n";
+    if (!header_.empty()) {
+        emit(header_);
+        size_t total = 0;
+        for (size_t i = 0; i < ncols; ++i)
+            total += width[i] + (i + 1 < ncols ? 2 : 0);
+        os << std::string(total, '-') << '\n';
+    }
+    for (const auto &r : rows_)
+        emit(r);
+}
+
+void
+Table::printCsv(std::ostream &os) const
+{
+    auto quote = [](const std::string &s) {
+        if (s.find_first_of(",\"\n") == std::string::npos)
+            return s;
+        std::string q = "\"";
+        for (char c : s) {
+            if (c == '"')
+                q += '"';
+            q += c;
+        }
+        q += '"';
+        return q;
+    };
+    auto emit = [&](const std::vector<std::string> &r) {
+        for (size_t i = 0; i < r.size(); ++i) {
+            os << quote(r[i]);
+            if (i + 1 < r.size())
+                os << ',';
+        }
+        os << '\n';
+    };
+    if (!header_.empty())
+        emit(header_);
+    for (const auto &r : rows_)
+        emit(r);
+}
+
+std::string
+fmtF(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+fmtFactor(double v)
+{
+    if (!std::isfinite(v))
+        return "-";
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.2fx", v);
+    return buf;
+}
+
+std::string
+fmtI(long v)
+{
+    return std::to_string(v);
+}
+
+} // namespace triq

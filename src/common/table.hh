@@ -1,0 +1,65 @@
+/**
+ * @file
+ * ASCII table / CSV formatting used by the benchmark harnesses to print
+ * the rows and series the paper's tables and figures report.
+ */
+
+#ifndef TRIQ_COMMON_TABLE_HH
+#define TRIQ_COMMON_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace triq
+{
+
+/**
+ * A simple column-aligned text table with an optional title.
+ *
+ * Usage:
+ * @code
+ *   Table t("Fig. 8 (a): IBMQ14 native 1Q ops");
+ *   t.setHeader({"bench", "TriQ-N", "TriQ-1QOpt"});
+ *   t.addRow({"BV4", "34", "21"});
+ *   t.print(std::cout);
+ * @endcode
+ */
+class Table
+{
+  public:
+    explicit Table(std::string title = "");
+
+    /** Set column headers. */
+    void setHeader(std::vector<std::string> header);
+
+    /** Append a fully formatted row. */
+    void addRow(std::vector<std::string> row);
+
+    /** Number of data rows. */
+    int numRows() const { return static_cast<int>(rows_.size()); }
+
+    /** Render as an aligned ASCII table. */
+    void print(std::ostream &os) const;
+
+    /** Render as CSV (no alignment, comma separated, quoted as needed). */
+    void printCsv(std::ostream &os) const;
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with the given precision (fixed notation). */
+std::string fmtF(double v, int precision = 3);
+
+/** Format a double as "x.xx x" improvement factor, or "-" if not finite. */
+std::string fmtFactor(double v);
+
+/** Format an integer. */
+std::string fmtI(long v);
+
+} // namespace triq
+
+#endif // TRIQ_COMMON_TABLE_HH

@@ -1,0 +1,31 @@
+#include "common/types.hh"
+
+#include <cmath>
+
+namespace triq
+{
+
+double
+wrapAngle(double a)
+{
+    double w = std::fmod(a, 2.0 * kPi);
+    if (w <= -kPi)
+        w += 2.0 * kPi;
+    else if (w > kPi)
+        w -= 2.0 * kPi;
+    return w;
+}
+
+bool
+isZeroAngle(double a, double tol)
+{
+    return std::abs(wrapAngle(a)) < tol;
+}
+
+bool
+sameAngle(double a, double b, double tol)
+{
+    return isZeroAngle(a - b, tol);
+}
+
+} // namespace triq

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Fundamental scalar types and constants shared across the TriQ toolflow.
+ */
+
+#ifndef TRIQ_COMMON_TYPES_HH
+#define TRIQ_COMMON_TYPES_HH
+
+#include <complex>
+#include <cstdint>
+
+namespace triq
+{
+
+/** Index of a program (logical) qubit inside a circuit. */
+using ProgQubit = int;
+
+/** Index of a hardware (physical) qubit on a device. */
+using HwQubit = int;
+
+/** Complex amplitude type used by the simulator and matrix algebra. */
+using Cplx = std::complex<double>;
+
+/** Pi, to double precision. */
+inline constexpr double kPi = 3.141592653589793238462643383279502884;
+
+/** Numerical tolerance used when comparing angles and amplitudes. */
+inline constexpr double kEps = 1e-9;
+
+/**
+ * Wrap an angle into the canonical interval (-pi, pi].
+ *
+ * @param a Angle in radians.
+ * @return The equivalent angle in (-pi, pi].
+ */
+double wrapAngle(double a);
+
+/**
+ * Test whether an angle is an integer multiple of 2*pi (i.e. a no-op
+ * rotation) within tolerance.
+ */
+bool isZeroAngle(double a, double tol = 1e-7);
+
+/** Test whether two angles are equal modulo 2*pi within tolerance. */
+bool sameAngle(double a, double b, double tol = 1e-7);
+
+} // namespace triq
+
+#endif // TRIQ_COMMON_TYPES_HH

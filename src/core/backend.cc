@@ -1,0 +1,154 @@
+#include "core/backend.hh"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace triq
+{
+
+namespace
+{
+
+std::string
+num(double v)
+{
+    // Shortest representation that round-trips exactly: emitted angles
+    // must survive a parse-back without accumulating phase error.
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+} // namespace
+
+std::string
+toOpenQasm(const Circuit &c)
+{
+    std::ostringstream os;
+    os << "OPENQASM 2.0;\n";
+    os << "include \"qelib1.inc\";\n";
+    os << "// " << (c.name().empty() ? "triq output" : c.name()) << "\n";
+    os << "qreg q[" << c.numQubits() << "];\n";
+    os << "creg c[" << c.numQubits() << "];\n";
+    for (const auto &g : c.gates()) {
+        switch (g.kind) {
+          case GateKind::U1:
+          case GateKind::Rz:
+            os << "u1(" << num(g.params[0]) << ") q[" << g.qubit(0)
+               << "];\n";
+            break;
+          case GateKind::U2:
+            os << "u2(" << num(g.params[0]) << "," << num(g.params[1])
+               << ") q[" << g.qubit(0) << "];\n";
+            break;
+          case GateKind::U3:
+            os << "u3(" << num(g.params[0]) << "," << num(g.params[1])
+               << "," << num(g.params[2]) << ") q[" << g.qubit(0)
+               << "];\n";
+            break;
+          case GateKind::Cnot:
+            os << "cx q[" << g.qubit(0) << "],q[" << g.qubit(1) << "];\n";
+            break;
+          case GateKind::Measure:
+            os << "measure q[" << g.qubit(0) << "] -> c[" << g.qubit(0)
+               << "];\n";
+            break;
+          case GateKind::Barrier:
+            os << "barrier q;\n";
+            break;
+          default:
+            fatal("toOpenQasm: gate ", g.str(),
+                  " is not in the IBM software-visible set");
+        }
+    }
+    return os.str();
+}
+
+std::string
+toQuil(const Circuit &c)
+{
+    std::ostringstream os;
+    os << "# " << (c.name().empty() ? "triq output" : c.name()) << "\n";
+    os << "DECLARE ro BIT[" << c.numQubits() << "]\n";
+    for (const auto &g : c.gates()) {
+        switch (g.kind) {
+          case GateKind::Rz:
+          case GateKind::U1:
+            os << "RZ(" << num(g.params[0]) << ") " << g.qubit(0) << "\n";
+            break;
+          case GateKind::Rx:
+            os << "RX(" << num(g.params[0]) << ") " << g.qubit(0) << "\n";
+            break;
+          case GateKind::Cz:
+            os << "CZ " << g.qubit(0) << " " << g.qubit(1) << "\n";
+            break;
+          case GateKind::Cphase:
+            os << "CPHASE(" << num(g.params[0]) << ") " << g.qubit(0)
+               << " " << g.qubit(1) << "\n";
+            break;
+          case GateKind::Measure:
+            os << "MEASURE " << g.qubit(0) << " ro[" << g.qubit(0)
+               << "]\n";
+            break;
+          case GateKind::Barrier:
+            break; // Quil has no explicit barrier; ordering suffices.
+          default:
+            fatal("toQuil: gate ", g.str(),
+                  " is not in the Rigetti software-visible set");
+        }
+    }
+    return os.str();
+}
+
+std::string
+toUmdAsm(const Circuit &c)
+{
+    std::ostringstream os;
+    os << "; TriQ UMD-TI assembly: "
+       << (c.name().empty() ? "triq output" : c.name()) << "\n";
+    os << "ions " << c.numQubits() << "\n";
+    for (const auto &g : c.gates()) {
+        switch (g.kind) {
+          case GateKind::Rz:
+          case GateKind::U1:
+            os << "rz " << g.qubit(0) << " " << num(g.params[0]) << "\n";
+            break;
+          case GateKind::Rxy:
+            os << "rxy " << g.qubit(0) << " " << num(g.params[0]) << " "
+               << num(g.params[1]) << "\n";
+            break;
+          case GateKind::Xx:
+            os << "ms " << g.qubit(0) << " " << g.qubit(1) << " "
+               << num(g.params[0]) << "\n";
+            break;
+          case GateKind::Measure:
+            os << "detect " << g.qubit(0) << "\n";
+            break;
+          case GateKind::Barrier:
+            os << "sync\n";
+            break;
+          default:
+            fatal("toUmdAsm: gate ", g.str(),
+                  " is not in the UMD software-visible set");
+        }
+    }
+    return os.str();
+}
+
+std::string
+emitAssembly(const Circuit &c, Vendor vendor)
+{
+    switch (vendor) {
+      case Vendor::IBM:
+        return toOpenQasm(c);
+      case Vendor::Rigetti:
+        return toQuil(c);
+      case Vendor::UMD:
+        return toUmdAsm(c);
+    }
+    panic("emitAssembly: unknown vendor");
+}
+
+} // namespace triq

@@ -1,0 +1,188 @@
+#include "core/circuit.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace triq
+{
+
+Circuit::Circuit(int num_qubits, std::string name)
+    : name_(std::move(name)), numQubits_(num_qubits)
+{
+    if (num_qubits < 0)
+        fatal("Circuit: negative qubit count ", num_qubits);
+}
+
+int
+Circuit::add(const Gate &g)
+{
+    for (int i = 0; i < g.arity(); ++i) {
+        ProgQubit q = g.qubit(i);
+        if (q < 0 || q >= numQubits_)
+            fatal("Circuit::add: qubit q", q, " out of range [0,",
+                  numQubits_, ") in gate ", g.str());
+    }
+    gates_.push_back(g);
+    return static_cast<int>(gates_.size()) - 1;
+}
+
+void
+Circuit::append(const Circuit &other)
+{
+    if (other.numQubits_ != numQubits_)
+        fatal("Circuit::append: register width mismatch (", numQubits_,
+              " vs ", other.numQubits_, ")");
+    for (const auto &g : other.gates_)
+        add(g);
+}
+
+const Gate &
+Circuit::gate(int i) const
+{
+    if (i < 0 || i >= numGates())
+        panic("Circuit::gate: index ", i, " out of range");
+    return gates_[static_cast<size_t>(i)];
+}
+
+int
+Circuit::count1q() const
+{
+    return countIf([](const Gate &g) { return isOneQubitGate(g.kind); });
+}
+
+int
+Circuit::count2q() const
+{
+    return countIf([](const Gate &g) { return isTwoQubitGate(g.kind); });
+}
+
+std::vector<ProgQubit>
+Circuit::measuredQubits() const
+{
+    std::set<ProgQubit> s;
+    for (const auto &g : gates_)
+        if (g.kind == GateKind::Measure)
+            s.insert(g.qubit(0));
+    return {s.begin(), s.end()};
+}
+
+std::vector<ProgQubit>
+Circuit::activeQubits() const
+{
+    std::set<ProgQubit> s;
+    for (const auto &g : gates_)
+        for (int i = 0; i < g.arity(); ++i)
+            s.insert(g.qubit(i));
+    return {s.begin(), s.end()};
+}
+
+int
+Circuit::depth() const
+{
+    std::vector<int> frontier(numQubits_, 0);
+    int barrier_level = 0;
+    int max_level = 0;
+    for (const auto &g : gates_) {
+        if (g.kind == GateKind::Barrier) {
+            barrier_level = max_level;
+            continue;
+        }
+        int lvl = barrier_level;
+        for (int i = 0; i < g.arity(); ++i)
+            lvl = std::max(lvl, frontier[static_cast<size_t>(g.qubit(i))]);
+        ++lvl;
+        for (int i = 0; i < g.arity(); ++i)
+            frontier[static_cast<size_t>(g.qubit(i))] = lvl;
+        max_level = std::max(max_level, lvl);
+    }
+    return max_level;
+}
+
+std::string
+Circuit::str() const
+{
+    std::string s;
+    s += "circuit " + (name_.empty() ? std::string("<anon>") : name_) +
+         " (" + std::to_string(numQubits_) + " qubits)\n";
+    for (const auto &g : gates_)
+        s += "  " + g.str() + "\n";
+    return s;
+}
+
+CircuitDag::CircuitDag(const Circuit &circuit)
+    : preds_(circuit.numGates()), succs_(circuit.numGates()),
+      level_(circuit.numGates(), 0), numLevels_(0)
+{
+    // last[q]: index of the most recent gate touching qubit q; -1 if none.
+    std::vector<int> last(circuit.numQubits(), -1);
+    int last_barrier = -1;
+    for (int i = 0; i < circuit.numGates(); ++i) {
+        const Gate &g = circuit.gate(i);
+        std::vector<int> &p = preds_[static_cast<size_t>(i)];
+        if (g.kind == GateKind::Barrier) {
+            // Depend on every active frontier gate.
+            for (int q = 0; q < circuit.numQubits(); ++q)
+                if (last[static_cast<size_t>(q)] != -1)
+                    p.push_back(last[static_cast<size_t>(q)]);
+            if (p.empty() && last_barrier != -1)
+                p.push_back(last_barrier);
+            for (int q = 0; q < circuit.numQubits(); ++q)
+                last[static_cast<size_t>(q)] = i;
+            last_barrier = i;
+        } else {
+            for (int k = 0; k < g.arity(); ++k) {
+                int idx = last[static_cast<size_t>(g.qubit(k))];
+                if (idx == -1)
+                    idx = last_barrier;
+                if (idx != -1)
+                    p.push_back(idx);
+                last[static_cast<size_t>(g.qubit(k))] = i;
+            }
+        }
+        std::sort(p.begin(), p.end());
+        p.erase(std::unique(p.begin(), p.end()), p.end());
+        int lvl = 0;
+        for (int j : p) {
+            succs_[static_cast<size_t>(j)].push_back(i);
+            lvl = std::max(lvl, level_[static_cast<size_t>(j)] + 1);
+        }
+        level_[static_cast<size_t>(i)] = lvl;
+        numLevels_ = std::max(numLevels_, lvl + 1);
+    }
+}
+
+const std::vector<int> &
+CircuitDag::preds(int i) const
+{
+    if (i < 0 || i >= static_cast<int>(preds_.size()))
+        panic("CircuitDag::preds: index out of range");
+    return preds_[static_cast<size_t>(i)];
+}
+
+const std::vector<int> &
+CircuitDag::succs(int i) const
+{
+    if (i < 0 || i >= static_cast<int>(succs_.size()))
+        panic("CircuitDag::succs: index out of range");
+    return succs_[static_cast<size_t>(i)];
+}
+
+int
+CircuitDag::level(int i) const
+{
+    if (i < 0 || i >= static_cast<int>(level_.size()))
+        panic("CircuitDag::level: index out of range");
+    return level_[static_cast<size_t>(i)];
+}
+
+std::vector<std::vector<int>>
+CircuitDag::levels() const
+{
+    std::vector<std::vector<int>> out(static_cast<size_t>(numLevels_));
+    for (size_t i = 0; i < level_.size(); ++i)
+        out[static_cast<size_t>(level_[i])].push_back(static_cast<int>(i));
+    return out;
+}
+
+} // namespace triq

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Circuit: an ordered gate list over a fixed qubit register, plus the
+ * dependency DAG used for scheduling (Sec. 4.4).
+ */
+
+#ifndef TRIQ_CORE_CIRCUIT_HH
+#define TRIQ_CORE_CIRCUIT_HH
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/gate.hh"
+
+namespace triq
+{
+
+/**
+ * A quantum program at the gate level.
+ *
+ * Gates are stored in program order; program order is always a valid
+ * topological order of the dependency DAG. Qubits are indices in
+ * [0, numQubits).
+ */
+class Circuit
+{
+  public:
+    /** Construct a circuit over `num_qubits` qubits. */
+    explicit Circuit(int num_qubits = 0, std::string name = "");
+
+    const std::string &name() const { return name_; }
+    void setName(std::string name) { name_ = std::move(name); }
+
+    int numQubits() const { return numQubits_; }
+
+    /** Append a gate; validates operand ranges. Returns gate index. */
+    int add(const Gate &g);
+
+    /** Append every gate of `other` (same register width required). */
+    void append(const Circuit &other);
+
+    int numGates() const { return static_cast<int>(gates_.size()); }
+    const std::vector<Gate> &gates() const { return gates_; }
+    const Gate &gate(int i) const;
+
+    /** Count of 1Q unitary gates. */
+    int count1q() const;
+
+    /** Count of 2Q gates (a Swap counts once; translation expands it). */
+    int count2q() const;
+
+    /** Count of gates satisfying a predicate. */
+    template <typename Pred>
+    int
+    countIf(Pred pred) const
+    {
+        int n = 0;
+        for (const auto &g : gates_)
+            if (pred(g))
+                ++n;
+        return n;
+    }
+
+    /** Qubits with a Measure gate, ascending. */
+    std::vector<ProgQubit> measuredQubits() const;
+
+    /** Qubits touched by at least one gate, ascending. */
+    std::vector<ProgQubit> activeQubits() const;
+
+    /**
+     * Circuit depth: longest chain of unitary gates (Barrier fences,
+     * Measure included as ordinary single-qubit events).
+     */
+    int depth() const;
+
+    /** Multi-line textual dump (one gate per line). */
+    std::string str() const;
+
+  private:
+    std::string name_;
+    int numQubits_;
+    std::vector<Gate> gates_;
+};
+
+/**
+ * Dependency DAG of a circuit: gate i depends on the previous gate that
+ * touched each of its operands (Barriers fence all qubits).
+ */
+class CircuitDag
+{
+  public:
+    /** Build the DAG for `circuit` (kept by reference; do not mutate). */
+    explicit CircuitDag(const Circuit &circuit);
+
+    /** Immediate predecessors of gate i (deduplicated). */
+    const std::vector<int> &preds(int i) const;
+
+    /** Immediate successors of gate i (deduplicated). */
+    const std::vector<int> &succs(int i) const;
+
+    /** ASAP level of gate i (all preds at strictly lower levels). */
+    int level(int i) const;
+
+    /** Number of ASAP levels (0 for an empty circuit). */
+    int numLevels() const { return numLevels_; }
+
+    /** Gate indices grouped by ASAP level. */
+    std::vector<std::vector<int>> levels() const;
+
+  private:
+    std::vector<std::vector<int>> preds_;
+    std::vector<std::vector<int>> succs_;
+    std::vector<int> level_;
+    int numLevels_;
+};
+
+} // namespace triq
+
+#endif // TRIQ_CORE_CIRCUIT_HH

@@ -1,0 +1,92 @@
+#include "core/compiler.hh"
+
+#include <chrono>
+
+#include "common/logging.hh"
+#include "core/backend.hh"
+#include "core/decompose.hh"
+#include "core/peephole.hh"
+#include "core/router.hh"
+
+namespace triq
+{
+
+std::string
+optLevelName(OptLevel level)
+{
+    switch (level) {
+      case OptLevel::N:
+        return "TriQ-N";
+      case OptLevel::OneQOpt:
+        return "TriQ-1QOpt";
+      case OptLevel::OneQOptC:
+        return "TriQ-1QOptC";
+      case OptLevel::OneQOptCN:
+        return "TriQ-1QOptCN";
+    }
+    panic("optLevelName: unknown level");
+}
+
+CompileResult
+compileForDevice(const Circuit &program, const Device &dev,
+                 const Calibration &calib, const CompileOptions &opts)
+{
+    using Clock = std::chrono::steady_clock;
+    auto t0 = Clock::now();
+
+    if (program.numQubits() > dev.numQubits())
+        fatal("compileForDevice: ", program.name(), " needs ",
+              program.numQubits(), " qubits; ", dev.name(), " has ",
+              dev.numQubits());
+
+    // 1. Lower composites to the technology-independent CNOT basis
+    //    (keeping controlled-phase structure when the target exposes
+    //    native CPHASE — the Sec. 6.4 what-if).
+    Circuit cnot_basis =
+        decomposeToCnotBasis(program, dev.gateSet().nativeCphase);
+    if (opts.peephole)
+        cnot_basis = cancelInversePairs(cnot_basis);
+
+    // 2. Reliability matrix: the CN level sees the day's calibration;
+    //    every other level sees average error rates (Sec. 4.2).
+    const bool noise_aware = opts.level == OptLevel::OneQOptCN;
+    Calibration avg = dev.averageCalibration();
+    const Calibration &rel_calib = noise_aware ? calib : avg;
+    ReliabilityMatrix rel(dev.topology(), rel_calib, dev.vendor());
+
+    // 3. Qubit mapping (Sec. 4.3).
+    ProgramInfo info = ProgramInfo::fromCircuit(cnot_basis);
+    const bool comm_opt = opts.level == OptLevel::OneQOptC ||
+                          opts.level == OptLevel::OneQOptCN;
+    Mapping mapping = comm_opt ? mapQubits(info, rel, opts.mapping)
+                               : trivialMapping(info, rel);
+
+    // 4. Routing (Sec. 4.4).
+    RoutingResult routed =
+        routeCircuit(cnot_basis, mapping, dev.topology(), rel);
+
+    // 5. Gate implementation + 1Q optimization (Sec. 4.5).
+    TranslateOptions topts;
+    topts.fuseOneQubit = opts.level != OptLevel::N;
+    TranslateResult tr = translateForDevice(routed.circuit, dev.topology(),
+                                            dev.gateSet(), topts);
+
+    CompileResult out;
+    out.hwCircuit = std::move(tr.circuit);
+    out.initialMap = routed.initialMap;
+    out.finalMap = routed.finalMap;
+    out.swapCount = routed.swapCount;
+    out.stats = tr.stats;
+    out.mapperObjective = mapping.minReliability;
+
+    // 6. Executable generation (Sec. 4.6).
+    if (opts.emitAssembly)
+        out.assembly = emitAssembly(out.hwCircuit, dev.vendor());
+
+    out.compileMs = std::chrono::duration<double, std::milli>(
+                        Clock::now() - t0)
+                        .count();
+    return out;
+}
+
+} // namespace triq

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * The TriQ compiler driver: wires the passes of Fig. 4 together and
+ * exposes the four optimization levels of Table 1.
+ *
+ *   TriQ-N        no optimization, default (identity) qubit mapping,
+ *                 per-gate naive translation;
+ *   TriQ-1QOpt    1Q fusion, default mapping;
+ *   TriQ-1QOptC   1Q fusion + communication-optimized mapping/routing
+ *                 using a reliability matrix built from *average* error
+ *                 rates (noise-unaware);
+ *   TriQ-1QOptCN  1Q fusion + mapping/routing driven by the day's
+ *                 calibration data (noise-aware).
+ */
+
+#ifndef TRIQ_CORE_COMPILER_HH
+#define TRIQ_CORE_COMPILER_HH
+
+#include <string>
+
+#include "core/circuit.hh"
+#include "core/mapper.hh"
+#include "core/translate.hh"
+#include "device/device.hh"
+
+namespace triq
+{
+
+/** Table-1 optimization levels. */
+enum class OptLevel
+{
+    N,        //!< TriQ-N
+    OneQOpt,  //!< TriQ-1QOpt
+    OneQOptC, //!< TriQ-1QOptC
+    OneQOptCN //!< TriQ-1QOptCN
+};
+
+/** Display name, e.g. "TriQ-1QOptCN". */
+std::string optLevelName(OptLevel level);
+
+/** Compiler configuration. */
+struct CompileOptions
+{
+    OptLevel level = OptLevel::OneQOptCN;
+
+    /** Mapping engine configuration (used by the C/CN levels). */
+    MappingOptions mapping;
+
+    /**
+     * Run the peephole inverse-pair cancellation pass before mapping.
+     * Off by default: the published TriQ performs no 2Q-2Q rewriting;
+     * bench/ablation_passes measures what it adds.
+     */
+    bool peephole = false;
+
+    /** Emit vendor assembly text into CompileResult::assembly. */
+    bool emitAssembly = true;
+};
+
+/** Everything the toolflow produces for one (program, device) pair. */
+struct CompileResult
+{
+    /** Translated circuit over hardware qubits. */
+    Circuit hwCircuit;
+
+    /** Program-qubit placement before/after execution. */
+    std::vector<HwQubit> initialMap;
+    std::vector<HwQubit> finalMap;
+
+    /** SWAPs inserted by the router. */
+    int swapCount = 0;
+
+    /** Emission statistics (pulses, virtual-Z count, 2Q count). */
+    TranslateStats stats;
+
+    /** Mapper's achieved max-min objective. */
+    double mapperObjective = 0.0;
+
+    /** Wall-clock compile time, milliseconds. */
+    double compileMs = 0.0;
+
+    /** Vendor-format executable text (empty if not requested). */
+    std::string assembly;
+};
+
+/**
+ * Compile a program for a device.
+ *
+ * @param program Program circuit (may contain composite gates).
+ * @param dev Target machine.
+ * @param calib The day's calibration snapshot; only the CN level reads
+ *              the per-qubit/per-edge detail, other levels use the
+ *              device's average statistics.
+ * @param opts Level and mapper configuration.
+ */
+CompileResult compileForDevice(const Circuit &program, const Device &dev,
+                               const Calibration &calib,
+                               const CompileOptions &opts);
+
+} // namespace triq
+
+#endif // TRIQ_CORE_COMPILER_HH

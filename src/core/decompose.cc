@@ -1,0 +1,133 @@
+#include "core/decompose.hh"
+
+#include "common/logging.hh"
+
+namespace triq
+{
+
+namespace
+{
+
+void
+emitCcx(Circuit &out, ProgQubit c0, ProgQubit c1, ProgQubit t)
+{
+    // Standard 6-CNOT Toffoli (Nielsen & Chuang Fig. 4.9).
+    out.add(Gate::h(t));
+    out.add(Gate::cnot(c1, t));
+    out.add(Gate::tdg(t));
+    out.add(Gate::cnot(c0, t));
+    out.add(Gate::t(t));
+    out.add(Gate::cnot(c1, t));
+    out.add(Gate::tdg(t));
+    out.add(Gate::cnot(c0, t));
+    out.add(Gate::t(c1));
+    out.add(Gate::t(t));
+    out.add(Gate::h(t));
+    out.add(Gate::cnot(c0, c1));
+    out.add(Gate::t(c0));
+    out.add(Gate::tdg(c1));
+    out.add(Gate::cnot(c0, c1));
+}
+
+void
+emitCphase(Circuit &out, ProgQubit a, ProgQubit b, double lambda)
+{
+    // CP(l) = U1(l/2) a ; CNOT a,b ; U1(-l/2) b ; CNOT a,b ; U1(l/2) b.
+    out.add(Gate::u1(a, lambda / 2));
+    out.add(Gate::cnot(a, b));
+    out.add(Gate::u1(b, -lambda / 2));
+    out.add(Gate::cnot(a, b));
+    out.add(Gate::u1(b, lambda / 2));
+}
+
+void
+emitSwap(Circuit &out, ProgQubit a, ProgQubit b)
+{
+    out.add(Gate::cnot(a, b));
+    out.add(Gate::cnot(b, a));
+    out.add(Gate::cnot(a, b));
+}
+
+void
+emitGate(Circuit &out, const Gate &g, bool keep_cphase)
+{
+    switch (g.kind) {
+      case GateKind::Ccx:
+        emitCcx(out, g.qubit(0), g.qubit(1), g.qubit(2));
+        return;
+      case GateKind::Ccz:
+        out.add(Gate::h(g.qubit(2)));
+        emitCcx(out, g.qubit(0), g.qubit(1), g.qubit(2));
+        out.add(Gate::h(g.qubit(2)));
+        return;
+      case GateKind::Cswap:
+        // Fredkin(c; a, b) = CNOT(b,a) Toffoli(c,a,b) CNOT(b,a).
+        out.add(Gate::cnot(g.qubit(2), g.qubit(1)));
+        emitCcx(out, g.qubit(0), g.qubit(1), g.qubit(2));
+        out.add(Gate::cnot(g.qubit(2), g.qubit(1)));
+        return;
+      case GateKind::Cphase:
+        if (keep_cphase)
+            out.add(g);
+        else
+            emitCphase(out, g.qubit(0), g.qubit(1), g.params[0]);
+        return;
+      case GateKind::Cz:
+        if (keep_cphase) {
+            out.add(Gate::cphase(g.qubit(0), g.qubit(1), kPi));
+        } else {
+            out.add(Gate::h(g.qubit(1)));
+            out.add(Gate::cnot(g.qubit(0), g.qubit(1)));
+            out.add(Gate::h(g.qubit(1)));
+        }
+        return;
+      case GateKind::Swap:
+        emitSwap(out, g.qubit(0), g.qubit(1));
+        return;
+      case GateKind::Xx: {
+        // exp(-i chi XX) = (H(x)H) . CNOT . (I(x)Rz(2 chi)) . CNOT . (H(x)H)
+        ProgQubit a = g.qubit(0), b = g.qubit(1);
+        double chi = g.params[0];
+        out.add(Gate::h(a));
+        out.add(Gate::h(b));
+        out.add(Gate::cnot(a, b));
+        out.add(Gate::rz(b, 2 * chi));
+        out.add(Gate::cnot(a, b));
+        out.add(Gate::h(a));
+        out.add(Gate::h(b));
+        return;
+      }
+      default:
+        out.add(g);
+        return;
+    }
+}
+
+} // namespace
+
+Circuit
+decomposeToCnotBasis(const Circuit &c, bool keep_cphase)
+{
+    Circuit out(c.numQubits(), c.name());
+    for (const auto &g : c.gates())
+        emitGate(out, g, keep_cphase);
+    if (!isCnotBasis(out, keep_cphase))
+        panic("decomposeToCnotBasis: rewrite left a non-CNOT-basis gate");
+    return out;
+}
+
+bool
+isCnotBasis(const Circuit &c, bool allow_cphase)
+{
+    for (const auto &g : c.gates()) {
+        if (isOneQubitGate(g.kind) || g.kind == GateKind::Cnot ||
+            g.kind == GateKind::Measure || g.kind == GateKind::Barrier)
+            continue;
+        if (allow_cphase && g.kind == GateKind::Cphase)
+            continue;
+        return false;
+    }
+    return true;
+}
+
+} // namespace triq

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Decomposition of composite IR operations into the technology-
+ * independent {1Q, CNOT} basis (Sec. 4.1: "ScaffCC automatically
+ * decomposes higher-level QC operations such as Toffoli gates into
+ * native 1Q and 2Q representations").
+ *
+ * All compiler passes downstream of this one (mapping, routing,
+ * translation) assume the circuit contains only 1Q unitaries, CNOT,
+ * Measure and Barrier.
+ */
+
+#ifndef TRIQ_CORE_DECOMPOSE_HH
+#define TRIQ_CORE_DECOMPOSE_HH
+
+#include "core/circuit.hh"
+
+namespace triq
+{
+
+/**
+ * Rewrite a circuit into the {1Q, CNOT, Measure, Barrier} basis.
+ *
+ * Handled rewrites (all verified unitary-equivalent in the test suite):
+ *  - Ccx (Toffoli): the standard 6-CNOT, 7-T/Tdg network;
+ *  - Ccz: H-conjugated Toffoli;
+ *  - Cswap (Fredkin): CNOT + Toffoli + CNOT;
+ *  - Cphase(lambda): 2 CNOTs + 3 virtual-Z rotations;
+ *  - Cz: H-conjugated CNOT;
+ *  - Swap: 3 CNOTs;
+ *  - Xx(chi): H/Rz-conjugated 2-CNOT network.
+ *
+ * @param keep_cphase Preserve controlled-phase structure for targets
+ *        whose gate set exposes native CPHASE (Sec. 6.4 what-if): Cz
+ *        becomes Cphase(pi) and Cphase passes through, halving the 2Q
+ *        cost of phase-heavy programs like QFT on such targets.
+ */
+Circuit decomposeToCnotBasis(const Circuit &c, bool keep_cphase = false);
+
+/**
+ * True when the circuit contains only 1Q gates, CNOT, Measure and
+ * Barrier — plus Cphase when `allow_cphase` is set.
+ */
+bool isCnotBasis(const Circuit &c, bool allow_cphase = false);
+
+} // namespace triq
+
+#endif // TRIQ_CORE_DECOMPOSE_HH

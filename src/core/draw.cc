@@ -1,0 +1,159 @@
+#include "core/draw.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace triq
+{
+
+namespace
+{
+
+/** Per-operand cell text for a gate. */
+std::string
+cellLabel(const Gate &g, int operand)
+{
+    switch (g.kind) {
+      case GateKind::Measure:
+        return "M";
+      case GateKind::Cnot:
+        return operand == 0 ? "*" : "X";
+      case GateKind::Cz:
+      case GateKind::Cphase:
+        return "*";
+      case GateKind::Swap:
+        return "x";
+      case GateKind::Xx:
+        return "XX";
+      case GateKind::Ccx:
+        return operand < 2 ? "*" : "X";
+      case GateKind::Ccz:
+        return "*";
+      case GateKind::Cswap:
+        return operand == 0 ? "*" : "x";
+      default: {
+        std::string name = gateName(g.kind);
+        for (auto &ch : name)
+            ch = static_cast<char>(std::toupper(
+                static_cast<unsigned char>(ch)));
+        return name;
+      }
+    }
+}
+
+} // namespace
+
+std::string
+drawCircuit(const Circuit &c, int max_columns)
+{
+    const int nq = c.numQubits();
+    if (nq == 0)
+        return "(empty circuit)\n";
+    CircuitDag dag(c);
+    const int ncols = std::min(dag.numLevels(), max_columns);
+    const bool truncated = dag.numLevels() > max_columns;
+
+    // cells[level][qubit]: label, or "" when the wire passes through.
+    std::vector<std::vector<std::string>> cells(
+        static_cast<size_t>(ncols),
+        std::vector<std::string>(static_cast<size_t>(nq)));
+    // span[level] = (min qubit, max qubit) of multi-qubit gates, for
+    // vertical connectors; -1 when none.
+    std::vector<std::vector<std::pair<int, int>>> spans(
+        static_cast<size_t>(ncols));
+    std::vector<bool> barrier_col(static_cast<size_t>(ncols), false);
+
+    for (int i = 0; i < c.numGates(); ++i) {
+        int lvl = dag.level(i);
+        if (lvl >= ncols)
+            continue;
+        const Gate &g = c.gate(i);
+        if (g.kind == GateKind::Barrier) {
+            barrier_col[static_cast<size_t>(lvl)] = true;
+            continue;
+        }
+        int lo = nq, hi = -1;
+        for (int k = 0; k < g.arity(); ++k) {
+            int q = g.qubit(k);
+            cells[static_cast<size_t>(lvl)][static_cast<size_t>(q)] =
+                cellLabel(g, k);
+            lo = std::min(lo, q);
+            hi = std::max(hi, q);
+        }
+        if (g.arity() > 1)
+            spans[static_cast<size_t>(lvl)].push_back({lo, hi});
+    }
+
+    // Column widths.
+    std::vector<size_t> width(static_cast<size_t>(ncols), 1);
+    for (int l = 0; l < ncols; ++l)
+        for (int q = 0; q < nq; ++q)
+            width[static_cast<size_t>(l)] = std::max(
+                width[static_cast<size_t>(l)],
+                cells[static_cast<size_t>(l)][static_cast<size_t>(q)]
+                    .size());
+
+    std::string out;
+    std::string qlabel_pad(6, ' ');
+    for (int q = 0; q < nq; ++q) {
+        // Wire row.
+        char buf[16];
+        std::snprintf(buf, sizeof(buf), "q%-3d: ", q);
+        std::string wire = buf;
+        for (int l = 0; l < ncols; ++l) {
+            size_t w = width[static_cast<size_t>(l)];
+            const std::string &cell =
+                cells[static_cast<size_t>(l)][static_cast<size_t>(q)];
+            wire += '-';
+            if (barrier_col[static_cast<size_t>(l)]) {
+                wire += std::string(w, '#');
+            } else if (cell.empty()) {
+                // Pass-through: connector if a gate spans this wire.
+                bool crossed = false;
+                for (const auto &[lo, hi] :
+                     spans[static_cast<size_t>(l)])
+                    crossed = crossed || (q > lo && q < hi);
+                std::string fill(w, '-');
+                if (crossed)
+                    fill[w / 2] = '|';
+                wire += fill;
+            } else {
+                size_t pad = w - cell.size();
+                wire += std::string(pad / 2, '-') + cell +
+                        std::string(pad - pad / 2, '-');
+            }
+            wire += '-';
+        }
+        if (truncated)
+            wire += " ...";
+        out += wire + "\n";
+        // Connector row between wires.
+        if (q + 1 < nq) {
+            std::string conn = qlabel_pad;
+            for (int l = 0; l < ncols; ++l) {
+                size_t w = width[static_cast<size_t>(l)];
+                bool link = false;
+                for (const auto &[lo, hi] :
+                     spans[static_cast<size_t>(l)])
+                    link = link || (q >= lo && q < hi);
+                std::string fill(w + 2, ' ');
+                if (link)
+                    fill[1 + w / 2] = '|';
+                conn += fill;
+            }
+            // Trim trailing spaces.
+            while (!conn.empty() && conn.back() == ' ')
+                conn.pop_back();
+            if (!conn.empty())
+                out += conn;
+            out += "\n";
+        }
+    }
+    return out;
+}
+
+} // namespace triq

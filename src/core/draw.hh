@@ -1,0 +1,36 @@
+/**
+ * @file
+ * ASCII circuit rendering: one wire per qubit, one column per
+ * dependency level (the paper's Fig. 5 style, in text).
+ */
+
+#ifndef TRIQ_CORE_DRAW_HH
+#define TRIQ_CORE_DRAW_HH
+
+#include <string>
+
+#include "core/circuit.hh"
+
+namespace triq
+{
+
+/**
+ * Render a circuit as ASCII art. Example (BV2):
+ *
+ *   q0: -H--*--H--M-
+ *           |
+ *   q1: -X--X--------
+ *
+ * Controls draw as '*', CNOT/Toffoli targets as 'X', swap endpoints as
+ * 'x', measurement as 'M', barriers as a '#' column; parameters are
+ * omitted (gate mnemonics only).
+ *
+ * @param c The circuit (any basis).
+ * @param max_columns Columns before the drawing is truncated with an
+ *        ellipsis marker (wide circuits become unreadable anyway).
+ */
+std::string drawCircuit(const Circuit &c, int max_columns = 64);
+
+} // namespace triq
+
+#endif // TRIQ_CORE_DRAW_HH

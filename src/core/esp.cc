@@ -1,0 +1,56 @@
+#include "core/esp.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "core/schedule.hh"
+
+namespace triq
+{
+
+double
+gateErrorProb(const Gate &g, const Topology &topo, const Calibration &calib)
+{
+    if (g.kind == GateKind::Barrier || g.kind == GateKind::I ||
+        isVirtualZGate(g.kind))
+        return 0.0;
+    if (g.kind == GateKind::Measure)
+        return calib.errRO[static_cast<size_t>(g.qubit(0))];
+    if (isOneQubitGate(g.kind)) {
+        double e1 = calib.err1q[static_cast<size_t>(g.qubit(0))];
+        // U3 is two physical pulses; everything else is one.
+        return g.kind == GateKind::U3 ? 1.0 - (1.0 - e1) * (1.0 - e1)
+                                      : e1;
+    }
+    if (isTwoQubitGate(g.kind)) {
+        int e = topo.edgeBetween(g.qubit(0), g.qubit(1));
+        if (e == -1)
+            fatal("gateErrorProb: 2Q gate on non-adjacent qubits ",
+                  g.str());
+        double e2 = calib.err2q[static_cast<size_t>(e)];
+        double r = 1.0 - e2;
+        return g.kind == GateKind::Swap ? 1.0 - r * r * r : e2;
+    }
+    fatal("gateErrorProb: composite gate ", g.str(),
+          " must be decomposed first");
+}
+
+double
+estimatedSuccessProbability(const Circuit &translated, const Topology &topo,
+                            const Calibration &calib)
+{
+    double esp = 1.0;
+    for (const auto &g : translated.gates())
+        esp *= 1.0 - gateErrorProb(g, topo, calib);
+
+    // Coherence: idle windows decay as exp(-t_idle / T2).
+    ScheduleInfo sched = scheduleCircuit(translated, calib.durations);
+    for (const auto &gap : sched.gaps) {
+        double t2 = calib.t2Us[static_cast<size_t>(gap.qubit)];
+        if (t2 > 0.0)
+            esp *= std::exp(-gap.us / t2);
+    }
+    return esp;
+}
+
+} // namespace triq

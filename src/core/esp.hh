@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Estimated success probability (ESP): the analytical reliability
+ * product the mapper's objective approximates. ESP multiplies the
+ * success probability of every physical operation in a translated
+ * circuit and folds in coherence-limited idling; it predicts the
+ * *ordering* of real success rates and is used for cross-checks and
+ * fast sweeps where full noisy simulation is unnecessary.
+ */
+
+#ifndef TRIQ_CORE_ESP_HH
+#define TRIQ_CORE_ESP_HH
+
+#include "core/circuit.hh"
+#include "device/calibration.hh"
+#include "device/topology.hh"
+
+namespace triq
+{
+
+/**
+ * Error probability of one translated gate under a calibration.
+ *
+ * 1Q gates: per-pulse 1Q error (U3 counts two pulses); virtual-Z gates
+ * are error-free. 2Q gates: the edge's 2Q error (SWAP counts three).
+ * Measure: the qubit's readout error.
+ */
+double gateErrorProb(const Gate &g, const Topology &topo,
+                     const Calibration &calib);
+
+/**
+ * ESP of a translated hardware circuit: product over gates of
+ * (1 - error), times exp(-idle/T2) coherence factors from the ASAP
+ * schedule.
+ */
+double estimatedSuccessProbability(const Circuit &translated,
+                                   const Topology &topo,
+                                   const Calibration &calib);
+
+} // namespace triq
+
+#endif // TRIQ_CORE_ESP_HH

@@ -1,0 +1,368 @@
+#include "core/gate.hh"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace triq
+{
+
+int
+gateArity(GateKind k)
+{
+    switch (k) {
+      case GateKind::Barrier:
+        return 0;
+      case GateKind::I:
+      case GateKind::X:
+      case GateKind::Y:
+      case GateKind::Z:
+      case GateKind::H:
+      case GateKind::S:
+      case GateKind::Sdg:
+      case GateKind::T:
+      case GateKind::Tdg:
+      case GateKind::Rx:
+      case GateKind::Ry:
+      case GateKind::Rz:
+      case GateKind::Rxy:
+      case GateKind::U1:
+      case GateKind::U2:
+      case GateKind::U3:
+      case GateKind::Measure:
+        return 1;
+      case GateKind::Cnot:
+      case GateKind::Cz:
+      case GateKind::Cphase:
+      case GateKind::Swap:
+      case GateKind::Xx:
+        return 2;
+      case GateKind::Ccx:
+      case GateKind::Ccz:
+      case GateKind::Cswap:
+        return 3;
+    }
+    panic("gateArity: unknown kind ", static_cast<int>(k));
+}
+
+int
+gateNumParams(GateKind k)
+{
+    switch (k) {
+      case GateKind::Rx:
+      case GateKind::Ry:
+      case GateKind::Rz:
+      case GateKind::U1:
+      case GateKind::Cphase:
+      case GateKind::Xx:
+        return 1;
+      case GateKind::Rxy:
+      case GateKind::U2:
+        return 2;
+      case GateKind::U3:
+        return 3;
+      default:
+        return 0;
+    }
+}
+
+std::string
+gateName(GateKind k)
+{
+    switch (k) {
+      case GateKind::I:
+        return "id";
+      case GateKind::X:
+        return "x";
+      case GateKind::Y:
+        return "y";
+      case GateKind::Z:
+        return "z";
+      case GateKind::H:
+        return "h";
+      case GateKind::S:
+        return "s";
+      case GateKind::Sdg:
+        return "sdg";
+      case GateKind::T:
+        return "t";
+      case GateKind::Tdg:
+        return "tdg";
+      case GateKind::Rx:
+        return "rx";
+      case GateKind::Ry:
+        return "ry";
+      case GateKind::Rz:
+        return "rz";
+      case GateKind::Rxy:
+        return "rxy";
+      case GateKind::U1:
+        return "u1";
+      case GateKind::U2:
+        return "u2";
+      case GateKind::U3:
+        return "u3";
+      case GateKind::Cnot:
+        return "cnot";
+      case GateKind::Cz:
+        return "cz";
+      case GateKind::Cphase:
+        return "cphase";
+      case GateKind::Swap:
+        return "swap";
+      case GateKind::Xx:
+        return "xx";
+      case GateKind::Ccx:
+        return "ccx";
+      case GateKind::Ccz:
+        return "ccz";
+      case GateKind::Cswap:
+        return "cswap";
+      case GateKind::Measure:
+        return "measure";
+      case GateKind::Barrier:
+        return "barrier";
+    }
+    panic("gateName: unknown kind ", static_cast<int>(k));
+}
+
+bool
+isOneQubitGate(GateKind k)
+{
+    return gateArity(k) == 1 && k != GateKind::Measure;
+}
+
+bool
+isTwoQubitGate(GateKind k)
+{
+    return gateArity(k) == 2;
+}
+
+bool
+isCompositeGate(GateKind k)
+{
+    return gateArity(k) == 3;
+}
+
+bool
+isUnitaryGate(GateKind k)
+{
+    return k != GateKind::Measure && k != GateKind::Barrier;
+}
+
+bool
+isVirtualZGate(GateKind k)
+{
+    switch (k) {
+      case GateKind::Z:
+      case GateKind::S:
+      case GateKind::Sdg:
+      case GateKind::T:
+      case GateKind::Tdg:
+      case GateKind::Rz:
+      case GateKind::U1:
+        return true;
+      default:
+        return false;
+    }
+}
+
+ProgQubit
+Gate::qubit(int i) const
+{
+    if (i < 0 || i >= arity())
+        panic("Gate::qubit: operand index ", i, " out of range for ",
+              gateName(kind));
+    return qubits[static_cast<size_t>(i)];
+}
+
+bool
+Gate::actsOn(ProgQubit q) const
+{
+    for (int i = 0; i < arity(); ++i)
+        if (qubits[static_cast<size_t>(i)] == q)
+            return true;
+    return false;
+}
+
+std::string
+Gate::str() const
+{
+    std::string s = gateName(kind);
+    int np = gateNumParams(kind);
+    if (np > 0) {
+        s += "(";
+        for (int i = 0; i < np; ++i) {
+            char buf[32];
+            std::snprintf(buf, sizeof(buf), "%.4f",
+                          params[static_cast<size_t>(i)]);
+            s += buf;
+            if (i + 1 < np)
+                s += ", ";
+        }
+        s += ")";
+    }
+    for (int i = 0; i < arity(); ++i) {
+        s += i == 0 ? " q" : ", q";
+        s += std::to_string(qubits[static_cast<size_t>(i)]);
+    }
+    return s;
+}
+
+namespace
+{
+
+Gate
+make(GateKind k, std::initializer_list<ProgQubit> qs,
+     std::initializer_list<double> ps = {})
+{
+    Gate g;
+    g.kind = k;
+    int i = 0;
+    for (ProgQubit q : qs)
+        g.qubits[static_cast<size_t>(i++)] = q;
+    i = 0;
+    for (double p : ps)
+        g.params[static_cast<size_t>(i++)] = p;
+    // Reject duplicate operands ("cnot q2, q2" is meaningless).
+    for (int a = 0; a < g.arity(); ++a)
+        for (int b = a + 1; b < g.arity(); ++b)
+            if (g.qubits[static_cast<size_t>(a)] ==
+                g.qubits[static_cast<size_t>(b)])
+                fatal("Gate: duplicate operand q",
+                      g.qubits[static_cast<size_t>(a)], " in ", gateName(k));
+    return g;
+}
+
+} // namespace
+
+Gate Gate::i(ProgQubit q) { return make(GateKind::I, {q}); }
+Gate Gate::x(ProgQubit q) { return make(GateKind::X, {q}); }
+Gate Gate::y(ProgQubit q) { return make(GateKind::Y, {q}); }
+Gate Gate::z(ProgQubit q) { return make(GateKind::Z, {q}); }
+Gate Gate::h(ProgQubit q) { return make(GateKind::H, {q}); }
+Gate Gate::s(ProgQubit q) { return make(GateKind::S, {q}); }
+Gate Gate::sdg(ProgQubit q) { return make(GateKind::Sdg, {q}); }
+Gate Gate::t(ProgQubit q) { return make(GateKind::T, {q}); }
+Gate Gate::tdg(ProgQubit q) { return make(GateKind::Tdg, {q}); }
+
+Gate
+Gate::rx(ProgQubit q, double theta)
+{
+    return make(GateKind::Rx, {q}, {theta});
+}
+
+Gate
+Gate::ry(ProgQubit q, double theta)
+{
+    return make(GateKind::Ry, {q}, {theta});
+}
+
+Gate
+Gate::rz(ProgQubit q, double theta)
+{
+    return make(GateKind::Rz, {q}, {theta});
+}
+
+Gate
+Gate::rxy(ProgQubit q, double theta, double phi)
+{
+    return make(GateKind::Rxy, {q}, {theta, phi});
+}
+
+Gate
+Gate::u1(ProgQubit q, double lambda)
+{
+    return make(GateKind::U1, {q}, {lambda});
+}
+
+Gate
+Gate::u2(ProgQubit q, double phi, double lambda)
+{
+    return make(GateKind::U2, {q}, {phi, lambda});
+}
+
+Gate
+Gate::u3(ProgQubit q, double theta, double phi, double lambda)
+{
+    return make(GateKind::U3, {q}, {theta, phi, lambda});
+}
+
+Gate
+Gate::cnot(ProgQubit control, ProgQubit target)
+{
+    return make(GateKind::Cnot, {control, target});
+}
+
+Gate
+Gate::cz(ProgQubit a, ProgQubit b)
+{
+    return make(GateKind::Cz, {a, b});
+}
+
+Gate
+Gate::cphase(ProgQubit a, ProgQubit b, double lambda)
+{
+    return make(GateKind::Cphase, {a, b}, {lambda});
+}
+
+Gate
+Gate::swap(ProgQubit a, ProgQubit b)
+{
+    return make(GateKind::Swap, {a, b});
+}
+
+Gate
+Gate::xx(ProgQubit a, ProgQubit b, double chi)
+{
+    return make(GateKind::Xx, {a, b}, {chi});
+}
+
+Gate
+Gate::ccx(ProgQubit c0, ProgQubit c1, ProgQubit target)
+{
+    return make(GateKind::Ccx, {c0, c1, target});
+}
+
+Gate
+Gate::ccz(ProgQubit a, ProgQubit b, ProgQubit c)
+{
+    return make(GateKind::Ccz, {a, b, c});
+}
+
+Gate
+Gate::cswap(ProgQubit control, ProgQubit a, ProgQubit b)
+{
+    return make(GateKind::Cswap, {control, a, b});
+}
+
+Gate
+Gate::measure(ProgQubit q)
+{
+    return make(GateKind::Measure, {q});
+}
+
+Gate
+Gate::barrier()
+{
+    return make(GateKind::Barrier, {});
+}
+
+bool
+operator==(const Gate &a, const Gate &b)
+{
+    if (a.kind != b.kind)
+        return false;
+    for (int i = 0; i < gateArity(a.kind); ++i)
+        if (a.qubits[static_cast<size_t>(i)] !=
+            b.qubits[static_cast<size_t>(i)])
+            return false;
+    for (int i = 0; i < gateNumParams(a.kind); ++i)
+        if (std::abs(a.params[static_cast<size_t>(i)] -
+                     b.params[static_cast<size_t>(i)]) > kEps)
+            return false;
+    return true;
+}
+
+} // namespace triq

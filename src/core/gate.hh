@@ -1,0 +1,142 @@
+/**
+ * @file
+ * The gate-level intermediate representation of the TriQ toolflow.
+ *
+ * The frontend lowers programs into a flat sequence of Gate records.
+ * Multi-qubit composites (Toffoli, Fredkin, CCZ) exist only transiently:
+ * the decomposition pass rewrites them into 1Q + 2Q gates before mapping,
+ * mirroring ScaffCC's behaviour (Sec. 4.1).
+ */
+
+#ifndef TRIQ_CORE_GATE_HH
+#define TRIQ_CORE_GATE_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace triq
+{
+
+/** Every operation the IR can express. */
+enum class GateKind : uint8_t
+{
+    // Fixed 1Q gates.
+    I,
+    X,
+    Y,
+    Z,
+    H,
+    S,
+    Sdg,
+    T,
+    Tdg,
+    // Parametrized 1Q rotations.
+    Rx,  //!< Rx(theta)
+    Ry,  //!< Ry(theta)
+    Rz,  //!< Rz(theta) — virtual (error-free) on all three vendors.
+    Rxy, //!< Rxy(theta, phi): rotation by theta about cos(phi)X+sin(phi)Y.
+    U1,  //!< IBM U1(lambda) == Rz up to phase; zero pulses.
+    U2,  //!< IBM U2(phi, lambda); one X/Y pulse.
+    U3,  //!< IBM U3(theta, phi, lambda); two X/Y pulses.
+    // 2Q gates.
+    Cnot,
+    Cz,
+    Cphase, //!< Controlled-phase(lambda), used by QFT.
+    Swap,
+    Xx, //!< Ising XX(chi), the trapped-ion native entangler.
+    // 3Q composites (must be decomposed before mapping).
+    Ccx,   //!< Toffoli.
+    Ccz,
+    Cswap, //!< Fredkin.
+    // Non-unitary.
+    Measure,
+    Barrier, //!< Scheduling fence; spans the whole register.
+};
+
+/** Number of qubit operands a gate kind takes (0 for Barrier). */
+int gateArity(GateKind k);
+
+/** Number of angle parameters a gate kind takes. */
+int gateNumParams(GateKind k);
+
+/** Lower-case mnemonic, e.g. "cnot". */
+std::string gateName(GateKind k);
+
+/** True for 1Q unitary kinds. */
+bool isOneQubitGate(GateKind k);
+
+/** True for 2Q unitary kinds. */
+bool isTwoQubitGate(GateKind k);
+
+/** True for the 3Q composite kinds. */
+bool isCompositeGate(GateKind k);
+
+/** True when the gate is unitary (not Measure/Barrier). */
+bool isUnitaryGate(GateKind k);
+
+/**
+ * True for Z-axis rotations implemented in classical hardware and hence
+ * error-free on all three vendors (Sec. 4.5): Z, S, Sdg, T, Tdg, Rz, U1.
+ */
+bool isVirtualZGate(GateKind k);
+
+/**
+ * One IR operation: a kind, up to three qubit operands and up to three
+ * angle parameters. Plain value type; circuits store these by value.
+ */
+struct Gate
+{
+    GateKind kind = GateKind::I;
+    std::array<ProgQubit, 3> qubits{{-1, -1, -1}};
+    std::array<double, 3> params{{0.0, 0.0, 0.0}};
+
+    /** Operand count for this gate. */
+    int arity() const { return gateArity(kind); }
+
+    /** Qubit operand i. @pre i < arity(). */
+    ProgQubit qubit(int i) const;
+
+    /** True when q is among this gate's operands. */
+    bool actsOn(ProgQubit q) const;
+
+    /** Render like "cnot q1, q3" or "rz(1.5708) q0". */
+    std::string str() const;
+
+    // Named constructors for every kind, to keep call sites readable.
+    static Gate i(ProgQubit q);
+    static Gate x(ProgQubit q);
+    static Gate y(ProgQubit q);
+    static Gate z(ProgQubit q);
+    static Gate h(ProgQubit q);
+    static Gate s(ProgQubit q);
+    static Gate sdg(ProgQubit q);
+    static Gate t(ProgQubit q);
+    static Gate tdg(ProgQubit q);
+    static Gate rx(ProgQubit q, double theta);
+    static Gate ry(ProgQubit q, double theta);
+    static Gate rz(ProgQubit q, double theta);
+    static Gate rxy(ProgQubit q, double theta, double phi);
+    static Gate u1(ProgQubit q, double lambda);
+    static Gate u2(ProgQubit q, double phi, double lambda);
+    static Gate u3(ProgQubit q, double theta, double phi, double lambda);
+    static Gate cnot(ProgQubit control, ProgQubit target);
+    static Gate cz(ProgQubit a, ProgQubit b);
+    static Gate cphase(ProgQubit a, ProgQubit b, double lambda);
+    static Gate swap(ProgQubit a, ProgQubit b);
+    static Gate xx(ProgQubit a, ProgQubit b, double chi);
+    static Gate ccx(ProgQubit c0, ProgQubit c1, ProgQubit target);
+    static Gate ccz(ProgQubit a, ProgQubit b, ProgQubit c);
+    static Gate cswap(ProgQubit control, ProgQubit a, ProgQubit b);
+    static Gate measure(ProgQubit q);
+    static Gate barrier();
+};
+
+/** Structural equality (kind, operands, parameters within kEps). */
+bool operator==(const Gate &a, const Gate &b);
+
+} // namespace triq
+
+#endif // TRIQ_CORE_GATE_HH

@@ -1,0 +1,595 @@
+#include "core/mapper.hh"
+
+#include "core/mapper_smt.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <numeric>
+
+#include "common/logging.hh"
+
+namespace triq
+{
+
+ProgramInfo
+ProgramInfo::fromCircuit(const Circuit &c)
+{
+    ProgramInfo info;
+    info.numProgQubits = c.numQubits();
+    std::map<std::pair<ProgQubit, ProgQubit>, int> counts;
+    for (const auto &g : c.gates()) {
+        if (isTwoQubitGate(g.kind)) {
+            ProgQubit a = g.qubit(0), b = g.qubit(1);
+            if (a > b)
+                std::swap(a, b);
+            ++counts[{a, b}];
+        }
+    }
+    for (const auto &[key, w] : counts)
+        info.pairs.push_back({key.first, key.second, w});
+    info.measured = c.measuredQubits();
+    return info;
+}
+
+MapperKind
+mapperKindFromString(const std::string &s)
+{
+    if (s == "trivial")
+        return MapperKind::Trivial;
+    if (s == "greedy")
+        return MapperKind::Greedy;
+    if (s == "bnb")
+        return MapperKind::BranchAndBound;
+    if (s == "smt")
+        return MapperKind::Smt;
+    fatal("unknown mapper kind '", s, "'");
+}
+
+std::vector<ProgQubit>
+Mapping::hwToProg(int num_hw) const
+{
+    std::vector<ProgQubit> inv(static_cast<size_t>(num_hw), -1);
+    for (size_t p = 0; p < progToHw.size(); ++p) {
+        HwQubit h = progToHw[p];
+        if (h < 0 || h >= num_hw)
+            panic("Mapping::hwToProg: hardware qubit ", h, " out of range");
+        if (inv[static_cast<size_t>(h)] != -1)
+            panic("Mapping::hwToProg: non-injective mapping at hw qubit ",
+                  h);
+        inv[static_cast<size_t>(h)] = static_cast<ProgQubit>(p);
+    }
+    return inv;
+}
+
+namespace
+{
+
+/**
+ * Reliability of one mapped interacting pair. The matrix entry is
+ * direction-sensitive (it moves the *control* next to the target, and
+ * IBM orientation fixes are asymmetric); since the translation pass can
+ * reverse any CNOT with free/cheap 1Q gates, the mapper scores a pair
+ * by its better direction. The search and the evaluation must agree on
+ * this, or branch-and-bound pruning would be unsound.
+ */
+double
+pairScore(const ReliabilityMatrix &rel, HwQubit a, HwQubit b)
+{
+    return std::max(rel.pairReliability(a, b), rel.pairReliability(b, a));
+}
+
+} // namespace
+
+double
+mappingMinReliability(const ProgramInfo &info, const ReliabilityMatrix &rel,
+                      const std::vector<HwQubit> &prog_to_hw,
+                      bool include_readout)
+{
+    double m = 1.0;
+    for (const auto &p : info.pairs)
+        m = std::min(m,
+                     pairScore(rel, prog_to_hw[static_cast<size_t>(p.a)],
+                               prog_to_hw[static_cast<size_t>(p.b)]));
+    if (include_readout)
+        for (ProgQubit q : info.measured)
+            m = std::min(m, rel.readoutReliability(
+                                prog_to_hw[static_cast<size_t>(q)]));
+    return m;
+}
+
+double
+mappingLogProduct(const ProgramInfo &info, const ReliabilityMatrix &rel,
+                  const std::vector<HwQubit> &prog_to_hw,
+                  bool include_readout)
+{
+    double s = 0.0;
+    for (const auto &p : info.pairs) {
+        double r = pairScore(rel, prog_to_hw[static_cast<size_t>(p.a)],
+                             prog_to_hw[static_cast<size_t>(p.b)]);
+        s += p.weight * std::log(std::max(r, 1e-300));
+    }
+    if (include_readout)
+        for (ProgQubit q : info.measured)
+            s += std::log(std::max(
+                rel.readoutReliability(prog_to_hw[static_cast<size_t>(q)]),
+                1e-300));
+    return s;
+}
+
+namespace
+{
+
+/** Per-program-qubit total interaction weight. */
+std::vector<int>
+interactionWeights(const ProgramInfo &info)
+{
+    std::vector<int> w(static_cast<size_t>(info.numProgQubits), 0);
+    for (const auto &p : info.pairs) {
+        w[static_cast<size_t>(p.a)] += p.weight;
+        w[static_cast<size_t>(p.b)] += p.weight;
+    }
+    return w;
+}
+
+/**
+ * Placement order: BFS over the interaction graph from the
+ * heaviest-interacting qubit, heavier frontier nodes first. Isolated
+ * (including measured-only) qubits go last.
+ */
+std::vector<ProgQubit>
+placementOrder(const ProgramInfo &info)
+{
+    const int n = info.numProgQubits;
+    std::vector<int> weight = interactionWeights(info);
+    std::vector<std::vector<ProgQubit>> adj(static_cast<size_t>(n));
+    for (const auto &p : info.pairs) {
+        adj[static_cast<size_t>(p.a)].push_back(p.b);
+        adj[static_cast<size_t>(p.b)].push_back(p.a);
+    }
+    std::vector<bool> placed(static_cast<size_t>(n), false);
+    std::vector<ProgQubit> order;
+    order.reserve(static_cast<size_t>(n));
+    auto heaviest_unplaced = [&]() {
+        ProgQubit best = -1;
+        for (int q = 0; q < n; ++q)
+            if (!placed[static_cast<size_t>(q)] &&
+                (best == -1 || weight[static_cast<size_t>(q)] >
+                                   weight[static_cast<size_t>(best)]))
+                best = q;
+        return best;
+    };
+    while (static_cast<int>(order.size()) < n) {
+        ProgQubit seed = heaviest_unplaced();
+        std::vector<ProgQubit> frontier{seed};
+        placed[static_cast<size_t>(seed)] = true;
+        while (!frontier.empty()) {
+            // Pop the heaviest frontier qubit.
+            auto it = std::max_element(
+                frontier.begin(), frontier.end(),
+                [&](ProgQubit a, ProgQubit b) {
+                    return weight[static_cast<size_t>(a)] <
+                           weight[static_cast<size_t>(b)];
+                });
+            ProgQubit q = *it;
+            frontier.erase(it);
+            order.push_back(q);
+            for (ProgQubit nb : adj[static_cast<size_t>(q)]) {
+                if (!placed[static_cast<size_t>(nb)]) {
+                    placed[static_cast<size_t>(nb)] = true;
+                    frontier.push_back(nb);
+                }
+            }
+        }
+    }
+    return order;
+}
+
+/** Shared state for incremental objective evaluation during search. */
+struct SearchContext
+{
+    const ProgramInfo &info;
+    const ReliabilityMatrix &rel;
+    bool includeReadout;
+    std::vector<ProgQubit> order;
+    // For each position k in `order`, the pairs whose *second* endpoint
+    // is order[k] and whose other endpoint was placed earlier.
+    std::vector<std::vector<ProgramInfo::Pair>> backPairs;
+    std::vector<bool> measuredFlag;
+
+    SearchContext(const ProgramInfo &i, const ReliabilityMatrix &r,
+                  bool include_ro)
+        : info(i), rel(r), includeReadout(include_ro),
+          order(placementOrder(i)),
+          backPairs(order.size()),
+          measuredFlag(static_cast<size_t>(i.numProgQubits), false)
+    {
+        std::vector<int> pos(static_cast<size_t>(i.numProgQubits), 0);
+        for (size_t k = 0; k < order.size(); ++k)
+            pos[static_cast<size_t>(order[k])] = static_cast<int>(k);
+        for (const auto &p : i.pairs) {
+            size_t k = static_cast<size_t>(
+                std::max(pos[static_cast<size_t>(p.a)],
+                         pos[static_cast<size_t>(p.b)]));
+            backPairs[k].push_back(p);
+        }
+        for (ProgQubit q : i.measured)
+            measuredFlag[static_cast<size_t>(q)] = true;
+    }
+
+    /**
+     * Min reliability contributed by placing order[k] at hw qubit h,
+     * given earlier placements in `map` (program -> hw, -1 unplaced).
+     */
+    double
+    placementScore(size_t k, HwQubit h,
+                   const std::vector<HwQubit> &map) const
+    {
+        double m = 1.0;
+        ProgQubit q = order[k];
+        for (const auto &p : backPairs[k]) {
+            ProgQubit other = p.a == q ? p.b : p.a;
+            HwQubit oh = map[static_cast<size_t>(other)];
+            m = std::min(m, pairScore(rel, oh, h));
+        }
+        if (includeReadout && measuredFlag[static_cast<size_t>(q)])
+            m = std::min(m, rel.readoutReliability(h));
+        return m;
+    }
+};
+
+Mapping
+finishMapping(const ProgramInfo &info, const ReliabilityMatrix &rel,
+              std::vector<HwQubit> map, bool include_ro, bool optimal,
+              long nodes)
+{
+    Mapping m;
+    m.progToHw = std::move(map);
+    m.minReliability =
+        mappingMinReliability(info, rel, m.progToHw, include_ro);
+    m.logProduct = mappingLogProduct(info, rel, m.progToHw, include_ro);
+    m.optimal = optimal;
+    m.nodesExplored = nodes;
+    return m;
+}
+
+/** Constructive greedy placement. */
+std::vector<HwQubit>
+greedyPlace(const SearchContext &ctx)
+{
+    const int m = ctx.rel.numQubits();
+    std::vector<HwQubit> map(static_cast<size_t>(ctx.info.numProgQubits),
+                             -1);
+    std::vector<bool> used(static_cast<size_t>(m), false);
+    for (size_t k = 0; k < ctx.order.size(); ++k) {
+        HwQubit best = -1;
+        double best_score = -1.0;
+        double best_tie = -1.0;
+        for (HwQubit h = 0; h < m; ++h) {
+            if (used[static_cast<size_t>(h)])
+                continue;
+            double score = ctx.placementScore(k, h, map);
+            // Tie-break: prefer reliable readout neighborhoods.
+            double tie = ctx.rel.readoutReliability(h);
+            if (score > best_score + 1e-15 ||
+                (score > best_score - 1e-15 && tie > best_tie)) {
+                best = h;
+                best_score = score;
+                best_tie = tie;
+            }
+        }
+        map[static_cast<size_t>(ctx.order[k])] = best;
+        used[static_cast<size_t>(best)] = true;
+    }
+    return map;
+}
+
+/**
+ * Hill-climbing improvement: move a program qubit to a free hardware
+ * qubit or swap two placements when it improves the objective pair
+ * lexicographically (primary metric first, the other as tie-break).
+ */
+void
+localSearch(const ProgramInfo &info, const ReliabilityMatrix &rel,
+            bool include_ro, MappingObjective objective,
+            std::vector<HwQubit> &map)
+{
+    const int mhw = rel.numQubits();
+    const int n = info.numProgQubits;
+    auto score = [&](const std::vector<HwQubit> &mp) {
+        double mn = mappingMinReliability(info, rel, mp, include_ro);
+        double lp = mappingLogProduct(info, rel, mp, include_ro);
+        return objective == MappingObjective::MaxMin
+                   ? std::pair<double, double>(mn, lp)
+                   : std::pair<double, double>(lp, mn);
+    };
+    auto better = [](const std::pair<double, double> &a,
+                     const std::pair<double, double> &b) {
+        if (a.first > b.first + 1e-15)
+            return true;
+        if (a.first < b.first - 1e-15)
+            return false;
+        return a.second > b.second + 1e-12;
+    };
+    std::vector<ProgQubit> inv(static_cast<size_t>(mhw), -1);
+    for (int p = 0; p < n; ++p)
+        inv[static_cast<size_t>(map[static_cast<size_t>(p)])] = p;
+    auto cur = score(map);
+    for (int pass = 0; pass < 32; ++pass) {
+        bool improved = false;
+        for (int p = 0; p < n; ++p) {
+            for (HwQubit h = 0; h < mhw; ++h) {
+                HwQubit old = map[static_cast<size_t>(p)];
+                if (h == old)
+                    continue;
+                ProgQubit occupant = inv[static_cast<size_t>(h)];
+                map[static_cast<size_t>(p)] = h;
+                if (occupant != -1)
+                    map[static_cast<size_t>(occupant)] = old;
+                auto cand = score(map);
+                if (better(cand, cur)) {
+                    cur = cand;
+                    improved = true;
+                    inv[static_cast<size_t>(h)] = p;
+                    inv[static_cast<size_t>(old)] = occupant;
+                } else {
+                    map[static_cast<size_t>(p)] = old;
+                    if (occupant != -1)
+                        map[static_cast<size_t>(occupant)] = h;
+                }
+            }
+        }
+        if (!improved)
+            break;
+    }
+}
+
+/**
+ * Exact product-objective search with optimistic suffix bounds: the
+ * [46]-style whole-graph objective the paper contrasts with max-min.
+ * Pruning needs an upper bound on the unplaced suffix (every remaining
+ * operation at the device's best reliability), which is far weaker than
+ * the max-min rule "any single bad operation kills the branch" — the
+ * ablation harness measures the node-count difference.
+ */
+struct BnbProductSearch
+{
+    const SearchContext &ctx;
+    long budget;
+    long nodes = 0;
+    bool exhausted = false;
+    double bestSum;
+    std::vector<HwQubit> bestMap;
+    std::vector<HwQubit> map;
+    std::vector<bool> used;
+    // suffixPotential[k]: upper bound on the objective contribution of
+    // placements k..end.
+    std::vector<double> suffixPotential;
+    double maxRoLog;
+
+    BnbProductSearch(const SearchContext &c, long node_budget,
+                     double incumbent,
+                     std::vector<HwQubit> incumbent_map)
+        : ctx(c), budget(node_budget), bestSum(incumbent),
+          bestMap(std::move(incumbent_map)),
+          map(static_cast<size_t>(c.info.numProgQubits), -1),
+          used(static_cast<size_t>(c.rel.numQubits()), false)
+    {
+        double max_pair_log =
+            std::log(std::max(ctx.rel.maxPairReliability(), 1e-300));
+        double best_ro = 0.0;
+        for (int h = 0; h < ctx.rel.numQubits(); ++h)
+            best_ro = std::max(best_ro, ctx.rel.readoutReliability(h));
+        maxRoLog = std::log(std::max(best_ro, 1e-300));
+        suffixPotential.assign(ctx.order.size() + 1, 0.0);
+        for (size_t k = ctx.order.size(); k-- > 0;) {
+            double pot = suffixPotential[k + 1];
+            for (const auto &p : ctx.backPairs[k])
+                pot += p.weight * max_pair_log;
+            if (ctx.includeReadout &&
+                ctx.measuredFlag[static_cast<size_t>(ctx.order[k])])
+                pot += maxRoLog;
+            suffixPotential[k] = pot;
+        }
+    }
+
+    /** Objective contribution of placing order[k] at h. */
+    double
+    contribution(size_t k, HwQubit h) const
+    {
+        double s = 0.0;
+        ProgQubit q = ctx.order[k];
+        for (const auto &p : ctx.backPairs[k]) {
+            ProgQubit other = p.a == q ? p.b : p.a;
+            HwQubit oh = map[static_cast<size_t>(other)];
+            s += p.weight *
+                 std::log(std::max(pairScore(ctx.rel, oh, h), 1e-300));
+        }
+        if (ctx.includeReadout &&
+            ctx.measuredFlag[static_cast<size_t>(q)])
+            s += std::log(
+                std::max(ctx.rel.readoutReliability(h), 1e-300));
+        return s;
+    }
+
+    void
+    dfs(size_t k, double cur_sum)
+    {
+        if (exhausted)
+            return;
+        if (k == ctx.order.size()) {
+            if (cur_sum > bestSum + 1e-12) {
+                bestSum = cur_sum;
+                bestMap = map;
+            }
+            return;
+        }
+        if (++nodes > budget) {
+            exhausted = true;
+            return;
+        }
+        std::vector<std::pair<double, HwQubit>> cands;
+        for (HwQubit h = 0; h < ctx.rel.numQubits(); ++h) {
+            if (used[static_cast<size_t>(h)])
+                continue;
+            double ns = cur_sum + contribution(k, h);
+            if (ns + suffixPotential[k + 1] > bestSum + 1e-12)
+                cands.emplace_back(ns, h);
+        }
+        std::sort(cands.begin(), cands.end(),
+                  [](const auto &a, const auto &b) {
+                      return a.first > b.first;
+                  });
+        for (const auto &[ns, h] : cands) {
+            if (ns + suffixPotential[k + 1] <= bestSum + 1e-12)
+                continue;
+            map[static_cast<size_t>(ctx.order[k])] = h;
+            used[static_cast<size_t>(h)] = true;
+            dfs(k + 1, ns);
+            used[static_cast<size_t>(h)] = false;
+            map[static_cast<size_t>(ctx.order[k])] = -1;
+            if (exhausted)
+                return;
+        }
+    }
+};
+
+/** Exact max-min search with incumbent pruning. */
+struct BnbSearch
+{
+    const SearchContext &ctx;
+    long budget;
+    long nodes = 0;
+    bool exhausted = false;
+    double bestMin;
+    std::vector<HwQubit> bestMap;
+    std::vector<HwQubit> map;
+    std::vector<bool> used;
+
+    BnbSearch(const SearchContext &c, long node_budget, double incumbent,
+              std::vector<HwQubit> incumbent_map)
+        : ctx(c), budget(node_budget), bestMin(incumbent),
+          bestMap(std::move(incumbent_map)),
+          map(static_cast<size_t>(c.info.numProgQubits), -1),
+          used(static_cast<size_t>(c.rel.numQubits()), false)
+    {
+    }
+
+    void
+    dfs(size_t k, double cur_min)
+    {
+        if (exhausted)
+            return;
+        if (k == ctx.order.size()) {
+            if (cur_min > bestMin + 1e-15) {
+                bestMin = cur_min;
+                bestMap = map;
+            }
+            return;
+        }
+        if (++nodes > budget) {
+            exhausted = true;
+            return;
+        }
+        ProgQubit q = ctx.order[k];
+        // Order candidates by score so good branches are explored first.
+        std::vector<std::pair<double, HwQubit>> cands;
+        for (HwQubit h = 0; h < ctx.rel.numQubits(); ++h) {
+            if (used[static_cast<size_t>(h)])
+                continue;
+            double s = ctx.placementScore(k, h, map);
+            double nm = std::min(cur_min, s);
+            if (nm > bestMin + 1e-15)
+                cands.emplace_back(nm, h);
+        }
+        std::sort(cands.begin(), cands.end(),
+                  [](const auto &a, const auto &b) {
+                      return a.first > b.first;
+                  });
+        for (const auto &[nm, h] : cands) {
+            if (nm <= bestMin + 1e-15)
+                continue; // Incumbent improved since candidate listing.
+            map[static_cast<size_t>(q)] = h;
+            used[static_cast<size_t>(h)] = true;
+            dfs(k + 1, nm);
+            used[static_cast<size_t>(h)] = false;
+            map[static_cast<size_t>(q)] = -1;
+            if (exhausted)
+                return;
+        }
+    }
+};
+
+} // namespace
+
+Mapping
+trivialMapping(const ProgramInfo &info, const ReliabilityMatrix &rel)
+{
+    if (info.numProgQubits > rel.numQubits())
+        fatal("trivialMapping: program needs ", info.numProgQubits,
+              " qubits, device has ", rel.numQubits());
+    std::vector<HwQubit> map(static_cast<size_t>(info.numProgQubits));
+    std::iota(map.begin(), map.end(), 0);
+    return finishMapping(info, rel, std::move(map), true, false, 0);
+}
+
+Mapping
+mapQubits(const ProgramInfo &info, const ReliabilityMatrix &rel,
+          const MappingOptions &opts)
+{
+    if (info.numProgQubits > rel.numQubits())
+        fatal("mapQubits: program needs ", info.numProgQubits,
+              " qubits, device has only ", rel.numQubits());
+    if (info.numProgQubits == 0)
+        return finishMapping(info, rel, {}, opts.includeReadout, true, 0);
+
+    switch (opts.kind) {
+      case MapperKind::Trivial:
+        return trivialMapping(info, rel);
+      case MapperKind::Greedy: {
+        SearchContext ctx(info, rel, opts.includeReadout);
+        auto map = greedyPlace(ctx);
+        localSearch(info, rel, opts.includeReadout, opts.objective, map);
+        return finishMapping(info, rel, std::move(map),
+                             opts.includeReadout, false, 0);
+      }
+      case MapperKind::BranchAndBound: {
+        SearchContext ctx(info, rel, opts.includeReadout);
+        auto seed = greedyPlace(ctx);
+        localSearch(info, rel, opts.includeReadout, opts.objective,
+                    seed);
+        if (opts.objective == MappingObjective::Product) {
+            double incumbent = mappingLogProduct(info, rel, seed,
+                                                 opts.includeReadout);
+            BnbProductSearch search(ctx, opts.nodeBudget, incumbent,
+                                    seed);
+            search.dfs(0, 0.0);
+            return finishMapping(info, rel, search.bestMap,
+                                 opts.includeReadout, !search.exhausted,
+                                 search.nodes);
+        }
+        double incumbent = mappingMinReliability(info, rel, seed,
+                                                 opts.includeReadout);
+        // Search strictly above the incumbent; the incumbent map is
+        // returned when nothing better exists.
+        BnbSearch search(ctx, opts.nodeBudget, incumbent, seed);
+        search.dfs(0, 1.0);
+        Mapping m = finishMapping(info, rel, search.bestMap,
+                                  opts.includeReadout, !search.exhausted,
+                                  search.nodes);
+        return m;
+      }
+      case MapperKind::Smt:
+        if (opts.objective == MappingObjective::Product) {
+            warn("SMT mapper supports only the max-min objective; "
+                 "using branch-and-bound for the product objective");
+            MappingOptions fb = opts;
+            fb.kind = MapperKind::BranchAndBound;
+            return mapQubits(info, rel, fb);
+        }
+        return mapQubitsSmtOrFallback(info, rel, opts);
+    }
+    panic("mapQubits: unknown mapper kind");
+}
+
+} // namespace triq

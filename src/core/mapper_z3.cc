@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Z3-backed SMT mapping engine (enabled when built with TRIQ_HAVE_Z3).
+ *
+ * The max-min objective of Sec. 4.3 is solved as a sequence of SAT
+ * checks: binary-search the achievable threshold theta over the sorted
+ * distinct reliability values, asking at each step whether an injective
+ * placement exists in which every interacting pair lands on a hardware
+ * pair with end-to-end reliability >= theta (and every measured qubit
+ * on a readout unit >= theta). This exploits exactly the property the
+ * paper highlights: a max-min objective lets the solver discard bad
+ * placements early, unlike a whole-graph product objective.
+ */
+
+#include "core/mapper_smt.hh"
+
+#include "common/logging.hh"
+
+#ifdef TRIQ_HAVE_Z3
+
+#include <algorithm>
+#include <vector>
+
+#include <z3++.h>
+
+namespace triq
+{
+
+bool
+smtMapperAvailable()
+{
+    return true;
+}
+
+namespace
+{
+
+/** One SAT feasibility check at threshold theta. */
+bool
+feasibleAt(double theta, const ProgramInfo &info,
+           const ReliabilityMatrix &rel, const MappingOptions &opts,
+           std::vector<HwQubit> *model_out)
+{
+    const int n = info.numProgQubits;
+    const int m = rel.numQubits();
+    z3::context ctx;
+    z3::solver solver(ctx);
+    z3::params p(ctx);
+    p.set("timeout", opts.smtTimeoutMs);
+    solver.set(p);
+
+    std::vector<z3::expr> x;
+    x.reserve(static_cast<size_t>(n));
+    for (int q = 0; q < n; ++q) {
+        x.push_back(ctx.int_const(("x" + std::to_string(q)).c_str()));
+        solver.add(x.back() >= 0 && x.back() < m);
+    }
+    if (n > 1) {
+        z3::expr_vector xs(ctx);
+        for (const auto &e : x)
+            xs.push_back(e);
+        solver.add(z3::distinct(xs));
+    }
+    for (const auto &pr : info.pairs) {
+        for (int i = 0; i < m; ++i) {
+            for (int j = 0; j < m; ++j) {
+                if (i == j)
+                    continue;
+                double r = std::max(rel.pairReliability(i, j),
+                                    rel.pairReliability(j, i));
+                if (r < theta)
+                    solver.add(!(x[static_cast<size_t>(pr.a)] == i &&
+                                 x[static_cast<size_t>(pr.b)] == j));
+            }
+        }
+    }
+    if (opts.includeReadout)
+        for (ProgQubit q : info.measured)
+            for (int i = 0; i < m; ++i)
+                if (rel.readoutReliability(i) < theta)
+                    solver.add(x[static_cast<size_t>(q)] != i);
+
+    z3::check_result res = solver.check();
+    if (res != z3::sat)
+        return false;
+    if (model_out) {
+        z3::model model = solver.get_model();
+        model_out->resize(static_cast<size_t>(n));
+        for (int q = 0; q < n; ++q)
+            (*model_out)[static_cast<size_t>(q)] = static_cast<HwQubit>(
+                model.eval(x[static_cast<size_t>(q)], true)
+                    .get_numeral_int());
+    }
+    return true;
+}
+
+} // namespace
+
+Mapping
+mapQubitsSmtOrFallback(const ProgramInfo &info, const ReliabilityMatrix &rel,
+                       const MappingOptions &opts)
+{
+    const int m = rel.numQubits();
+
+    // Candidate thresholds: distinct reliabilities that can be the min.
+    std::vector<double> cands;
+    for (int i = 0; i < m; ++i)
+        for (int j = 0; j < m; ++j)
+            if (i != j)
+                cands.push_back(rel.pairReliability(i, j));
+    if (opts.includeReadout)
+        for (int i = 0; i < m; ++i)
+            cands.push_back(rel.readoutReliability(i));
+    std::sort(cands.begin(), cands.end());
+    cands.erase(std::unique(cands.begin(), cands.end()), cands.end());
+
+    try {
+        // Binary search the largest feasible threshold.
+        std::vector<HwQubit> best_model;
+        if (!feasibleAt(cands.front(), info, rel, opts, &best_model)) {
+            warn("SMT mapper: even the weakest threshold is infeasible; "
+                 "falling back to branch-and-bound");
+            MappingOptions fb = opts;
+            fb.kind = MapperKind::BranchAndBound;
+            return mapQubits(info, rel, fb);
+        }
+        size_t lo = 0, hi = cands.size() - 1; // lo always feasible.
+        while (lo < hi) {
+            size_t mid = (lo + hi + 1) / 2;
+            std::vector<HwQubit> model;
+            if (feasibleAt(cands[mid], info, rel, opts, &model)) {
+                lo = mid;
+                best_model = std::move(model);
+            } else {
+                hi = mid - 1;
+            }
+        }
+        Mapping out;
+        out.progToHw = std::move(best_model);
+        out.minReliability = mappingMinReliability(info, rel, out.progToHw,
+                                                   opts.includeReadout);
+        out.logProduct = mappingLogProduct(info, rel, out.progToHw,
+                                           opts.includeReadout);
+        out.optimal = true;
+        return out;
+    } catch (const z3::exception &e) {
+        warn("SMT mapper: Z3 error '", e.msg(),
+             "'; falling back to branch-and-bound");
+        MappingOptions fb = opts;
+        fb.kind = MapperKind::BranchAndBound;
+        return mapQubits(info, rel, fb);
+    }
+}
+
+} // namespace triq
+
+#else // !TRIQ_HAVE_Z3
+
+namespace triq
+{
+
+bool
+smtMapperAvailable()
+{
+    return false;
+}
+
+Mapping
+mapQubitsSmtOrFallback(const ProgramInfo &info, const ReliabilityMatrix &rel,
+                       const MappingOptions &opts)
+{
+    warn("SMT mapper requested but this build has no Z3; "
+         "using branch-and-bound");
+    MappingOptions fb = opts;
+    fb.kind = MapperKind::BranchAndBound;
+    return mapQubits(info, rel, fb);
+}
+
+} // namespace triq
+
+#endif // TRIQ_HAVE_Z3

@@ -1,0 +1,105 @@
+#include "core/peephole.hh"
+
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace triq
+{
+
+namespace
+{
+
+/** Gate kinds that are their own inverse. */
+bool
+isSelfInverse(GateKind k)
+{
+    switch (k) {
+      case GateKind::X:
+      case GateKind::Y:
+      case GateKind::Z:
+      case GateKind::H:
+      case GateKind::Cnot:
+      case GateKind::Cz:
+      case GateKind::Swap:
+      case GateKind::Ccx:
+      case GateKind::Ccz:
+      case GateKind::Cswap:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/** True when gates a and b act on disjoint qubit sets. */
+bool
+disjoint(const Gate &a, const Gate &b)
+{
+    for (int i = 0; i < a.arity(); ++i)
+        if (b.actsOn(a.qubit(i)))
+            return false;
+    return true;
+}
+
+/** One cancellation sweep; returns the number of gates removed. */
+int
+sweep(std::vector<Gate> &gates)
+{
+    std::vector<bool> dead(gates.size(), false);
+    int removed = 0;
+    for (size_t i = 0; i < gates.size(); ++i) {
+        if (dead[i] || !isSelfInverse(gates[i].kind))
+            continue;
+        // Scan forward for a cancelling partner; stop at the first gate
+        // sharing a qubit (or any fence).
+        for (size_t j = i + 1; j < gates.size(); ++j) {
+            if (dead[j])
+                continue;
+            const Gate &g = gates[j];
+            if (g.kind == GateKind::Barrier)
+                break;
+            if (gates[i] == g) {
+                dead[i] = dead[j] = true;
+                removed += 2;
+                break;
+            }
+            if (!disjoint(gates[i], g))
+                break;
+        }
+    }
+    if (removed > 0) {
+        std::vector<Gate> kept;
+        kept.reserve(gates.size() - static_cast<size_t>(removed));
+        for (size_t i = 0; i < gates.size(); ++i)
+            if (!dead[i])
+                kept.push_back(gates[i]);
+        gates = std::move(kept);
+    }
+    return removed;
+}
+
+} // namespace
+
+Circuit
+cancelInversePairs(const Circuit &c, PeepholeStats *stats_out)
+{
+    std::vector<Gate> gates = c.gates();
+    PeepholeStats stats;
+    while (true) {
+        int removed = sweep(gates);
+        ++stats.iterations;
+        stats.cancelled += removed;
+        if (removed == 0)
+            break;
+        if (stats.iterations > c.numGates() + 1)
+            panic("cancelInversePairs: failed to reach fixpoint");
+    }
+    Circuit out(c.numQubits(), c.name());
+    for (const auto &g : gates)
+        out.add(g);
+    if (stats_out)
+        *stats_out = stats;
+    return out;
+}
+
+} // namespace triq

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Peephole circuit optimization: cancellation of adjacent self-inverse
+ * gate pairs (CNOT-CNOT, CZ-CZ, H-H, X-X, SWAP-SWAP) separated only by
+ * gates on disjoint qubits.
+ *
+ * TriQ as published optimizes 1Q runs and communication but performs no
+ * 2Q-2Q cancellation (Sec. 8 contrasts it with circuit-rewriting
+ * optimizers). This pass is the natural extension: benchmarks such as
+ * QFT+IQFT expose inverse gate pairs at pass boundaries. It runs before
+ * mapping, on the CNOT-basis IR; the ablation harness
+ * (bench/ablation_passes) quantifies its effect.
+ */
+
+#ifndef TRIQ_CORE_PEEPHOLE_HH
+#define TRIQ_CORE_PEEPHOLE_HH
+
+#include "core/circuit.hh"
+
+namespace triq
+{
+
+/** Statistics from a peephole run. */
+struct PeepholeStats
+{
+    /** Gates removed by pair cancellation. */
+    int cancelled = 0;
+
+    /** Rewrite iterations until fixpoint. */
+    int iterations = 0;
+};
+
+/**
+ * Cancel adjacent self-inverse pairs until fixpoint.
+ *
+ * Two gates cancel when they are structurally identical, self-inverse,
+ * and every gate between them acts on disjoint qubits (Barrier and
+ * Measure block cancellation across them).
+ *
+ * @param c Input circuit (any basis).
+ * @param stats_out Optional statistics sink.
+ * @return The optimized circuit; always unitary-equivalent to `c`.
+ */
+Circuit cancelInversePairs(const Circuit &c,
+                           PeepholeStats *stats_out = nullptr);
+
+} // namespace triq
+
+#endif // TRIQ_CORE_PEEPHOLE_HH

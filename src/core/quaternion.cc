@@ -1,0 +1,191 @@
+#include "core/quaternion.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace triq
+{
+
+Quaternion
+Quaternion::identity()
+{
+    return {1.0, 0.0, 0.0, 0.0};
+}
+
+Quaternion
+Quaternion::fromAxisAngle(double ax, double ay, double az, double theta)
+{
+    double n = std::sqrt(ax * ax + ay * ay + az * az);
+    if (n < kEps)
+        panic("Quaternion::fromAxisAngle: zero axis");
+    double c = std::cos(0.5 * theta);
+    double s = std::sin(0.5 * theta) / n;
+    return {c, s * ax, s * ay, s * az};
+}
+
+Quaternion
+Quaternion::fromGate(const Gate &g)
+{
+    if (!isOneQubitGate(g.kind))
+        panic("Quaternion::fromGate: not a 1Q gate: ", g.str());
+    const double t = g.params[0];
+    switch (g.kind) {
+      case GateKind::I:
+        return identity();
+      case GateKind::X:
+        return fromAxisAngle(1, 0, 0, kPi);
+      case GateKind::Y:
+        return fromAxisAngle(0, 1, 0, kPi);
+      case GateKind::Z:
+        return fromAxisAngle(0, 0, 1, kPi);
+      case GateKind::H:
+        // Rotation by pi about (x+z)/sqrt(2).
+        return fromAxisAngle(1, 0, 1, kPi);
+      case GateKind::S:
+        return fromAxisAngle(0, 0, 1, kPi / 2);
+      case GateKind::Sdg:
+        return fromAxisAngle(0, 0, 1, -kPi / 2);
+      case GateKind::T:
+        return fromAxisAngle(0, 0, 1, kPi / 4);
+      case GateKind::Tdg:
+        return fromAxisAngle(0, 0, 1, -kPi / 4);
+      case GateKind::Rx:
+        return fromAxisAngle(1, 0, 0, t);
+      case GateKind::Ry:
+        return fromAxisAngle(0, 1, 0, t);
+      case GateKind::Rz:
+      case GateKind::U1:
+        return fromAxisAngle(0, 0, 1, t);
+      case GateKind::Rxy: {
+        // Rotation by theta about the equatorial axis at azimuth phi.
+        double phi = g.params[1];
+        return fromAxisAngle(std::cos(phi), std::sin(phi), 0, t);
+      }
+      case GateKind::U2: {
+        // U2(phi, lambda) ~ Rz(phi) Ry(pi/2) Rz(lambda).
+        Quaternion a = fromAxisAngle(0, 0, 1, g.params[0]);
+        Quaternion b = fromAxisAngle(0, 1, 0, kPi / 2);
+        Quaternion c = fromAxisAngle(0, 0, 1, g.params[1]);
+        return a * b * c;
+      }
+      case GateKind::U3: {
+        // U3(theta, phi, lambda) ~ Rz(phi) Ry(theta) Rz(lambda).
+        Quaternion a = fromAxisAngle(0, 0, 1, g.params[1]);
+        Quaternion b = fromAxisAngle(0, 1, 0, g.params[0]);
+        Quaternion c = fromAxisAngle(0, 0, 1, g.params[2]);
+        return a * b * c;
+      }
+      default:
+        panic("Quaternion::fromGate: unhandled kind ", gateName(g.kind));
+    }
+}
+
+Quaternion
+Quaternion::operator*(const Quaternion &rhs) const
+{
+    // Hamilton product; matches 2x2 matrix multiplication of the
+    // corresponding SU(2) elements.
+    return {
+        w * rhs.w - x * rhs.x - y * rhs.y - z * rhs.z,
+        w * rhs.x + x * rhs.w + y * rhs.z - z * rhs.y,
+        w * rhs.y - x * rhs.z + y * rhs.w + z * rhs.x,
+        w * rhs.z + x * rhs.y - y * rhs.x + z * rhs.w,
+    };
+}
+
+Quaternion
+Quaternion::inverse() const
+{
+    return {w, -x, -y, -z};
+}
+
+double
+Quaternion::norm() const
+{
+    return std::sqrt(w * w + x * x + y * y + z * z);
+}
+
+Quaternion
+Quaternion::normalized() const
+{
+    double n = norm();
+    if (n < kEps)
+        panic("Quaternion::normalized: zero quaternion");
+    return {w / n, x / n, y / n, z / n};
+}
+
+bool
+Quaternion::isIdentity(double tol) const
+{
+    return std::sqrt(x * x + y * y + z * z) < tol;
+}
+
+bool
+Quaternion::isZRotation(double tol) const
+{
+    return std::sqrt(x * x + y * y) < tol;
+}
+
+EulerAngles
+Quaternion::toZYZ() const
+{
+    // For q = Rz(a) Ry(b) Rz(g):
+    //   w = cos(b/2) cos((a+g)/2), z = cos(b/2) sin((a+g)/2),
+    //   y = sin(b/2) cos((a-g)/2), x = -sin(b/2) sin((a-g)/2).
+    double cb = std::hypot(w, z);
+    double sb = std::hypot(x, y);
+    double beta = 2.0 * std::atan2(sb, cb);
+    double sum, diff;
+    if (sb < kEps) {
+        // Pure Z rotation: fold everything into alpha.
+        sum = 2.0 * std::atan2(z, w);
+        diff = 0.0;
+    } else if (cb < kEps) {
+        // beta ~ pi: only the difference is defined.
+        sum = 0.0;
+        diff = 2.0 * std::atan2(-x, y);
+    } else {
+        sum = 2.0 * std::atan2(z, w);
+        diff = 2.0 * std::atan2(-x, y);
+    }
+    return {wrapAngle(0.5 * (sum + diff)), beta,
+            wrapAngle(0.5 * (sum - diff))};
+}
+
+EulerAngles
+Quaternion::toZXZ() const
+{
+    // For q = Rz(a) Rx(b) Rz(g):
+    //   w = cos(b/2) cos((a+g)/2), z = cos(b/2) sin((a+g)/2),
+    //   x = sin(b/2) cos((a-g)/2), y = sin(b/2) sin((a-g)/2).
+    double cb = std::hypot(w, z);
+    double sb = std::hypot(x, y);
+    double beta = 2.0 * std::atan2(sb, cb);
+    double sum, diff;
+    if (sb < kEps) {
+        sum = 2.0 * std::atan2(z, w);
+        diff = 0.0;
+    } else if (cb < kEps) {
+        sum = 0.0;
+        diff = 2.0 * std::atan2(y, x);
+    } else {
+        sum = 2.0 * std::atan2(z, w);
+        diff = 2.0 * std::atan2(y, x);
+    }
+    return {wrapAngle(0.5 * (sum + diff)), beta,
+            wrapAngle(0.5 * (sum - diff))};
+}
+
+bool
+Quaternion::approxEqual(const Quaternion &rhs, double tol) const
+{
+    auto close = [tol](const Quaternion &a, const Quaternion &b) {
+        return std::abs(a.w - b.w) < tol && std::abs(a.x - b.x) < tol &&
+               std::abs(a.y - b.y) < tol && std::abs(a.z - b.z) < tol;
+    };
+    Quaternion neg{-rhs.w, -rhs.x, -rhs.y, -rhs.z};
+    return close(*this, rhs) || close(*this, neg);
+}
+
+} // namespace triq

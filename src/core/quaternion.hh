@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Unit rotation quaternions: the canonical representation TriQ uses to
+ * coalesce runs of 1Q gates (Sec. 4.5).
+ *
+ * Convention: the quaternion (w, x, y, z) represents the SU(2) matrix
+ *   U = w*I - i*(x*X + y*Y + z*Z),
+ * so a rotation by angle theta about unit axis n is
+ *   (cos(theta/2), sin(theta/2)*n).
+ * Hamilton multiplication then matches matrix multiplication up to global
+ * phase, which is physically irrelevant.
+ */
+
+#ifndef TRIQ_CORE_QUATERNION_HH
+#define TRIQ_CORE_QUATERNION_HH
+
+#include "core/gate.hh"
+
+namespace triq
+{
+
+/** Euler angles (alpha, beta, gamma) for Rz(a) * Rmid(b) * Rz(g). */
+struct EulerAngles
+{
+    double alpha;
+    double beta;
+    double gamma;
+};
+
+/** A unit quaternion encoding a Bloch-sphere rotation. */
+struct Quaternion
+{
+    double w = 1.0;
+    double x = 0.0;
+    double y = 0.0;
+    double z = 0.0;
+
+    /** The identity rotation. */
+    static Quaternion identity();
+
+    /** Rotation by `theta` about unit axis (ax, ay, az). */
+    static Quaternion fromAxisAngle(double ax, double ay, double az,
+                                    double theta);
+
+    /**
+     * Rotation of a 1Q unitary IR gate (H, X, Rz, U3, ...).
+     * @pre isOneQubitGate(g.kind).
+     */
+    static Quaternion fromGate(const Gate &g);
+
+    /** Hamilton product: `this` applied after `rhs` (matrix order). */
+    Quaternion operator*(const Quaternion &rhs) const;
+
+    /** Inverse rotation (conjugate for unit quaternions). */
+    Quaternion inverse() const;
+
+    /** Renormalize to unit length (guards against drift). */
+    Quaternion normalized() const;
+
+    /** Euclidean norm. */
+    double norm() const;
+
+    /**
+     * True when this rotation is the identity up to global phase
+     * (i.e. q == +-identity) within tolerance.
+     */
+    bool isIdentity(double tol = 1e-7) const;
+
+    /**
+     * True when the rotation is about the Z axis only (a virtual-Z
+     * candidate) within tolerance.
+     */
+    bool isZRotation(double tol = 1e-7) const;
+
+    /**
+     * Decompose as Rz(alpha) * Ry(beta) * Rz(gamma) with beta in [0, pi].
+     * Degenerate cases (beta ~ 0 or pi) put the full Z rotation in alpha.
+     */
+    EulerAngles toZYZ() const;
+
+    /** Decompose as Rz(alpha) * Rx(beta) * Rz(gamma), beta in [0, pi]. */
+    EulerAngles toZXZ() const;
+
+    /** Rotation-distance equality up to sign (q and -q are the same). */
+    bool approxEqual(const Quaternion &rhs, double tol = 1e-7) const;
+};
+
+} // namespace triq
+
+#endif // TRIQ_CORE_QUATERNION_HH

@@ -1,0 +1,113 @@
+#include "core/router.hh"
+
+#include "common/logging.hh"
+
+namespace triq
+{
+
+namespace
+{
+
+/** Mutable placement state with swap support. */
+struct Placement
+{
+    std::vector<HwQubit> progToHw;
+    std::vector<ProgQubit> hwToProg;
+
+    Placement(const Mapping &m, int num_hw)
+        : progToHw(m.progToHw), hwToProg(m.hwToProg(num_hw))
+    {
+    }
+
+    void
+    swapHw(HwQubit a, HwQubit b)
+    {
+        ProgQubit pa = hwToProg[static_cast<size_t>(a)];
+        ProgQubit pb = hwToProg[static_cast<size_t>(b)];
+        std::swap(hwToProg[static_cast<size_t>(a)],
+                  hwToProg[static_cast<size_t>(b)]);
+        if (pa != -1)
+            progToHw[static_cast<size_t>(pa)] = b;
+        if (pb != -1)
+            progToHw[static_cast<size_t>(pb)] = a;
+    }
+
+    HwQubit
+    at(ProgQubit p) const
+    {
+        return progToHw[static_cast<size_t>(p)];
+    }
+};
+
+} // namespace
+
+RoutingResult
+routeCircuit(const Circuit &program, const Mapping &mapping,
+             const Topology &topo, const ReliabilityMatrix &rel)
+{
+    if (static_cast<int>(mapping.progToHw.size()) != program.numQubits())
+        fatal("routeCircuit: mapping covers ", mapping.progToHw.size(),
+              " qubits, program has ", program.numQubits());
+
+    RoutingResult out;
+    out.circuit = Circuit(topo.numQubits(), program.name());
+    out.initialMap = mapping.progToHw;
+
+    Placement place(mapping, topo.numQubits());
+    const int max_route_steps = topo.numQubits() * topo.numQubits() + 4;
+
+    for (const auto &g : program.gates()) {
+        switch (g.arity()) {
+          case 0:
+            out.circuit.add(g);
+            break;
+          case 1: {
+            Gate hw = g;
+            hw.qubits[0] = place.at(g.qubit(0));
+            out.circuit.add(hw);
+            break;
+          }
+          case 2: {
+            if (g.kind != GateKind::Cnot && g.kind != GateKind::Cphase)
+                panic("routeCircuit: expected CNOT-basis input, found ",
+                      g.str());
+            ProgQubit pc = g.qubit(0), pt = g.qubit(1);
+            int steps = 0;
+            while (!topo.adjacent(place.at(pc), place.at(pt))) {
+                if (++steps > max_route_steps)
+                    panic("routeCircuit: routing failed to converge for ",
+                          g.str());
+                HwQubit hc = place.at(pc), ht = place.at(pt);
+                // Move the control along the most reliable path toward
+                // the best neighbor of the target (Sec. 4.2's argmax).
+                HwQubit via = rel.bestNeighbor(hc, ht);
+                if (via == -1)
+                    panic("routeCircuit: no route from ", hc, " to ", ht);
+                std::vector<HwQubit> path = rel.swapPath(hc, via);
+                if (path.size() < 2)
+                    panic("routeCircuit: degenerate path from ", hc,
+                          " to ", via);
+                HwQubit hop = path[1];
+                out.circuit.add(Gate::swap(hc, hop));
+                ++out.swapCount;
+                place.swapHw(hc, hop);
+            }
+            {
+                Gate hw = g;
+                hw.qubits[0] = place.at(pc);
+                hw.qubits[1] = place.at(pt);
+                out.circuit.add(hw);
+            }
+            break;
+          }
+          default:
+            panic("routeCircuit: composite gate ", g.str(),
+                  " reached the router; run decomposeToCnotBasis first");
+        }
+    }
+
+    out.finalMap = place.progToHw;
+    return out;
+}
+
+} // namespace triq

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Gate and communication scheduling (Sec. 4.4): process gates in
+ * program (topological) order, and when a 2Q gate's operands are not
+ * adjacent, insert SWAPs along the most reliable path from the
+ * reliability matrix, updating the mapping as qubits move.
+ */
+
+#ifndef TRIQ_CORE_ROUTER_HH
+#define TRIQ_CORE_ROUTER_HH
+
+#include "core/circuit.hh"
+#include "core/mapper.hh"
+#include "core/reliability.hh"
+
+namespace triq
+{
+
+/** Output of the routing pass. */
+struct RoutingResult
+{
+    /**
+     * The routed circuit over *hardware* qubits. Contains 1Q gates,
+     * CNOTs between adjacent qubits, SWAPs between adjacent qubits,
+     * Measure and Barrier. Width = device qubit count.
+     */
+    Circuit circuit;
+
+    /** Placement before the first gate. */
+    std::vector<HwQubit> initialMap;
+
+    /** Placement after the last gate (differs when SWAPs occurred). */
+    std::vector<HwQubit> finalMap;
+
+    /** Number of SWAP operations inserted. */
+    int swapCount = 0;
+};
+
+/**
+ * Route a CNOT-basis program through the device.
+ *
+ * @param program CNOT-basis circuit over program qubits.
+ * @param mapping Initial placement from the mapper.
+ * @param topo Device connectivity.
+ * @param rel Reliability matrix guiding path selection (noise-aware or
+ *            average depending on the optimization level).
+ */
+RoutingResult routeCircuit(const Circuit &program, const Mapping &mapping,
+                           const Topology &topo,
+                           const ReliabilityMatrix &rel);
+
+} // namespace triq
+
+#endif // TRIQ_CORE_ROUTER_HH

@@ -1,0 +1,75 @@
+#include "core/schedule.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace triq
+{
+
+double
+gateDurationUs(const Gate &g, const GateDurations &d)
+{
+    if (g.kind == GateKind::Barrier || g.kind == GateKind::I)
+        return 0.0;
+    if (isVirtualZGate(g.kind))
+        return 0.0; // Classical frame update.
+    if (g.kind == GateKind::Measure)
+        return d.readout;
+    switch (g.arity()) {
+      case 1:
+        // U3 is two physical pulses.
+        return g.kind == GateKind::U3 ? 2.0 * d.oneQ : d.oneQ;
+      case 2:
+        return g.kind == GateKind::Swap ? 3.0 * d.twoQ : d.twoQ;
+      case 3:
+        // Composite gates should be decomposed before scheduling; cost
+        // them as a conservative bundle if one slips through.
+        return 6.0 * d.twoQ + 8.0 * d.oneQ;
+      default:
+        panic("gateDurationUs: unexpected arity for ", g.str());
+    }
+}
+
+ScheduleInfo
+scheduleCircuit(const Circuit &c, const GateDurations &d)
+{
+    ScheduleInfo info;
+    info.startUs.resize(static_cast<size_t>(c.numGates()), 0.0);
+    info.busyUs.assign(static_cast<size_t>(c.numQubits()), 0.0);
+
+    // Per-qubit frontier: when the qubit is next free, and which gate
+    // held it last (-1 when untouched).
+    std::vector<double> free_at(static_cast<size_t>(c.numQubits()), 0.0);
+    std::vector<int> last_gate(static_cast<size_t>(c.numQubits()), -1);
+    double barrier_at = 0.0;
+
+    for (int i = 0; i < c.numGates(); ++i) {
+        const Gate &g = c.gate(i);
+        if (g.kind == GateKind::Barrier) {
+            barrier_at = info.totalUs;
+            info.startUs[static_cast<size_t>(i)] = barrier_at;
+            continue;
+        }
+        double start = barrier_at;
+        for (int k = 0; k < g.arity(); ++k)
+            start = std::max(start,
+                             free_at[static_cast<size_t>(g.qubit(k))]);
+        double dur = gateDurationUs(g, d);
+        info.startUs[static_cast<size_t>(i)] = start;
+        for (int k = 0; k < g.arity(); ++k) {
+            size_t q = static_cast<size_t>(g.qubit(k));
+            if (last_gate[q] != -1 && start > free_at[q] + 1e-12)
+                info.gaps.push_back(
+                    {last_gate[q], g.qubit(k), start - free_at[q]});
+            free_at[q] = start + dur;
+            if (dur > 0.0)
+                last_gate[q] = i;
+            info.busyUs[q] += dur;
+        }
+        info.totalUs = std::max(info.totalUs, start + dur);
+    }
+    return info;
+}
+
+} // namespace triq

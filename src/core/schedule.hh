@@ -1,0 +1,60 @@
+/**
+ * @file
+ * ASAP timing of a circuit using the device's gate durations. Used to
+ * estimate total runtime, per-qubit idle windows (which the noise model
+ * converts into coherence-limited dephasing), and critical path.
+ */
+
+#ifndef TRIQ_CORE_SCHEDULE_HH
+#define TRIQ_CORE_SCHEDULE_HH
+
+#include <vector>
+
+#include "core/circuit.hh"
+#include "device/calibration.hh"
+
+namespace triq
+{
+
+/** One idle window on a qubit between two of its gates. */
+struct IdleGap
+{
+    /** Gate index after which the gap starts (a gate touching `qubit`). */
+    int afterGate;
+
+    /** The idling qubit. */
+    int qubit;
+
+    /** Gap length in microseconds. */
+    double us;
+};
+
+/** Timing summary of a circuit. */
+struct ScheduleInfo
+{
+    /** Start time (us) of each gate, ASAP. */
+    std::vector<double> startUs;
+
+    /** End-to-end duration (us). */
+    double totalUs = 0.0;
+
+    /** Per-qubit busy time (us). */
+    std::vector<double> busyUs;
+
+    /**
+     * Idle windows between consecutive gates on the same qubit
+     * (windows before a qubit's first gate are excluded: |0> idles
+     * harmlessly).
+     */
+    std::vector<IdleGap> gaps;
+};
+
+/** Wall-clock duration of one gate (virtual-Z gates are free). */
+double gateDurationUs(const Gate &g, const GateDurations &d);
+
+/** Compute the ASAP schedule of `c` under durations `d`. */
+ScheduleInfo scheduleCircuit(const Circuit &c, const GateDurations &d);
+
+} // namespace triq
+
+#endif // TRIQ_CORE_SCHEDULE_HH

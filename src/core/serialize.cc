@@ -1,0 +1,67 @@
+#include "core/serialize.hh"
+
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace triq
+{
+
+namespace
+{
+
+/** True when g1 and g2 could crosstalk: disjoint but neighboring. */
+bool
+adjacentGates(const Topology &topo, const Gate &a, const Gate &b)
+{
+    for (int i = 0; i < a.arity(); ++i)
+        for (int j = 0; j < b.arity(); ++j) {
+            if (a.qubit(i) == b.qubit(j))
+                return false; // Shared qubit: already serialized.
+            if (topo.adjacent(a.qubit(i), b.qubit(j)))
+                return true;
+        }
+    return false;
+}
+
+} // namespace
+
+Circuit
+serializeAdjacentTwoQ(const Circuit &hw, const Topology &topo)
+{
+    Circuit out(hw.numQubits(), hw.name());
+    // 2Q gates currently free to run together (since the last fence or
+    // data dependency).
+    std::vector<Gate> layer;
+    for (const auto &g : hw.gates()) {
+        if (g.kind == GateKind::Barrier) {
+            layer.clear();
+            out.add(g);
+            continue;
+        }
+        if (isTwoQubitGate(g.kind)) {
+            bool conflict = false;
+            bool shares = false;
+            for (const auto &lg : layer) {
+                if (adjacentGates(topo, lg, g))
+                    conflict = true;
+                for (int i = 0; i < g.arity(); ++i)
+                    if (lg.actsOn(g.qubit(i)))
+                        shares = true;
+            }
+            if (conflict) {
+                out.add(Gate::barrier());
+                layer.clear();
+            } else if (shares) {
+                // A data dependency already orders it after the layer;
+                // it starts a new concurrency group on those qubits.
+                layer.clear();
+            }
+            layer.push_back(g);
+        }
+        out.add(g);
+    }
+    return out;
+}
+
+} // namespace triq

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Crosstalk-avoiding serialization: insert barriers so that 2Q gates
+ * on spatially adjacent couplings never execute simultaneously.
+ *
+ * Trades duration (more idling, hence more decoherence) for isolation
+ * (no simultaneous-drive error inflation). Worth it exactly when the
+ * crosstalk penalty outweighs the added idle dephasing — the
+ * schedule-aware compilation direction the paper's Sec. 7 discussion
+ * points toward; bench/ablation_passes measures the trade.
+ */
+
+#ifndef TRIQ_CORE_SERIALIZE_HH
+#define TRIQ_CORE_SERIALIZE_HH
+
+#include "core/circuit.hh"
+#include "device/topology.hh"
+
+namespace triq
+{
+
+/**
+ * Insert barriers so no two spatially adjacent 2Q gates share a
+ * schedule slot.
+ *
+ * Greedy layering: 2Q gates accumulate into the current layer while
+ * they are qubit-disjoint *and* not adjacent (sharing a coupling
+ * endpoint neighborhood) with every gate already in it; otherwise a
+ * barrier closes the layer. 1Q gates pass through untouched.
+ *
+ * @param hw Routed/translated circuit over hardware qubits.
+ * @param topo Device connectivity.
+ * @return The serialized circuit (same gates, extra barriers).
+ */
+Circuit serializeAdjacentTwoQ(const Circuit &hw, const Topology &topo);
+
+} // namespace triq
+
+#endif // TRIQ_CORE_SERIALIZE_HH

@@ -1,0 +1,319 @@
+#include "core/translate.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "core/quaternion.hh"
+
+namespace triq
+{
+
+namespace
+{
+
+/** Angle tolerance for recognizing special rotations. */
+constexpr double kTol = 1e-7;
+
+/** Streaming translator: accumulates 1Q rotations and flushes them. */
+class Translator
+{
+  public:
+    Translator(const Topology &topo, const GateSet &gs, bool fuse,
+               int num_qubits, const std::string &name)
+        : topo_(topo), gs_(gs), fuse_(fuse), out_(num_qubits, name),
+          pending_(static_cast<size_t>(num_qubits),
+                   Quaternion::identity())
+    {
+    }
+
+    void
+    onOneQubit(const Gate &g)
+    {
+        size_t q = static_cast<size_t>(g.qubit(0));
+        pending_[q] = (Quaternion::fromGate(g) * pending_[q]).normalized();
+        if (!fuse_)
+            flush(g.qubit(0));
+    }
+
+    void
+    onCnot(HwQubit c, HwQubit t)
+    {
+        if (!topo_.adjacent(c, t))
+            panic("translate: CNOT between non-adjacent qubits ", c, ",",
+                  t);
+        switch (gs_.twoQ) {
+          case TwoQKind::CNOT:
+            if (topo_.orientationNative(c, t)) {
+                flush(c);
+                flush(t);
+                emit2q(Gate::cnot(c, t));
+            } else {
+                // Reverse via H conjugation on both qubits; the H's fold
+                // into the neighboring 1Q runs.
+                absorb(c, hQuat());
+                absorb(t, hQuat());
+                flush(c);
+                flush(t);
+                emit2q(Gate::cnot(t, c));
+                pending_[static_cast<size_t>(c)] = hQuat();
+                pending_[static_cast<size_t>(t)] = hQuat();
+                if (!fuse_) {
+                    flush(c);
+                    flush(t);
+                }
+            }
+            return;
+          case TwoQKind::CZ:
+            // CNOT(c,t) = (I x H) CZ (I x H).
+            absorb(t, hQuat());
+            flush(c);
+            flush(t);
+            emit2q(Gate::cz(c, t));
+            pending_[static_cast<size_t>(t)] = hQuat();
+            if (!fuse_) {
+                flush(c);
+                flush(t);
+            }
+            return;
+          case TwoQKind::XX: {
+            // CNOT(c,t) = [Ry(-pi/2) Rx(-pi/2)]_c [Rx(-pi/2)]_t
+            //             . XX(pi/4) . [Ry(pi/2)]_c   (up to phase).
+            // The exact sign placement is locked in by the unitary
+            // equivalence test in tests/test_translate.cc.
+            absorb(c, Quaternion::fromGate(Gate::ry(0, kPi / 2)));
+            flush(c);
+            flush(t);
+            emit2q(Gate::xx(c, t, kPi / 4));
+            Quaternion post_c =
+                Quaternion::fromGate(Gate::ry(0, -kPi / 2)) *
+                Quaternion::fromGate(Gate::rx(0, -kPi / 2));
+            pending_[static_cast<size_t>(c)] = post_c.normalized();
+            pending_[static_cast<size_t>(t)] =
+                Quaternion::fromGate(Gate::rx(0, -kPi / 2));
+            if (!fuse_) {
+                flush(c);
+                flush(t);
+            }
+            return;
+          }
+        }
+        panic("translate: unknown 2Q kind");
+    }
+
+    void
+    onCphase(HwQubit a, HwQubit b, double lambda)
+    {
+        if (gs_.nativeCphase) {
+            if (!topo_.adjacent(a, b))
+                panic("translate: CPHASE between non-adjacent qubits ",
+                      a, ",", b);
+            flush(a);
+            flush(b);
+            emit2q(Gate::cphase(a, b, lambda));
+            return;
+        }
+        // CP(l) = Rz(l/2)_a . CNOT . Rz(-l/2)_b . CNOT . Rz(l/2)_b;
+        // the rotations are virtual and fold into neighboring runs.
+        absorb(a, Quaternion::fromGate(Gate::rz(0, lambda / 2)));
+        onCnot(a, b);
+        absorb(b, Quaternion::fromGate(Gate::rz(0, -lambda / 2)));
+        onCnot(a, b);
+        absorb(b, Quaternion::fromGate(Gate::rz(0, lambda / 2)));
+        if (!fuse_)
+            flush(b);
+    }
+
+    void
+    onSwap(HwQubit a, HwQubit b)
+    {
+        // SWAP = CNOT(a,b) CNOT(b,a) CNOT(a,b); orientation fixes and
+        // vendor lowering are handled by onCnot.
+        onCnot(a, b);
+        onCnot(b, a);
+        onCnot(a, b);
+    }
+
+    void
+    onMeasure(HwQubit q)
+    {
+        flush(q);
+        out_.add(Gate::measure(q));
+    }
+
+    void
+    onBarrier()
+    {
+        flushAll();
+        out_.add(Gate::barrier());
+    }
+
+    TranslateResult
+    finish()
+    {
+        flushAll();
+        return {std::move(out_), stats_};
+    }
+
+  private:
+    const Topology &topo_;
+    const GateSet &gs_;
+    bool fuse_;
+    Circuit out_;
+    TranslateStats stats_;
+    std::vector<Quaternion> pending_;
+
+    static Quaternion
+    hQuat()
+    {
+        return Quaternion::fromAxisAngle(1, 0, 1, kPi);
+    }
+
+    void
+    absorb(HwQubit q, const Quaternion &rot)
+    {
+        size_t i = static_cast<size_t>(q);
+        pending_[i] = (rot * pending_[i]).normalized();
+    }
+
+    void
+    emit2q(const Gate &g)
+    {
+        out_.add(g);
+        ++stats_.twoQ;
+    }
+
+    void
+    emitRz(HwQubit q, double angle)
+    {
+        if (isZeroAngle(angle, kTol))
+            return;
+        out_.add(Gate::rz(q, wrapAngle(angle)));
+        ++stats_.virtualZ;
+    }
+
+    void
+    flushAll()
+    {
+        for (int q = 0; q < out_.numQubits(); ++q)
+            flush(q);
+    }
+
+    void
+    flush(HwQubit q)
+    {
+        size_t i = static_cast<size_t>(q);
+        Quaternion rot = pending_[i];
+        pending_[i] = Quaternion::identity();
+        if (rot.isIdentity(kTol))
+            return;
+        if (rot.isZRotation(kTol)) {
+            emitRz(q, 2.0 * std::atan2(rot.z, rot.w));
+            return;
+        }
+        switch (gs_.oneQ) {
+          case OneQKind::IbmU: {
+            EulerAngles e = rot.toZYZ();
+            if (std::abs(e.beta - kPi / 2) < kTol) {
+                out_.add(Gate::u2(q, e.alpha, e.gamma));
+                stats_.pulses1q += 1;
+            } else {
+                out_.add(Gate::u3(q, e.beta, e.alpha, e.gamma));
+                stats_.pulses1q += 2;
+            }
+            return;
+          }
+          case OneQKind::RigettiRxRz: {
+            EulerAngles e = rot.toZXZ();
+            if (std::abs(e.beta - kPi / 2) < kTol) {
+                emitRz(q, e.gamma);
+                out_.add(Gate::rx(q, kPi / 2));
+                stats_.pulses1q += 1;
+                emitRz(q, e.alpha);
+            } else {
+                // Rx(b) = Rz(-pi/2) Rx(pi/2) Rz(pi-b) Rx(pi/2) Rz(-pi/2).
+                emitRz(q, e.gamma - kPi / 2);
+                out_.add(Gate::rx(q, kPi / 2));
+                stats_.pulses1q += 1;
+                emitRz(q, kPi - e.beta);
+                out_.add(Gate::rx(q, kPi / 2));
+                stats_.pulses1q += 1;
+                emitRz(q, e.alpha - kPi / 2);
+            }
+            return;
+          }
+          case OneQKind::UmdRxyRz: {
+            EulerAngles e = rot.toZXZ();
+            out_.add(Gate::rxy(q, e.beta, -e.gamma));
+            stats_.pulses1q += 1;
+            emitRz(q, e.alpha + e.gamma);
+            return;
+          }
+          case OneQKind::GenericRot: {
+            EulerAngles e = rot.toZYZ();
+            emitRz(q, e.gamma);
+            out_.add(Gate::ry(q, e.beta));
+            stats_.pulses1q += 1;
+            emitRz(q, e.alpha);
+            return;
+          }
+        }
+        panic("translate: unknown 1Q kind");
+    }
+};
+
+} // namespace
+
+TranslateResult
+translateForDevice(const Circuit &routed, const Topology &topo,
+                   const GateSet &gs, const TranslateOptions &opts)
+{
+    if (routed.numQubits() != topo.numQubits())
+        fatal("translateForDevice: circuit width ", routed.numQubits(),
+              " does not match device width ", topo.numQubits());
+    Translator tr(topo, gs, opts.fuseOneQubit, routed.numQubits(),
+                  routed.name());
+    for (const auto &g : routed.gates()) {
+        switch (g.kind) {
+          case GateKind::Cnot:
+            tr.onCnot(g.qubit(0), g.qubit(1));
+            break;
+          case GateKind::Cphase:
+            tr.onCphase(g.qubit(0), g.qubit(1), g.params[0]);
+            break;
+          case GateKind::Swap:
+            tr.onSwap(g.qubit(0), g.qubit(1));
+            break;
+          case GateKind::Measure:
+            tr.onMeasure(g.qubit(0));
+            break;
+          case GateKind::Barrier:
+            tr.onBarrier();
+            break;
+          default:
+            if (isOneQubitGate(g.kind))
+                tr.onOneQubit(g);
+            else
+                panic("translateForDevice: unexpected gate ", g.str(),
+                      "; input must be routed CNOT-basis");
+        }
+    }
+    return tr.finish();
+}
+
+TranslateStats
+countTranslatedStats(const Circuit &translated)
+{
+    TranslateStats st;
+    for (const auto &g : translated.gates()) {
+        if (isTwoQubitGate(g.kind)) {
+            ++st.twoQ;
+        } else if (isVirtualZGate(g.kind)) {
+            ++st.virtualZ;
+        } else if (isOneQubitGate(g.kind) && g.kind != GateKind::I) {
+            st.pulses1q += g.kind == GateKind::U3 ? 2 : 1;
+        }
+    }
+    return st;
+}
+
+} // namespace triq

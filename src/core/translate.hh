@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Gate implementation, 1Q optimization and lowering to the
+ * software-visible gate set (Sec. 4.5).
+ *
+ * Input: a routed circuit over hardware qubits (1Q gates, adjacent
+ * CNOTs, adjacent SWAPs, Measure, Barrier). Output: a circuit in the
+ * vendor's software-visible gates only:
+ *   IBM     {U1, U2, U3, Cnot, Measure, Barrier}
+ *   Rigetti {Rz, Rx(+-pi/2), Cz, Measure, Barrier}
+ *   UMD     {Rz, Rxy, Xx(pi/4), Measure, Barrier}
+ *
+ * When fusion is enabled (every TriQ level above TriQ-N), runs of 1Q
+ * gates are composed into a single rotation quaternion and re-expressed
+ * as two error-free virtual-Z rotations plus at most one X/Y-axis pulse
+ * family, maximizing the number of error-free operations.
+ */
+
+#ifndef TRIQ_CORE_TRANSLATE_HH
+#define TRIQ_CORE_TRANSLATE_HH
+
+#include "core/circuit.hh"
+#include "device/gateset.hh"
+#include "device/topology.hh"
+
+namespace triq
+{
+
+/** Translation controls. */
+struct TranslateOptions
+{
+    /** Fuse 1Q runs via quaternions (TriQ-1QOpt and above). */
+    bool fuseOneQubit = true;
+};
+
+/** Emission statistics (drives the Fig. 8 experiment). */
+struct TranslateStats
+{
+    /** Physical X/Y pulses emitted (U2 = 1, U3 = 2, Rx/Rxy = 1). */
+    int pulses1q = 0;
+
+    /** Error-free virtual-Z rotations emitted. */
+    int virtualZ = 0;
+
+    /** Software-visible 2Q gates emitted. */
+    int twoQ = 0;
+};
+
+/** Translation output. */
+struct TranslateResult
+{
+    Circuit circuit;
+    TranslateStats stats;
+};
+
+/**
+ * Lower a routed hardware circuit to the device's software-visible
+ * gates.
+ *
+ * @param routed Routed circuit (output of routeCircuit).
+ * @param topo Device topology (for directed-CNOT orientation fixes).
+ * @param gs Software-visible gate set of the target.
+ * @param opts Fusion control.
+ */
+TranslateResult translateForDevice(const Circuit &routed,
+                                   const Topology &topo, const GateSet &gs,
+                                   const TranslateOptions &opts);
+
+/**
+ * Count the physical pulses of an already translated circuit (same
+ * rules as TranslateStats; useful for externally produced circuits).
+ */
+TranslateStats countTranslatedStats(const Circuit &translated);
+
+} // namespace triq
+
+#endif // TRIQ_CORE_TRANSLATE_HH

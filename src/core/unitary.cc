@@ -1,0 +1,226 @@
+#include "core/unitary.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace triq
+{
+
+namespace
+{
+
+Matrix
+oneQubitMatrix(const Gate &g)
+{
+    const Cplx i1(0, 1);
+    const double t = g.params[0];
+    const double isq = 1.0 / std::sqrt(2.0);
+    switch (g.kind) {
+      case GateKind::I:
+        return Matrix::identity(2);
+      case GateKind::X:
+        return {{0, 1}, {1, 0}};
+      case GateKind::Y:
+        return {{0, -i1}, {i1, 0}};
+      case GateKind::Z:
+        return {{1, 0}, {0, -1}};
+      case GateKind::H:
+        return {{isq, isq}, {isq, -isq}};
+      case GateKind::S:
+        return {{1, 0}, {0, i1}};
+      case GateKind::Sdg:
+        return {{1, 0}, {0, -i1}};
+      case GateKind::T:
+        return {{1, 0}, {0, std::exp(i1 * (kPi / 4))}};
+      case GateKind::Tdg:
+        return {{1, 0}, {0, std::exp(-i1 * (kPi / 4))}};
+      case GateKind::Rx: {
+        Cplx c = std::cos(t / 2), s = -i1 * std::sin(t / 2);
+        return {{c, s}, {s, c}};
+      }
+      case GateKind::Ry: {
+        double c = std::cos(t / 2), s = std::sin(t / 2);
+        return {{c, -s}, {s, c}};
+      }
+      case GateKind::Rz:
+        return {{std::exp(-i1 * (t / 2)), 0}, {0, std::exp(i1 * (t / 2))}};
+      case GateKind::Rxy: {
+        // Rz(phi) Rx(theta) Rz(-phi).
+        double phi = g.params[1];
+        Cplx c = std::cos(t / 2);
+        Cplx s = -i1 * std::sin(t / 2);
+        return {{c, s * std::exp(-i1 * phi)}, {s * std::exp(i1 * phi), c}};
+      }
+      case GateKind::U1:
+        return {{1, 0}, {0, std::exp(i1 * t)}};
+      case GateKind::U2: {
+        double p = g.params[0], l = g.params[1];
+        return {{Cplx(isq, 0), -std::exp(i1 * l) * isq},
+                {std::exp(i1 * p) * isq, std::exp(i1 * (p + l)) * isq}};
+      }
+      case GateKind::U3: {
+        double p = g.params[1], l = g.params[2];
+        double c = std::cos(t / 2), s = std::sin(t / 2);
+        return {{Cplx(c, 0), -std::exp(i1 * l) * s},
+                {std::exp(i1 * p) * s, std::exp(i1 * (p + l)) * c}};
+      }
+      default:
+        panic("oneQubitMatrix: unhandled ", gateName(g.kind));
+    }
+}
+
+Matrix
+twoQubitMatrix(const Gate &g)
+{
+    const Cplx i1(0, 1);
+    Matrix m = Matrix::identity(4);
+    switch (g.kind) {
+      case GateKind::Cnot:
+        // Operand 0 = control = bit 0; operand 1 = target = bit 1.
+        m = Matrix(4, 4);
+        m(0, 0) = 1;
+        m(2, 2) = 1;
+        m(3, 1) = 1;
+        m(1, 3) = 1;
+        return m;
+      case GateKind::Cz:
+        m(3, 3) = -1;
+        return m;
+      case GateKind::Cphase:
+        m(3, 3) = std::exp(i1 * g.params[0]);
+        return m;
+      case GateKind::Swap:
+        m = Matrix(4, 4);
+        m(0, 0) = 1;
+        m(3, 3) = 1;
+        m(1, 2) = 1;
+        m(2, 1) = 1;
+        return m;
+      case GateKind::Xx: {
+        // exp(-i chi X(x)X) = cos(chi) I - i sin(chi) XX.
+        double chi = g.params[0];
+        Matrix out = Matrix::identity(4) * Cplx(std::cos(chi), 0);
+        Cplx s = -i1 * std::sin(chi);
+        out(0, 3) += s;
+        out(1, 2) += s;
+        out(2, 1) += s;
+        out(3, 0) += s;
+        return out;
+      }
+      default:
+        panic("twoQubitMatrix: unhandled ", gateName(g.kind));
+    }
+}
+
+Matrix
+threeQubitMatrix(const Gate &g)
+{
+    Matrix m = Matrix::identity(8);
+    switch (g.kind) {
+      case GateKind::Ccx:
+        // Controls = bits 0,1; target = bit 2. Swap |011> <-> |111>.
+        m(3, 3) = 0;
+        m(7, 7) = 0;
+        m(3, 7) = 1;
+        m(7, 3) = 1;
+        return m;
+      case GateKind::Ccz:
+        m(7, 7) = -1;
+        return m;
+      case GateKind::Cswap:
+        // Control = bit 0; swap bits 1 and 2 when control set.
+        m(3, 3) = 0;
+        m(5, 5) = 0;
+        m(3, 5) = 1;
+        m(5, 3) = 1;
+        return m;
+      default:
+        panic("threeQubitMatrix: unhandled ", gateName(g.kind));
+    }
+}
+
+} // namespace
+
+Matrix
+gateMatrix(const Gate &g)
+{
+    if (!isUnitaryGate(g.kind))
+        panic("gateMatrix: non-unitary gate ", g.str());
+    switch (g.arity()) {
+      case 1:
+        return oneQubitMatrix(g);
+      case 2:
+        return twoQubitMatrix(g);
+      case 3:
+        return threeQubitMatrix(g);
+      default:
+        panic("gateMatrix: unexpected arity for ", g.str());
+    }
+}
+
+Matrix
+embedGate(int n, const Gate &g)
+{
+    if (n > 12)
+        panic("embedGate: register too large (", n, " qubits)");
+    Matrix local = gateMatrix(g);
+    int k = g.arity();
+    int dim = 1 << n;
+    Matrix out(dim, dim);
+    // For each basis column, scatter the local matrix across the operand
+    // bits while keeping spectator bits fixed.
+    for (int col = 0; col < dim; ++col) {
+        int lcol = 0;
+        for (int i = 0; i < k; ++i)
+            lcol |= ((col >> g.qubit(i)) & 1) << i;
+        int base = col;
+        for (int i = 0; i < k; ++i)
+            base &= ~(1 << g.qubit(i));
+        for (int lrow = 0; lrow < (1 << k); ++lrow) {
+            Cplx v = local(lrow, lcol);
+            if (v == Cplx(0, 0))
+                continue;
+            int row = base;
+            for (int i = 0; i < k; ++i)
+                row |= ((lrow >> i) & 1) << g.qubit(i);
+            out(row, col) = v;
+        }
+    }
+    return out;
+}
+
+Matrix
+circuitUnitary(const Circuit &c)
+{
+    if (c.numQubits() > 12)
+        panic("circuitUnitary: register too large (", c.numQubits(),
+              " qubits)");
+    Matrix u = Matrix::identity(1 << c.numQubits());
+    for (const auto &g : c.gates()) {
+        if (g.kind == GateKind::Barrier)
+            continue;
+        if (g.kind == GateKind::Measure)
+            panic("circuitUnitary: circuit contains Measure");
+        u = embedGate(c.numQubits(), g) * u;
+    }
+    return u;
+}
+
+bool
+sameUnitary(const Circuit &a, const Circuit &b, double tol)
+{
+    if (a.numQubits() != b.numQubits())
+        return false;
+    auto strip = [](const Circuit &c) {
+        Circuit out(c.numQubits(), c.name());
+        for (const auto &g : c.gates())
+            if (isUnitaryGate(g.kind))
+                out.add(g);
+        return out;
+    };
+    return circuitUnitary(strip(a)).equalUpToPhase(circuitUnitary(strip(b)),
+                                                   tol);
+}
+
+} // namespace triq

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Gate and circuit unitaries, used by tests and equivalence checks to
+ * prove that decompositions and optimizations preserve semantics.
+ *
+ * Basis convention: qubit q is bit q of the computational-basis index
+ * (qubit 0 is the least significant bit). Within a gate's local matrix,
+ * operand i is bit i.
+ */
+
+#ifndef TRIQ_CORE_UNITARY_HH
+#define TRIQ_CORE_UNITARY_HH
+
+#include "common/matrix.hh"
+#include "core/circuit.hh"
+
+namespace triq
+{
+
+/**
+ * The local unitary of a gate: a 2^arity x 2^arity matrix over the
+ * gate's operands (operand i = bit i).
+ * @pre isUnitaryGate(g.kind).
+ */
+Matrix gateMatrix(const Gate &g);
+
+/**
+ * Embed a gate's unitary into an n-qubit register (2^n x 2^n).
+ * @pre isUnitaryGate(g.kind) and all operands < n.
+ */
+Matrix embedGate(int n, const Gate &g);
+
+/**
+ * The full unitary of a circuit (Barriers skipped).
+ * @pre no Measure gates; numQubits <= 12 (matrix is 2^n x 2^n).
+ */
+Matrix circuitUnitary(const Circuit &c);
+
+/**
+ * True when two circuits implement the same unitary up to global phase.
+ * Measure/Barrier gates are ignored for the comparison.
+ */
+bool sameUnitary(const Circuit &a, const Circuit &b, double tol = 1e-7);
+
+} // namespace triq
+
+#endif // TRIQ_CORE_UNITARY_HH

@@ -1,0 +1,198 @@
+#include "device/calibration.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "device/topology.hh"
+
+namespace triq
+{
+
+namespace
+{
+
+/** Keep synthesized error rates physical and nonzero. */
+double
+clampError(double e)
+{
+    return std::clamp(e, 1e-5, 0.5);
+}
+
+/**
+ * Log-normal sample whose *mean* is `target_mean` given total sigma.
+ * (Log-normal mean = median * exp(sigma^2 / 2).)
+ */
+double
+meanPreservingMedian(double target_mean, double sigma)
+{
+    return target_mean * std::exp(-0.5 * sigma * sigma);
+}
+
+} // namespace
+
+double
+Calibration::avg1q() const
+{
+    double s = 0.0;
+    for (double e : err1q)
+        s += e;
+    return err1q.empty() ? 0.0 : s / static_cast<double>(err1q.size());
+}
+
+double
+Calibration::avg2q() const
+{
+    double s = 0.0;
+    for (double e : err2q)
+        s += e;
+    return err2q.empty() ? 0.0 : s / static_cast<double>(err2q.size());
+}
+
+double
+Calibration::avgRO() const
+{
+    double s = 0.0;
+    for (double e : errRO)
+        s += e;
+    return errRO.empty() ? 0.0 : s / static_cast<double>(errRO.size());
+}
+
+void
+Calibration::save(std::ostream &os) const
+{
+    // Full round-trip precision: error rates feed reliability products
+    // where tiny differences change mapper decisions.
+    os << std::setprecision(17);
+    os << "calibration v2\n";
+    os << "qubits " << numQubits << "\n";
+    os << "edges " << err2q.size() << "\n";
+    os << "durations " << durations.oneQ << " " << durations.twoQ << " "
+       << durations.readout << "\n";
+    os << "crosstalk " << crosstalkFactor << "\n";
+    os << "err1q";
+    for (double e : err1q)
+        os << " " << e;
+    os << "\nerrRO";
+    for (double e : errRO)
+        os << " " << e;
+    os << "\nt2us";
+    for (double t : t2Us)
+        os << " " << t;
+    os << "\nerr2q";
+    for (double e : err2q)
+        os << " " << e;
+    os << "\n";
+}
+
+Calibration
+Calibration::load(std::istream &is)
+{
+    Calibration c;
+    std::string word, version;
+    if (!(is >> word >> version) || word != "calibration" ||
+        (version != "v1" && version != "v2"))
+        fatal("Calibration::load: bad header");
+    size_t nedges = 0;
+    auto expect = [&](const char *key) {
+        if (!(is >> word) || word != key)
+            fatal("Calibration::load: expected '", key, "', got '", word,
+                  "'");
+    };
+    expect("qubits");
+    if (!(is >> c.numQubits) || c.numQubits < 0)
+        fatal("Calibration::load: bad qubit count");
+    expect("edges");
+    if (!(is >> nedges))
+        fatal("Calibration::load: bad edge count");
+    expect("durations");
+    if (!(is >> c.durations.oneQ >> c.durations.twoQ >> c.durations.readout))
+        fatal("Calibration::load: bad durations");
+    if (version == "v2") {
+        expect("crosstalk");
+        if (!(is >> c.crosstalkFactor))
+            fatal("Calibration::load: bad crosstalk factor");
+    }
+    auto read_vec = [&](const char *key, std::vector<double> &v, size_t n) {
+        expect(key);
+        v.resize(n);
+        for (size_t i = 0; i < n; ++i)
+            if (!(is >> v[i]))
+                fatal("Calibration::load: truncated ", key);
+    };
+    size_t nq = static_cast<size_t>(c.numQubits);
+    read_vec("err1q", c.err1q, nq);
+    read_vec("errRO", c.errRO, nq);
+    read_vec("t2us", c.t2Us, nq);
+    read_vec("err2q", c.err2q, nedges);
+    return c;
+}
+
+Calibration
+synthesizeCalibration(const Topology &topo, const NoiseSpec &spec,
+                      const std::string &device_name, int day)
+{
+    Calibration c;
+    c.numQubits = topo.numQubits();
+    c.durations = spec.durations;
+    c.crosstalkFactor = spec.crosstalkFactor;
+
+    // Spatial structure: which qubits/edges are good or bad. Chronic
+    // (day-independent) for superconducting devices; reshuffled per
+    // calibration cycle for drift-dominated (trapped-ion) devices.
+    Rng spatial(spec.chronicSpatial
+                    ? device_name + "/spatial"
+                    : device_name + "/spatial/day" + std::to_string(day));
+    // Daily drift multipliers.
+    Rng daily(device_name + "/day" + std::to_string(day));
+
+    const double ss = spec.spatialSigma;
+    const double ts = spec.temporalSigma;
+
+    c.err1q.resize(c.numQubits);
+    c.errRO.resize(c.numQubits);
+    c.t2Us.resize(c.numQubits);
+    for (int q = 0; q < c.numQubits; ++q) {
+        // 1Q errors vary less than 2Q errors on real hardware; halve the
+        // spreads for them.
+        double base1 =
+            spatial.logNormal(meanPreservingMedian(spec.mean1q, 0.5 * ss),
+                              0.5 * ss);
+        double basero =
+            spatial.logNormal(meanPreservingMedian(spec.meanRO, 0.5 * ss),
+                              0.5 * ss);
+        double baset2 = spatial.logNormal(spec.coherenceUs, 0.15);
+        c.err1q[q] = clampError(base1 * daily.logNormal(1.0, 0.5 * ts));
+        c.errRO[q] = clampError(basero * daily.logNormal(1.0, 0.5 * ts));
+        c.t2Us[q] = baset2 * daily.logNormal(1.0, 0.1);
+    }
+
+    c.err2q.resize(topo.numEdges());
+    for (int e = 0; e < topo.numEdges(); ++e) {
+        double base =
+            spatial.logNormal(meanPreservingMedian(spec.mean2q, ss), ss);
+        c.err2q[e] = clampError(base * daily.logNormal(1.0, ts));
+    }
+    return c;
+}
+
+Calibration
+averageCalibration(const Topology &topo, const NoiseSpec &spec)
+{
+    Calibration c;
+    c.numQubits = topo.numQubits();
+    c.durations = spec.durations;
+    c.crosstalkFactor = spec.crosstalkFactor;
+    c.err1q.assign(c.numQubits, spec.mean1q);
+    c.errRO.assign(c.numQubits, spec.meanRO);
+    c.t2Us.assign(c.numQubits, spec.coherenceUs);
+    c.err2q.assign(topo.numEdges(), spec.mean2q);
+    return c;
+}
+
+} // namespace triq

@@ -1,0 +1,31 @@
+#include "device/device.hh"
+
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace triq
+{
+
+Device::Device(std::string name, Topology topo, GateSet gate_set,
+               NoiseSpec noise)
+    : name_(std::move(name)), topo_(std::move(topo)), gateSet_(gate_set),
+      noise_(noise)
+{
+    if (!topo_.connected())
+        fatal("Device ", name_, ": topology is not connected");
+}
+
+Calibration
+Device::calibrate(int day) const
+{
+    return synthesizeCalibration(topo_, noise_, name_, day);
+}
+
+Calibration
+Device::averageCalibration() const
+{
+    return triq::averageCalibration(topo_, noise_);
+}
+
+} // namespace triq

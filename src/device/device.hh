@@ -1,0 +1,62 @@
+/**
+ * @file
+ * A Device bundles everything TriQ needs to know about one machine:
+ * connectivity, software-visible gate set, and nominal noise behaviour.
+ * This is exactly the "device-specific inputs" box of Fig. 4 — the core
+ * compiler never hard-codes a vendor, it only reads these inputs.
+ */
+
+#ifndef TRIQ_DEVICE_DEVICE_HH
+#define TRIQ_DEVICE_DEVICE_HH
+
+#include <string>
+
+#include "device/calibration.hh"
+#include "device/gateset.hh"
+#include "device/topology.hh"
+
+namespace triq
+{
+
+/**
+ * One target machine: name, topology, gate set and noise specification.
+ *
+ * Devices are immutable after construction; calibration snapshots are
+ * derived on demand per "day".
+ */
+class Device
+{
+  public:
+    /**
+     * @param name Unique display name (also seeds calibration synthesis).
+     * @param topo Hardware connectivity.
+     * @param gate_set Software-visible gate interface.
+     * @param noise Nominal error means, coherence, spreads, durations.
+     */
+    Device(std::string name, Topology topo, GateSet gate_set,
+           NoiseSpec noise);
+
+    const std::string &name() const { return name_; }
+    Vendor vendor() const { return gateSet_.vendor; }
+    const Topology &topology() const { return topo_; }
+    const GateSet &gateSet() const { return gateSet_; }
+    const NoiseSpec &noiseSpec() const { return noise_; }
+
+    int numQubits() const { return topo_.numQubits(); }
+
+    /** Synthesized calibration snapshot for the given day (Sec. 5). */
+    Calibration calibrate(int day) const;
+
+    /** Noise-unaware average calibration (drives TriQ-1QOptC). */
+    Calibration averageCalibration() const;
+
+  private:
+    std::string name_;
+    Topology topo_;
+    GateSet gateSet_;
+    NoiseSpec noise_;
+};
+
+} // namespace triq
+
+#endif // TRIQ_DEVICE_DEVICE_HH

@@ -1,0 +1,80 @@
+#include "device/gateset.hh"
+
+namespace triq
+{
+
+std::string
+GateSet::describe() const
+{
+    std::string one, two;
+    switch (oneQ) {
+      case OneQKind::IbmU:
+        one = "U1/U2/U3";
+        break;
+      case OneQKind::RigettiRxRz:
+        one = "Rz,Rx(+-pi/2)";
+        break;
+      case OneQKind::UmdRxyRz:
+        one = "Rz,Rxy(theta,phi)";
+        break;
+      case OneQKind::GenericRot:
+        one = "Rx/Ry/Rz";
+        break;
+    }
+    switch (twoQ) {
+      case TwoQKind::CNOT:
+        two = "CNOT";
+        break;
+      case TwoQKind::CZ:
+        two = "CZ";
+        break;
+      case TwoQKind::XX:
+        two = "XX";
+        break;
+    }
+    if (nativeCphase)
+        two += "+CPHASE";
+    return vendorName(vendor) + " { 1Q: " + one + ", 2Q: " + two + " }";
+}
+
+GateSet
+GateSet::ibm()
+{
+    return {Vendor::IBM, TwoQKind::CNOT, OneQKind::IbmU, true};
+}
+
+GateSet
+GateSet::rigetti()
+{
+    return {Vendor::Rigetti, TwoQKind::CZ, OneQKind::RigettiRxRz, true};
+}
+
+GateSet
+GateSet::rigettiExtended()
+{
+    GateSet gs = rigetti();
+    gs.nativeCphase = true;
+    return gs;
+}
+
+GateSet
+GateSet::umd()
+{
+    return {Vendor::UMD, TwoQKind::XX, OneQKind::UmdRxyRz, true};
+}
+
+std::string
+vendorName(Vendor v)
+{
+    switch (v) {
+      case Vendor::IBM:
+        return "IBM";
+      case Vendor::Rigetti:
+        return "Rigetti";
+      case Vendor::UMD:
+        return "UMD";
+    }
+    return "?";
+}
+
+} // namespace triq

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Software-visible gate set descriptions (Fig. 2 of the paper).
+ *
+ * Each vendor exposes one 2Q primitive and a family of 1Q operations.
+ * Z-axis rotations are "virtual" (implemented by classical phase-frame
+ * bookkeeping) and therefore error-free and duration-free on all three
+ * vendors; the 1Q optimization pass exploits this.
+ */
+
+#ifndef TRIQ_DEVICE_GATESET_HH
+#define TRIQ_DEVICE_GATESET_HH
+
+#include <string>
+
+namespace triq
+{
+
+/** The three organizations whose machines the study runs on. */
+enum class Vendor
+{
+    IBM,     //!< Superconducting transmons, cross-resonance CNOT.
+    Rigetti, //!< Superconducting transmons, CZ.
+    UMD,     //!< Trapped Yb+ ions, Ising XX.
+};
+
+/** The software-visible 2Q primitive. */
+enum class TwoQKind
+{
+    CNOT, //!< IBM: CNOT built from cross resonance, directionally biased.
+    CZ,   //!< Rigetti: controlled-Z.
+    XX,   //!< UMD: Moelmer-Soerensen Ising interaction XX(chi).
+};
+
+/** The software-visible 1Q family. */
+enum class OneQKind
+{
+    IbmU,        //!< U1(l) free, U2(p,l) one pulse, U3(t,p,l) two pulses.
+    RigettiRxRz, //!< Rz free, Rx(+-pi/2) pulses.
+    UmdRxyRz,    //!< Rz free, arbitrary Rxy(theta, phi) single pulse.
+    GenericRot,  //!< Technology-independent Rx/Ry/Rz (TriQ-N codegen).
+};
+
+/**
+ * Description of a machine's programmable interface.
+ */
+struct GateSet
+{
+    Vendor vendor;
+    TwoQKind twoQ;
+    OneQKind oneQ;
+
+    /** True when Rz is compiled away into the classical phase frame. */
+    bool virtualZ;
+
+    /**
+     * True when arbitrary-angle controlled-phase gates are software
+     * visible as a single 2Q operation. The paper observes (Sec. 6.4)
+     * that the Aspen machines have "more powerful native operations"
+     * that were not software-visible during the study and that
+     * "exposing them to the compiler would enable higher success
+     * rates"; this flag models that what-if (CPHASE is native on
+     * parametric CZ hardware and in the Quil ISA).
+     */
+    bool nativeCphase = false;
+
+    /** Human-readable summary for reports. */
+    std::string describe() const;
+
+    /** The IBM Q interface: U1/U2/U3 + directed CNOT. */
+    static GateSet ibm();
+
+    /** The Rigetti interface: Rz/Rx(+-pi/2) + CZ. */
+    static GateSet rigetti();
+
+    /** Rigetti with parametric CPHASE exposed (the Sec. 6.4 what-if). */
+    static GateSet rigettiExtended();
+
+    /** The UMD trapped-ion interface: Rz/Rxy + XX. */
+    static GateSet umd();
+};
+
+/** Short display name for a vendor. */
+std::string vendorName(Vendor v);
+
+} // namespace triq
+
+#endif // TRIQ_DEVICE_GATESET_HH

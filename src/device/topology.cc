@@ -1,0 +1,176 @@
+#include "device/topology.hh"
+
+#include <queue>
+
+#include "common/logging.hh"
+
+namespace triq
+{
+
+Topology::Topology(int num_qubits)
+    : numQubits_(num_qubits), adj_(num_qubits),
+      edgeId_(num_qubits, std::vector<int>(num_qubits, -1))
+{
+    if (num_qubits < 0)
+        panic("Topology: negative qubit count ", num_qubits);
+}
+
+int
+Topology::addEdge(HwQubit a, HwQubit b, bool directed)
+{
+    if (a < 0 || a >= numQubits_ || b < 0 || b >= numQubits_)
+        fatal("Topology::addEdge: qubit out of range (", a, ",", b, ")");
+    if (a == b)
+        fatal("Topology::addEdge: self loop on qubit ", a);
+    if (edgeId_[a][b] != -1)
+        fatal("Topology::addEdge: duplicate edge (", a, ",", b, ")");
+    int id = static_cast<int>(edges_.size());
+    edges_.push_back({a, b, directed});
+    adj_[a].push_back(b);
+    adj_[b].push_back(a);
+    edgeId_[a][b] = id;
+    edgeId_[b][a] = id;
+    return id;
+}
+
+const Coupling &
+Topology::edge(int id) const
+{
+    if (id < 0 || id >= numEdges())
+        panic("Topology::edge: bad edge id ", id);
+    return edges_[id];
+}
+
+const std::vector<HwQubit> &
+Topology::neighbors(HwQubit q) const
+{
+    if (q < 0 || q >= numQubits_)
+        panic("Topology::neighbors: qubit out of range ", q);
+    return adj_[q];
+}
+
+int
+Topology::edgeBetween(HwQubit a, HwQubit b) const
+{
+    if (a < 0 || a >= numQubits_ || b < 0 || b >= numQubits_)
+        panic("Topology::edgeBetween: qubit out of range (", a, ",", b, ")");
+    return edgeId_[a][b];
+}
+
+bool
+Topology::adjacent(HwQubit a, HwQubit b) const
+{
+    return edgeBetween(a, b) != -1;
+}
+
+bool
+Topology::orientationNative(HwQubit a, HwQubit b) const
+{
+    int id = edgeBetween(a, b);
+    if (id == -1)
+        return false;
+    const Coupling &c = edges_[id];
+    return !c.directed || c.a == a;
+}
+
+int
+Topology::distance(HwQubit a, HwQubit b) const
+{
+    if (a == b)
+        return 0;
+    std::vector<int> dist(numQubits_, -1);
+    std::queue<HwQubit> q;
+    dist[a] = 0;
+    q.push(a);
+    while (!q.empty()) {
+        HwQubit u = q.front();
+        q.pop();
+        for (HwQubit v : adj_[u]) {
+            if (dist[v] == -1) {
+                dist[v] = dist[u] + 1;
+                if (v == b)
+                    return dist[v];
+                q.push(v);
+            }
+        }
+    }
+    return -1;
+}
+
+bool
+Topology::fullyConnected() const
+{
+    return numEdges() == numQubits_ * (numQubits_ - 1) / 2;
+}
+
+bool
+Topology::connected() const
+{
+    if (numQubits_ == 0)
+        return true;
+    int reached = 0;
+    std::vector<bool> seen(numQubits_, false);
+    std::queue<HwQubit> q;
+    seen[0] = true;
+    q.push(0);
+    while (!q.empty()) {
+        HwQubit u = q.front();
+        q.pop();
+        ++reached;
+        for (HwQubit v : adj_[u]) {
+            if (!seen[v]) {
+                seen[v] = true;
+                q.push(v);
+            }
+        }
+    }
+    return reached == numQubits_;
+}
+
+Topology
+Topology::line(int n, bool directed)
+{
+    Topology t(n);
+    for (int i = 0; i + 1 < n; ++i)
+        t.addEdge(i, i + 1, directed);
+    return t;
+}
+
+Topology
+Topology::ring(int n, bool directed)
+{
+    if (n < 3)
+        fatal("Topology::ring: need at least 3 qubits, got ", n);
+    Topology t(n);
+    for (int i = 0; i < n; ++i)
+        t.addEdge(i, (i + 1) % n, directed);
+    return t;
+}
+
+Topology
+Topology::full(int n)
+{
+    Topology t(n);
+    for (int i = 0; i < n; ++i)
+        for (int j = i + 1; j < n; ++j)
+            t.addEdge(i, j, false);
+    return t;
+}
+
+Topology
+Topology::grid(int rows, int cols, bool directed)
+{
+    Topology t(rows * cols);
+    auto id = [cols](int r, int c) { return r * cols + c; };
+    for (int r = 0; r < rows; ++r) {
+        for (int c = 0; c < cols; ++c) {
+            if (c + 1 < cols)
+                t.addEdge(id(r, c), id(r, c + 1), directed);
+            if (r + 1 < rows)
+                t.addEdge(id(r, c), id(r + 1, c), directed);
+        }
+    }
+    return t;
+}
+
+} // namespace triq

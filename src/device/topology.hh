@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Qubit connectivity graphs for the devices in the study.
+ *
+ * A Topology is an undirected multigraph-free graph over hardware qubits.
+ * Each edge is a hardware-supported 2Q interaction. For IBM devices of the
+ * paper's era, CNOTs had a fixed control->target direction; edges carry an
+ * optional direction flag so the translation pass can insert the 1Q gates
+ * needed to reverse a CNOT.
+ */
+
+#ifndef TRIQ_DEVICE_TOPOLOGY_HH
+#define TRIQ_DEVICE_TOPOLOGY_HH
+
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace triq
+{
+
+/** One hardware-supported 2Q coupling. */
+struct Coupling
+{
+    /** Endpoints; for directed couplings, `a` is the native control. */
+    HwQubit a;
+    HwQubit b;
+
+    /** True when the hardware only drives the gate in the a->b direction. */
+    bool directed;
+};
+
+/**
+ * Undirected qubit connectivity graph with optional per-edge direction.
+ */
+class Topology
+{
+  public:
+    /** Construct a topology over n qubits with no couplings. */
+    explicit Topology(int num_qubits = 0);
+
+    /** Number of hardware qubits. */
+    int numQubits() const { return numQubits_; }
+
+    /** Number of couplings (hardware 2Q gates). */
+    int numEdges() const { return static_cast<int>(edges_.size()); }
+
+    /**
+     * Add a coupling between qubits a and b.
+     *
+     * @param a First endpoint (native control when directed).
+     * @param b Second endpoint.
+     * @param directed True when hardware fixes the gate direction a->b.
+     * @return The new edge id.
+     */
+    int addEdge(HwQubit a, HwQubit b, bool directed = false);
+
+    /** All couplings, indexed by edge id. */
+    const std::vector<Coupling> &edges() const { return edges_; }
+
+    /** Coupling by edge id. */
+    const Coupling &edge(int id) const;
+
+    /** Neighbors of qubit q (undirected view). */
+    const std::vector<HwQubit> &neighbors(HwQubit q) const;
+
+    /** Edge id connecting a and b, or -1 when not adjacent. */
+    int edgeBetween(HwQubit a, HwQubit b) const;
+
+    /** True when a and b share a coupling. */
+    bool adjacent(HwQubit a, HwQubit b) const;
+
+    /**
+     * True when the a->b orientation is natively drivable: the edge is
+     * undirected, or directed with native control a.
+     */
+    bool orientationNative(HwQubit a, HwQubit b) const;
+
+    /** Hop distance between qubits (BFS); -1 when disconnected. */
+    int distance(HwQubit a, HwQubit b) const;
+
+    /** True when every qubit pair is directly coupled. */
+    bool fullyConnected() const;
+
+    /** True when the whole graph is one connected component. */
+    bool connected() const;
+
+    // Factory helpers for the standard shapes used in the study.
+
+    /** Path 0-1-...-(n-1). */
+    static Topology line(int n, bool directed = false);
+
+    /** Cycle 0-1-...-(n-1)-0. */
+    static Topology ring(int n, bool directed = false);
+
+    /** Complete graph K_n (trapped-ion style). */
+    static Topology full(int n);
+
+    /**
+     * Rectangular grid with rows x cols qubits in row-major order and
+     * near-neighbor links (used for the Fig. 6 example and the 72-qubit
+     * scaling study).
+     */
+    static Topology grid(int rows, int cols, bool directed = false);
+
+  private:
+    int numQubits_;
+    std::vector<Coupling> edges_;
+    std::vector<std::vector<HwQubit>> adj_;
+    std::vector<std::vector<int>> edgeId_;
+};
+
+} // namespace triq
+
+#endif // TRIQ_DEVICE_TOPOLOGY_HH

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Abstract syntax tree of the ScaffLite language.
+ *
+ * ScaffLite programs are C-like modules:
+ *
+ *   module main {
+ *       qreg q[4];
+ *       x q[3];
+ *       for i in 0..3 { h q[i]; }
+ *       cnot q[0], q[3];
+ *       measure q[0];
+ *   }
+ *
+ * Like ScaffCC (Sec. 4.1), all classical control is resolved at compile
+ * time: loop bounds and angle expressions must fold to constants during
+ * lowering.
+ */
+
+#ifndef TRIQ_LANG_AST_HH
+#define TRIQ_LANG_AST_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace triq
+{
+
+/** Arithmetic expression node (constant-folded during lowering). */
+struct Expr
+{
+    enum class Kind
+    {
+        Number, //!< literal (value)
+        Var,    //!< loop variable or named constant (name)
+        Unary,  //!< -operand (lhs)
+        Binary, //!< lhs op rhs, op in {+,-,*,/}
+    };
+
+    Kind kind;
+    double value = 0.0;
+    std::string name;
+    char op = 0;
+    std::unique_ptr<Expr> lhs;
+    std::unique_ptr<Expr> rhs;
+};
+
+/** A qubit reference: register name + index expression. */
+struct QubitRef
+{
+    std::string reg;
+    std::unique_ptr<Expr> index;
+};
+
+/** Statement node. */
+struct Stmt
+{
+    enum class Kind
+    {
+        QregDecl, //!< qreg name[size];
+        GateCall, //!< name(params...) operands...;
+        Measure,  //!< measure operand;
+        For,      //!< for var in lo..hi { body }
+        Barrier,  //!< barrier;
+    };
+
+    Kind kind;
+
+    // QregDecl
+    std::string regName;
+    long regSize = 0;
+
+    // GateCall
+    std::string gateName;
+    std::vector<std::unique_ptr<Expr>> params;
+    std::vector<QubitRef> operands;
+
+    // For
+    std::string loopVar;
+    std::unique_ptr<Expr> loopLo;
+    std::unique_ptr<Expr> loopHi;
+    std::vector<std::unique_ptr<Stmt>> body;
+
+    int line = 0;
+};
+
+/** A parsed ScaffLite module. */
+struct Module
+{
+    std::string name;
+    std::vector<std::unique_ptr<Stmt>> body;
+};
+
+} // namespace triq
+
+#endif // TRIQ_LANG_AST_HH

@@ -1,0 +1,180 @@
+#include "lang/lexer.hh"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace triq
+{
+
+bool
+Token::is(const char *p) const
+{
+    return kind == TokKind::Punct && text == p;
+}
+
+bool
+Token::isIdent(const char *kw) const
+{
+    return kind == TokKind::Ident && text == kw;
+}
+
+std::vector<Token>
+tokenize(const std::string &source)
+{
+    std::vector<Token> out;
+    size_t i = 0;
+    int line = 1, col = 1;
+    auto advance = [&](size_t k) {
+        for (size_t j = 0; j < k && i < source.size(); ++j, ++i) {
+            if (source[i] == '\n') {
+                ++line;
+                col = 1;
+            } else {
+                ++col;
+            }
+        }
+    };
+
+    while (i < source.size()) {
+        char ch = source[i];
+        if (std::isspace(static_cast<unsigned char>(ch))) {
+            advance(1);
+            continue;
+        }
+        // Comments.
+        if (ch == '/' && i + 1 < source.size()) {
+            if (source[i + 1] == '/') {
+                while (i < source.size() && source[i] != '\n')
+                    advance(1);
+                continue;
+            }
+            if (source[i + 1] == '*') {
+                int start_line = line;
+                advance(2);
+                while (i + 1 < source.size() &&
+                       !(source[i] == '*' && source[i + 1] == '/'))
+                    advance(1);
+                if (i + 1 >= source.size())
+                    fatal("lexer: unterminated comment starting at line ",
+                          start_line);
+                advance(2);
+                continue;
+            }
+        }
+        Token tok;
+        tok.line = line;
+        tok.col = col;
+        if (std::isalpha(static_cast<unsigned char>(ch)) || ch == '_') {
+            size_t j = i;
+            while (j < source.size() &&
+                   (std::isalnum(static_cast<unsigned char>(source[j])) ||
+                    source[j] == '_'))
+                ++j;
+            tok.kind = TokKind::Ident;
+            tok.text = source.substr(i, j - i);
+            advance(j - i);
+            out.push_back(tok);
+            continue;
+        }
+        if (std::isdigit(static_cast<unsigned char>(ch)) ||
+            (ch == '.' && i + 1 < source.size() &&
+             std::isdigit(static_cast<unsigned char>(source[i + 1])))) {
+            size_t j = i;
+            bool is_float = false;
+            while (j < source.size() &&
+                   std::isdigit(static_cast<unsigned char>(source[j])))
+                ++j;
+            // ".." is a range operator, not a decimal point.
+            if (j < source.size() && source[j] == '.' &&
+                !(j + 1 < source.size() && source[j + 1] == '.')) {
+                is_float = true;
+                ++j;
+                while (j < source.size() &&
+                       std::isdigit(static_cast<unsigned char>(source[j])))
+                    ++j;
+            }
+            if (j < source.size() &&
+                (source[j] == 'e' || source[j] == 'E')) {
+                size_t k = j + 1;
+                if (k < source.size() &&
+                    (source[k] == '+' || source[k] == '-'))
+                    ++k;
+                if (k < source.size() &&
+                    std::isdigit(static_cast<unsigned char>(source[k]))) {
+                    is_float = true;
+                    j = k;
+                    while (j < source.size() &&
+                           std::isdigit(
+                               static_cast<unsigned char>(source[j])))
+                        ++j;
+                }
+            }
+            std::string text = source.substr(i, j - i);
+            if (is_float) {
+                tok.kind = TokKind::Float;
+                tok.floatValue = std::strtod(text.c_str(), nullptr);
+            } else {
+                tok.kind = TokKind::Int;
+                tok.intValue = std::strtol(text.c_str(), nullptr, 10);
+                tok.floatValue = static_cast<double>(tok.intValue);
+            }
+            tok.text = text;
+            advance(j - i);
+            out.push_back(tok);
+            continue;
+        }
+        // String literals (used by OpenQASM includes).
+        if (ch == '"') {
+            advance(1);
+            std::string text;
+            while (i < source.size() && source[i] != '"') {
+                if (source[i] == '\n')
+                    fatal("lexer: unterminated string at line ", tok.line);
+                text += source[i];
+                advance(1);
+            }
+            if (i >= source.size())
+                fatal("lexer: unterminated string at line ", tok.line);
+            advance(1);
+            tok.kind = TokKind::Str;
+            tok.text = std::move(text);
+            out.push_back(tok);
+            continue;
+        }
+        // Multi-character punctuation.
+        if (ch == '-' && i + 1 < source.size() && source[i + 1] == '>') {
+            tok.kind = TokKind::Punct;
+            tok.text = "->";
+            advance(2);
+            out.push_back(tok);
+            continue;
+        }
+        if (ch == '.' && i + 1 < source.size() && source[i + 1] == '.') {
+            tok.kind = TokKind::Punct;
+            tok.text = "..";
+            advance(2);
+            out.push_back(tok);
+            continue;
+        }
+        static const std::string singles = "(){}[];,=+-*/<>";
+        if (singles.find(ch) != std::string::npos) {
+            tok.kind = TokKind::Punct;
+            tok.text = std::string(1, ch);
+            advance(1);
+            out.push_back(tok);
+            continue;
+        }
+        fatal("lexer: unexpected character '", std::string(1, ch),
+              "' at line ", line, " col ", col);
+    }
+    Token end;
+    end.kind = TokKind::End;
+    end.line = line;
+    end.col = col;
+    out.push_back(end);
+    return out;
+}
+
+} // namespace triq

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Shared lexer for the ScaffLite frontend and the OpenQASM importer.
+ *
+ * ScaffLite is this repo's stand-in for the Scaffold/ScaffCC toolchain
+ * (Sec. 4.1): a small C-like quantum language. The lexer produces a
+ * vendor-neutral token stream: identifiers, integer/float literals,
+ * punctuation and a few multi-character operators ("->", "..").
+ */
+
+#ifndef TRIQ_LANG_LEXER_HH
+#define TRIQ_LANG_LEXER_HH
+
+#include <string>
+#include <vector>
+
+namespace triq
+{
+
+/** Token categories. */
+enum class TokKind
+{
+    Ident,  //!< identifier or keyword
+    Int,    //!< integer literal
+    Float,  //!< floating literal
+    Str,    //!< double-quoted string literal (text excludes quotes)
+    Punct,  //!< single or multi character punctuation
+    End,    //!< end of input
+};
+
+/** One lexed token with source position for diagnostics. */
+struct Token
+{
+    TokKind kind;
+    std::string text;
+    long intValue = 0;
+    double floatValue = 0.0;
+    int line = 0;
+    int col = 0;
+
+    /** True when this token is the punctuation `p`. */
+    bool is(const char *p) const;
+
+    /** True when this token is the identifier/keyword `kw`. */
+    bool isIdent(const char *kw) const;
+};
+
+/**
+ * Tokenize a source string.
+ *
+ * Comments: both C++-style ("// ...") and C-style slash-star blocks.
+ * @throws FatalError on malformed input (bad characters, unterminated
+ *         comments).
+ */
+std::vector<Token> tokenize(const std::string &source);
+
+} // namespace triq
+
+#endif // TRIQ_LANG_LEXER_HH

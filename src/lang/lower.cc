@@ -1,0 +1,251 @@
+#include "lang/lower.hh"
+
+#include <cmath>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "lang/parser.hh"
+
+namespace triq
+{
+
+namespace
+{
+
+/** Lowering context: register layout and loop-variable bindings. */
+class Lowerer
+{
+  public:
+    Circuit
+    run(const Module &module)
+    {
+        // First pass: collect register declarations (any nesting level
+        // is rejected; qreg must be at module scope).
+        int total = 0;
+        for (const auto &stmt : module.body) {
+            if (stmt->kind != Stmt::Kind::QregDecl)
+                continue;
+            if (regs_.count(stmt->regName))
+                fatal("line ", stmt->line, ": register '", stmt->regName,
+                      "' redeclared");
+            if (stmt->regSize < 1)
+                fatal("line ", stmt->line, ": register '", stmt->regName,
+                      "' must have positive size");
+            regs_[stmt->regName] = {total,
+                                    static_cast<int>(stmt->regSize)};
+            total += static_cast<int>(stmt->regSize);
+        }
+        if (total == 0)
+            fatal("module '", module.name, "' declares no qubits");
+        circuit_ = Circuit(total, module.name);
+        for (const auto &stmt : module.body)
+            lowerStmt(*stmt);
+        return std::move(circuit_);
+    }
+
+  private:
+    struct RegInfo
+    {
+        int offset;
+        int size;
+    };
+
+    Circuit circuit_{0};
+    std::map<std::string, RegInfo> regs_;
+    std::map<std::string, double> vars_;
+
+    double
+    eval(const Expr &e, int line) const
+    {
+        switch (e.kind) {
+          case Expr::Kind::Number:
+            return e.value;
+          case Expr::Kind::Var: {
+            if (e.name == "pi")
+                return kPi;
+            auto it = vars_.find(e.name);
+            if (it == vars_.end())
+                fatal("line ", line, ": unknown variable '", e.name, "'");
+            return it->second;
+          }
+          case Expr::Kind::Unary:
+            return -eval(*e.lhs, line);
+          case Expr::Kind::Binary: {
+            double a = eval(*e.lhs, line);
+            double b = eval(*e.rhs, line);
+            switch (e.op) {
+              case '+':
+                return a + b;
+              case '-':
+                return a - b;
+              case '*':
+                return a * b;
+              case '/':
+                if (b == 0.0)
+                    fatal("line ", line, ": division by zero");
+                return a / b;
+              default:
+                panic("lower: unknown operator");
+            }
+          }
+        }
+        panic("lower: unknown expression kind");
+    }
+
+    ProgQubit
+    resolve(const QubitRef &ref, int line) const
+    {
+        auto it = regs_.find(ref.reg);
+        if (it == regs_.end())
+            fatal("line ", line, ": unknown register '", ref.reg, "'");
+        double idxd = eval(*ref.index, line);
+        long idx = std::lround(idxd);
+        if (std::abs(idxd - static_cast<double>(idx)) > 1e-9)
+            fatal("line ", line, ": non-integer qubit index ", idxd);
+        if (idx < 0 || idx >= it->second.size)
+            fatal("line ", line, ": index ", idx, " out of range for ",
+                  ref.reg, "[", it->second.size, "]");
+        return it->second.offset + static_cast<int>(idx);
+    }
+
+    void
+    lowerStmt(const Stmt &stmt)
+    {
+        switch (stmt.kind) {
+          case Stmt::Kind::QregDecl:
+            return; // Handled in the first pass.
+          case Stmt::Kind::Barrier:
+            circuit_.add(Gate::barrier());
+            return;
+          case Stmt::Kind::Measure:
+            circuit_.add(
+                Gate::measure(resolve(stmt.operands[0], stmt.line)));
+            return;
+          case Stmt::Kind::For: {
+            long lo = std::lround(eval(*stmt.loopLo, stmt.line));
+            long hi = std::lround(eval(*stmt.loopHi, stmt.line));
+            if (vars_.count(stmt.loopVar))
+                fatal("line ", stmt.line, ": loop variable '",
+                      stmt.loopVar, "' shadows an enclosing loop");
+            for (long v = lo; v <= hi; ++v) {
+                vars_[stmt.loopVar] = static_cast<double>(v);
+                for (const auto &inner : stmt.body)
+                    lowerStmt(*inner);
+            }
+            vars_.erase(stmt.loopVar);
+            return;
+          }
+          case Stmt::Kind::GateCall:
+            lowerGate(stmt);
+            return;
+        }
+        panic("lower: unknown statement kind");
+    }
+
+    void
+    lowerGate(const Stmt &stmt)
+    {
+        std::vector<ProgQubit> qs;
+        qs.reserve(stmt.operands.size());
+        for (const auto &ref : stmt.operands)
+            qs.push_back(resolve(ref, stmt.line));
+        std::vector<double> ps;
+        ps.reserve(stmt.params.size());
+        for (const auto &p : stmt.params)
+            ps.push_back(eval(*p, stmt.line));
+
+        auto need = [&](size_t nq, size_t np) {
+            if (qs.size() != nq || ps.size() != np)
+                fatal("line ", stmt.line, ": gate '", stmt.gateName,
+                      "' expects ", nq, " qubits and ", np,
+                      " parameters; got ", qs.size(), " and ", ps.size());
+        };
+        const std::string &n = stmt.gateName;
+        if (n == "x") {
+            need(1, 0);
+            circuit_.add(Gate::x(qs[0]));
+        } else if (n == "y") {
+            need(1, 0);
+            circuit_.add(Gate::y(qs[0]));
+        } else if (n == "z") {
+            need(1, 0);
+            circuit_.add(Gate::z(qs[0]));
+        } else if (n == "h") {
+            need(1, 0);
+            circuit_.add(Gate::h(qs[0]));
+        } else if (n == "s") {
+            need(1, 0);
+            circuit_.add(Gate::s(qs[0]));
+        } else if (n == "sdg") {
+            need(1, 0);
+            circuit_.add(Gate::sdg(qs[0]));
+        } else if (n == "t") {
+            need(1, 0);
+            circuit_.add(Gate::t(qs[0]));
+        } else if (n == "tdg") {
+            need(1, 0);
+            circuit_.add(Gate::tdg(qs[0]));
+        } else if (n == "rx") {
+            need(1, 1);
+            circuit_.add(Gate::rx(qs[0], ps[0]));
+        } else if (n == "ry") {
+            need(1, 1);
+            circuit_.add(Gate::ry(qs[0], ps[0]));
+        } else if (n == "rz") {
+            need(1, 1);
+            circuit_.add(Gate::rz(qs[0], ps[0]));
+        } else if (n == "cnot" || n == "cx") {
+            need(2, 0);
+            circuit_.add(Gate::cnot(qs[0], qs[1]));
+        } else if (n == "cz") {
+            need(2, 0);
+            circuit_.add(Gate::cz(qs[0], qs[1]));
+        } else if (n == "cphase" || n == "cu1") {
+            need(2, 1);
+            circuit_.add(Gate::cphase(qs[0], qs[1], ps[0]));
+        } else if (n == "swap") {
+            need(2, 0);
+            circuit_.add(Gate::swap(qs[0], qs[1]));
+        } else if (n == "toffoli" || n == "ccx") {
+            need(3, 0);
+            circuit_.add(Gate::ccx(qs[0], qs[1], qs[2]));
+        } else if (n == "fredkin" || n == "cswap") {
+            need(3, 0);
+            circuit_.add(Gate::cswap(qs[0], qs[1], qs[2]));
+        } else if (n == "ccz") {
+            need(3, 0);
+            circuit_.add(Gate::ccz(qs[0], qs[1], qs[2]));
+        } else {
+            fatal("line ", stmt.line, ": unknown gate '", n, "'");
+        }
+    }
+};
+
+} // namespace
+
+Circuit
+lowerToCircuit(const Module &module)
+{
+    return Lowerer().run(module);
+}
+
+Circuit
+compileScaffLite(const std::string &source)
+{
+    return lowerToCircuit(parseScaffLite(source));
+}
+
+Circuit
+compileScaffLiteFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open ScaffLite file '", path, "'");
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return compileScaffLite(ss.str());
+}
+
+} // namespace triq

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Lowering from the ScaffLite AST to the gate IR: loops unrolled,
+ * angle expressions constant-folded, registers laid out contiguously
+ * in declaration order. This mirrors ScaffCC's role in the paper's
+ * toolflow (Fig. 4): the compiler proper only ever sees a flat gate
+ * list with resolved classical control.
+ */
+
+#ifndef TRIQ_LANG_LOWER_HH
+#define TRIQ_LANG_LOWER_HH
+
+#include "core/circuit.hh"
+#include "lang/ast.hh"
+
+namespace triq
+{
+
+/**
+ * Lower a parsed module to a circuit.
+ * @throws FatalError on semantic errors (unknown gates or registers,
+ *         out-of-range indices, non-constant loop bounds).
+ */
+Circuit lowerToCircuit(const Module &module);
+
+/** Convenience: parse + lower a ScaffLite source string. */
+Circuit compileScaffLite(const std::string &source);
+
+/** Convenience: parse + lower a ScaffLite file from disk. */
+Circuit compileScaffLiteFile(const std::string &path);
+
+} // namespace triq
+
+#endif // TRIQ_LANG_LOWER_HH

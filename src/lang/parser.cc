@@ -1,0 +1,240 @@
+#include "lang/parser.hh"
+
+#include "common/logging.hh"
+#include "lang/lexer.hh"
+
+namespace triq
+{
+
+namespace
+{
+
+/** Token-stream cursor with error helpers. */
+class Parser
+{
+  public:
+    explicit Parser(std::vector<Token> toks) : toks_(std::move(toks))
+    {
+    }
+
+    Module
+    parseModule()
+    {
+        Module m;
+        expectIdent("module");
+        m.name = expectAnyIdent("module name");
+        expectPunct("{");
+        while (!peek().is("}"))
+            m.body.push_back(parseStmt());
+        expectPunct("}");
+        if (peek().kind != TokKind::End)
+            err(peek(), "trailing input after module");
+        return m;
+    }
+
+  private:
+    std::vector<Token> toks_;
+    size_t pos_ = 0;
+
+    const Token &peek(size_t ahead = 0) const
+    {
+        size_t i = std::min(pos_ + ahead, toks_.size() - 1);
+        return toks_[i];
+    }
+
+    const Token &
+    next()
+    {
+        const Token &t = toks_[std::min(pos_, toks_.size() - 1)];
+        if (pos_ + 1 < toks_.size())
+            ++pos_;
+        return t;
+    }
+
+    [[noreturn]] void
+    err(const Token &t, const std::string &what) const
+    {
+        fatal("parse error at line ", t.line, " col ", t.col, ": ", what,
+              t.kind == TokKind::End ? " (at end of input)"
+                                     : (" (got '" + t.text + "')"));
+    }
+
+    void
+    expectPunct(const char *p)
+    {
+        if (!peek().is(p))
+            err(peek(), std::string("expected '") + p + "'");
+        next();
+    }
+
+    void
+    expectIdent(const char *kw)
+    {
+        if (!peek().isIdent(kw))
+            err(peek(), std::string("expected '") + kw + "'");
+        next();
+    }
+
+    std::string
+    expectAnyIdent(const char *what)
+    {
+        if (peek().kind != TokKind::Ident)
+            err(peek(), std::string("expected ") + what);
+        return next().text;
+    }
+
+    std::unique_ptr<Stmt>
+    parseStmt()
+    {
+        auto stmt = std::make_unique<Stmt>();
+        stmt->line = peek().line;
+        if (peek().isIdent("qreg")) {
+            next();
+            stmt->kind = Stmt::Kind::QregDecl;
+            stmt->regName = expectAnyIdent("register name");
+            expectPunct("[");
+            if (peek().kind != TokKind::Int)
+                err(peek(), "expected register size");
+            stmt->regSize = next().intValue;
+            expectPunct("]");
+            expectPunct(";");
+            return stmt;
+        }
+        if (peek().isIdent("for")) {
+            next();
+            stmt->kind = Stmt::Kind::For;
+            stmt->loopVar = expectAnyIdent("loop variable");
+            expectIdent("in");
+            stmt->loopLo = parseExpr();
+            expectPunct("..");
+            stmt->loopHi = parseExpr();
+            expectPunct("{");
+            while (!peek().is("}"))
+                stmt->body.push_back(parseStmt());
+            expectPunct("}");
+            return stmt;
+        }
+        if (peek().isIdent("measure")) {
+            next();
+            stmt->kind = Stmt::Kind::Measure;
+            stmt->operands.push_back(parseQubitRef());
+            expectPunct(";");
+            return stmt;
+        }
+        if (peek().isIdent("barrier")) {
+            next();
+            stmt->kind = Stmt::Kind::Barrier;
+            expectPunct(";");
+            return stmt;
+        }
+        // Gate call: name (params)? operand (, operand)* ;
+        stmt->kind = Stmt::Kind::GateCall;
+        stmt->gateName = expectAnyIdent("gate name");
+        if (peek().is("(")) {
+            next();
+            if (!peek().is(")")) {
+                stmt->params.push_back(parseExpr());
+                while (peek().is(",")) {
+                    next();
+                    stmt->params.push_back(parseExpr());
+                }
+            }
+            expectPunct(")");
+        }
+        stmt->operands.push_back(parseQubitRef());
+        while (peek().is(",")) {
+            next();
+            stmt->operands.push_back(parseQubitRef());
+        }
+        expectPunct(";");
+        return stmt;
+    }
+
+    QubitRef
+    parseQubitRef()
+    {
+        QubitRef ref;
+        ref.reg = expectAnyIdent("register name");
+        expectPunct("[");
+        ref.index = parseExpr();
+        expectPunct("]");
+        return ref;
+    }
+
+    // expr := term (('+' | '-') term)*
+    // term := factor (('*' | '/') factor)*
+    // factor := number | ident | '-' factor | '(' expr ')'
+    std::unique_ptr<Expr>
+    parseExpr()
+    {
+        auto lhs = parseTerm();
+        while (peek().is("+") || peek().is("-")) {
+            char op = next().text[0];
+            auto node = std::make_unique<Expr>();
+            node->kind = Expr::Kind::Binary;
+            node->op = op;
+            node->lhs = std::move(lhs);
+            node->rhs = parseTerm();
+            lhs = std::move(node);
+        }
+        return lhs;
+    }
+
+    std::unique_ptr<Expr>
+    parseTerm()
+    {
+        auto lhs = parseFactor();
+        while (peek().is("*") || peek().is("/")) {
+            char op = next().text[0];
+            auto node = std::make_unique<Expr>();
+            node->kind = Expr::Kind::Binary;
+            node->op = op;
+            node->lhs = std::move(lhs);
+            node->rhs = parseFactor();
+            lhs = std::move(node);
+        }
+        return lhs;
+    }
+
+    std::unique_ptr<Expr>
+    parseFactor()
+    {
+        auto node = std::make_unique<Expr>();
+        if (peek().is("-")) {
+            next();
+            node->kind = Expr::Kind::Unary;
+            node->lhs = parseFactor();
+            return node;
+        }
+        if (peek().is("(")) {
+            next();
+            node = parseExpr();
+            expectPunct(")");
+            return node;
+        }
+        const Token &t = peek();
+        if (t.kind == TokKind::Int || t.kind == TokKind::Float) {
+            node->kind = Expr::Kind::Number;
+            node->value = t.floatValue;
+            next();
+            return node;
+        }
+        if (t.kind == TokKind::Ident) {
+            node->kind = Expr::Kind::Var;
+            node->name = t.text;
+            next();
+            return node;
+        }
+        err(t, "expected expression");
+    }
+};
+
+} // namespace
+
+Module
+parseScaffLite(const std::string &source)
+{
+    return Parser(tokenize(source)).parseModule();
+}
+
+} // namespace triq

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Recursive-descent parser for ScaffLite (see ast.hh for the grammar by
+ * example). Produces a Module; lowering to the gate IR happens in
+ * lang/lower.hh.
+ */
+
+#ifndef TRIQ_LANG_PARSER_HH
+#define TRIQ_LANG_PARSER_HH
+
+#include <string>
+
+#include "lang/ast.hh"
+
+namespace triq
+{
+
+/**
+ * Parse a ScaffLite source string into a Module.
+ * @throws FatalError with line/column context on syntax errors.
+ */
+Module parseScaffLite(const std::string &source);
+
+} // namespace triq
+
+#endif // TRIQ_LANG_PARSER_HH

@@ -1,0 +1,366 @@
+#include "lang/qasm_parser.hh"
+
+#include <cmath>
+#include <map>
+#include <memory>
+
+#include "common/logging.hh"
+#include "lang/lexer.hh"
+
+namespace triq
+{
+
+namespace
+{
+
+/** OpenQASM 2.0 parser over the shared token stream. */
+class QasmParser
+{
+  public:
+    explicit QasmParser(std::vector<Token> toks) : toks_(std::move(toks))
+    {
+    }
+
+    Circuit
+    parse()
+    {
+        expectIdent("OPENQASM");
+        // Version: lexed as a float (2.0).
+        if (peek().kind != TokKind::Float && peek().kind != TokKind::Int)
+            err(peek(), "expected version number");
+        next();
+        expectPunct(";");
+
+        // Optional includes: include "qelib1.inc";
+        while (peek().isIdent("include")) {
+            next();
+            if (peek().kind != TokKind::Str)
+                err(peek(), "expected include file name");
+            next();
+            expectPunct(";");
+        }
+
+        // Declarations and statements in order; qregs must all appear
+        // before the first gate so the register layout is final.
+        while (peek().kind != TokKind::End)
+            parseStatement();
+        if (total_ == 0)
+            fatal("OpenQASM: no qreg declared");
+        return std::move(*circuit_);
+    }
+
+  private:
+    std::vector<Token> toks_;
+    size_t pos_ = 0;
+    struct RegInfo
+    {
+        int offset;
+        int size;
+    };
+    std::map<std::string, RegInfo> qregs_;
+    std::map<std::string, int> cregs_;
+    int total_ = 0;
+    std::unique_ptr<Circuit> circuit_;
+    std::vector<Gate> pending_;
+
+    const Token &peek() const { return toks_[pos_]; }
+
+    const Token &
+    next()
+    {
+        const Token &t = toks_[pos_];
+        if (pos_ + 1 < toks_.size())
+            ++pos_;
+        return t;
+    }
+
+    [[noreturn]] void
+    err(const Token &t, const std::string &what) const
+    {
+        fatal("OpenQASM parse error at line ", t.line, ": ", what,
+              " (got '", t.text, "')");
+    }
+
+    void
+    expectPunct(const char *p)
+    {
+        if (!peek().is(p))
+            err(peek(), std::string("expected '") + p + "'");
+        next();
+    }
+
+    void
+    expectIdent(const char *kw)
+    {
+        if (!peek().isIdent(kw))
+            err(peek(), std::string("expected '") + kw + "'");
+        next();
+    }
+
+    /** Buffer or emit a gate depending on whether qregs are final. */
+    void
+    emit(const Gate &g)
+    {
+        ensureCircuit();
+        circuit_->add(g);
+    }
+
+    void
+    ensureCircuit()
+    {
+        if (!circuit_)
+            circuit_ = std::make_unique<Circuit>(total_, "qasm");
+    }
+
+    void
+    declareQreg(const std::string &name, int size, int line)
+    {
+        if (circuit_)
+            fatal("OpenQASM line ", line,
+                  ": qreg declared after first gate (unsupported)");
+        if (qregs_.count(name))
+            fatal("OpenQASM line ", line, ": qreg '", name,
+                  "' redeclared");
+        qregs_[name] = {total_, size};
+        total_ += size;
+    }
+
+    ProgQubit
+    parseQubitOperand(int line)
+    {
+        std::string reg = parseIdent("qubit register");
+        expectPunct("[");
+        if (peek().kind != TokKind::Int)
+            err(peek(), "expected qubit index");
+        long idx = next().intValue;
+        expectPunct("]");
+        auto it = qregs_.find(reg);
+        if (it == qregs_.end())
+            fatal("OpenQASM line ", line, ": unknown qreg '", reg, "'");
+        if (idx < 0 || idx >= it->second.size)
+            fatal("OpenQASM line ", line, ": index ", idx,
+                  " out of range for ", reg);
+        return it->second.offset + static_cast<int>(idx);
+    }
+
+    std::string
+    parseIdent(const char *what)
+    {
+        if (peek().kind != TokKind::Ident)
+            err(peek(), std::string("expected ") + what);
+        return next().text;
+    }
+
+    /** Parse an angle expression: literal, pi, products/quotients. */
+    double
+    parseAngle()
+    {
+        double v = parseAngleTerm();
+        while (peek().is("+") || peek().is("-")) {
+            char op = next().text[0];
+            double rhs = parseAngleTerm();
+            v = op == '+' ? v + rhs : v - rhs;
+        }
+        return v;
+    }
+
+    double
+    parseAngleTerm()
+    {
+        double v = parseAngleFactor();
+        while (peek().is("*") || peek().is("/")) {
+            char op = next().text[0];
+            double rhs = parseAngleFactor();
+            if (op == '/' && rhs == 0.0)
+                err(peek(), "division by zero in angle");
+            v = op == '*' ? v * rhs : v / rhs;
+        }
+        return v;
+    }
+
+    double
+    parseAngleFactor()
+    {
+        if (peek().is("-")) {
+            next();
+            return -parseAngleFactor();
+        }
+        if (peek().is("(")) {
+            next();
+            double v = parseAngle();
+            expectPunct(")");
+            return v;
+        }
+        const Token &t = peek();
+        if (t.kind == TokKind::Int || t.kind == TokKind::Float) {
+            next();
+            return t.floatValue;
+        }
+        if (t.isIdent("pi")) {
+            next();
+            return kPi;
+        }
+        err(t, "expected angle");
+    }
+
+    void
+    parseStatement()
+    {
+        const Token &t = peek();
+        int line = t.line;
+        if (t.isIdent("qreg")) {
+            next();
+            std::string name = parseIdent("qreg name");
+            expectPunct("[");
+            if (peek().kind != TokKind::Int)
+                err(peek(), "expected qreg size");
+            int size = static_cast<int>(next().intValue);
+            expectPunct("]");
+            expectPunct(";");
+            declareQreg(name, size, line);
+            return;
+        }
+        if (t.isIdent("creg")) {
+            next();
+            std::string name = parseIdent("creg name");
+            expectPunct("[");
+            if (peek().kind != TokKind::Int)
+                err(peek(), "expected creg size");
+            cregs_[name] = static_cast<int>(next().intValue);
+            expectPunct("]");
+            expectPunct(";");
+            return;
+        }
+        if (t.isIdent("barrier")) {
+            next();
+            // Accept "barrier q;" or "barrier q[0],q[1];" — both fence.
+            while (!peek().is(";") && peek().kind != TokKind::End)
+                next();
+            expectPunct(";");
+            ensureCircuit();
+            circuit_->add(Gate::barrier());
+            return;
+        }
+        if (t.isIdent("measure")) {
+            next();
+            ProgQubit q = parseQubitOperand(line);
+            expectPunct("->");
+            parseIdent("creg name");
+            expectPunct("[");
+            if (peek().kind != TokKind::Int)
+                err(peek(), "expected creg index");
+            next();
+            expectPunct("]");
+            expectPunct(";");
+            emit(Gate::measure(q));
+            return;
+        }
+        // Gate application.
+        std::string name = parseIdent("gate name");
+        std::vector<double> params;
+        if (peek().is("(")) {
+            next();
+            if (!peek().is(")")) {
+                params.push_back(parseAngle());
+                while (peek().is(",")) {
+                    next();
+                    params.push_back(parseAngle());
+                }
+            }
+            expectPunct(")");
+        }
+        std::vector<ProgQubit> qs;
+        qs.push_back(parseQubitOperand(line));
+        while (peek().is(",")) {
+            next();
+            qs.push_back(parseQubitOperand(line));
+        }
+        expectPunct(";");
+        emitGate(name, params, qs, line);
+    }
+
+    void
+    emitGate(const std::string &name, const std::vector<double> &p,
+             const std::vector<ProgQubit> &q, int line)
+    {
+        auto need = [&](size_t nq, size_t np) {
+            if (q.size() != nq || p.size() != np)
+                fatal("OpenQASM line ", line, ": gate '", name,
+                      "' expects ", nq, " qubits / ", np, " params");
+        };
+        if (name == "u1") {
+            need(1, 1);
+            emit(Gate::u1(q[0], p[0]));
+        } else if (name == "u2") {
+            need(1, 2);
+            emit(Gate::u2(q[0], p[0], p[1]));
+        } else if (name == "u3" || name == "U") {
+            need(1, 3);
+            emit(Gate::u3(q[0], p[0], p[1], p[2]));
+        } else if (name == "rx") {
+            need(1, 1);
+            emit(Gate::rx(q[0], p[0]));
+        } else if (name == "ry") {
+            need(1, 1);
+            emit(Gate::ry(q[0], p[0]));
+        } else if (name == "rz") {
+            need(1, 1);
+            emit(Gate::rz(q[0], p[0]));
+        } else if (name == "x") {
+            need(1, 0);
+            emit(Gate::x(q[0]));
+        } else if (name == "y") {
+            need(1, 0);
+            emit(Gate::y(q[0]));
+        } else if (name == "z") {
+            need(1, 0);
+            emit(Gate::z(q[0]));
+        } else if (name == "h") {
+            need(1, 0);
+            emit(Gate::h(q[0]));
+        } else if (name == "s") {
+            need(1, 0);
+            emit(Gate::s(q[0]));
+        } else if (name == "sdg") {
+            need(1, 0);
+            emit(Gate::sdg(q[0]));
+        } else if (name == "t") {
+            need(1, 0);
+            emit(Gate::t(q[0]));
+        } else if (name == "tdg") {
+            need(1, 0);
+            emit(Gate::tdg(q[0]));
+        } else if (name == "id") {
+            need(1, 0);
+            emit(Gate::i(q[0]));
+        } else if (name == "cx" || name == "CX") {
+            need(2, 0);
+            emit(Gate::cnot(q[0], q[1]));
+        } else if (name == "cz") {
+            need(2, 0);
+            emit(Gate::cz(q[0], q[1]));
+        } else if (name == "cp" || name == "cu1") {
+            need(2, 1);
+            emit(Gate::cphase(q[0], q[1], p[0]));
+        } else if (name == "swap") {
+            need(2, 0);
+            emit(Gate::swap(q[0], q[1]));
+        } else if (name == "ccx") {
+            need(3, 0);
+            emit(Gate::ccx(q[0], q[1], q[2]));
+        } else {
+            fatal("OpenQASM line ", line, ": unsupported gate '", name,
+                  "'");
+        }
+    }
+};
+
+} // namespace
+
+Circuit
+parseOpenQasm(const std::string &source)
+{
+    return QasmParser(tokenize(source)).parse();
+}
+
+} // namespace triq

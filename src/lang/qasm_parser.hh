@@ -1,0 +1,30 @@
+/**
+ * @file
+ * OpenQASM 2.0 importer covering the subset TriQ's IBM backend emits
+ * (plus the common qelib1 1Q/2Q gates), enabling round-trip tests and
+ * interchange with other toolchains.
+ */
+
+#ifndef TRIQ_LANG_QASM_PARSER_HH
+#define TRIQ_LANG_QASM_PARSER_HH
+
+#include <string>
+
+#include "core/circuit.hh"
+
+namespace triq
+{
+
+/**
+ * Parse OpenQASM 2.0 source into a circuit. Supports: one or more qreg
+ * declarations (laid out contiguously), creg (sizes checked, bits
+ * otherwise ignored), the gates u1/u2/u3/rx/ry/rz/x/y/z/h/s/sdg/t/tdg/
+ * cx/cz/cp/cu1/swap/ccx, barrier (whole register or per-qubit) and
+ * measure.
+ * @throws FatalError on unsupported constructs.
+ */
+Circuit parseOpenQasm(const std::string &source);
+
+} // namespace triq
+
+#endif // TRIQ_LANG_QASM_PARSER_HH

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * ScaffLite exporter: serialize a program-level circuit back into the
+ * frontend language. Closes the loop for program interchange — every
+ * built-in benchmark ships as a .scaff file generated through this
+ * writer, and the round trip (write -> parse -> lower) is tested to be
+ * unitary-exact.
+ */
+
+#ifndef TRIQ_LANG_SCAFF_WRITER_HH
+#define TRIQ_LANG_SCAFF_WRITER_HH
+
+#include <string>
+
+#include "core/circuit.hh"
+
+namespace triq
+{
+
+/**
+ * Serialize a circuit as a ScaffLite module.
+ *
+ * Supported kinds: everything the frontend can parse (fixed 1Q gates,
+ * Rx/Ry/Rz rotations, CNOT/CZ/CPhase/SWAP, Toffoli/Fredkin/CCZ,
+ * Measure, Barrier). Device-level kinds (U1/U2/U3/Rxy/XX) are rejected:
+ * export the program, not the compiled artifact.
+ *
+ * @param c Program circuit.
+ * @param module_name Module identifier; defaults to the circuit name
+ *        (sanitized), or "main".
+ */
+std::string toScaffLite(const Circuit &c, std::string module_name = "");
+
+} // namespace triq
+
+#endif // TRIQ_LANG_SCAFF_WRITER_HH

@@ -1,0 +1,31 @@
+#include "sim/compact.hh"
+
+#include "common/logging.hh"
+
+namespace triq
+{
+
+CompactCircuit
+compactCircuit(const Circuit &hw)
+{
+    std::vector<ProgQubit> active = hw.activeQubits();
+    if (active.empty())
+        fatal("compactCircuit: circuit touches no qubits");
+    CompactCircuit out;
+    out.compactToHw.assign(active.begin(), active.end());
+    out.hwToCompact.assign(static_cast<size_t>(hw.numQubits()), -1);
+    for (size_t i = 0; i < active.size(); ++i)
+        out.hwToCompact[static_cast<size_t>(active[i])] =
+            static_cast<int>(i);
+    out.circuit = Circuit(static_cast<int>(active.size()), hw.name());
+    for (const auto &g : hw.gates()) {
+        Gate cg = g;
+        for (int k = 0; k < g.arity(); ++k)
+            cg.qubits[static_cast<size_t>(k)] =
+                out.hwToCompact[static_cast<size_t>(g.qubit(k))];
+        out.circuit.add(cg);
+    }
+    return out;
+}
+
+} // namespace triq

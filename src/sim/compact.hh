@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Active-qubit compaction: executing a 16-qubit device circuit that
+ * only touches 6 qubits should simulate 6 qubits. Shared by the
+ * trajectory executor and the density-matrix reference.
+ */
+
+#ifndef TRIQ_SIM_COMPACT_HH
+#define TRIQ_SIM_COMPACT_HH
+
+#include <vector>
+
+#include "core/circuit.hh"
+
+namespace triq
+{
+
+/** A circuit relabeled onto its active qubits. */
+struct CompactCircuit
+{
+    Circuit circuit;
+
+    /** hwToCompact[h] = compact index of hardware qubit h, or -1. */
+    std::vector<int> hwToCompact;
+
+    /** compactToHw[i] = hardware qubit behind compact index i. */
+    std::vector<int> compactToHw;
+};
+
+/**
+ * Relabel `hw` onto its active qubits (ascending hardware order).
+ * @throws FatalError when the circuit touches no qubits.
+ */
+CompactCircuit compactCircuit(const Circuit &hw);
+
+} // namespace triq
+
+#endif // TRIQ_SIM_COMPACT_HH

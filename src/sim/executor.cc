@@ -1,0 +1,213 @@
+#include "sim/executor.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "core/esp.hh"
+#include "sim/compact.hh"
+#include "sim/noise.hh"
+#include "sim/statevector.hh"
+
+namespace triq
+{
+
+namespace
+{
+
+/** Map a sampled basis index to the measured-qubit key. */
+uint64_t
+outcomeKey(uint64_t basis, const std::vector<ProgQubit> &measured)
+{
+    uint64_t key = 0;
+    for (size_t k = 0; k < measured.size(); ++k)
+        key |= ((basis >> measured[k]) & 1) << k;
+    return key;
+}
+
+} // namespace
+
+ExecutionResult
+executeNoisy(const Circuit &hw, const Device &dev, const Calibration &calib,
+             int trials, uint64_t seed)
+{
+    if (trials < 1)
+        fatal("executeNoisy: need at least one trial");
+    if (hw.numQubits() != dev.numQubits())
+        fatal("executeNoisy: circuit width ", hw.numQubits(),
+              " does not match device ", dev.name());
+
+    // Error sites are enumerated on the full-width circuit (edge lookup
+    // needs hardware indices), then relabeled onto the compact register.
+    std::vector<ErrorSite> sites =
+        collectErrorSites(hw, dev.topology(), calib);
+    CompactCircuit cc = compactCircuit(hw);
+    for (auto &s : sites) {
+        s.q0 = cc.hwToCompact[static_cast<size_t>(s.q0)];
+        if (s.q1 != -1)
+            s.q1 = cc.hwToCompact[static_cast<size_t>(s.q1)];
+    }
+
+    std::vector<ProgQubit> measured = cc.circuit.measuredQubits();
+    if (measured.empty())
+        fatal("executeNoisy: circuit measures no qubits");
+    std::vector<double> ro_err(measured.size());
+    for (size_t k = 0; k < measured.size(); ++k) {
+        HwQubit hq = cc.compactToHw[static_cast<size_t>(measured[k])];
+        ro_err[k] = calib.errRO[static_cast<size_t>(hq)];
+    }
+
+    // Ideal reference state and the benchmark's correct answer: the
+    // dominant outcome of the *measured-qubit marginal* (unmeasured
+    // ancillas may legitimately end in superposition).
+    StateVector ideal(cc.circuit.numQubits());
+    ideal.applyCircuit(cc.circuit);
+    std::vector<double> marginal(uint64_t{1} << measured.size(), 0.0);
+    for (uint64_t b = 0; b < ideal.dim(); ++b) {
+        double p = ideal.probability(b);
+        if (p > 0.0)
+            marginal[outcomeKey(b, measured)] += p;
+    }
+    uint64_t ideal_key = 0;
+    double ideal_prob = -1.0;
+    for (uint64_t k = 0; k < marginal.size(); ++k)
+        if (marginal[k] > ideal_prob) {
+            ideal_prob = marginal[k];
+            ideal_key = k;
+        }
+    ExecutionResult res;
+    res.correctOutcome = ideal_key;
+    res.trials = trials;
+    res.esp = estimatedSuccessProbability(hw, dev.topology(), calib);
+    res.noErrorProb = noErrorProbability(sites);
+    if (ideal_prob < 0.99)
+        warn("executeNoisy: ", hw.name(),
+             " has a non-deterministic ideal output (p=", ideal_prob,
+             "); success is counted against the dominant outcome");
+
+    // Sites grouped by the gate they follow, for trajectory replay.
+    std::vector<std::vector<int>> sites_after(
+        static_cast<size_t>(cc.circuit.numGates()));
+    for (size_t i = 0; i < sites.size(); ++i)
+        sites_after[static_cast<size_t>(sites[i].gateIdx)].push_back(
+            static_cast<int>(i));
+
+    Rng rng(seed ^ 0xABCDEF1234567890ull);
+    StateVector traj(cc.circuit.numQubits());
+    std::vector<bool> fired(sites.size(), false);
+    int successes = 0;
+    std::map<uint64_t, int> &histogram = res.histogram;
+
+    auto inject = [&](const ErrorSite &s) {
+        auto pauli1 = [&](int q, int which) {
+            switch (which) {
+              case 0:
+                traj.applyX(q);
+                break;
+              case 1:
+                traj.applyY(q);
+                break;
+              default:
+                traj.applyZ(q);
+                break;
+            }
+        };
+        if (s.idle) {
+            traj.applyZ(s.q0);
+            return;
+        }
+        if (s.q1 == -1) {
+            pauli1(s.q0, rng.uniformInt(3));
+            return;
+        }
+        // Uniform non-identity 2Q Pauli: index 1..15 in base 4.
+        int code = 1 + rng.uniformInt(15);
+        int p0 = code & 3, p1 = (code >> 2) & 3;
+        if (p0 != 0)
+            pauli1(s.q0, p0 - 1);
+        if (p1 != 0)
+            pauli1(s.q1, p1 - 1);
+    };
+
+    for (int t = 0; t < trials; ++t) {
+        bool any = false;
+        for (size_t i = 0; i < sites.size(); ++i) {
+            fired[i] = rng.bernoulli(sites[i].prob);
+            any = any || fired[i];
+        }
+        uint64_t basis;
+        if (!any) {
+            // Fault-free trajectory: sample from the cached ideal state.
+            basis = ideal.sampleMeasurement(rng);
+        } else {
+            ++res.simulatedTrajectories;
+            traj.reset();
+            for (int gi = 0; gi < cc.circuit.numGates(); ++gi) {
+                const Gate &g = cc.circuit.gate(gi);
+                if (g.kind != GateKind::Measure)
+                    traj.applyGate(g);
+                for (int si : sites_after[static_cast<size_t>(gi)])
+                    if (fired[static_cast<size_t>(si)])
+                        inject(sites[static_cast<size_t>(si)]);
+            }
+            basis = traj.sampleMeasurement(rng);
+        }
+        uint64_t key = outcomeKey(basis, measured);
+        // Classical readout errors flip measured bits independently.
+        for (size_t k = 0; k < measured.size(); ++k)
+            if (rng.bernoulli(ro_err[k]))
+                key ^= uint64_t{1} << k;
+        if (key == res.correctOutcome)
+            ++successes;
+        ++histogram[key];
+    }
+    res.successRate = static_cast<double>(successes) / trials;
+    int modal_count = 0;
+    for (const auto &[key, count] : histogram)
+        if (count > modal_count)
+            modal_count = count;
+    res.correctIsModal = successes == modal_count;
+    return res;
+}
+
+uint64_t
+outcomeForProgram(uint64_t key, const Circuit &hw,
+                  const std::vector<HwQubit> &final_map,
+                  const std::vector<ProgQubit> &prog_measured)
+{
+    std::vector<ProgQubit> hw_measured = hw.measuredQubits();
+    uint64_t out = 0;
+    for (size_t k = 0; k < prog_measured.size(); ++k) {
+        ProgQubit p = prog_measured[k];
+        if (p < 0 || p >= static_cast<int>(final_map.size()))
+            fatal("outcomeForProgram: program qubit ", p,
+                  " has no final-map entry");
+        HwQubit h = final_map[static_cast<size_t>(p)];
+        auto it = std::find(hw_measured.begin(), hw_measured.end(), h);
+        if (it == hw_measured.end())
+            fatal("outcomeForProgram: hardware qubit ", h,
+                  " (program qubit ", p, ") is not measured");
+        size_t pos = static_cast<size_t>(it - hw_measured.begin());
+        out |= ((key >> pos) & 1) << k;
+    }
+    return out;
+}
+
+int
+defaultTrials(int fallback)
+{
+    const char *env = std::getenv("TRIQ_TRIALS");
+    if (!env)
+        return fallback;
+    int v = std::atoi(env);
+    if (v < 1) {
+        warn("TRIQ_TRIALS='", env, "' is not a positive integer; using ",
+             fallback);
+        return fallback;
+    }
+    return v;
+}
+
+} // namespace triq

@@ -1,0 +1,93 @@
+#include "sim/mitigation.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace triq
+{
+
+std::vector<double>
+measuredReadoutErrors(const Circuit &hw, const Calibration &calib)
+{
+    std::vector<ProgQubit> measured = hw.measuredQubits();
+    std::vector<double> out;
+    out.reserve(measured.size());
+    for (ProgQubit q : measured) {
+        if (q < 0 || q >= calib.numQubits)
+            fatal("measuredReadoutErrors: qubit ", q,
+                  " outside calibration");
+        out.push_back(calib.errRO[static_cast<size_t>(q)]);
+    }
+    return out;
+}
+
+std::vector<double>
+mitigateReadoutHistogram(const std::map<uint64_t, int> &histogram,
+                         const std::vector<double> &ro_errs)
+{
+    const size_t k = ro_errs.size();
+    if (k == 0 || k > 20)
+        fatal("mitigateReadoutHistogram: unsupported key width ", k);
+    for (double e : ro_errs)
+        if (e >= 0.5)
+            fatal("mitigateReadoutHistogram: readout error ", e,
+                  " >= 0.5 cannot be inverted");
+
+    std::vector<double> p(uint64_t{1} << k, 0.0);
+    long total = 0;
+    for (const auto &[key, count] : histogram) {
+        if (key >= p.size())
+            fatal("mitigateReadoutHistogram: key ", key,
+                  " outside 2^", k, " outcome space");
+        p[key] += count;
+        total += count;
+    }
+    if (total == 0)
+        fatal("mitigateReadoutHistogram: empty histogram");
+    for (auto &v : p)
+        v /= static_cast<double>(total);
+
+    // Apply the per-bit inverse confusion matrix
+    //   M^-1 = 1/(1-2e) [[1-e, -e], [-e, 1-e]]
+    // along each key axis.
+    for (size_t bit = 0; bit < k; ++bit) {
+        double e = ro_errs[bit];
+        double inv = 1.0 / (1.0 - 2.0 * e);
+        uint64_t stride = uint64_t{1} << bit;
+        for (uint64_t base = 0; base < p.size(); ++base) {
+            if (base & stride)
+                continue;
+            double p0 = p[base];
+            double p1 = p[base | stride];
+            p[base] = inv * ((1.0 - e) * p0 - e * p1);
+            p[base | stride] = inv * ((1.0 - e) * p1 - e * p0);
+        }
+    }
+
+    // Statistical noise can push entries slightly negative; project
+    // back onto the simplex.
+    double sum = 0.0;
+    for (auto &v : p) {
+        v = std::max(v, 0.0);
+        sum += v;
+    }
+    if (sum <= 0.0)
+        fatal("mitigateReadoutHistogram: degenerate correction");
+    for (auto &v : p)
+        v /= sum;
+    return p;
+}
+
+double
+mitigatedSuccess(const std::map<uint64_t, int> &histogram,
+                 const std::vector<double> &ro_errs,
+                 uint64_t correct_outcome)
+{
+    std::vector<double> p = mitigateReadoutHistogram(histogram, ro_errs);
+    if (correct_outcome >= p.size())
+        fatal("mitigatedSuccess: outcome outside key space");
+    return p[correct_outcome];
+}
+
+} // namespace triq

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Measurement-error mitigation: invert the per-qubit readout confusion
+ * matrices to correct an observed outcome histogram.
+ *
+ * The paper's calibration feeds include per-qubit readout error rates;
+ * the natural follow-on (adopted into mainstream toolchains shortly
+ * after) is to use those same rates to undo readout bias
+ * statistically. With independent symmetric flips the confusion matrix
+ * factorizes per bit as [[1-e, e], [e, 1-e]], whose inverse is applied
+ * axis by axis in O(k 2^k).
+ */
+
+#ifndef TRIQ_SIM_MITIGATION_HH
+#define TRIQ_SIM_MITIGATION_HH
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "core/circuit.hh"
+#include "device/calibration.hh"
+
+namespace triq
+{
+
+/**
+ * Readout error of each measured qubit of a hardware circuit, in the
+ * executor's key order (ascending measured hardware qubit).
+ */
+std::vector<double> measuredReadoutErrors(const Circuit &hw,
+                                          const Calibration &calib);
+
+/**
+ * Correct an observed outcome histogram for readout error.
+ *
+ * @param histogram Observed counts (ExecutionResult::histogram).
+ * @param ro_errs Per-bit flip probabilities in key order; every entry
+ *        must be < 0.5 (a beyond-random readout cannot be inverted).
+ * @return The corrected outcome distribution (size 2^k, clamped to
+ *         non-negative and renormalized).
+ */
+std::vector<double>
+mitigateReadoutHistogram(const std::map<uint64_t, int> &histogram,
+                         const std::vector<double> &ro_errs);
+
+/**
+ * Convenience: the mitigated probability of `correct_outcome`.
+ * Compare against raw successRate to quantify the recovery.
+ */
+double mitigatedSuccess(const std::map<uint64_t, int> &histogram,
+                        const std::vector<double> &ro_errs,
+                        uint64_t correct_outcome);
+
+} // namespace triq
+
+#endif // TRIQ_SIM_MITIGATION_HH

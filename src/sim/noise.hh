@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Stochastic-Pauli noise model for executing compiled circuits.
+ *
+ * Every physical operation of a translated circuit becomes an "error
+ * site": with the calibrated error probability, a uniformly random
+ * Pauli is injected after the gate (X/Y/Z for 1Q, one of the fifteen
+ * non-identity two-qubit Paulis for 2Q). Readout errors flip measured
+ * bits. Idle windows from the ASAP schedule become dephasing (Z) sites
+ * with probability 1 - exp(-t_idle / T2), which is how the machines'
+ * coherence times (Fig. 1) enter the simulation.
+ */
+
+#ifndef TRIQ_SIM_NOISE_HH
+#define TRIQ_SIM_NOISE_HH
+
+#include <vector>
+
+#include "core/circuit.hh"
+#include "device/calibration.hh"
+#include "device/topology.hh"
+
+namespace triq
+{
+
+/** One potential fault location in a circuit. */
+struct ErrorSite
+{
+    /** Gate index after which the fault (if sampled) is injected. */
+    int gateIdx;
+
+    /** Affected qubits (q1 = -1 for single-qubit sites). */
+    int q0;
+    int q1;
+
+    /** Fault probability. */
+    double prob;
+
+    /** True for idle-dephasing sites (always inject Z). */
+    bool idle;
+};
+
+/**
+ * Enumerate the error sites of a translated hardware circuit:
+ * per-gate fault sites (using gateErrorProb) plus idle-dephasing sites
+ * from the schedule's gaps.
+ */
+std::vector<ErrorSite> collectErrorSites(const Circuit &hw,
+                                         const Topology &topo,
+                                         const Calibration &calib);
+
+/** Probability that *no* site fires: product of (1 - prob). */
+double noErrorProbability(const std::vector<ErrorSite> &sites);
+
+} // namespace triq
+
+#endif // TRIQ_SIM_NOISE_HH

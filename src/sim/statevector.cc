@@ -1,0 +1,279 @@
+#include "sim/statevector.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "core/unitary.hh"
+
+namespace triq
+{
+
+StateVector::StateVector(int num_qubits) : numQubits_(num_qubits)
+{
+    if (num_qubits < 1 || num_qubits > maxQubits())
+        fatal("StateVector: qubit count ", num_qubits, " outside [1, ",
+              maxQubits(), "]");
+    amps_.assign(uint64_t{1} << num_qubits, Cplx(0, 0));
+    amps_[0] = Cplx(1, 0);
+}
+
+void
+StateVector::reset()
+{
+    std::fill(amps_.begin(), amps_.end(), Cplx(0, 0));
+    amps_[0] = Cplx(1, 0);
+}
+
+Cplx
+StateVector::amplitude(uint64_t basis) const
+{
+    if (basis >= dim())
+        panic("StateVector::amplitude: basis out of range");
+    return amps_[basis];
+}
+
+double
+StateVector::probability(uint64_t basis) const
+{
+    return std::norm(amplitude(basis));
+}
+
+void
+StateVector::checkQubit(int q) const
+{
+    if (q < 0 || q >= numQubits_)
+        panic("StateVector: qubit ", q, " out of range [0,", numQubits_,
+              ")");
+}
+
+void
+StateVector::applyMatrix1(const Matrix &m, int q)
+{
+    checkQubit(q);
+    if (m.rows() != 2 || m.cols() != 2)
+        panic("applyMatrix1: matrix is not 2x2");
+    const uint64_t bit = uint64_t{1} << q;
+    const Cplx m00 = m(0, 0), m01 = m(0, 1), m10 = m(1, 0), m11 = m(1, 1);
+    for (uint64_t i = 0; i < dim(); ++i) {
+        if (i & bit)
+            continue;
+        Cplx a0 = amps_[i];
+        Cplx a1 = amps_[i | bit];
+        amps_[i] = m00 * a0 + m01 * a1;
+        amps_[i | bit] = m10 * a0 + m11 * a1;
+    }
+}
+
+void
+StateVector::applyMatrix2(const Matrix &m, int q0, int q1)
+{
+    checkQubit(q0);
+    checkQubit(q1);
+    if (q0 == q1)
+        panic("applyMatrix2: identical qubits");
+    if (m.rows() != 4 || m.cols() != 4)
+        panic("applyMatrix2: matrix is not 4x4");
+    const uint64_t b0 = uint64_t{1} << q0;
+    const uint64_t b1 = uint64_t{1} << q1;
+    Cplx mm[4][4];
+    for (int r = 0; r < 4; ++r)
+        for (int c = 0; c < 4; ++c)
+            mm[r][c] = m(r, c);
+    for (uint64_t i = 0; i < dim(); ++i) {
+        if (i & (b0 | b1))
+            continue;
+        const uint64_t idx[4] = {i, i | b0, i | b1, i | b0 | b1};
+        Cplx a[4];
+        for (int k = 0; k < 4; ++k)
+            a[k] = amps_[idx[k]];
+        for (int r = 0; r < 4; ++r) {
+            Cplx v(0, 0);
+            for (int c = 0; c < 4; ++c)
+                v += mm[r][c] * a[c];
+            amps_[idx[r]] = v;
+        }
+    }
+}
+
+void
+StateVector::applyX(int q)
+{
+    checkQubit(q);
+    const uint64_t bit = uint64_t{1} << q;
+    for (uint64_t i = 0; i < dim(); ++i)
+        if (!(i & bit))
+            std::swap(amps_[i], amps_[i | bit]);
+}
+
+void
+StateVector::applyY(int q)
+{
+    checkQubit(q);
+    const uint64_t bit = uint64_t{1} << q;
+    const Cplx i1(0, 1);
+    for (uint64_t i = 0; i < dim(); ++i) {
+        if (i & bit)
+            continue;
+        Cplx a0 = amps_[i];
+        Cplx a1 = amps_[i | bit];
+        amps_[i] = -i1 * a1;
+        amps_[i | bit] = i1 * a0;
+    }
+}
+
+void
+StateVector::applyZ(int q)
+{
+    checkQubit(q);
+    const uint64_t bit = uint64_t{1} << q;
+    for (uint64_t i = 0; i < dim(); ++i)
+        if (i & bit)
+            amps_[i] = -amps_[i];
+}
+
+void
+StateVector::applyGate(const Gate &g)
+{
+    if (g.kind == GateKind::Barrier || g.kind == GateKind::I)
+        return;
+    if (g.kind == GateKind::Measure)
+        panic("StateVector::applyGate: Measure is not unitary");
+    switch (g.arity()) {
+      case 1:
+        switch (g.kind) {
+          case GateKind::X:
+            applyX(g.qubit(0));
+            return;
+          case GateKind::Y:
+            applyY(g.qubit(0));
+            return;
+          case GateKind::Z:
+            applyZ(g.qubit(0));
+            return;
+          default:
+            applyMatrix1(gateMatrix(g), g.qubit(0));
+            return;
+        }
+      case 2:
+        applyMatrix2(gateMatrix(g), g.qubit(0), g.qubit(1));
+        return;
+      case 3: {
+        // Composite gates are rare post-decomposition; expand via two
+        // levels: apply as a controlled operation by direct permutation.
+        const Matrix m = gateMatrix(g);
+        const uint64_t b[3] = {uint64_t{1} << g.qubit(0),
+                               uint64_t{1} << g.qubit(1),
+                               uint64_t{1} << g.qubit(2)};
+        const uint64_t mask = b[0] | b[1] | b[2];
+        for (uint64_t i = 0; i < dim(); ++i) {
+            if (i & mask)
+                continue;
+            uint64_t idx[8];
+            Cplx a[8];
+            for (int k = 0; k < 8; ++k) {
+                uint64_t j = i;
+                for (int t = 0; t < 3; ++t)
+                    if (k & (1 << t))
+                        j |= b[t];
+                idx[k] = j;
+                a[k] = amps_[j];
+            }
+            for (int r = 0; r < 8; ++r) {
+                Cplx v(0, 0);
+                for (int c = 0; c < 8; ++c)
+                    v += m(r, c) * a[c];
+                amps_[idx[r]] = v;
+            }
+        }
+        return;
+      }
+      default:
+        panic("StateVector::applyGate: unexpected arity");
+    }
+}
+
+void
+StateVector::applyCircuit(const Circuit &c)
+{
+    if (c.numQubits() != numQubits_)
+        fatal("StateVector::applyCircuit: register width mismatch");
+    for (const auto &g : c.gates()) {
+        if (g.kind == GateKind::Measure)
+            continue;
+        applyGate(g);
+    }
+}
+
+uint64_t
+StateVector::sampleMeasurement(Rng &rng) const
+{
+    double r = rng.uniform();
+    double acc = 0.0;
+    for (uint64_t i = 0; i < dim(); ++i) {
+        acc += std::norm(amps_[i]);
+        if (r < acc)
+            return i;
+    }
+    return dim() - 1; // Numerical slack: land on the last state.
+}
+
+uint64_t
+StateVector::dominantBasisState(double *prob_out) const
+{
+    uint64_t best = 0;
+    double bestp = -1.0;
+    for (uint64_t i = 0; i < dim(); ++i) {
+        double p = std::norm(amps_[i]);
+        if (p > bestp) {
+            bestp = p;
+            best = i;
+        }
+    }
+    if (prob_out)
+        *prob_out = bestp;
+    return best;
+}
+
+double
+StateVector::normSquared() const
+{
+    double s = 0.0;
+    for (const auto &a : amps_)
+        s += std::norm(a);
+    return s;
+}
+
+double
+StateVector::fidelityWith(const StateVector &other) const
+{
+    if (other.dim() != dim())
+        panic("StateVector::fidelityWith: size mismatch");
+    Cplx ip(0, 0);
+    for (uint64_t i = 0; i < dim(); ++i)
+        ip += std::conj(amps_[i]) * other.amps_[i];
+    return std::norm(ip);
+}
+
+std::vector<double>
+idealMeasurementDistribution(const Circuit &c)
+{
+    StateVector sv(c.numQubits());
+    sv.applyCircuit(c);
+    std::vector<ProgQubit> mq = c.measuredQubits();
+    if (mq.empty())
+        fatal("idealMeasurementDistribution: circuit measures nothing");
+    std::vector<double> out(uint64_t{1} << mq.size(), 0.0);
+    for (uint64_t i = 0; i < sv.dim(); ++i) {
+        double p = sv.probability(i);
+        if (p == 0.0)
+            continue;
+        uint64_t key = 0;
+        for (size_t k = 0; k < mq.size(); ++k)
+            key |= ((i >> mq[k]) & 1) << k;
+        out[key] += p;
+    }
+    return out;
+}
+
+} // namespace triq

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Dense state-vector quantum simulator.
+ *
+ * This is the substrate that stands in for the paper's real machines: the
+ * noisy executor evolves compiled circuits through this simulator with
+ * sampled error events. It is also used ideally (no noise) to determine
+ * each benchmark's correct answer and to verify compiler passes.
+ *
+ * Basis convention matches core/unitary.hh: qubit q is bit q of the basis
+ * index.
+ */
+
+#ifndef TRIQ_SIM_STATEVECTOR_HH
+#define TRIQ_SIM_STATEVECTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/matrix.hh"
+#include "common/rng.hh"
+#include "core/circuit.hh"
+
+namespace triq
+{
+
+/**
+ * A dense 2^n-amplitude quantum state with gate application, Pauli-error
+ * injection and measurement sampling.
+ */
+class StateVector
+{
+  public:
+    /** Construct n qubits in |0...0>. @pre 0 < n <= maxQubits(). */
+    explicit StateVector(int num_qubits);
+
+    /** Largest register this simulator accepts (memory bound). */
+    static constexpr int maxQubits() { return 24; }
+
+    int numQubits() const { return numQubits_; }
+
+    /** Reset to |0...0>. */
+    void reset();
+
+    /** Dimension of the state (2^n). */
+    uint64_t dim() const { return amps_.size(); }
+
+    /** Amplitude of a basis state. */
+    Cplx amplitude(uint64_t basis) const;
+
+    /** Probability of a basis state. */
+    double probability(uint64_t basis) const;
+
+    /** Apply a unitary IR gate (any arity; Barrier is a no-op). */
+    void applyGate(const Gate &g);
+
+    /** Apply every unitary gate of a circuit (Measure not allowed). */
+    void applyCircuit(const Circuit &c);
+
+    /** Apply a 2x2 matrix to qubit q. */
+    void applyMatrix1(const Matrix &m, int q);
+
+    /** Apply a 4x4 matrix to qubits (q0 = local bit 0, q1 = bit 1). */
+    void applyMatrix2(const Matrix &m, int q0, int q1);
+
+    /** Fast Pauli applications used by the noise model. */
+    void applyX(int q);
+    void applyY(int q);
+    void applyZ(int q);
+
+    /**
+     * Sample a full measurement outcome (all qubits) without collapsing.
+     * @return Basis index distributed according to |amplitude|^2.
+     */
+    uint64_t sampleMeasurement(Rng &rng) const;
+
+    /**
+     * The most probable basis state.
+     * @param prob_out When non-null, receives that state's probability.
+     */
+    uint64_t dominantBasisState(double *prob_out = nullptr) const;
+
+    /** Sum of probabilities (1.0 when normalized). */
+    double normSquared() const;
+
+    /** Fidelity |<this|other>|^2. @pre equal sizes. */
+    double fidelityWith(const StateVector &other) const;
+
+    /**
+     * Raw amplitude storage. Expert interface: the density-matrix
+     * simulator vectorizes rho into a StateVector and mixes channel
+     * branches by direct amplitude arithmetic.
+     */
+    std::vector<Cplx> &amps() { return amps_; }
+    const std::vector<Cplx> &amps() const { return amps_; }
+
+  private:
+    int numQubits_;
+    std::vector<Cplx> amps_;
+
+    void checkQubit(int q) const;
+};
+
+/**
+ * Run `c` ideally from |0...0> and return the outcome distribution
+ * restricted to the measured qubits (in ascending qubit order: measured
+ * qubit i contributes bit i of the returned index).
+ *
+ * @return Probability vector of size 2^(#measured qubits).
+ */
+std::vector<double> idealMeasurementDistribution(const Circuit &c);
+
+} // namespace triq
+
+#endif // TRIQ_SIM_STATEVECTOR_HH

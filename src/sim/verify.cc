@@ -1,0 +1,67 @@
+#include "sim/verify.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "sim/compact.hh"
+#include "sim/statevector.hh"
+
+namespace triq
+{
+
+VerificationResult
+verifyCompilation(const Circuit &program, const CompileResult &compiled,
+                  double tolerance)
+{
+    std::vector<ProgQubit> prog_measured = program.measuredQubits();
+    if (prog_measured.empty())
+        fatal("verifyCompilation: program measures no qubits");
+
+    std::vector<double> want = idealMeasurementDistribution(program);
+
+    // The hardware circuit measures hardware qubits in ascending order;
+    // program qubit prog_measured[k] ended at finalMap[prog_measured[k]].
+    CompactCircuit cc = compactCircuit(compiled.hwCircuit);
+    std::vector<double> got_raw = idealMeasurementDistribution(cc.circuit);
+    std::vector<ProgQubit> hw_measured =
+        compiled.hwCircuit.measuredQubits();
+    if (hw_measured.size() != prog_measured.size())
+        fatal("verifyCompilation: program measures ",
+              prog_measured.size(), " qubits, compiled circuit ",
+              hw_measured.size());
+
+    // Position of each program-measured bit inside the hw key.
+    std::vector<size_t> pos(prog_measured.size());
+    for (size_t k = 0; k < prog_measured.size(); ++k) {
+        HwQubit h = compiled.finalMap[static_cast<size_t>(
+            prog_measured[k])];
+        auto it = std::find(hw_measured.begin(), hw_measured.end(), h);
+        if (it == hw_measured.end())
+            fatal("verifyCompilation: program qubit ", prog_measured[k],
+                  " (hardware ", h, ") is not measured in the output");
+        pos[k] = static_cast<size_t>(it - hw_measured.begin());
+    }
+
+    std::vector<double> got(want.size(), 0.0);
+    for (uint64_t key = 0; key < got_raw.size(); ++key) {
+        uint64_t mapped = 0;
+        for (size_t k = 0; k < pos.size(); ++k)
+            mapped |= ((key >> pos[k]) & 1) << k;
+        got[mapped] += got_raw[key];
+    }
+
+    VerificationResult res;
+    double tv = 0.0, maxdev = 0.0;
+    for (size_t i = 0; i < want.size(); ++i) {
+        double d = std::abs(want[i] - got[i]);
+        maxdev = std::max(maxdev, d);
+        tv += d;
+    }
+    res.maxDeviation = maxdev;
+    res.totalVariation = 0.5 * tv;
+    res.equivalent = maxdev <= tolerance;
+    return res;
+}
+
+} // namespace triq

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Compilation verification: check that a compiled hardware circuit
+ * computes the same measured-outcome distribution as the source
+ * program, accounting for the router's qubit relocation. This is the
+ * library form of the equivalence check the test suite applies to
+ * every (benchmark, device, level) combination.
+ */
+
+#ifndef TRIQ_SIM_VERIFY_HH
+#define TRIQ_SIM_VERIFY_HH
+
+#include "core/compiler.hh"
+
+namespace triq
+{
+
+/** Outcome of a verification run. */
+struct VerificationResult
+{
+    /** True when the distributions agree within `tolerance`. */
+    bool equivalent = false;
+
+    /** Largest absolute probability difference over all outcomes. */
+    double maxDeviation = 0.0;
+
+    /** Total variation distance between the two distributions. */
+    double totalVariation = 0.0;
+};
+
+/**
+ * Compare the ideal measured-outcome distribution of `program` with
+ * that of the compiled result, remapping outcome bits through the
+ * final placement.
+ *
+ * @param program The source program (must measure at least one qubit).
+ * @param compiled The compiler's output for that program.
+ * @param tolerance Per-outcome probability tolerance.
+ * @pre program's active qubit count small enough to simulate.
+ */
+VerificationResult verifyCompilation(const Circuit &program,
+                                     const CompileResult &compiled,
+                                     double tolerance = 1e-7);
+
+} // namespace triq
+
+#endif // TRIQ_SIM_VERIFY_HH

@@ -1,0 +1,77 @@
+#include "workloads/supremacy.hh"
+
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace triq
+{
+
+Circuit
+makeSupremacy(int rows, int cols, int depth, uint64_t seed, bool measure)
+{
+    if (rows < 1 || cols < 1 || depth < 1)
+        fatal("makeSupremacy: bad shape ", rows, "x", cols, " depth ",
+              depth);
+    const int n = rows * cols;
+    Circuit c(n, "Supremacy" + std::to_string(n) + "d" +
+                     std::to_string(depth));
+    Rng rng(seed);
+    auto idx = [cols](int r, int col) { return r * cols + col; };
+
+    for (int q = 0; q < n; ++q)
+        c.add(Gate::h(q));
+
+    // Track the previous 1Q gate per qubit so consecutive random gates
+    // differ, as in the Google construction.
+    std::vector<int> last1q(static_cast<size_t>(n), -1);
+
+    for (int layer = 0; layer < depth; ++layer) {
+        std::vector<bool> busy(static_cast<size_t>(n), false);
+        const int pat = layer % 8;
+        if (pat < 4) {
+            // Horizontal pairs starting at columns c with c % 4 == pat.
+            for (int r = 0; r < rows; ++r)
+                for (int col = pat; col + 1 < cols; col += 4) {
+                    c.add(Gate::cz(idx(r, col), idx(r, col + 1)));
+                    busy[static_cast<size_t>(idx(r, col))] = true;
+                    busy[static_cast<size_t>(idx(r, col + 1))] = true;
+                }
+        } else {
+            // Vertical pairs starting at rows r with r % 4 == pat - 4.
+            for (int col = 0; col < cols; ++col)
+                for (int r = pat - 4; r + 1 < rows; r += 4) {
+                    c.add(Gate::cz(idx(r, col), idx(r + 1, col)));
+                    busy[static_cast<size_t>(idx(r, col))] = true;
+                    busy[static_cast<size_t>(idx(r + 1, col))] = true;
+                }
+        }
+        for (int q = 0; q < n; ++q) {
+            if (busy[static_cast<size_t>(q)])
+                continue;
+            int pick;
+            do {
+                pick = rng.uniformInt(3);
+            } while (pick == last1q[static_cast<size_t>(q)]);
+            last1q[static_cast<size_t>(q)] = pick;
+            switch (pick) {
+              case 0:
+                c.add(Gate::t(q));
+                break;
+              case 1:
+                c.add(Gate::rx(q, kPi / 2));
+                break;
+              default:
+                c.add(Gate::ry(q, kPi / 2));
+                break;
+            }
+        }
+    }
+    if (measure)
+        for (int q = 0; q < n; ++q)
+            c.add(Gate::measure(q));
+    return c;
+}
+
+} // namespace triq

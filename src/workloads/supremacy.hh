@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Quantum-supremacy-style random circuits (Sec. 6.5 scaling study).
+ *
+ * The generator mirrors the Google/Cirq construction the paper uses for
+ * its compile-time scaling experiments: a rectangular grid of qubits, an
+ * initial Hadamard layer, then alternating layers that activate one of
+ * eight staggered CZ patterns while idle qubits receive a random 1Q gate
+ * from {T, sqrt(X), sqrt(Y)}. At 72 qubits (6x12) and depth 128 this
+ * yields roughly the paper's 2032 two-qubit gates.
+ */
+
+#ifndef TRIQ_WORKLOADS_SUPREMACY_HH
+#define TRIQ_WORKLOADS_SUPREMACY_HH
+
+#include <cstdint>
+
+#include "core/circuit.hh"
+
+namespace triq
+{
+
+/**
+ * Generate a supremacy circuit on a rows x cols grid.
+ *
+ * @param rows Grid rows.
+ * @param cols Grid columns (qubit (r, c) = index r*cols + c).
+ * @param depth Number of entangling layers.
+ * @param seed Seed for the random 1Q gate choices.
+ * @param measure Append measurements on all qubits when true.
+ */
+Circuit makeSupremacy(int rows, int cols, int depth, uint64_t seed = 1,
+                      bool measure = true);
+
+} // namespace triq
+
+#endif // TRIQ_WORKLOADS_SUPREMACY_HH

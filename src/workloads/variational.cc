@@ -1,0 +1,136 @@
+#include "workloads/variational.hh"
+
+#include <set>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace triq
+{
+
+int
+MaxCutGraph::cutValue(uint64_t assignment) const
+{
+    int cut = 0;
+    for (const auto &[a, b] : edges)
+        cut += ((assignment >> a) & 1) != ((assignment >> b) & 1);
+    return cut;
+}
+
+int
+MaxCutGraph::maxCut() const
+{
+    if (numVertices > 24)
+        fatal("MaxCutGraph::maxCut: instance too large for exhaustive "
+              "search");
+    int best = 0;
+    for (uint64_t a = 0; a < (uint64_t{1} << numVertices); ++a)
+        best = std::max(best, cutValue(a));
+    return best;
+}
+
+MaxCutGraph
+MaxCutGraph::ring(int n)
+{
+    if (n < 3)
+        fatal("MaxCutGraph::ring: need at least 3 vertices");
+    MaxCutGraph g;
+    g.numVertices = n;
+    for (int i = 0; i < n; ++i)
+        g.edges.push_back({i, (i + 1) % n});
+    return g;
+}
+
+MaxCutGraph
+MaxCutGraph::random(int n, int num_edges, uint64_t seed)
+{
+    long max_edges = static_cast<long>(n) * (n - 1) / 2;
+    if (n < 2 || num_edges < 1 || num_edges > max_edges)
+        fatal("MaxCutGraph::random: infeasible instance (", n,
+              " vertices, ", num_edges, " edges)");
+    MaxCutGraph g;
+    g.numVertices = n;
+    Rng rng(seed);
+    std::set<std::pair<int, int>> used;
+    while (static_cast<int>(g.edges.size()) < num_edges) {
+        int a = rng.uniformInt(n);
+        int b = rng.uniformInt(n);
+        if (a == b)
+            continue;
+        if (a > b)
+            std::swap(a, b);
+        if (used.insert({a, b}).second)
+            g.edges.push_back({a, b});
+    }
+    return g;
+}
+
+Circuit
+makeQaoaMaxCut(const MaxCutGraph &graph, const std::vector<double> &gammas,
+               const std::vector<double> &betas)
+{
+    if (graph.numVertices < 2)
+        fatal("makeQaoaMaxCut: need at least 2 vertices");
+    if (gammas.empty() || gammas.size() != betas.size())
+        fatal("makeQaoaMaxCut: gammas/betas must be non-empty and of "
+              "equal length");
+    Circuit c(graph.numVertices,
+              "QAOA_p" + std::to_string(gammas.size()));
+    for (int q = 0; q < graph.numVertices; ++q)
+        c.add(Gate::h(q));
+    for (size_t layer = 0; layer < gammas.size(); ++layer) {
+        // Cost unitary: exp(-i gamma/2 Z_a Z_b) per edge.
+        for (const auto &[a, b] : graph.edges) {
+            c.add(Gate::cnot(a, b));
+            c.add(Gate::rz(b, gammas[layer]));
+            c.add(Gate::cnot(a, b));
+        }
+        // Mixer.
+        for (int q = 0; q < graph.numVertices; ++q)
+            c.add(Gate::rx(q, 2.0 * betas[layer]));
+    }
+    for (int q = 0; q < graph.numVertices; ++q)
+        c.add(Gate::measure(q));
+    return c;
+}
+
+double
+expectedCutValue(const MaxCutGraph &graph,
+                 const std::vector<std::pair<uint64_t, int>> &counts)
+{
+    long total = 0;
+    double sum = 0.0;
+    for (const auto &[key, count] : counts) {
+        total += count;
+        sum += static_cast<double>(count) * graph.cutValue(key);
+    }
+    if (total == 0)
+        fatal("expectedCutValue: empty histogram");
+    return sum / static_cast<double>(total);
+}
+
+Circuit
+makeTfimTrotter(int n, int steps, double j_coupling, double h_field,
+                double dt)
+{
+    if (n < 2 || steps < 1)
+        fatal("makeTfimTrotter: need >= 2 spins and >= 1 step");
+    Circuit c(n, "TFIM" + std::to_string(n) + "x" +
+                     std::to_string(steps));
+    for (int s = 0; s < steps; ++s) {
+        // exp(+i J dt Z_i Z_{i+1}) per bond.
+        for (int q = 0; q + 1 < n; ++q) {
+            c.add(Gate::cnot(q, q + 1));
+            c.add(Gate::rz(q + 1, -2.0 * j_coupling * dt));
+            c.add(Gate::cnot(q, q + 1));
+        }
+        // exp(+i h dt X_i) per spin.
+        for (int q = 0; q < n; ++q)
+            c.add(Gate::rx(q, -2.0 * h_field * dt));
+    }
+    for (int q = 0; q < n; ++q)
+        c.add(Gate::measure(q));
+    return c;
+}
+
+} // namespace triq

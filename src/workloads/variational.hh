@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Variational / simulation workloads of the application classes the
+ * paper's introduction motivates (optimization, chemistry/physics):
+ *
+ *  - QAOA for MaxCut: alternating cost (ZZ phase) and mixer (Rx)
+ *    layers over a graph; the figure of merit is the expected cut
+ *    value of the sampled bitstrings, not a single correct answer.
+ *  - Trotterized transverse-field Ising model (TFIM) evolution: the
+ *    canonical near-term Hamiltonian-simulation circuit.
+ *
+ * Both produce plain gate-IR circuits, so the whole TriQ pipeline
+ * (mapping, routing, vendor translation, noisy execution) applies
+ * unchanged.
+ */
+
+#ifndef TRIQ_WORKLOADS_VARIATIONAL_HH
+#define TRIQ_WORKLOADS_VARIATIONAL_HH
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/circuit.hh"
+
+namespace triq
+{
+
+/** An undirected graph for MaxCut instances. */
+struct MaxCutGraph
+{
+    int numVertices = 0;
+    std::vector<std::pair<int, int>> edges;
+
+    /** Cut value of an assignment (bit v of `assignment` = side of v). */
+    int cutValue(uint64_t assignment) const;
+
+    /** The best cut value (exhaustive; numVertices <= 24). */
+    int maxCut() const;
+
+    /** A ring graph (max cut = n for even n). */
+    static MaxCutGraph ring(int n);
+
+    /** Erdos-Renyi-style random graph with `num_edges` distinct edges. */
+    static MaxCutGraph random(int n, int num_edges, uint64_t seed);
+};
+
+/**
+ * A depth-p QAOA circuit for MaxCut.
+ *
+ * Per layer k: exp(-i gamma_k/2 * ZZ) on every edge (two CNOTs and a
+ * virtual Rz after decomposition), then Rx(2 beta_k) mixers.
+ *
+ * @param graph Problem instance.
+ * @param gammas Cost angles (one per layer).
+ * @param betas Mixer angles (size must match gammas).
+ */
+Circuit makeQaoaMaxCut(const MaxCutGraph &graph,
+                       const std::vector<double> &gammas,
+                       const std::vector<double> &betas);
+
+/**
+ * Expected cut value of an outcome histogram (as produced by
+ * ExecutionResult::histogram for a QAOA circuit that measures all
+ * qubits in ascending order).
+ */
+double expectedCutValue(const MaxCutGraph &graph,
+                        const std::vector<std::pair<uint64_t, int>> &counts);
+
+/**
+ * Trotterized transverse-field Ising evolution on a line of n spins:
+ * H = -J sum Z_i Z_{i+1} - h sum X_i, first-order steps of size dt.
+ * Measures all qubits.
+ */
+Circuit makeTfimTrotter(int n, int steps, double j_coupling, double h_field,
+                        double dt);
+
+} // namespace triq
+
+#endif // TRIQ_WORKLOADS_VARIATIONAL_HH

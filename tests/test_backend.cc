@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Backend tests: OpenQASM round-trips through the importer with the
+ * same unitary; Quil and UMD assembly contain the expected directives;
+ * out-of-set gates are rejected.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+
+#include "core/backend.hh"
+#include "core/compiler.hh"
+#include "core/unitary.hh"
+#include "device/machines.hh"
+#include "lang/qasm_parser.hh"
+#include "workloads/benchmarks.hh"
+
+namespace triq
+{
+namespace
+{
+
+TEST(Backend, QasmRoundTripPreservesUnitary)
+{
+    Device dev = makeIbmQ5();
+    Calibration calib = dev.calibrate(0);
+    for (const char *bench : {"BV4", "Toffoli", "Peres"}) {
+        CompileOptions opts;
+        CompileResult res =
+            compileForDevice(makeBenchmark(bench), dev, calib, opts);
+        std::string qasm = toOpenQasm(res.hwCircuit);
+        Circuit back = parseOpenQasm(qasm);
+        EXPECT_EQ(back.numQubits(), res.hwCircuit.numQubits());
+        EXPECT_TRUE(sameUnitary(back, res.hwCircuit)) << bench;
+        EXPECT_EQ(back.measuredQubits(),
+                  res.hwCircuit.measuredQubits());
+    }
+}
+
+TEST(Backend, QasmHeaderAndRegisters)
+{
+    Circuit c(3, "demo");
+    c.add(Gate::u2(0, 0.0, kPi));
+    c.add(Gate::cnot(0, 1));
+    c.add(Gate::measure(1));
+    std::string qasm = toOpenQasm(c);
+    EXPECT_NE(qasm.find("OPENQASM 2.0;"), std::string::npos);
+    EXPECT_NE(qasm.find("qreg q[3];"), std::string::npos);
+    EXPECT_NE(qasm.find("cx q[0],q[1];"), std::string::npos);
+    EXPECT_NE(qasm.find("measure q[1] -> c[1];"), std::string::npos);
+}
+
+TEST(Backend, QasmRejectsRigettiGates)
+{
+    Circuit c(2);
+    c.add(Gate::cz(0, 1));
+    EXPECT_THROW(toOpenQasm(c), FatalError);
+}
+
+TEST(Backend, QuilFormat)
+{
+    Circuit c(2, "q");
+    c.add(Gate::rz(0, kPi / 2));
+    c.add(Gate::rx(0, kPi / 2));
+    c.add(Gate::cz(0, 1));
+    c.add(Gate::measure(0));
+    std::string quil = toQuil(c);
+    EXPECT_NE(quil.find("DECLARE ro BIT[2]"), std::string::npos);
+    EXPECT_NE(quil.find("RZ(1.5707963"), std::string::npos);
+    EXPECT_NE(quil.find("RX(1.5707963"), std::string::npos);
+    EXPECT_NE(quil.find("CZ 0 1"), std::string::npos);
+    EXPECT_NE(quil.find("MEASURE 0 ro[0]"), std::string::npos);
+}
+
+TEST(Backend, QuilRejectsIbmGates)
+{
+    Circuit c(2);
+    c.add(Gate::u2(0, 0, 0));
+    EXPECT_THROW(toQuil(c), FatalError);
+}
+
+TEST(Backend, UmdAsmFormat)
+{
+    Circuit c(2, "ti");
+    c.add(Gate::rxy(0, kPi / 2, 0.3));
+    c.add(Gate::xx(0, 1, kPi / 4));
+    c.add(Gate::rz(1, -kPi / 2));
+    c.add(Gate::measure(1));
+    std::string asm_text = toUmdAsm(c);
+    EXPECT_NE(asm_text.find("ions 2"), std::string::npos);
+    EXPECT_NE(asm_text.find("rxy 0"), std::string::npos);
+    EXPECT_NE(asm_text.find("ms 0 1"), std::string::npos);
+    EXPECT_NE(asm_text.find("detect 1"), std::string::npos);
+}
+
+TEST(Backend, DispatchByVendor)
+{
+    Circuit ibm(1);
+    ibm.add(Gate::u1(0, 0.5));
+    EXPECT_NE(emitAssembly(ibm, Vendor::IBM).find("OPENQASM"),
+              std::string::npos);
+    Circuit rig(1);
+    rig.add(Gate::rz(0, 0.5));
+    EXPECT_NE(emitAssembly(rig, Vendor::Rigetti).find("DECLARE"),
+              std::string::npos);
+    Circuit umd(1);
+    umd.add(Gate::rz(0, 0.5));
+    EXPECT_NE(emitAssembly(umd, Vendor::UMD).find("ions"),
+              std::string::npos);
+}
+
+TEST(Backend, FullPipelineAssemblyParsesBack)
+{
+    // The compiler's emitted OpenQASM must parse back losslessly for
+    // every study benchmark that fits IBMQ14.
+    Device dev = makeIbmQ14();
+    Calibration calib = dev.calibrate(1);
+    for (const std::string &name : benchmarkNames()) {
+        CompileOptions opts;
+        CompileResult res =
+            compileForDevice(makeBenchmark(name), dev, calib, opts);
+        Circuit back = parseOpenQasm(res.assembly);
+        EXPECT_EQ(back.count2q(), res.stats.twoQ) << name;
+    }
+}
+
+} // namespace
+} // namespace triq

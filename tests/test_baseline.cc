@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Vendor-compiler model tests: validity of the emitted circuits, the
+ * "first few qubits" layout policy, vendor gating, and the expected
+ * inferiority to TriQ's optimized placement on communication-heavy
+ * benchmarks.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+
+#include "baseline/astar_router.hh"
+#include "baseline/vendor_compilers.hh"
+#include "common/rng.hh"
+#include "core/decompose.hh"
+#include "core/unitary.hh"
+#include "device/machines.hh"
+#include "workloads/benchmarks.hh"
+
+namespace triq
+{
+namespace
+{
+
+TEST(Baseline, QiskitLikeEmitsValidIbmCircuit)
+{
+    Device dev = makeIbmQ14();
+    CompileResult res = compileQiskitLike(makeBenchmark("BV6"), dev);
+    for (const auto &g : res.hwCircuit.gates()) {
+        if (isTwoQubitGate(g.kind)) {
+            EXPECT_EQ(g.kind, GateKind::Cnot);
+            EXPECT_TRUE(dev.topology().adjacent(g.qubit(0), g.qubit(1)));
+            EXPECT_TRUE(
+                dev.topology().orientationNative(g.qubit(0), g.qubit(1)));
+        }
+    }
+    EXPECT_NE(res.assembly.find("OPENQASM"), std::string::npos);
+}
+
+TEST(Baseline, QuilLikeEmitsValidRigettiCircuit)
+{
+    Device dev = makeRigettiAspen3();
+    CompileResult res = compileQuilLike(makeBenchmark("QFT"), dev);
+    for (const auto &g : res.hwCircuit.gates())
+        if (isTwoQubitGate(g.kind)) {
+            EXPECT_EQ(g.kind, GateKind::Cz);
+            EXPECT_TRUE(dev.topology().adjacent(g.qubit(0), g.qubit(1)));
+        }
+    EXPECT_NE(res.assembly.find("DECLARE"), std::string::npos);
+}
+
+TEST(Baseline, LexicographicLayout)
+{
+    // "It always uses the first few qubits in the device" (Sec. 6.3).
+    Device dev = makeIbmQ16();
+    CompileResult res = compileQiskitLike(makeBenchmark("Adder"), dev);
+    for (size_t p = 0; p < res.initialMap.size(); ++p)
+        EXPECT_EQ(res.initialMap[p], static_cast<HwQubit>(p));
+}
+
+TEST(Baseline, VendorGating)
+{
+    EXPECT_THROW(
+        compileQiskitLike(makeBenchmark("BV4"), makeRigettiAspen1()),
+        FatalError);
+    EXPECT_THROW(
+        compileQuilLike(makeBenchmark("BV4"), makeIbmQ5()),
+        FatalError);
+    EXPECT_THROW(
+        compileQiskitLike(makeBenchmark("BV4"), makeUmdTi()),
+        FatalError);
+}
+
+TEST(Baseline, TriqBeatsVendorOn2qCountForBv)
+{
+    // BV's star interaction graph punishes the identity layout.
+    Device dev = makeIbmQ14();
+    Calibration calib = dev.calibrate(3);
+    CompileResult vendor = compileQiskitLike(makeBenchmark("BV8"), dev);
+    CompileOptions opts;
+    opts.level = OptLevel::OneQOptCN;
+    CompileResult triq =
+        compileForDevice(makeBenchmark("BV8"), dev, calib, opts);
+    EXPECT_LT(triq.stats.twoQ, vendor.stats.twoQ);
+    EXPECT_LT(triq.swapCount, vendor.swapCount);
+}
+
+TEST(Baseline, SeedPerturbsRouting)
+{
+    // The stochastic tie-break may change routing between seeds, but
+    // results are deterministic for a fixed seed.
+    Device dev = makeIbmQ14();
+    Circuit program = makeBenchmark("QFT");
+    CompileResult a = compileQiskitLike(program, dev, 7);
+    CompileResult b = compileQiskitLike(program, dev, 7);
+    EXPECT_EQ(a.stats.twoQ, b.stats.twoQ);
+    EXPECT_EQ(a.assembly, b.assembly);
+}
+
+TEST(Baseline, TooLargeProgramIsFatal)
+{
+    EXPECT_THROW(
+        compileQuilLike(makeBenchmark("BV6"), makeRigettiAgave()),
+        FatalError);
+    EXPECT_THROW(
+        routeAstarLayered(decomposeToCnotBasis(makeBV(6)),
+                          makeRigettiAgave().topology()),
+        FatalError);
+}
+
+TEST(AstarRouter, AdjacentLayerNeedsNoSwaps)
+{
+    Topology line = Topology::line(4);
+    Circuit c(4);
+    c.add(Gate::cnot(0, 1));
+    c.add(Gate::cnot(2, 3)); // Disjoint: same layer.
+    AstarRoutingResult r = routeAstarLayered(c, line);
+    EXPECT_EQ(r.swapCount, 0);
+    EXPECT_EQ(r.circuit.count2q(), 2);
+}
+
+TEST(AstarRouter, DistantGateGetsMinimalSwaps)
+{
+    Topology line = Topology::line(4);
+    Circuit c(4);
+    c.add(Gate::cnot(0, 3));
+    AstarRoutingResult r = routeAstarLayered(c, line);
+    // Distance 3 -> two swaps suffice and A* must find exactly two.
+    EXPECT_EQ(r.swapCount, 2);
+    for (const auto &g : r.circuit.gates()) {
+        if (isTwoQubitGate(g.kind)) {
+            EXPECT_TRUE(line.adjacent(g.qubit(0), g.qubit(1)));
+        }
+    }
+}
+
+TEST(AstarRouter, ParallelLayerSharesSwaps)
+{
+    // Layer {CNOT(0,2), CNOT(1,3)} on a line: a good joint swap
+    // sequence satisfies both gates with 2 swaps (e.g. swap(1,2) fixes
+    // both); per-gate greedy would use more.
+    Topology line = Topology::line(4);
+    Circuit c(4);
+    c.add(Gate::cnot(0, 2));
+    c.add(Gate::cnot(1, 3));
+    AstarRoutingResult r = routeAstarLayered(c, line);
+    EXPECT_LE(r.swapCount, 2);
+}
+
+TEST(AstarRouter, PreservesSemanticsOnRandomCircuits)
+{
+    Rng rng(909);
+    for (int rep = 0; rep < 10; ++rep) {
+        Device dev = rep % 2 == 0 ? makeIbmQ5() : makeRigettiAgave();
+        int n = 4;
+        Circuit c(n, "astar_rand");
+        for (int i = 0; i < 10; ++i) {
+            if (rng.uniformInt(3) == 0) {
+                c.add(Gate::h(rng.uniformInt(n)));
+            } else {
+                int a = rng.uniformInt(n);
+                int b = (a + 1 + rng.uniformInt(n - 1)) % n;
+                c.add(Gate::cnot(a, b));
+            }
+        }
+        AstarRoutingResult r = routeAstarLayered(c, dev.topology());
+        // Reference: program embedded at identity placement, with the
+        // router's net permutation undone via extra swaps.
+        Circuit ref(dev.topology().numQubits());
+        for (const auto &g : c.gates()) {
+            Gate hw = g;
+            ref.add(hw);
+        }
+        Circuit undo(dev.topology().numQubits());
+        for (const auto &g : r.circuit.gates())
+            undo.add(g);
+        // Bring every displaced qubit home.
+        std::vector<int> where(
+            static_cast<size_t>(dev.topology().numQubits()));
+        for (size_t h = 0; h < where.size(); ++h)
+            where[h] = static_cast<int>(h);
+        for (const auto &g : r.circuit.gates())
+            if (g.kind == GateKind::Swap) {
+                for (auto &w : where)
+                    if (w == g.qubit(0))
+                        w = g.qubit(1);
+                    else if (w == g.qubit(1))
+                        w = g.qubit(0);
+            }
+        for (int h = 0; h < dev.topology().numQubits(); ++h) {
+            int cur = where[static_cast<size_t>(h)];
+            if (cur == h)
+                continue;
+            undo.add(Gate::swap(cur, h));
+            for (auto &w : where)
+                if (w == cur)
+                    w = h;
+                else if (w == h)
+                    w = cur;
+        }
+        EXPECT_TRUE(sameUnitary(undo, ref)) << rep;
+    }
+}
+
+TEST(AstarRouter, TriqPlacementBeatsAstarOnBv)
+{
+    // The Sec. 8 gap: identity placement + optimal routing still loses
+    // to TriQ's placement on star-shaped interaction graphs.
+    Device dev = makeIbmQ14();
+    Circuit program = makeBenchmark("BV8");
+    Circuit lowered = decomposeToCnotBasis(program);
+    AstarRoutingResult astar =
+        routeAstarLayered(lowered, dev.topology());
+    CompileOptions opts;
+    opts.level = OptLevel::OneQOptC;
+    opts.emitAssembly = false;
+    auto triq = compileForDevice(program, dev, dev.calibrate(3), opts);
+    EXPECT_GT(astar.swapCount, triq.swapCount);
+}
+
+} // namespace
+} // namespace triq

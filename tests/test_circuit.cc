@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Unit tests for the gate IR: Gate properties, Circuit bookkeeping and
+ * the dependency DAG.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "core/circuit.hh"
+
+namespace triq
+{
+namespace
+{
+
+TEST(GateTest, ArityAndParams)
+{
+    EXPECT_EQ(gateArity(GateKind::H), 1);
+    EXPECT_EQ(gateArity(GateKind::Cnot), 2);
+    EXPECT_EQ(gateArity(GateKind::Ccx), 3);
+    EXPECT_EQ(gateArity(GateKind::Barrier), 0);
+    EXPECT_EQ(gateNumParams(GateKind::U3), 3);
+    EXPECT_EQ(gateNumParams(GateKind::Rxy), 2);
+    EXPECT_EQ(gateNumParams(GateKind::Rz), 1);
+    EXPECT_EQ(gateNumParams(GateKind::X), 0);
+}
+
+TEST(GateTest, Predicates)
+{
+    EXPECT_TRUE(isOneQubitGate(GateKind::U2));
+    EXPECT_FALSE(isOneQubitGate(GateKind::Measure));
+    EXPECT_TRUE(isTwoQubitGate(GateKind::Xx));
+    EXPECT_TRUE(isCompositeGate(GateKind::Cswap));
+    EXPECT_FALSE(isUnitaryGate(GateKind::Measure));
+    EXPECT_FALSE(isUnitaryGate(GateKind::Barrier));
+    for (GateKind k : {GateKind::Z, GateKind::S, GateKind::Sdg,
+                       GateKind::T, GateKind::Tdg, GateKind::Rz,
+                       GateKind::U1})
+        EXPECT_TRUE(isVirtualZGate(k)) << gateName(k);
+    EXPECT_FALSE(isVirtualZGate(GateKind::U2));
+    EXPECT_FALSE(isVirtualZGate(GateKind::X));
+}
+
+TEST(GateTest, ConstructorsAndStr)
+{
+    Gate g = Gate::cnot(1, 3);
+    EXPECT_EQ(g.qubit(0), 1);
+    EXPECT_EQ(g.qubit(1), 3);
+    EXPECT_TRUE(g.actsOn(3));
+    EXPECT_FALSE(g.actsOn(2));
+    EXPECT_EQ(g.str(), "cnot q1, q3");
+    EXPECT_EQ(Gate::rz(0, kPi / 2).str(), "rz(1.5708) q0");
+    EXPECT_THROW(g.qubit(2), PanicError);
+}
+
+TEST(GateTest, DuplicateOperandRejected)
+{
+    EXPECT_THROW(Gate::cnot(2, 2), FatalError);
+    EXPECT_THROW(Gate::ccx(0, 1, 1), FatalError);
+}
+
+TEST(GateTest, Equality)
+{
+    EXPECT_TRUE(Gate::rz(1, 0.5) == Gate::rz(1, 0.5));
+    EXPECT_FALSE(Gate::rz(1, 0.5) == Gate::rz(1, 0.6));
+    EXPECT_FALSE(Gate::rz(1, 0.5) == Gate::rz(2, 0.5));
+    EXPECT_FALSE(Gate::x(0) == Gate::y(0));
+}
+
+TEST(CircuitTest, AddValidatesRange)
+{
+    Circuit c(2);
+    c.add(Gate::h(1));
+    EXPECT_THROW(c.add(Gate::h(2)), FatalError);
+    EXPECT_THROW(c.add(Gate::h(-1)), FatalError);
+}
+
+TEST(CircuitTest, CountsAndQubitSets)
+{
+    Circuit c(4, "t");
+    c.add(Gate::h(0));
+    c.add(Gate::x(1));
+    c.add(Gate::cnot(0, 1));
+    c.add(Gate::cz(1, 2));
+    c.add(Gate::measure(0));
+    c.add(Gate::measure(2));
+    EXPECT_EQ(c.count1q(), 2);
+    EXPECT_EQ(c.count2q(), 2);
+    EXPECT_EQ(c.measuredQubits(), (std::vector<ProgQubit>{0, 2}));
+    EXPECT_EQ(c.activeQubits(), (std::vector<ProgQubit>{0, 1, 2}));
+    EXPECT_EQ(c.numGates(), 6);
+}
+
+TEST(CircuitTest, DepthSerialVsParallel)
+{
+    Circuit serial(1);
+    for (int i = 0; i < 5; ++i)
+        serial.add(Gate::h(0));
+    EXPECT_EQ(serial.depth(), 5);
+
+    Circuit parallel(5);
+    for (int q = 0; q < 5; ++q)
+        parallel.add(Gate::h(q));
+    EXPECT_EQ(parallel.depth(), 1);
+}
+
+TEST(CircuitTest, BarrierIncreasesDepth)
+{
+    Circuit c(2);
+    c.add(Gate::h(0));
+    c.add(Gate::barrier());
+    c.add(Gate::h(1)); // Must wait for the barrier.
+    EXPECT_EQ(c.depth(), 2);
+}
+
+TEST(CircuitTest, AppendChecksWidth)
+{
+    Circuit a(2), b(2), c(3);
+    b.add(Gate::h(0));
+    a.append(b);
+    EXPECT_EQ(a.numGates(), 1);
+    EXPECT_THROW(a.append(c), FatalError);
+}
+
+TEST(DagTest, LinearDependencies)
+{
+    Circuit c(1);
+    c.add(Gate::h(0));
+    c.add(Gate::t(0));
+    c.add(Gate::h(0));
+    CircuitDag dag(c);
+    EXPECT_TRUE(dag.preds(0).empty());
+    EXPECT_EQ(dag.preds(1), (std::vector<int>{0}));
+    EXPECT_EQ(dag.preds(2), (std::vector<int>{1}));
+    EXPECT_EQ(dag.succs(0), (std::vector<int>{1}));
+    EXPECT_EQ(dag.numLevels(), 3);
+}
+
+TEST(DagTest, TwoQubitJoin)
+{
+    Circuit c(2);
+    c.add(Gate::h(0));    // 0
+    c.add(Gate::h(1));    // 1
+    c.add(Gate::cnot(0, 1)); // 2: depends on both
+    CircuitDag dag(c);
+    EXPECT_EQ(dag.preds(2), (std::vector<int>{0, 1}));
+    EXPECT_EQ(dag.level(2), 1);
+    EXPECT_EQ(dag.level(0), 0);
+    auto levels = dag.levels();
+    ASSERT_EQ(levels.size(), 2u);
+    EXPECT_EQ(levels[0], (std::vector<int>{0, 1}));
+    EXPECT_EQ(levels[1], (std::vector<int>{2}));
+}
+
+TEST(DagTest, BarrierFencesAllQubits)
+{
+    Circuit c(2);
+    c.add(Gate::h(0));     // 0
+    c.add(Gate::barrier()); // 1
+    c.add(Gate::h(1));     // 2: must depend on the barrier
+    CircuitDag dag(c);
+    EXPECT_EQ(dag.preds(1), (std::vector<int>{0}));
+    EXPECT_EQ(dag.preds(2), (std::vector<int>{1}));
+    EXPECT_EQ(dag.numLevels(), 3);
+}
+
+TEST(DagTest, ProgramOrderIsTopological)
+{
+    // Property: for every gate, all preds have smaller indices.
+    Circuit c(4, "mix");
+    c.add(Gate::h(0));
+    c.add(Gate::cnot(0, 1));
+    c.add(Gate::cnot(2, 3));
+    c.add(Gate::cnot(1, 2));
+    c.add(Gate::barrier());
+    c.add(Gate::measure(0));
+    c.add(Gate::measure(3));
+    CircuitDag dag(c);
+    for (int i = 0; i < c.numGates(); ++i)
+        for (int p : dag.preds(i)) {
+            EXPECT_LT(p, i);
+            EXPECT_GE(dag.level(i), dag.level(p) + 1);
+        }
+}
+
+} // namespace
+} // namespace triq

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Decomposition tests: every rewrite in decomposeToCnotBasis preserves
+ * the unitary up to global phase, including parameter sweeps for the
+ * parametrized gates.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/decompose.hh"
+#include "core/unitary.hh"
+
+namespace triq
+{
+namespace
+{
+
+void
+expectDecomposes(const Circuit &c)
+{
+    Circuit lowered = decomposeToCnotBasis(c);
+    EXPECT_TRUE(isCnotBasis(lowered));
+    EXPECT_TRUE(sameUnitary(lowered, c)) << c.name();
+}
+
+TEST(Decompose, Toffoli)
+{
+    Circuit c(3, "ccx");
+    c.add(Gate::ccx(0, 1, 2));
+    expectDecomposes(c);
+    Circuit lowered = decomposeToCnotBasis(c);
+    EXPECT_EQ(lowered.count2q(), 6); // The standard 6-CNOT network.
+}
+
+TEST(Decompose, ToffoliOperandOrders)
+{
+    // All operand permutations must work (controls commute; the
+    // decomposition must respect which operand is the target).
+    const int perms[6][3] = {{0, 1, 2}, {0, 2, 1}, {1, 0, 2},
+                             {1, 2, 0}, {2, 0, 1}, {2, 1, 0}};
+    for (const auto &p : perms) {
+        Circuit c(3, "ccx_perm");
+        c.add(Gate::ccx(p[0], p[1], p[2]));
+        expectDecomposes(c);
+    }
+}
+
+TEST(Decompose, CczAndFredkin)
+{
+    Circuit ccz(3, "ccz");
+    ccz.add(Gate::ccz(0, 1, 2));
+    expectDecomposes(ccz);
+
+    Circuit fredkin(3, "cswap");
+    fredkin.add(Gate::cswap(0, 1, 2));
+    expectDecomposes(fredkin);
+}
+
+TEST(Decompose, CzAndSwap)
+{
+    Circuit cz(2, "cz");
+    cz.add(Gate::cz(0, 1));
+    expectDecomposes(cz);
+
+    Circuit swap(2, "swap");
+    swap.add(Gate::swap(0, 1));
+    expectDecomposes(swap);
+    EXPECT_EQ(decomposeToCnotBasis(swap).count2q(), 3);
+}
+
+class AngleSweep : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(AngleSweep, Cphase)
+{
+    Circuit c(2, "cphase");
+    c.add(Gate::cphase(0, 1, GetParam()));
+    expectDecomposes(c);
+}
+
+TEST_P(AngleSweep, XxIsing)
+{
+    Circuit c(2, "xx");
+    c.add(Gate::xx(0, 1, GetParam()));
+    expectDecomposes(c);
+}
+
+INSTANTIATE_TEST_SUITE_P(Angles, AngleSweep,
+                         ::testing::Values(-kPi, -1.3, -kPi / 4, 0.0,
+                                           0.7, kPi / 4, kPi / 2, 2.8,
+                                           kPi));
+
+TEST(Decompose, MixedProgramWithMeasure)
+{
+    Circuit c(3, "mixed");
+    c.add(Gate::h(0));
+    c.add(Gate::ccx(0, 1, 2));
+    c.add(Gate::barrier());
+    c.add(Gate::cphase(1, 2, 0.4));
+    c.add(Gate::measure(0));
+    c.add(Gate::measure(2));
+    Circuit lowered = decomposeToCnotBasis(c);
+    EXPECT_TRUE(isCnotBasis(lowered));
+    // Non-unitary bookkeeping preserved.
+    EXPECT_EQ(lowered.measuredQubits(), c.measuredQubits());
+    EXPECT_EQ(lowered.countIf([](const Gate &g) {
+        return g.kind == GateKind::Barrier;
+    }), 1);
+}
+
+TEST(Decompose, CnotBasisPredicate)
+{
+    Circuit good(2);
+    good.add(Gate::h(0));
+    good.add(Gate::cnot(0, 1));
+    good.add(Gate::measure(1));
+    EXPECT_TRUE(isCnotBasis(good));
+
+    Circuit bad(2);
+    bad.add(Gate::cz(0, 1));
+    EXPECT_FALSE(isCnotBasis(bad));
+}
+
+TEST(Decompose, KeepCphasePreservesPhaseStructure)
+{
+    Circuit c(3, "phase");
+    c.add(Gate::cphase(0, 1, 0.7));
+    c.add(Gate::cz(1, 2));
+    c.add(Gate::ccx(0, 1, 2));
+    Circuit kept = decomposeToCnotBasis(c, /*keep_cphase=*/true);
+    EXPECT_TRUE(isCnotBasis(kept, true));
+    EXPECT_FALSE(isCnotBasis(kept, false));
+    EXPECT_TRUE(sameUnitary(kept, c));
+    // Both phase gates survive as Cphase; CZ becomes Cphase(pi).
+    int cps = kept.countIf(
+        [](const Gate &g) { return g.kind == GateKind::Cphase; });
+    EXPECT_EQ(cps, 2);
+    // Toffoli still expands to CNOTs.
+    EXPECT_EQ(kept.countIf([](const Gate &g) {
+        return g.kind == GateKind::Cnot;
+    }), 6);
+}
+
+TEST(Decompose, Idempotent)
+{
+    Circuit c(3, "nested");
+    c.add(Gate::ccx(0, 1, 2));
+    c.add(Gate::swap(0, 2));
+    Circuit once = decomposeToCnotBasis(c);
+    Circuit twice = decomposeToCnotBasis(once);
+    EXPECT_EQ(once.numGates(), twice.numGates());
+    EXPECT_TRUE(sameUnitary(once, twice));
+}
+
+} // namespace
+} // namespace triq

@@ -1,0 +1,249 @@
+/**
+ * @file
+ * Unit tests for the device subsystem: topologies, gate sets,
+ * calibration synthesis and the seven machine models.
+ */
+
+#include <set>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "common/stats.hh"
+#include "device/machines.hh"
+
+namespace triq
+{
+namespace
+{
+
+TEST(Topology, LineRingFullGrid)
+{
+    Topology line = Topology::line(5);
+    EXPECT_EQ(line.numEdges(), 4);
+    EXPECT_EQ(line.distance(0, 4), 4);
+    EXPECT_TRUE(line.connected());
+
+    Topology ring = Topology::ring(6);
+    EXPECT_EQ(ring.numEdges(), 6);
+    EXPECT_EQ(ring.distance(0, 3), 3);
+    EXPECT_EQ(ring.distance(0, 5), 1);
+
+    Topology full = Topology::full(5);
+    EXPECT_TRUE(full.fullyConnected());
+    EXPECT_EQ(full.numEdges(), 10);
+
+    Topology grid = Topology::grid(3, 4);
+    EXPECT_EQ(grid.numQubits(), 12);
+    EXPECT_EQ(grid.numEdges(), 3 * 3 + 2 * 4);
+    EXPECT_EQ(grid.distance(0, 11), 5);
+}
+
+TEST(Topology, EdgeQueriesAndDirection)
+{
+    Topology t(3);
+    int e = t.addEdge(1, 0, true);
+    EXPECT_EQ(t.edgeBetween(0, 1), e);
+    EXPECT_EQ(t.edgeBetween(1, 0), e);
+    EXPECT_EQ(t.edgeBetween(0, 2), -1);
+    EXPECT_TRUE(t.adjacent(0, 1));
+    EXPECT_FALSE(t.adjacent(1, 2));
+    // Edge is directed 1 -> 0.
+    EXPECT_TRUE(t.orientationNative(1, 0));
+    EXPECT_FALSE(t.orientationNative(0, 1));
+    EXPECT_FALSE(t.connected());
+    EXPECT_EQ(t.distance(0, 2), -1);
+}
+
+TEST(Topology, RejectsBadEdges)
+{
+    Topology t(3);
+    EXPECT_THROW(t.addEdge(0, 0), FatalError);
+    EXPECT_THROW(t.addEdge(0, 5), FatalError);
+    t.addEdge(0, 1);
+    EXPECT_THROW(t.addEdge(1, 0), FatalError); // Duplicate.
+}
+
+TEST(GateSetTest, Describe)
+{
+    EXPECT_NE(GateSet::ibm().describe().find("CNOT"), std::string::npos);
+    EXPECT_NE(GateSet::rigetti().describe().find("CZ"),
+              std::string::npos);
+    EXPECT_NE(GateSet::umd().describe().find("XX"), std::string::npos);
+    EXPECT_TRUE(GateSet::ibm().virtualZ);
+}
+
+TEST(CalibrationTest, DeterministicPerDeviceDay)
+{
+    Device dev = makeIbmQ14();
+    Calibration a = dev.calibrate(5);
+    Calibration b = dev.calibrate(5);
+    EXPECT_EQ(a.err2q, b.err2q);
+    EXPECT_EQ(a.err1q, b.err1q);
+    Calibration c = dev.calibrate(6);
+    EXPECT_NE(a.err2q, c.err2q);
+}
+
+TEST(CalibrationTest, ChronicVsDriftSpatialStructure)
+{
+    // Superconducting devices keep their per-edge quality ordering
+    // across days far more than the drift-dominated ion trap does.
+    auto agreement = [](const Device &dev) {
+        int agree = 0, total = 0;
+        for (int day = 1; day <= 10; ++day) {
+            Calibration d1 = dev.calibrate(day);
+            Calibration d2 = dev.calibrate(day + 1);
+            for (size_t i = 0; i < d1.err2q.size(); ++i)
+                for (size_t j = i + 1; j < d1.err2q.size(); ++j) {
+                    bool o1 = d1.err2q[i] < d1.err2q[j];
+                    bool o2 = d2.err2q[i] < d2.err2q[j];
+                    agree += o1 == o2;
+                    ++total;
+                }
+        }
+        return static_cast<double>(agree) / total;
+    };
+    double sc = agreement(makeIbmQ16());
+    double ti = agreement(makeUmdTi());
+    EXPECT_GT(sc, 0.65);
+    EXPECT_GT(sc, ti + 0.05);
+}
+
+TEST(CalibrationTest, DriftDominatedReshuffles)
+{
+    // Trapped-ion: pair ordering decorrelates between days.
+    Device dev = makeUmdTi();
+    int flips = 0, total = 0;
+    for (int day = 1; day < 12; ++day) {
+        Calibration a = dev.calibrate(day);
+        Calibration b = dev.calibrate(day + 1);
+        for (size_t i = 0; i < a.err2q.size(); ++i)
+            for (size_t j = i + 1; j < a.err2q.size(); ++j) {
+                bool o1 = a.err2q[i] < a.err2q[j];
+                bool o2 = b.err2q[i] < b.err2q[j];
+                flips += o1 != o2;
+                ++total;
+            }
+    }
+    EXPECT_GT(static_cast<double>(flips) / total, 0.2);
+}
+
+TEST(CalibrationTest, MeansApproximatelyPreserved)
+{
+    Device dev = makeIbmQ14();
+    RunningStats twoq;
+    for (int day = 0; day < 60; ++day) {
+        Calibration c = dev.calibrate(day);
+        for (double e : c.err2q)
+            twoq.push(e);
+    }
+    // Log-normal synthesis is mean-preserving up to clamping.
+    EXPECT_NEAR(twoq.mean(), dev.noiseSpec().mean2q,
+                0.3 * dev.noiseSpec().mean2q);
+}
+
+TEST(CalibrationTest, SaveLoadRoundTrip)
+{
+    Device dev = makeRigettiAspen1();
+    Calibration c = dev.calibrate(9);
+    std::stringstream ss;
+    c.save(ss);
+    Calibration back = Calibration::load(ss);
+    EXPECT_EQ(back.numQubits, c.numQubits);
+    EXPECT_EQ(back.err2q.size(), c.err2q.size());
+    for (size_t i = 0; i < c.err2q.size(); ++i)
+        EXPECT_DOUBLE_EQ(back.err2q[i], c.err2q[i]);
+    for (size_t i = 0; i < c.errRO.size(); ++i)
+        EXPECT_DOUBLE_EQ(back.errRO[i], c.errRO[i]);
+    EXPECT_DOUBLE_EQ(back.durations.twoQ, c.durations.twoQ);
+}
+
+TEST(CalibrationTest, LoadRejectsGarbage)
+{
+    std::stringstream ss("not a calibration");
+    EXPECT_THROW(Calibration::load(ss), FatalError);
+}
+
+TEST(CalibrationTest, AverageCalibrationUniform)
+{
+    Device dev = makeIbmQ5();
+    Calibration avg = dev.averageCalibration();
+    for (double e : avg.err2q)
+        EXPECT_DOUBLE_EQ(e, dev.noiseSpec().mean2q);
+    for (double e : avg.errRO)
+        EXPECT_DOUBLE_EQ(e, dev.noiseSpec().meanRO);
+}
+
+TEST(Machines, Fig1Characteristics)
+{
+    auto devs = allStudyDevices();
+    ASSERT_EQ(devs.size(), 7u);
+    // Qubit and 2Q-gate counts straight from Fig. 1.
+    const int qubits[] = {5, 14, 16, 4, 16, 16, 5};
+    const int gates[] = {6, 18, 22, 3, 18, 18, 10};
+    for (size_t i = 0; i < devs.size(); ++i) {
+        EXPECT_EQ(devs[i].numQubits(), qubits[i]) << devs[i].name();
+        EXPECT_EQ(devs[i].topology().numEdges(), gates[i])
+            << devs[i].name();
+        EXPECT_TRUE(devs[i].topology().connected()) << devs[i].name();
+    }
+    EXPECT_DOUBLE_EQ(devs[0].noiseSpec().mean2q, 0.0476);
+    EXPECT_DOUBLE_EQ(devs[1].noiseSpec().mean2q, 0.0795);
+    EXPECT_DOUBLE_EQ(devs[6].noiseSpec().coherenceUs, 1.5e6);
+}
+
+TEST(Machines, IbmDirectedRigettiUmdNot)
+{
+    for (const auto &dev : allStudyDevices()) {
+        for (const auto &e : dev.topology().edges()) {
+            if (dev.vendor() == Vendor::IBM)
+                EXPECT_TRUE(e.directed) << dev.name();
+            else
+                EXPECT_FALSE(e.directed) << dev.name();
+        }
+    }
+}
+
+TEST(Machines, Ibmq5HasTriangles)
+{
+    // The bowtie supports 3-qubit benchmarks without swaps.
+    Topology t = makeIbmQ5().topology();
+    EXPECT_TRUE(t.adjacent(0, 1) && t.adjacent(1, 2) && t.adjacent(0, 2));
+    EXPECT_TRUE(t.adjacent(2, 3) && t.adjacent(3, 4) && t.adjacent(2, 4));
+}
+
+TEST(Machines, UniqueNames)
+{
+    std::set<std::string> names;
+    for (const auto &d : allStudyDevices())
+        names.insert(d.name());
+    EXPECT_EQ(names.size(), 7u);
+}
+
+TEST(Machines, Google72Grid)
+{
+    Device g = makeGoogle72();
+    EXPECT_EQ(g.numQubits(), 72);
+    EXPECT_TRUE(g.topology().connected());
+}
+
+TEST(Machines, Example8MatchesFig6Layout)
+{
+    Device d = makeExample8();
+    EXPECT_EQ(d.numQubits(), 8);
+    EXPECT_EQ(d.topology().numEdges(), 10);
+    EXPECT_EQ(fig6Reliabilities().size(), 10u);
+}
+
+TEST(DeviceTest, RejectsDisconnectedTopology)
+{
+    Topology t(4);
+    t.addEdge(0, 1);
+    NoiseSpec spec{0.001, 0.01, 0.01, 100, 0.1, 0.1, {0.1, 0.3, 1.0}};
+    EXPECT_THROW(Device("bad", std::move(t), GateSet::ibm(), spec),
+                 FatalError);
+}
+
+} // namespace
+} // namespace triq

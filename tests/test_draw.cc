@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Circuit-renderer tests: structural properties of the ASCII output
+ * (every gate appears, connectors align, truncation marker).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/draw.hh"
+#include "workloads/benchmarks.hh"
+
+namespace triq
+{
+namespace
+{
+
+TEST(Draw, SingleQubitLabels)
+{
+    Circuit c(1);
+    c.add(Gate::h(0));
+    c.add(Gate::t(0));
+    c.add(Gate::measure(0));
+    std::string art = drawCircuit(c);
+    EXPECT_NE(art.find("q0"), std::string::npos);
+    EXPECT_NE(art.find("H"), std::string::npos);
+    EXPECT_NE(art.find("T"), std::string::npos);
+    EXPECT_NE(art.find("M"), std::string::npos);
+}
+
+TEST(Draw, CnotSymbolsAndConnector)
+{
+    Circuit c(3);
+    c.add(Gate::cnot(0, 2));
+    std::string art = drawCircuit(c);
+    // Control '*', target 'X', and a '|' on the pass-through wire.
+    EXPECT_NE(art.find("*"), std::string::npos);
+    EXPECT_NE(art.find("X"), std::string::npos);
+    EXPECT_NE(art.find("|"), std::string::npos);
+}
+
+TEST(Draw, ParallelGatesShareColumn)
+{
+    Circuit c(2);
+    c.add(Gate::h(0));
+    c.add(Gate::h(1));
+    std::string art = drawCircuit(c);
+    // Both H's at the same column offset.
+    size_t l0 = art.find("q0");
+    size_t l1 = art.find("q1");
+    size_t h0 = art.find('H', l0);
+    size_t h1 = art.find('H', l1);
+    ASSERT_NE(h0, std::string::npos);
+    ASSERT_NE(h1, std::string::npos);
+    EXPECT_EQ(h0 - l0, h1 - l1);
+}
+
+TEST(Draw, BarrierColumn)
+{
+    Circuit c(2);
+    c.add(Gate::h(0));
+    c.add(Gate::barrier());
+    c.add(Gate::h(1));
+    std::string art = drawCircuit(c);
+    EXPECT_NE(art.find("#"), std::string::npos);
+}
+
+TEST(Draw, TruncationMarker)
+{
+    Circuit c(1);
+    for (int i = 0; i < 100; ++i)
+        c.add(Gate::h(0));
+    std::string art = drawCircuit(c, 8);
+    EXPECT_NE(art.find("..."), std::string::npos);
+}
+
+TEST(Draw, EveryBenchmarkRenders)
+{
+    for (const auto &name : benchmarkNames()) {
+        std::string art = drawCircuit(makeBenchmark(name));
+        EXPECT_FALSE(art.empty()) << name;
+        // Every qubit wire labeled.
+        Circuit c = makeBenchmark(name);
+        for (int q = 0; q < c.numQubits(); ++q)
+            EXPECT_NE(art.find("q" + std::to_string(q)),
+                      std::string::npos)
+                << name;
+    }
+}
+
+TEST(Draw, EmptyCircuit)
+{
+    EXPECT_EQ(drawCircuit(Circuit(0)), "(empty circuit)\n");
+}
+
+} // namespace
+} // namespace triq

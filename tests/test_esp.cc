@@ -1,0 +1,135 @@
+/**
+ * @file
+ * ESP-model tests: per-gate error probabilities, product composition,
+ * coherence factors and monotonicity properties.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+
+#include "core/esp.hh"
+#include "device/machines.hh"
+
+namespace triq
+{
+namespace
+{
+
+Calibration
+simpleCalib(const Topology &topo)
+{
+    Calibration c;
+    c.numQubits = topo.numQubits();
+    c.err1q.assign(c.numQubits, 0.01);
+    c.errRO.assign(c.numQubits, 0.05);
+    c.t2Us.assign(c.numQubits, 100.0);
+    c.err2q.assign(topo.numEdges(), 0.04);
+    c.durations = {0.1, 0.4, 3.0};
+    return c;
+}
+
+TEST(Esp, GateErrorProbabilities)
+{
+    Topology t = Topology::line(3);
+    Calibration c = simpleCalib(t);
+    EXPECT_DOUBLE_EQ(gateErrorProb(Gate::u2(0, 0, 0), t, c), 0.01);
+    EXPECT_NEAR(gateErrorProb(Gate::u3(0, 1, 2, 3), t, c),
+                1 - 0.99 * 0.99, 1e-12);
+    EXPECT_DOUBLE_EQ(gateErrorProb(Gate::rz(0, 1.0), t, c), 0.0);
+    EXPECT_DOUBLE_EQ(gateErrorProb(Gate::cnot(0, 1), t, c), 0.04);
+    EXPECT_NEAR(gateErrorProb(Gate::swap(1, 2), t, c),
+                1 - std::pow(0.96, 3), 1e-12);
+    EXPECT_DOUBLE_EQ(gateErrorProb(Gate::measure(2), t, c), 0.05);
+    EXPECT_DOUBLE_EQ(gateErrorProb(Gate::barrier(), t, c), 0.0);
+}
+
+TEST(Esp, NonAdjacent2qIsFatal)
+{
+    Topology t = Topology::line(3);
+    Calibration c = simpleCalib(t);
+    EXPECT_THROW(gateErrorProb(Gate::cnot(0, 2), t, c), FatalError);
+}
+
+TEST(Esp, ProductOfGateSuccesses)
+{
+    Topology t = Topology::line(2);
+    Calibration c = simpleCalib(t);
+    c.t2Us.assign(2, 1e18); // No decoherence term.
+    Circuit circ(2);
+    circ.add(Gate::u2(0, 0, 0));
+    circ.add(Gate::cnot(0, 1));
+    circ.add(Gate::measure(0));
+    circ.add(Gate::measure(1));
+    double esp = estimatedSuccessProbability(circ, t, c);
+    EXPECT_NEAR(esp, 0.99 * 0.96 * 0.95 * 0.95, 1e-9);
+}
+
+TEST(Esp, CoherencePenalizesIdle)
+{
+    Topology t = Topology::line(2);
+    Calibration c = simpleCalib(t);
+    // Same circuit; one calibration with tiny T2.
+    Circuit circ(2);
+    circ.add(Gate::u2(1, 0, 0));
+    for (int i = 0; i < 8; ++i)
+        circ.add(Gate::u2(0, 0, 0)); // q1 idles 0.7us.
+    circ.add(Gate::cnot(0, 1));
+    double esp_long = estimatedSuccessProbability(circ, t, c);
+    Calibration c2 = c;
+    c2.t2Us.assign(2, 1.0);
+    double esp_short = estimatedSuccessProbability(circ, t, c2);
+    EXPECT_LT(esp_short, esp_long);
+    // Idle factor ~ exp(-0.7/1.0) on q1.
+    EXPECT_NEAR(esp_short / esp_long, std::exp(-0.7 / 1.0), 0.01);
+}
+
+TEST(Esp, MoreGatesLowerEsp)
+{
+    Topology t = Topology::line(2);
+    Calibration c = simpleCalib(t);
+    Circuit a(2), b(2);
+    a.add(Gate::cnot(0, 1));
+    a.add(Gate::measure(0));
+    b.add(Gate::cnot(0, 1));
+    b.add(Gate::cnot(0, 1));
+    b.add(Gate::measure(0));
+    EXPECT_GT(estimatedSuccessProbability(a, t, c),
+              estimatedSuccessProbability(b, t, c));
+}
+
+TEST(Esp, VirtualZIsFree)
+{
+    Topology t = Topology::line(2);
+    Calibration c = simpleCalib(t);
+    Circuit a(2), b(2);
+    a.add(Gate::cnot(0, 1));
+    b.add(Gate::rz(0, 0.3));
+    b.add(Gate::cnot(0, 1));
+    b.add(Gate::t(1));
+    b.add(Gate::u1(0, -0.2));
+    EXPECT_DOUBLE_EQ(estimatedSuccessProbability(a, t, c),
+                     estimatedSuccessProbability(b, t, c));
+}
+
+TEST(Esp, PerfectCalibrationGivesOne)
+{
+    Topology t = Topology::full(3);
+    Calibration c;
+    c.numQubits = 3;
+    c.err1q.assign(3, 0.0);
+    c.errRO.assign(3, 0.0);
+    c.t2Us.assign(3, 1e18);
+    c.err2q.assign(t.numEdges(), 0.0);
+    c.durations = {0.1, 0.4, 3.0};
+    Circuit circ(3);
+    circ.add(Gate::h(0));
+    circ.add(Gate::cnot(0, 1));
+    circ.add(Gate::measure(0));
+    EXPECT_DOUBLE_EQ(estimatedSuccessProbability(circ, t, c), 1.0);
+}
+
+} // namespace
+} // namespace triq

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * End-to-end fuzzing: random programs are generated as ScaffLite
+ * source, pushed through the entire stack (parse -> lower -> compile
+ * for a random device at a random level -> verify), asserting semantic
+ * equivalence and hardware-constraint compliance every time. This is
+ * the broadest single correctness net in the suite.
+ */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "core/compiler.hh"
+#include "device/machines.hh"
+#include "lang/lower.hh"
+#include "lang/scaff_writer.hh"
+#include "sim/verify.hh"
+
+namespace triq
+{
+namespace
+{
+
+/** Generate a random program circuit over n qubits. */
+Circuit
+randomProgram(Rng &rng, int n, int gates)
+{
+    Circuit c(n, "fuzz");
+    for (int i = 0; i < gates; ++i) {
+        int pick = rng.uniformInt(10);
+        int a = rng.uniformInt(n);
+        int b = (a + 1 + rng.uniformInt(n - 1)) % n;
+        switch (pick) {
+          case 0:
+            c.add(Gate::h(a));
+            break;
+          case 1:
+            c.add(Gate::x(a));
+            break;
+          case 2:
+            c.add(Gate::t(a));
+            break;
+          case 3:
+            c.add(Gate::rz(a, rng.uniform(-kPi, kPi)));
+            break;
+          case 4:
+            c.add(Gate::ry(a, rng.uniform(-kPi, kPi)));
+            break;
+          case 5:
+          case 6:
+            c.add(Gate::cnot(a, b));
+            break;
+          case 7:
+            c.add(Gate::cz(a, b));
+            break;
+          case 8:
+            c.add(Gate::cphase(a, b, rng.uniform(-kPi, kPi)));
+            break;
+          default:
+            if (n >= 3) {
+                int t = (b + 1 + rng.uniformInt(n - 2)) % n;
+                if (t != a && t != b) {
+                    c.add(Gate::ccx(a, b, t));
+                    break;
+                }
+            }
+            c.add(Gate::swap(a, b));
+            break;
+        }
+    }
+    // Measure a random non-empty subset.
+    bool any = false;
+    for (int q = 0; q < n; ++q)
+        if (rng.bernoulli(0.6)) {
+            c.add(Gate::measure(q));
+            any = true;
+        }
+    if (!any)
+        c.add(Gate::measure(rng.uniformInt(n)));
+    return c;
+}
+
+class FullStackFuzz : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(FullStackFuzz, RandomProgramsSurviveTheWholeStack)
+{
+    Rng rng(0xF022 + GetParam() * 77);
+    auto devices = allStudyDevices();
+    const Device &dev = devices[static_cast<size_t>(
+        rng.uniformInt(static_cast<int>(devices.size())))];
+    int n = 2 + rng.uniformInt(std::min(4, dev.numQubits() - 1));
+    Circuit program = randomProgram(rng, n, 8 + rng.uniformInt(18));
+
+    // Round-trip through the language layer first.
+    Circuit parsed = compileScaffLite(toScaffLite(program));
+    ASSERT_EQ(parsed.numGates(), program.numGates());
+
+    OptLevel level = static_cast<OptLevel>(rng.uniformInt(4));
+    CompileOptions opts;
+    opts.level = level;
+    opts.peephole = rng.bernoulli(0.5);
+    opts.mapping.kind =
+        rng.bernoulli(0.5) ? MapperKind::Greedy
+                           : MapperKind::BranchAndBound;
+    Calibration calib = dev.calibrate(rng.uniformInt(30));
+    CompileResult res = compileForDevice(parsed, dev, calib, opts);
+
+    // Hardware constraints.
+    for (const auto &g : res.hwCircuit.gates()) {
+        if (isTwoQubitGate(g.kind)) {
+            ASSERT_TRUE(dev.topology().adjacent(g.qubit(0), g.qubit(1)))
+                << dev.name() << " " << g.str();
+        }
+    }
+
+    // Semantics.
+    VerificationResult v = verifyCompilation(parsed, res);
+    EXPECT_TRUE(v.equivalent)
+        << dev.name() << " " << optLevelName(level)
+        << " maxDeviation=" << v.maxDeviation << "\n"
+        << program.str();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FullStackFuzz,
+                         ::testing::Range(uint64_t{0}, uint64_t{60}));
+
+} // namespace
+} // namespace triq

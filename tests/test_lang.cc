@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Frontend tests: lexer tokens, ScaffLite parsing/lowering semantics
+ * (checked against hand-built circuits by unitary), loop unrolling,
+ * diagnostics, and the OpenQASM importer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+
+#include "core/unitary.hh"
+#include "lang/lexer.hh"
+#include "lang/lower.hh"
+#include "lang/parser.hh"
+#include "lang/qasm_parser.hh"
+#include "workloads/benchmarks.hh"
+
+namespace triq
+{
+namespace
+{
+
+TEST(Lexer, BasicTokens)
+{
+    auto toks = tokenize("module m { qreg q[4]; rz(pi/2) q[0]; }");
+    ASSERT_GE(toks.size(), 10u);
+    EXPECT_TRUE(toks[0].isIdent("module"));
+    EXPECT_TRUE(toks[1].isIdent("m"));
+    EXPECT_TRUE(toks[2].is("{"));
+    EXPECT_EQ(toks.back().kind, TokKind::End);
+}
+
+TEST(Lexer, NumbersAndRanges)
+{
+    auto toks = tokenize("0..3 1.5 2e3 7");
+    EXPECT_EQ(toks[0].kind, TokKind::Int);
+    EXPECT_EQ(toks[0].intValue, 0);
+    EXPECT_TRUE(toks[1].is(".."));
+    EXPECT_EQ(toks[2].intValue, 3);
+    EXPECT_EQ(toks[3].kind, TokKind::Float);
+    EXPECT_DOUBLE_EQ(toks[3].floatValue, 1.5);
+    EXPECT_EQ(toks[4].kind, TokKind::Float);
+    EXPECT_DOUBLE_EQ(toks[4].floatValue, 2000.0);
+    EXPECT_EQ(toks[5].kind, TokKind::Int);
+}
+
+TEST(Lexer, CommentsAndArrow)
+{
+    auto toks = tokenize("a // line comment\n/* block\n */ -> b");
+    EXPECT_TRUE(toks[0].isIdent("a"));
+    EXPECT_TRUE(toks[1].is("->"));
+    EXPECT_TRUE(toks[2].isIdent("b"));
+}
+
+TEST(Lexer, LinesTracked)
+{
+    auto toks = tokenize("a\nb\n  c");
+    EXPECT_EQ(toks[0].line, 1);
+    EXPECT_EQ(toks[1].line, 2);
+    EXPECT_EQ(toks[2].line, 3);
+    EXPECT_EQ(toks[2].col, 3);
+}
+
+TEST(Lexer, RejectsGarbage)
+{
+    EXPECT_THROW(tokenize("a $ b"), FatalError);
+    EXPECT_THROW(tokenize("/* unterminated"), FatalError);
+}
+
+TEST(ScaffLite, BvProgramMatchesBuilder)
+{
+    const char *src = R"(
+        // Bernstein-Vazirani, hidden string 111.
+        module bv4 {
+            qreg q[4];
+            x q[3];
+            for i in 0..3 { h q[i]; }
+            for i in 0..2 { cnot q[i], q[3]; }
+            for i in 0..2 { h q[i]; }
+            for i in 0..2 { measure q[i]; }
+        }
+    )";
+    Circuit parsed = compileScaffLite(src);
+    Circuit built = makeBV(4);
+    EXPECT_EQ(parsed.numQubits(), 4);
+    EXPECT_EQ(parsed.measuredQubits(), built.measuredQubits());
+    EXPECT_TRUE(sameUnitary(parsed, built));
+    EXPECT_EQ(idealOutcome(parsed), idealOutcome(built));
+}
+
+TEST(ScaffLite, ExpressionsFold)
+{
+    Circuit c = compileScaffLite(R"(
+        module expr {
+            qreg q[2];
+            rz(pi/4 + pi/4) q[0];
+            rx(-(2*pi)/4) q[1];
+        }
+    )");
+    EXPECT_EQ(c.numGates(), 2);
+    EXPECT_NEAR(c.gate(0).params[0], kPi / 2, 1e-12);
+    EXPECT_NEAR(c.gate(1).params[0], -kPi / 2, 1e-12);
+}
+
+TEST(ScaffLite, NestedLoopsAndIndexArithmetic)
+{
+    Circuit c = compileScaffLite(R"(
+        module nest {
+            qreg q[6];
+            for i in 0..1 {
+                for j in 0..2 {
+                    h q[3*i + j];
+                }
+            }
+        }
+    )");
+    EXPECT_EQ(c.numGates(), 6);
+    for (int g = 0; g < 6; ++g)
+        EXPECT_EQ(c.gate(g).qubit(0), g);
+}
+
+TEST(ScaffLite, MultipleRegistersConcatenate)
+{
+    Circuit c = compileScaffLite(R"(
+        module two {
+            qreg a[2];
+            qreg b[2];
+            x a[1];
+            x b[0];
+        }
+    )");
+    EXPECT_EQ(c.numQubits(), 4);
+    EXPECT_EQ(c.gate(0).qubit(0), 1);
+    EXPECT_EQ(c.gate(1).qubit(0), 2); // b[0] follows a[0..1].
+}
+
+TEST(ScaffLite, CompositeGatesAndBarrier)
+{
+    Circuit c = compileScaffLite(R"(
+        module comp {
+            qreg q[3];
+            toffoli q[0], q[1], q[2];
+            barrier;
+            fredkin q[2], q[0], q[1];
+        }
+    )");
+    EXPECT_EQ(c.gate(0).kind, GateKind::Ccx);
+    EXPECT_EQ(c.gate(1).kind, GateKind::Barrier);
+    EXPECT_EQ(c.gate(2).kind, GateKind::Cswap);
+}
+
+TEST(ScaffLite, Diagnostics)
+{
+    // Unknown gate.
+    EXPECT_THROW(compileScaffLite(
+                     "module m { qreg q[1]; frobnicate q[0]; }"),
+                 FatalError);
+    // Out-of-range index.
+    EXPECT_THROW(compileScaffLite("module m { qreg q[1]; x q[3]; }"),
+                 FatalError);
+    // Unknown register.
+    EXPECT_THROW(compileScaffLite("module m { qreg q[1]; x r[0]; }"),
+                 FatalError);
+    // Unknown loop variable.
+    EXPECT_THROW(compileScaffLite("module m { qreg q[2]; x q[i]; }"),
+                 FatalError);
+    // Syntax error.
+    EXPECT_THROW(compileScaffLite("module m { qreg q[2] x q[0]; }"),
+                 FatalError);
+    // No qubits.
+    EXPECT_THROW(compileScaffLite("module m { }"), FatalError);
+    // Shadowed loop variable.
+    EXPECT_THROW(compileScaffLite(R"(module m { qreg q[2];
+        for i in 0..1 { for i in 0..1 { x q[i]; } } })"),
+                 FatalError);
+}
+
+TEST(ScaffLite, WrongOperandCount)
+{
+    EXPECT_THROW(
+        compileScaffLite("module m { qreg q[2]; cnot q[0]; }"),
+        FatalError);
+    EXPECT_THROW(
+        compileScaffLite("module m { qreg q[2]; rz q[0]; }"),
+        FatalError);
+}
+
+TEST(Qasm, ParsesSimpleProgram)
+{
+    Circuit c = parseOpenQasm(R"(
+        OPENQASM 2.0;
+        include "qelib1.inc";
+        qreg q[3];
+        creg c[3];
+        h q[0];
+        u3(pi/2, 0, pi) q[1];
+        cx q[0],q[2];
+        barrier q;
+        measure q[0] -> c[0];
+    )");
+    EXPECT_EQ(c.numQubits(), 3);
+    EXPECT_EQ(c.gate(0).kind, GateKind::H);
+    EXPECT_EQ(c.gate(1).kind, GateKind::U3);
+    EXPECT_NEAR(c.gate(1).params[0], kPi / 2, 1e-12);
+    EXPECT_EQ(c.gate(2).kind, GateKind::Cnot);
+    EXPECT_EQ(c.gate(3).kind, GateKind::Barrier);
+    EXPECT_EQ(c.measuredQubits(), (std::vector<ProgQubit>{0}));
+}
+
+TEST(Qasm, AngleArithmetic)
+{
+    Circuit c = parseOpenQasm(
+        "OPENQASM 2.0; qreg q[1]; u1(3*pi/4) q[0]; rz(-pi/2) q[0];");
+    EXPECT_NEAR(c.gate(0).params[0], 3 * kPi / 4, 1e-12);
+    EXPECT_NEAR(c.gate(1).params[0], -kPi / 2, 1e-12);
+}
+
+TEST(Qasm, Rejections)
+{
+    EXPECT_THROW(parseOpenQasm("qreg q[2];"), FatalError);
+    EXPECT_THROW(
+        parseOpenQasm("OPENQASM 2.0; qreg q[1]; zz q[0];"),
+        FatalError);
+    EXPECT_THROW(
+        parseOpenQasm("OPENQASM 2.0; qreg q[1]; x q[4];"),
+        FatalError);
+    EXPECT_THROW(parseOpenQasm("OPENQASM 2.0; x q[0];"), FatalError);
+}
+
+} // namespace
+} // namespace triq

@@ -1,0 +1,324 @@
+/**
+ * @file
+ * Mapper tests: interaction extraction, engine validity (injectivity),
+ * branch-and-bound optimality against exhaustive search on random
+ * instances, SMT/B&B agreement, and the max-min objective semantics.
+ */
+
+#include <algorithm>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "core/decompose.hh"
+#include "core/mapper.hh"
+#include "device/machines.hh"
+#include "workloads/benchmarks.hh"
+
+namespace triq
+{
+namespace
+{
+
+ReliabilityMatrix
+randomMatrix(const Device &dev, uint64_t seed)
+{
+    Calibration calib = dev.averageCalibration();
+    Rng rng(seed);
+    for (auto &e : calib.err2q)
+        e = rng.uniform(0.01, 0.35);
+    for (auto &e : calib.errRO)
+        e = rng.uniform(0.01, 0.2);
+    return ReliabilityMatrix(dev.topology(), calib, dev.vendor());
+}
+
+/** Exhaustive max-min search over all injective placements. */
+double
+bruteForceBest(const ProgramInfo &info, const ReliabilityMatrix &rel,
+               bool include_ro)
+{
+    std::vector<HwQubit> hw(static_cast<size_t>(rel.numQubits()));
+    std::iota(hw.begin(), hw.end(), 0);
+    double best = -1.0;
+    std::vector<HwQubit> map(static_cast<size_t>(info.numProgQubits));
+    // Enumerate placements as permutations of hw prefixes.
+    std::sort(hw.begin(), hw.end());
+    std::vector<bool> used(hw.size(), false);
+    struct Rec
+    {
+        const ProgramInfo &info;
+        const ReliabilityMatrix &rel;
+        bool ro;
+        std::vector<HwQubit> &map;
+        std::vector<bool> &used;
+        double &best;
+        void
+        go(size_t k)
+        {
+            if (k == map.size()) {
+                best = std::max(
+                    best, mappingMinReliability(info, rel, map, ro));
+                return;
+            }
+            for (size_t h = 0; h < used.size(); ++h) {
+                if (used[h])
+                    continue;
+                used[h] = true;
+                map[k] = static_cast<HwQubit>(h);
+                go(k + 1);
+                used[h] = false;
+            }
+        }
+    } rec{info, rel, include_ro, map, used, best};
+    rec.go(0);
+    return best;
+}
+
+TEST(ProgramInfoTest, ExtractsPairsAndWeights)
+{
+    Circuit c(4);
+    c.add(Gate::cnot(0, 1));
+    c.add(Gate::cnot(1, 0)); // Same unordered pair.
+    c.add(Gate::cnot(2, 3));
+    c.add(Gate::measure(0));
+    c.add(Gate::measure(3));
+    ProgramInfo info = ProgramInfo::fromCircuit(c);
+    ASSERT_EQ(info.pairs.size(), 2u);
+    EXPECT_EQ(info.pairs[0].a, 0);
+    EXPECT_EQ(info.pairs[0].b, 1);
+    EXPECT_EQ(info.pairs[0].weight, 2);
+    EXPECT_EQ(info.pairs[1].weight, 1);
+    EXPECT_EQ(info.measured, (std::vector<ProgQubit>{0, 3}));
+}
+
+TEST(MapperTest, TrivialIsIdentity)
+{
+    Device dev = makeIbmQ5();
+    ReliabilityMatrix rel = randomMatrix(dev, 1);
+    Circuit c = decomposeToCnotBasis(makeBenchmark("BV4"));
+    ProgramInfo info = ProgramInfo::fromCircuit(c);
+    Mapping m = trivialMapping(info, rel);
+    for (size_t p = 0; p < m.progToHw.size(); ++p)
+        EXPECT_EQ(m.progToHw[p], static_cast<HwQubit>(p));
+}
+
+class MapperEngines
+    : public ::testing::TestWithParam<std::pair<MapperKind, uint64_t>>
+{
+};
+
+TEST_P(MapperEngines, ProducesInjectiveValidMapping)
+{
+    auto [kind, seed] = GetParam();
+    Device dev = makeIbmQ14();
+    ReliabilityMatrix rel = randomMatrix(dev, seed);
+    Circuit c = decomposeToCnotBasis(makeBenchmark("Adder"));
+    ProgramInfo info = ProgramInfo::fromCircuit(c);
+    MappingOptions opts;
+    opts.kind = kind;
+    Mapping m = mapQubits(info, rel, opts);
+    ASSERT_EQ(m.progToHw.size(),
+              static_cast<size_t>(info.numProgQubits));
+    // hwToProg panics on non-injective or out-of-range mappings.
+    auto inv = m.hwToProg(dev.numQubits());
+    EXPECT_GT(m.minReliability, 0.0);
+    EXPECT_NEAR(m.minReliability,
+                mappingMinReliability(info, rel, m.progToHw, true),
+                1e-12);
+}
+
+std::vector<std::pair<MapperKind, uint64_t>>
+engineCases()
+{
+    std::vector<std::pair<MapperKind, uint64_t>> cases;
+    for (MapperKind k : {MapperKind::Trivial, MapperKind::Greedy,
+                         MapperKind::BranchAndBound, MapperKind::Smt})
+        for (uint64_t seed : {1u, 2u, 3u})
+            cases.push_back({k, seed});
+    return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEngines, MapperEngines,
+                         ::testing::ValuesIn(engineCases()));
+
+class BnbOptimality : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(BnbOptimality, MatchesExhaustiveSearch)
+{
+    // 4 program qubits on the 5-qubit bowtie: 120 placements, checkable.
+    Device dev = makeIbmQ5();
+    ReliabilityMatrix rel = randomMatrix(dev, GetParam());
+    Circuit c = decomposeToCnotBasis(makeBenchmark("Adder"));
+    ProgramInfo info = ProgramInfo::fromCircuit(c);
+    MappingOptions opts;
+    opts.kind = MapperKind::BranchAndBound;
+    Mapping m = mapQubits(info, rel, opts);
+    EXPECT_TRUE(m.optimal);
+    double best = bruteForceBest(info, rel, opts.includeReadout);
+    EXPECT_NEAR(m.minReliability, best, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomCalibrations, BnbOptimality,
+                         ::testing::Range(uint64_t{10}, uint64_t{30}));
+
+TEST(MapperTest, SmtAgreesWithBnb)
+{
+    if (!smtMapperAvailable())
+        GTEST_SKIP() << "built without Z3";
+    Device dev = makeIbmQ14();
+    for (uint64_t seed : {5u, 6u}) {
+        ReliabilityMatrix rel = randomMatrix(dev, seed);
+        Circuit c = decomposeToCnotBasis(makeBenchmark("BV6"));
+        ProgramInfo info = ProgramInfo::fromCircuit(c);
+        MappingOptions opts;
+        opts.kind = MapperKind::BranchAndBound;
+        Mapping bnb = mapQubits(info, rel, opts);
+        opts.kind = MapperKind::Smt;
+        Mapping smt = mapQubits(info, rel, opts);
+        ASSERT_TRUE(bnb.optimal);
+        EXPECT_NEAR(smt.minReliability, bnb.minReliability, 1e-9);
+    }
+}
+
+TEST(MapperTest, ReadoutAffectsObjective)
+{
+    // One qubit measured, no 2Q gates: the mapper must pick the best
+    // readout unit when readout is part of the objective.
+    Device dev = makeIbmQ5();
+    Calibration calib = dev.averageCalibration();
+    calib.errRO = {0.3, 0.3, 0.01, 0.3, 0.3};
+    ReliabilityMatrix rel(dev.topology(), calib, dev.vendor());
+    Circuit c(1);
+    c.add(Gate::h(0));
+    c.add(Gate::measure(0));
+    ProgramInfo info = ProgramInfo::fromCircuit(c);
+    MappingOptions opts;
+    opts.kind = MapperKind::BranchAndBound;
+    Mapping m = mapQubits(info, rel, opts);
+    EXPECT_EQ(m.progToHw[0], 2);
+    EXPECT_NEAR(m.minReliability, 0.99, 1e-12);
+
+    opts.includeReadout = false;
+    Mapping m2 = mapQubits(info, rel, opts);
+    EXPECT_NEAR(m2.minReliability, 1.0, 1e-12);
+}
+
+TEST(MapperTest, ProgramTooLargeIsFatal)
+{
+    Device dev = makeIbmQ5();
+    ReliabilityMatrix rel = randomMatrix(dev, 9);
+    Circuit c = decomposeToCnotBasis(makeBV(6));
+    ProgramInfo info = ProgramInfo::fromCircuit(c);
+    EXPECT_THROW(mapQubits(info, rel, MappingOptions{}), FatalError);
+}
+
+/** Exhaustive best weighted log-product over all injective placements. */
+double
+bruteForceBestProduct(const ProgramInfo &info,
+                      const ReliabilityMatrix &rel, bool include_ro)
+{
+    double best = -1e300;
+    std::vector<HwQubit> map(static_cast<size_t>(info.numProgQubits));
+    std::vector<bool> used(static_cast<size_t>(rel.numQubits()), false);
+    struct Rec
+    {
+        const ProgramInfo &info;
+        const ReliabilityMatrix &rel;
+        bool ro;
+        std::vector<HwQubit> &map;
+        std::vector<bool> &used;
+        double &best;
+        void
+        go(size_t k)
+        {
+            if (k == map.size()) {
+                best = std::max(
+                    best, mappingLogProduct(info, rel, map, ro));
+                return;
+            }
+            for (size_t h = 0; h < used.size(); ++h) {
+                if (used[h])
+                    continue;
+                used[h] = true;
+                map[k] = static_cast<HwQubit>(h);
+                go(k + 1);
+                used[h] = false;
+            }
+        }
+    } rec{info, rel, include_ro, map, used, best};
+    rec.go(0);
+    return best;
+}
+
+class ProductOptimality : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(ProductOptimality, BnbMatchesExhaustiveSearch)
+{
+    Device dev = makeIbmQ5();
+    ReliabilityMatrix rel = randomMatrix(dev, GetParam());
+    Circuit c = decomposeToCnotBasis(makeBenchmark("Adder"));
+    ProgramInfo info = ProgramInfo::fromCircuit(c);
+    MappingOptions opts;
+    opts.kind = MapperKind::BranchAndBound;
+    opts.objective = MappingObjective::Product;
+    Mapping m = mapQubits(info, rel, opts);
+    EXPECT_TRUE(m.optimal);
+    double best = bruteForceBestProduct(info, rel, opts.includeReadout);
+    EXPECT_NEAR(m.logProduct, best, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomCalibrations, ProductOptimality,
+                         ::testing::Range(uint64_t{40}, uint64_t{52}));
+
+TEST(MapperTest, MaxMinPrunesBetterThanProduct)
+{
+    // The paper's scalability argument: for the same instance, the
+    // max-min search explores far fewer nodes than the product search.
+    Device dev = makeIbmQ16();
+    ReliabilityMatrix rel = randomMatrix(dev, 77);
+    Circuit c = decomposeToCnotBasis(makeBenchmark("BV8"));
+    ProgramInfo info = ProgramInfo::fromCircuit(c);
+    MappingOptions opts;
+    opts.kind = MapperKind::BranchAndBound;
+    opts.nodeBudget = 5000000;
+    opts.objective = MappingObjective::MaxMin;
+    Mapping mm = mapQubits(info, rel, opts);
+    opts.objective = MappingObjective::Product;
+    Mapping pr = mapQubits(info, rel, opts);
+    EXPECT_LT(mm.nodesExplored, pr.nodesExplored);
+}
+
+TEST(MapperTest, KindParsing)
+{
+    EXPECT_EQ(mapperKindFromString("trivial"), MapperKind::Trivial);
+    EXPECT_EQ(mapperKindFromString("greedy"), MapperKind::Greedy);
+    EXPECT_EQ(mapperKindFromString("bnb"), MapperKind::BranchAndBound);
+    EXPECT_EQ(mapperKindFromString("smt"), MapperKind::Smt);
+    EXPECT_THROW(mapperKindFromString("qiskit"), FatalError);
+}
+
+TEST(MapperTest, GreedyNeverBeatenBadlyByTrivial)
+{
+    // Sanity: greedy should never be worse than the identity layout.
+    Device dev = makeIbmQ16();
+    for (uint64_t seed = 50; seed < 60; ++seed) {
+        ReliabilityMatrix rel = randomMatrix(dev, seed);
+        Circuit c = decomposeToCnotBasis(makeBenchmark("BV8"));
+        ProgramInfo info = ProgramInfo::fromCircuit(c);
+        MappingOptions opts;
+        opts.kind = MapperKind::Greedy;
+        Mapping greedy = mapQubits(info, rel, opts);
+        Mapping trivial = trivialMapping(info, rel);
+        EXPECT_GE(greedy.minReliability,
+                  trivial.minReliability - 1e-12);
+    }
+}
+
+} // namespace
+} // namespace triq

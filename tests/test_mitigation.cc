@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Tests for readout mitigation and the crosstalk-serialization pass.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "core/compiler.hh"
+#include "core/serialize.hh"
+#include "core/unitary.hh"
+#include "device/machines.hh"
+#include "sim/executor.hh"
+#include "sim/mitigation.hh"
+#include "sim/noise.hh"
+#include "workloads/benchmarks.hh"
+
+namespace triq
+{
+namespace
+{
+
+TEST(Mitigation, ExactInversionOfPureReadoutNoise)
+{
+    // Analytic case: true state |1>, flip probability e. Observed
+    // distribution {0: e, 1: 1-e}; mitigation must return {0, 1}.
+    const double e = 0.2;
+    std::map<uint64_t, int> hist;
+    hist[0] = 2000; // 0.2 of 10000
+    hist[1] = 8000;
+    std::vector<double> p = mitigateReadoutHistogram(hist, {e});
+    EXPECT_NEAR(p[0], 0.0, 1e-12);
+    EXPECT_NEAR(p[1], 1.0, 1e-12);
+}
+
+TEST(Mitigation, TwoBitFactorizedInversion)
+{
+    // True outcome 0b10 observed through flips (e0, e1); build the
+    // exact observed distribution and invert it.
+    const double e0 = 0.1, e1 = 0.25;
+    std::map<uint64_t, int> hist;
+    const int n = 1000000;
+    // P(observed b0 b1) for true (0, 1).
+    hist[0b00] = static_cast<int>(n * (1 - e0) * e1);
+    hist[0b01] = static_cast<int>(n * e0 * e1);
+    hist[0b10] = static_cast<int>(n * (1 - e0) * (1 - e1));
+    hist[0b11] = static_cast<int>(n * e0 * (1 - e1));
+    std::vector<double> p = mitigateReadoutHistogram(hist, {e0, e1});
+    EXPECT_NEAR(p[0b10], 1.0, 1e-4);
+    EXPECT_NEAR(p[0b00] + p[0b01] + p[0b11], 0.0, 1e-4);
+}
+
+TEST(Mitigation, RecoversExecutorReadoutLoss)
+{
+    // Readout-only noise: mitigation should restore success to ~1.
+    Topology t = Topology::line(3);
+    NoiseSpec spec{0.0, 0.0, 0.12, 1e18, 0.0, 0.0, {0.1, 0.4, 3.0}};
+    Device dev("RoOnly", std::move(t), GateSet::rigetti(), spec);
+    Calibration calib = dev.averageCalibration();
+    Circuit circ(3, "ro");
+    circ.add(Gate::x(0));
+    circ.add(Gate::x(2));
+    for (int q = 0; q < 3; ++q)
+        circ.add(Gate::measure(q));
+    ExecutionResult run = executeNoisy(circ, dev, calib, 60000, 9);
+    EXPECT_LT(run.successRate, 0.75);
+    std::vector<double> ro = measuredReadoutErrors(circ, calib);
+    double fixed =
+        mitigatedSuccess(run.histogram, ro, run.correctOutcome);
+    EXPECT_NEAR(fixed, 1.0, 0.02);
+}
+
+TEST(Mitigation, Validation)
+{
+    std::map<uint64_t, int> hist{{0, 10}};
+    EXPECT_THROW(mitigateReadoutHistogram(hist, {0.6}), FatalError);
+    EXPECT_THROW(mitigateReadoutHistogram({}, {0.1}), FatalError);
+    std::map<uint64_t, int> wide{{4, 1}};
+    EXPECT_THROW(mitigateReadoutHistogram(wide, {0.1, 0.1}),
+                 FatalError);
+}
+
+TEST(Serialize, InsertsBarrierBetweenAdjacentParallel2q)
+{
+    Topology t = Topology::line(4);
+    Circuit c(4);
+    c.add(Gate::cz(0, 1));
+    c.add(Gate::cz(2, 3)); // Adjacent via (1,2): must be fenced.
+    Circuit out = serializeAdjacentTwoQ(c, t);
+    EXPECT_EQ(out.countIf([](const Gate &g) {
+        return g.kind == GateKind::Barrier;
+    }), 1);
+    EXPECT_TRUE(sameUnitary(out, c));
+}
+
+TEST(Serialize, LeavesDistantParallel2qAlone)
+{
+    Topology t = Topology::line(5);
+    Circuit c(5);
+    c.add(Gate::cz(0, 1));
+    c.add(Gate::cz(3, 4)); // Separated by qubit 2: fine in parallel.
+    Circuit out = serializeAdjacentTwoQ(c, t);
+    EXPECT_EQ(out.countIf([](const Gate &g) {
+        return g.kind == GateKind::Barrier;
+    }), 0);
+}
+
+TEST(Serialize, EliminatesCrosstalkSites)
+{
+    // After serialization, no error site may carry an inflated
+    // probability.
+    Topology t = Topology::grid(2, 3);
+    NoiseSpec spec{0.0, 0.05, 0.0, 1e18, 0.0, 0.0, {0.1, 0.4, 3.0}};
+    spec.crosstalkFactor = 1.0;
+    Device dev("Xt", std::move(t), GateSet::rigetti(), spec);
+    Calibration calib = dev.averageCalibration();
+    Circuit c(6);
+    c.add(Gate::cz(0, 1));
+    c.add(Gate::cz(3, 4));
+    c.add(Gate::cz(2, 5));
+    Circuit serialized = serializeAdjacentTwoQ(c, dev.topology());
+    auto sites = collectErrorSites(serialized, dev.topology(), calib);
+    for (const auto &s : sites)
+        EXPECT_NEAR(s.prob, 0.05, 1e-12);
+    // The unserialized version does have inflated sites.
+    auto raw = collectErrorSites(c, dev.topology(), calib);
+    bool inflated = false;
+    for (const auto &s : raw)
+        inflated = inflated || s.prob > 0.05 + 1e-12;
+    EXPECT_TRUE(inflated);
+}
+
+TEST(Serialize, PreservesSemanticsOnCompiledBenchmark)
+{
+    Device dev = makeIbmQ14();
+    Calibration calib = dev.calibrate(1);
+    CompileOptions opts;
+    opts.emitAssembly = false;
+    CompileResult res =
+        compileForDevice(makeBenchmark("HS6"), dev, calib, opts);
+    Circuit serialized =
+        serializeAdjacentTwoQ(res.hwCircuit, dev.topology());
+    EXPECT_GE(serialized.numGates(), res.hwCircuit.numGates());
+    EXPECT_EQ(serialized.count2q(), res.hwCircuit.count2q());
+    EXPECT_EQ(serialized.measuredQubits(),
+              res.hwCircuit.measuredQubits());
+}
+
+} // namespace
+} // namespace triq

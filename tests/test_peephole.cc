@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Peephole-pass tests: pairs cancel exactly when legal, semantics are
+ * always preserved (property over random circuits), fences block.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "core/peephole.hh"
+#include "core/unitary.hh"
+
+namespace triq
+{
+namespace
+{
+
+TEST(Peephole, AdjacentCnotPairCancels)
+{
+    Circuit c(2);
+    c.add(Gate::cnot(0, 1));
+    c.add(Gate::cnot(0, 1));
+    PeepholeStats stats;
+    Circuit out = cancelInversePairs(c, &stats);
+    EXPECT_EQ(out.numGates(), 0);
+    EXPECT_EQ(stats.cancelled, 2);
+}
+
+TEST(Peephole, ReversedCnotDoesNotCancel)
+{
+    Circuit c(2);
+    c.add(Gate::cnot(0, 1));
+    c.add(Gate::cnot(1, 0));
+    Circuit out = cancelInversePairs(c);
+    EXPECT_EQ(out.numGates(), 2);
+}
+
+TEST(Peephole, DisjointGatesBetweenPairAreTransparent)
+{
+    Circuit c(4);
+    c.add(Gate::cnot(0, 1));
+    c.add(Gate::h(2));
+    c.add(Gate::cnot(2, 3));
+    c.add(Gate::cnot(0, 1));
+    Circuit out = cancelInversePairs(c);
+    EXPECT_EQ(out.numGates(), 2);
+    EXPECT_TRUE(sameUnitary(out, c));
+}
+
+TEST(Peephole, SharedQubitBlocks)
+{
+    Circuit c(2);
+    c.add(Gate::cnot(0, 1));
+    c.add(Gate::t(1)); // Phase on the target blocks cancellation.
+    c.add(Gate::cnot(0, 1));
+    Circuit out = cancelInversePairs(c);
+    EXPECT_EQ(out.numGates(), 3);
+}
+
+TEST(Peephole, BarrierAndMeasureBlock)
+{
+    Circuit b(2);
+    b.add(Gate::h(0));
+    b.add(Gate::barrier());
+    b.add(Gate::h(0));
+    EXPECT_EQ(cancelInversePairs(b).numGates(), 3);
+
+    Circuit m(2);
+    m.add(Gate::x(0));
+    m.add(Gate::measure(0));
+    m.add(Gate::x(0));
+    EXPECT_EQ(cancelInversePairs(m).numGates(), 3);
+}
+
+TEST(Peephole, CascadeToFixpoint)
+{
+    // h x x h: inner X pair cancels first, exposing the H pair.
+    Circuit c(1);
+    c.add(Gate::h(0));
+    c.add(Gate::x(0));
+    c.add(Gate::x(0));
+    c.add(Gate::h(0));
+    PeepholeStats stats;
+    Circuit out = cancelInversePairs(c, &stats);
+    EXPECT_EQ(out.numGates(), 0);
+    EXPECT_EQ(stats.cancelled, 4);
+    EXPECT_GE(stats.iterations, 2);
+}
+
+TEST(Peephole, ParametrizedGatesAreNotSelfInverse)
+{
+    Circuit c(1);
+    c.add(Gate::rz(0, 0.4));
+    c.add(Gate::rz(0, 0.4));
+    EXPECT_EQ(cancelInversePairs(c).numGates(), 2);
+}
+
+class PeepholeProperty : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(PeepholeProperty, PreservesSemantics)
+{
+    Rng rng(GetParam() * 31 + 5);
+    Circuit c(3);
+    for (int i = 0; i < 25; ++i) {
+        switch (rng.uniformInt(5)) {
+          case 0:
+            c.add(Gate::h(rng.uniformInt(3)));
+            break;
+          case 1:
+            c.add(Gate::x(rng.uniformInt(3)));
+            break;
+          case 2:
+            c.add(Gate::t(rng.uniformInt(3)));
+            break;
+          default: {
+            int a = rng.uniformInt(3);
+            int b = (a + 1 + rng.uniformInt(2)) % 3;
+            c.add(Gate::cnot(a, b));
+            break;
+          }
+        }
+    }
+    Circuit out = cancelInversePairs(c);
+    EXPECT_LE(out.numGates(), c.numGates());
+    EXPECT_TRUE(sameUnitary(out, c));
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomCircuits, PeepholeProperty,
+                         ::testing::Range(uint64_t{0}, uint64_t{30}));
+
+} // namespace
+} // namespace triq

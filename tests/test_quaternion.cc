@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Quaternion tests: algebraic identities plus the property that the
+ * quaternion composition of any 1Q gate sequence matches the matrix
+ * product up to global phase, and that Euler decompositions round-trip.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "core/quaternion.hh"
+#include "core/unitary.hh"
+
+namespace triq
+{
+namespace
+{
+
+/** SU(2) matrix of a quaternion: w*I - i(x X + y Y + z Z). */
+Matrix
+quatMatrix(const Quaternion &q)
+{
+    Cplx i1(0, 1);
+    return Matrix{{q.w - i1 * q.z, -i1 * q.x - q.y},
+                  {-i1 * q.x + q.y, q.w + i1 * q.z}};
+}
+
+/** A random 1Q gate for property sweeps. */
+Gate
+randomOneQGate(Rng &rng)
+{
+    switch (rng.uniformInt(13)) {
+      case 0:
+        return Gate::x(0);
+      case 1:
+        return Gate::y(0);
+      case 2:
+        return Gate::z(0);
+      case 3:
+        return Gate::h(0);
+      case 4:
+        return Gate::s(0);
+      case 5:
+        return Gate::sdg(0);
+      case 6:
+        return Gate::t(0);
+      case 7:
+        return Gate::tdg(0);
+      case 8:
+        return Gate::rx(0, rng.uniform(-kPi, kPi));
+      case 9:
+        return Gate::ry(0, rng.uniform(-kPi, kPi));
+      case 10:
+        return Gate::rz(0, rng.uniform(-kPi, kPi));
+      case 11:
+        return Gate::rxy(0, rng.uniform(-kPi, kPi),
+                         rng.uniform(-kPi, kPi));
+      default:
+        return Gate::u3(0, rng.uniform(0, kPi), rng.uniform(-kPi, kPi),
+                        rng.uniform(-kPi, kPi));
+    }
+}
+
+TEST(Quaternion, IdentityAndInverse)
+{
+    Quaternion id = Quaternion::identity();
+    EXPECT_TRUE(id.isIdentity());
+    Quaternion q = Quaternion::fromAxisAngle(0, 1, 0, 1.1);
+    EXPECT_FALSE(q.isIdentity());
+    EXPECT_TRUE((q * q.inverse()).isIdentity());
+    EXPECT_NEAR(q.norm(), 1.0, 1e-12);
+}
+
+TEST(Quaternion, ZRotationDetection)
+{
+    EXPECT_TRUE(Quaternion::fromGate(Gate::rz(0, 0.7)).isZRotation());
+    EXPECT_TRUE(Quaternion::fromGate(Gate::t(0)).isZRotation());
+    EXPECT_FALSE(Quaternion::fromGate(Gate::h(0)).isZRotation());
+    EXPECT_TRUE(Quaternion::identity().isZRotation());
+}
+
+TEST(Quaternion, EveryGateMatchesItsMatrix)
+{
+    Rng rng(2024);
+    for (int i = 0; i < 200; ++i) {
+        Gate g = randomOneQGate(rng);
+        Quaternion q = Quaternion::fromGate(g);
+        EXPECT_TRUE(quatMatrix(q).equalUpToPhase(gateMatrix(g), 1e-7))
+            << g.str();
+    }
+}
+
+TEST(Quaternion, ProductMatchesMatrixProduct)
+{
+    Rng rng(77);
+    for (int rep = 0; rep < 100; ++rep) {
+        Quaternion acc = Quaternion::identity();
+        Matrix m = Matrix::identity(2);
+        int len = 1 + rng.uniformInt(8);
+        for (int i = 0; i < len; ++i) {
+            Gate g = randomOneQGate(rng);
+            acc = (Quaternion::fromGate(g) * acc).normalized();
+            m = gateMatrix(g) * m;
+        }
+        EXPECT_TRUE(quatMatrix(acc).equalUpToPhase(m, 1e-6));
+    }
+}
+
+class EulerRoundTrip : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(EulerRoundTrip, ZyzReconstructs)
+{
+    Rng rng(1000 + GetParam());
+    Quaternion q = Quaternion::fromAxisAngle(
+        rng.normal(), rng.normal(), rng.normal(),
+        rng.uniform(-kPi, kPi));
+    EulerAngles e = q.toZYZ();
+    EXPECT_GE(e.beta, -1e-12);
+    EXPECT_LE(e.beta, kPi + 1e-12);
+    Quaternion back = Quaternion::fromAxisAngle(0, 0, 1, e.alpha) *
+                      Quaternion::fromAxisAngle(0, 1, 0, e.beta) *
+                      Quaternion::fromAxisAngle(0, 0, 1, e.gamma);
+    EXPECT_TRUE(back.approxEqual(q, 1e-6))
+        << "alpha=" << e.alpha << " beta=" << e.beta
+        << " gamma=" << e.gamma;
+}
+
+TEST_P(EulerRoundTrip, ZxzReconstructs)
+{
+    Rng rng(5000 + GetParam());
+    Quaternion q = Quaternion::fromAxisAngle(
+        rng.normal(), rng.normal(), rng.normal(),
+        rng.uniform(-kPi, kPi));
+    EulerAngles e = q.toZXZ();
+    Quaternion back = Quaternion::fromAxisAngle(0, 0, 1, e.alpha) *
+                      Quaternion::fromAxisAngle(1, 0, 0, e.beta) *
+                      Quaternion::fromAxisAngle(0, 0, 1, e.gamma);
+    EXPECT_TRUE(back.approxEqual(q, 1e-6));
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomRotations, EulerRoundTrip,
+                         ::testing::Range(0, 50));
+
+TEST(Quaternion, EulerDegenerateCases)
+{
+    // Pure Z rotation: beta == 0, everything in alpha.
+    EulerAngles e = Quaternion::fromGate(Gate::rz(0, 0.8)).toZYZ();
+    EXPECT_NEAR(e.beta, 0.0, 1e-9);
+    EXPECT_NEAR(e.alpha + e.gamma, 0.8, 1e-9);
+
+    // beta == pi (X gate in ZXZ).
+    EulerAngles ex = Quaternion::fromGate(Gate::x(0)).toZXZ();
+    EXPECT_NEAR(ex.beta, kPi, 1e-9);
+}
+
+TEST(Quaternion, HamiltonAntiCommutation)
+{
+    // XY = iZ in SU(2) language: quaternion i*j = k.
+    Quaternion qx{0, 1, 0, 0}, qy{0, 0, 1, 0};
+    Quaternion qxy = qx * qy;
+    EXPECT_NEAR(qxy.z, 1.0, 1e-12);
+    Quaternion qyx = qy * qx;
+    EXPECT_NEAR(qyx.z, -1.0, 1e-12);
+}
+
+} // namespace
+} // namespace triq

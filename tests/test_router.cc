@@ -1,0 +1,243 @@
+/**
+ * @file
+ * Router tests: adjacency constraints, swap accounting, final-map
+ * consistency, and the semantics-preservation property over random
+ * circuits and random calibrations.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+
+#include "common/rng.hh"
+#include "core/decompose.hh"
+#include "core/router.hh"
+#include "core/unitary.hh"
+#include "device/machines.hh"
+
+namespace triq
+{
+namespace
+{
+
+ReliabilityMatrix
+matrixFor(const Device &dev, uint64_t seed)
+{
+    Calibration calib = dev.averageCalibration();
+    Rng rng(seed);
+    for (auto &e : calib.err2q)
+        e = rng.uniform(0.01, 0.3);
+    return ReliabilityMatrix(dev.topology(), calib, dev.vendor());
+}
+
+/**
+ * Check that the routed circuit equals the program under the initial
+ * placement: program qubit p's line corresponds to hardware qubit
+ * initialMap[p], with the router's swaps undone via the final map.
+ *
+ * Strategy: extend the program to full device width by placing program
+ * qubit p at initialMap[p], then append SWAP gates that permute the
+ * routed circuit's final placement back to the initial placement, and
+ * compare unitaries.
+ */
+void
+expectRoutingPreservesSemantics(const Circuit &program,
+                                const RoutingResult &routed,
+                                const Topology &topo)
+{
+    ASSERT_LE(topo.numQubits(), 12);
+    // Reference: program embedded at the initial placement.
+    Circuit ref(topo.numQubits(), "ref");
+    for (const auto &g : program.gates()) {
+        if (g.kind == GateKind::Measure)
+            continue;
+        Gate hw = g;
+        for (int k = 0; k < g.arity(); ++k)
+            hw.qubits[static_cast<size_t>(k)] =
+                routed.initialMap[static_cast<size_t>(g.qubit(k))];
+        ref.add(hw);
+    }
+    // Routed circuit + permutation restoring initial placement.
+    Circuit undo(topo.numQubits(), "undo");
+    for (const auto &g : routed.circuit.gates())
+        if (g.kind != GateKind::Measure)
+            undo.add(g);
+    // Permutation: program qubit p sits at finalMap[p], must go back to
+    // initialMap[p]. Apply transpositions greedily.
+    std::vector<int> pos(topo.numQubits());
+    for (int h = 0; h < topo.numQubits(); ++h)
+        pos[static_cast<size_t>(h)] = h;
+    // where[h] = current location of the state that started at h.
+    std::vector<int> where(topo.numQubits());
+    for (int h = 0; h < topo.numQubits(); ++h)
+        where[static_cast<size_t>(h)] = h;
+    // The routed circuit moved the state initially at initialMap[p] to
+    // finalMap[p]; build that permutation for all qubits via the swap
+    // trace instead: replay swaps.
+    for (const auto &g : routed.circuit.gates())
+        if (g.kind == GateKind::Swap) {
+            for (auto &w : where)
+                if (w == g.qubit(0))
+                    w = g.qubit(1);
+                else if (w == g.qubit(1))
+                    w = g.qubit(0);
+        }
+    // Append swaps (any pair; unitary check only) to undo.
+    for (int h = 0; h < topo.numQubits(); ++h) {
+        // Find the state that started at h and bring it home.
+        int cur = where[static_cast<size_t>(h)];
+        if (cur == h)
+            continue;
+        undo.add(Gate::swap(cur, h));
+        for (auto &w : where)
+            if (w == cur)
+                w = h;
+            else if (w == h)
+                w = cur;
+    }
+    EXPECT_TRUE(sameUnitary(undo, ref)) << program.name();
+}
+
+TEST(Router, AdjacentGatesPassThrough)
+{
+    Device dev = makeIbmQ5();
+    ReliabilityMatrix rel = matrixFor(dev, 1);
+    Circuit c(2, "adj");
+    c.add(Gate::cnot(0, 1));
+    Mapping m;
+    m.progToHw = {0, 1};
+    RoutingResult r = routeCircuit(c, m, dev.topology(), rel);
+    EXPECT_EQ(r.swapCount, 0);
+    EXPECT_EQ(r.circuit.numGates(), 1);
+}
+
+TEST(Router, InsertsSwapsForDistantPairs)
+{
+    // Line of 4: CNOT between the ends needs swaps.
+    Device dev = makeRigettiAgave();
+    ReliabilityMatrix rel = matrixFor(dev, 2);
+    Circuit c(4, "far");
+    c.add(Gate::cnot(0, 3));
+    Mapping m;
+    m.progToHw = {0, 1, 2, 3};
+    RoutingResult r = routeCircuit(c, m, dev.topology(), rel);
+    EXPECT_EQ(r.swapCount, 2);
+    for (const auto &g : r.circuit.gates()) {
+        if (isTwoQubitGate(g.kind)) {
+            EXPECT_TRUE(
+                dev.topology().adjacent(g.qubit(0), g.qubit(1)));
+        }
+    }
+    // Final map differs from initial (the control moved).
+    EXPECT_NE(r.finalMap, r.initialMap);
+}
+
+TEST(Router, FullyConnectedNeverSwaps)
+{
+    Device dev = makeUmdTi();
+    ReliabilityMatrix rel = matrixFor(dev, 3);
+    Rng rng(55);
+    Circuit c(5, "dense");
+    for (int i = 0; i < 30; ++i) {
+        int a = rng.uniformInt(5);
+        int b = (a + 1 + rng.uniformInt(4)) % 5;
+        c.add(Gate::cnot(a, b));
+    }
+    Mapping m;
+    m.progToHw = {0, 1, 2, 3, 4};
+    RoutingResult r = routeCircuit(c, m, dev.topology(), rel);
+    EXPECT_EQ(r.swapCount, 0);
+    EXPECT_EQ(r.finalMap, r.initialMap);
+}
+
+TEST(Router, MeasureFollowsItsQubit)
+{
+    Device dev = makeRigettiAgave();
+    ReliabilityMatrix rel = matrixFor(dev, 4);
+    Circuit c(4, "meas");
+    c.add(Gate::cnot(0, 3)); // Forces swaps before measurement.
+    c.add(Gate::measure(0));
+    c.add(Gate::measure(3));
+    Mapping m;
+    m.progToHw = {0, 1, 2, 3};
+    RoutingResult r = routeCircuit(c, m, dev.topology(), rel);
+    std::vector<ProgQubit> measured = r.circuit.measuredQubits();
+    // The measured hardware qubits must be exactly where program
+    // qubits 0 and 3 ended up.
+    std::vector<HwQubit> expect{r.finalMap[0], r.finalMap[3]};
+    std::sort(expect.begin(), expect.end());
+    EXPECT_EQ(measured, expect);
+}
+
+class RouterProperty : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(RouterProperty, PreservesSemanticsOnRandomCircuits)
+{
+    uint64_t seed = GetParam();
+    Rng rng(seed);
+    // Random device among the small ones.
+    Device dev = seed % 3 == 0   ? makeIbmQ5()
+                 : seed % 3 == 1 ? makeRigettiAgave()
+                                 : makeUmdTi();
+    int n = std::min(4, dev.numQubits());
+    Circuit c(n, "rand");
+    for (int i = 0; i < 12; ++i) {
+        switch (rng.uniformInt(3)) {
+          case 0:
+            c.add(Gate::h(rng.uniformInt(n)));
+            break;
+          case 1:
+            c.add(Gate::t(rng.uniformInt(n)));
+            break;
+          default: {
+            int a = rng.uniformInt(n);
+            int b = (a + 1 + rng.uniformInt(n - 1)) % n;
+            c.add(Gate::cnot(a, b));
+            break;
+          }
+        }
+    }
+    ReliabilityMatrix rel = matrixFor(dev, seed * 7 + 1);
+    ProgramInfo info = ProgramInfo::fromCircuit(c);
+    MappingOptions mopts;
+    mopts.kind = MapperKind::Greedy;
+    Mapping m = mapQubits(info, rel, mopts);
+    RoutingResult r = routeCircuit(c, m, dev.topology(), rel);
+    for (const auto &g : r.circuit.gates()) {
+        if (isTwoQubitGate(g.kind)) {
+            ASSERT_TRUE(dev.topology().adjacent(g.qubit(0), g.qubit(1)))
+                << g.str();
+        }
+    }
+    expectRoutingPreservesSemantics(c, r, dev.topology());
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomCircuits, RouterProperty,
+                         ::testing::Range(uint64_t{0}, uint64_t{24}));
+
+TEST(Router, RejectsNonCnotBasis)
+{
+    Device dev = makeIbmQ5();
+    ReliabilityMatrix rel = matrixFor(dev, 5);
+    Circuit c(3, "bad");
+    c.add(Gate::ccx(0, 1, 2));
+    Mapping m;
+    m.progToHw = {0, 1, 2};
+    EXPECT_THROW(routeCircuit(c, m, dev.topology(), rel), PanicError);
+}
+
+TEST(Router, MappingWidthMismatchIsFatal)
+{
+    Device dev = makeIbmQ5();
+    ReliabilityMatrix rel = matrixFor(dev, 6);
+    Circuit c(3, "w");
+    c.add(Gate::cnot(0, 1));
+    Mapping m;
+    m.progToHw = {0, 1}; // Too short.
+    EXPECT_THROW(routeCircuit(c, m, dev.topology(), rel), FatalError);
+}
+
+} // namespace
+} // namespace triq

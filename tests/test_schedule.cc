@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Scheduling tests: gate durations, ASAP start times, total duration,
+ * idle-gap extraction and barrier handling.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+
+#include "core/schedule.hh"
+
+namespace triq
+{
+namespace
+{
+
+const GateDurations kDur{0.1, 0.4, 3.0};
+
+TEST(Schedule, GateDurations)
+{
+    EXPECT_DOUBLE_EQ(gateDurationUs(Gate::h(0), kDur), 0.1);
+    EXPECT_DOUBLE_EQ(gateDurationUs(Gate::u2(0, 0, 0), kDur), 0.1);
+    EXPECT_DOUBLE_EQ(gateDurationUs(Gate::u3(0, 1, 2, 3), kDur), 0.2);
+    EXPECT_DOUBLE_EQ(gateDurationUs(Gate::cnot(0, 1), kDur), 0.4);
+    EXPECT_DOUBLE_EQ(gateDurationUs(Gate::swap(0, 1), kDur), 1.2);
+    EXPECT_DOUBLE_EQ(gateDurationUs(Gate::measure(0), kDur), 3.0);
+    // Virtual-Z gates are classical frame updates: free.
+    EXPECT_DOUBLE_EQ(gateDurationUs(Gate::rz(0, 1.0), kDur), 0.0);
+    EXPECT_DOUBLE_EQ(gateDurationUs(Gate::t(0), kDur), 0.0);
+    EXPECT_DOUBLE_EQ(gateDurationUs(Gate::barrier(), kDur), 0.0);
+}
+
+TEST(Schedule, SerialChain)
+{
+    Circuit c(1);
+    c.add(Gate::h(0));
+    c.add(Gate::h(0));
+    c.add(Gate::measure(0));
+    ScheduleInfo s = scheduleCircuit(c, kDur);
+    EXPECT_DOUBLE_EQ(s.startUs[0], 0.0);
+    EXPECT_DOUBLE_EQ(s.startUs[1], 0.1);
+    EXPECT_DOUBLE_EQ(s.startUs[2], 0.2);
+    EXPECT_DOUBLE_EQ(s.totalUs, 3.2);
+    EXPECT_TRUE(s.gaps.empty());
+}
+
+TEST(Schedule, ParallelGates)
+{
+    Circuit c(2);
+    c.add(Gate::h(0));
+    c.add(Gate::h(1));
+    ScheduleInfo s = scheduleCircuit(c, kDur);
+    EXPECT_DOUBLE_EQ(s.startUs[0], 0.0);
+    EXPECT_DOUBLE_EQ(s.startUs[1], 0.0);
+    EXPECT_DOUBLE_EQ(s.totalUs, 0.1);
+}
+
+TEST(Schedule, IdleGapDetected)
+{
+    // q0 runs three gates while q1 idles after its first, then both
+    // join in a CNOT: q1 accumulates a gap.
+    Circuit c(2);
+    c.add(Gate::h(0));       // 0: q0 [0.0, 0.1)
+    c.add(Gate::h(1));       // 1: q1 [0.0, 0.1)
+    c.add(Gate::h(0));       // 2: q0 [0.1, 0.2)
+    c.add(Gate::h(0));       // 3: q0 [0.2, 0.3)
+    c.add(Gate::cnot(0, 1)); // 4: starts at 0.3
+    ScheduleInfo s = scheduleCircuit(c, kDur);
+    ASSERT_EQ(s.gaps.size(), 1u);
+    EXPECT_EQ(s.gaps[0].qubit, 1);
+    EXPECT_EQ(s.gaps[0].afterGate, 1);
+    EXPECT_NEAR(s.gaps[0].us, 0.2, 1e-12);
+}
+
+TEST(Schedule, VirtualZCausesNoGap)
+{
+    Circuit c(1);
+    c.add(Gate::h(0));
+    c.add(Gate::rz(0, 1.0)); // Free: no time passes.
+    c.add(Gate::h(0));
+    ScheduleInfo s = scheduleCircuit(c, kDur);
+    EXPECT_TRUE(s.gaps.empty());
+    EXPECT_DOUBLE_EQ(s.totalUs, 0.2);
+}
+
+TEST(Schedule, BarrierAlignsStarts)
+{
+    Circuit c(2);
+    c.add(Gate::h(0));       // [0.0, 0.1)
+    c.add(Gate::barrier());
+    c.add(Gate::h(1));       // Must start at 0.1, not 0.
+    ScheduleInfo s = scheduleCircuit(c, kDur);
+    EXPECT_DOUBLE_EQ(s.startUs[2], 0.1);
+}
+
+TEST(Schedule, BusyTimeAccounting)
+{
+    Circuit c(2);
+    c.add(Gate::h(0));
+    c.add(Gate::cnot(0, 1));
+    c.add(Gate::measure(1));
+    ScheduleInfo s = scheduleCircuit(c, kDur);
+    EXPECT_DOUBLE_EQ(s.busyUs[0], 0.1 + 0.4);
+    EXPECT_DOUBLE_EQ(s.busyUs[1], 0.4 + 3.0);
+}
+
+TEST(Schedule, InitialIdleNotCounted)
+{
+    // A qubit that only acts late has no gap before its first gate:
+    // |0> idling is harmless.
+    Circuit c(2);
+    c.add(Gate::h(0));
+    c.add(Gate::h(0));
+    c.add(Gate::h(1));
+    ScheduleInfo s = scheduleCircuit(c, kDur);
+    EXPECT_TRUE(s.gaps.empty());
+}
+
+} // namespace
+} // namespace triq

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Build smoke test: exercises one path through every subsystem linked so
+ * far. Real per-module suites live in the sibling test files.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/unitary.hh"
+#include "device/machines.hh"
+#include "sim/statevector.hh"
+
+namespace triq
+{
+namespace
+{
+
+TEST(Smoke, BellState)
+{
+    Circuit c(2, "bell");
+    c.add(Gate::h(0));
+    c.add(Gate::cnot(0, 1));
+    StateVector sv(2);
+    sv.applyCircuit(c);
+    EXPECT_NEAR(sv.probability(0), 0.5, 1e-12);
+    EXPECT_NEAR(sv.probability(3), 0.5, 1e-12);
+}
+
+TEST(Smoke, DevicesConstruct)
+{
+    auto devices = allStudyDevices();
+    ASSERT_EQ(devices.size(), 7u);
+    EXPECT_EQ(devices[0].numQubits(), 5);
+    EXPECT_EQ(devices[1].topology().numEdges(), 18);
+    EXPECT_EQ(devices[2].topology().numEdges(), 22);
+    EXPECT_TRUE(devices[6].topology().fullyConnected());
+}
+
+} // namespace
+} // namespace triq

@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Translation-pass tests: every vendor lowering must preserve the
+ * circuit unitary up to global phase, and pulse counting must follow
+ * the Fig. 2 software-visible gate sets.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "core/translate.hh"
+#include "core/unitary.hh"
+#include "device/machines.hh"
+
+namespace triq
+{
+namespace
+{
+
+Topology
+line2(bool directed)
+{
+    Topology t(2);
+    t.addEdge(0, 1, directed);
+    return t;
+}
+
+Circuit
+translate(const Circuit &c, const Topology &topo, const GateSet &gs,
+          bool fuse)
+{
+    TranslateOptions opts;
+    opts.fuseOneQubit = fuse;
+    return translateForDevice(c, topo, gs, opts).circuit;
+}
+
+class TranslateCnot : public ::testing::TestWithParam<bool>
+{
+};
+
+TEST_P(TranslateCnot, IbmNativeDirection)
+{
+    Circuit c(2);
+    c.add(Gate::cnot(0, 1));
+    Circuit out = translate(c, line2(true), GateSet::ibm(), GetParam());
+    EXPECT_TRUE(sameUnitary(out, c));
+    // Native orientation: exactly the CNOT, no 1Q gates.
+    EXPECT_EQ(out.numGates(), 1);
+}
+
+TEST_P(TranslateCnot, IbmReversedDirection)
+{
+    Circuit c(2);
+    c.add(Gate::cnot(1, 0)); // Edge is directed 0 -> 1.
+    Circuit out = translate(c, line2(true), GateSet::ibm(), GetParam());
+    EXPECT_TRUE(sameUnitary(out, c));
+    // The emitted CNOT must follow the hardware direction.
+    for (const auto &g : out.gates()) {
+        if (g.kind == GateKind::Cnot) {
+            EXPECT_EQ(g.qubit(0), 0);
+        }
+    }
+}
+
+TEST_P(TranslateCnot, RigettiCnotViaCz)
+{
+    Circuit c(2);
+    c.add(Gate::cnot(0, 1));
+    Circuit out = translate(c, line2(false), GateSet::rigetti(),
+                            GetParam());
+    EXPECT_TRUE(sameUnitary(out, c));
+    int czs = out.countIf(
+        [](const Gate &g) { return g.kind == GateKind::Cz; });
+    EXPECT_EQ(czs, 1);
+    // Only software-visible Rigetti gates may appear.
+    for (const auto &g : out.gates()) {
+        bool ok = g.kind == GateKind::Cz || g.kind == GateKind::Rz ||
+                  g.kind == GateKind::Rx;
+        EXPECT_TRUE(ok) << g.str();
+        if (g.kind == GateKind::Rx) {
+            EXPECT_NEAR(std::abs(g.params[0]), kPi / 2, 1e-9) << g.str();
+        }
+    }
+}
+
+TEST_P(TranslateCnot, UmdCnotViaXx)
+{
+    Circuit c(2);
+    c.add(Gate::cnot(0, 1));
+    Circuit out = translate(c, line2(false), GateSet::umd(), GetParam());
+    EXPECT_TRUE(sameUnitary(out, c));
+    int xxs = out.countIf(
+        [](const Gate &g) { return g.kind == GateKind::Xx; });
+    EXPECT_EQ(xxs, 1);
+    for (const auto &g : out.gates()) {
+        bool ok = g.kind == GateKind::Xx || g.kind == GateKind::Rz ||
+                  g.kind == GateKind::Rxy;
+        EXPECT_TRUE(ok) << g.str();
+    }
+}
+
+TEST_P(TranslateCnot, SwapExpansion)
+{
+    Circuit c(2);
+    c.add(Gate::swap(0, 1));
+    for (const GateSet &gs :
+         {GateSet::ibm(), GateSet::rigetti(), GateSet::umd()}) {
+        Circuit out = translate(c, line2(gs.vendor == Vendor::IBM), gs,
+                                GetParam());
+        EXPECT_TRUE(sameUnitary(out, c)) << gs.describe();
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(FuseModes, TranslateCnot, ::testing::Bool());
+
+/** A random 1Q gate on qubit q. */
+Gate
+random1q(Rng &rng, int q)
+{
+    switch (rng.uniformInt(8)) {
+      case 0:
+        return Gate::h(q);
+      case 1:
+        return Gate::x(q);
+      case 2:
+        return Gate::t(q);
+      case 3:
+        return Gate::s(q);
+      case 4:
+        return Gate::rx(q, rng.uniform(-kPi, kPi));
+      case 5:
+        return Gate::ry(q, rng.uniform(-kPi, kPi));
+      case 6:
+        return Gate::rz(q, rng.uniform(-kPi, kPi));
+      default:
+        return Gate::u3(q, rng.uniform(0, kPi), rng.uniform(-kPi, kPi),
+                        rng.uniform(-kPi, kPi));
+    }
+}
+
+class FusionProperty : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(FusionProperty, RunsFuseToVendorPulseCaps)
+{
+    // Any run of 1Q gates must fuse to at most: 2 pulses on IBM (one
+    // U3), 2 Rx(pi/2) pulses on Rigetti, 1 Rxy pulse on UMD — plus
+    // error-free virtual Z rotations. And stay unitary-equivalent.
+    Rng rng(1234 + GetParam());
+    Circuit c(1);
+    int len = 1 + rng.uniformInt(10);
+    for (int i = 0; i < len; ++i)
+        c.add(random1q(rng, 0));
+
+    Topology t(1);
+    struct Cap
+    {
+        GateSet gs;
+        int maxPulses;
+    };
+    const Cap caps[] = {
+        {GateSet::ibm(), 2},
+        {GateSet::rigetti(), 2},
+        {GateSet::umd(), 1},
+    };
+    for (const auto &cap : caps) {
+        TranslateOptions opts;
+        opts.fuseOneQubit = true;
+        TranslateResult res = translateForDevice(c, t, cap.gs, opts);
+        EXPECT_LE(res.stats.pulses1q, cap.maxPulses)
+            << cap.gs.describe();
+        EXPECT_TRUE(sameUnitary(res.circuit, c)) << cap.gs.describe();
+    }
+}
+
+TEST_P(FusionProperty, FusionNeverIncreasesPulses)
+{
+    Rng rng(9999 + GetParam());
+    Circuit safe(2);
+    for (int i = 0; i < 14; ++i) {
+        if (rng.uniformInt(4) == 0) {
+            bool flip = rng.uniformInt(2) == 1;
+            safe.add(Gate::cnot(flip ? 1 : 0, flip ? 0 : 1));
+        } else {
+            safe.add(random1q(rng, rng.uniformInt(2)));
+        }
+    }
+    Topology t(2);
+    t.addEdge(0, 1);
+    for (const GateSet &gs :
+         {GateSet::ibm(), GateSet::rigetti(), GateSet::umd()}) {
+        TranslateOptions fused{true}, naive{false};
+        TranslateResult f = translateForDevice(safe, t, gs, fused);
+        TranslateResult n = translateForDevice(safe, t, gs, naive);
+        EXPECT_LE(f.stats.pulses1q, n.stats.pulses1q) << gs.describe();
+        EXPECT_TRUE(sameUnitary(f.circuit, n.circuit))
+            << gs.describe();
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomRuns, FusionProperty,
+                         ::testing::Range(uint64_t{0}, uint64_t{40}));
+
+TEST(TranslateStatsTest, VirtualZMaximized)
+{
+    // A pure-Z run must emit zero pulses, only virtual rotations.
+    Circuit c(1);
+    c.add(Gate::t(0));
+    c.add(Gate::s(0));
+    c.add(Gate::rz(0, 0.3));
+    c.add(Gate::z(0));
+    Topology t(1);
+    for (const GateSet &gs :
+         {GateSet::ibm(), GateSet::rigetti(), GateSet::umd()}) {
+        TranslateOptions opts;
+        TranslateResult res = translateForDevice(c, t, gs, opts);
+        EXPECT_EQ(res.stats.pulses1q, 0) << gs.describe();
+        EXPECT_LE(res.stats.virtualZ, 1) << gs.describe();
+        EXPECT_TRUE(sameUnitary(res.circuit, c)) << gs.describe();
+    }
+}
+
+TEST(TranslateStatsTest, IdentityRunVanishes)
+{
+    Circuit c(1);
+    c.add(Gate::h(0));
+    c.add(Gate::h(0));
+    c.add(Gate::x(0));
+    c.add(Gate::x(0));
+    Topology t(1);
+    TranslateOptions opts;
+    TranslateResult res =
+        translateForDevice(c, t, GateSet::umd(), opts);
+    EXPECT_EQ(res.circuit.numGates(), 0);
+}
+
+} // namespace
+} // namespace triq

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Gate-unitary tests: all matrices unitary across parameter sweeps,
+ * embedding correctness against Kronecker products, circuit unitaries
+ * of known circuits.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+
+#include "common/rng.hh"
+#include "core/unitary.hh"
+
+namespace triq
+{
+namespace
+{
+
+class ParamSweep : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(ParamSweep, RotationsAreUnitary)
+{
+    double t = GetParam();
+    for (const Gate &g :
+         {Gate::rx(0, t), Gate::ry(0, t), Gate::rz(0, t),
+          Gate::rxy(0, t, 0.3), Gate::u1(0, t), Gate::u2(0, t, -t),
+          Gate::u3(0, t, 0.2, -0.7), Gate::cphase(0, 1, t),
+          Gate::xx(0, 1, t)})
+        EXPECT_TRUE(gateMatrix(g).isUnitary(1e-9)) << g.str();
+}
+
+INSTANTIATE_TEST_SUITE_P(Angles, ParamSweep,
+                         ::testing::Values(-kPi, -1.7, -kPi / 2, -0.3,
+                                           0.0, 0.3, kPi / 2, 1.7, kPi,
+                                           2.9));
+
+TEST(Unitary, FixedGatesAreUnitary)
+{
+    for (const Gate &g :
+         {Gate::i(0), Gate::x(0), Gate::y(0), Gate::z(0), Gate::h(0),
+          Gate::s(0), Gate::sdg(0), Gate::t(0), Gate::tdg(0),
+          Gate::cnot(0, 1), Gate::cz(0, 1), Gate::swap(0, 1),
+          Gate::ccx(0, 1, 2), Gate::ccz(0, 1, 2), Gate::cswap(0, 1, 2)})
+        EXPECT_TRUE(gateMatrix(g).isUnitary(1e-12)) << g.str();
+}
+
+TEST(Unitary, KnownIdentities)
+{
+    // H Z H = X.
+    Circuit hzh(1);
+    hzh.add(Gate::h(0));
+    hzh.add(Gate::z(0));
+    hzh.add(Gate::h(0));
+    Circuit x(1);
+    x.add(Gate::x(0));
+    EXPECT_TRUE(sameUnitary(hzh, x));
+
+    // S S = Z; T T = S.
+    Circuit ss(1);
+    ss.add(Gate::s(0));
+    ss.add(Gate::s(0));
+    Circuit z(1);
+    z.add(Gate::z(0));
+    EXPECT_TRUE(sameUnitary(ss, z));
+
+    Circuit tt(1);
+    tt.add(Gate::t(0));
+    tt.add(Gate::t(0));
+    Circuit s(1);
+    s.add(Gate::s(0));
+    EXPECT_TRUE(sameUnitary(tt, s));
+}
+
+TEST(Unitary, CnotControlIsOperandZero)
+{
+    // CNOT|10> (control=bit0 set) flips the target -> |11>.
+    Matrix m = gateMatrix(Gate::cnot(0, 1));
+    EXPECT_EQ(m(3, 1), Cplx(1, 0));
+    EXPECT_EQ(m(2, 2), Cplx(1, 0));
+}
+
+TEST(Unitary, EmbedMatchesKron)
+{
+    // Gate on qubit 1 of 2: embed == M kron I (qubit 0 is the LSB).
+    Gate g = Gate::h(1);
+    Matrix embedded = embedGate(2, g);
+    Matrix expected = gateMatrix(Gate::h(0)).kron(Matrix::identity(2));
+    EXPECT_TRUE(embedded.approxEqual(expected, 1e-12));
+
+    Gate g0 = Gate::h(0);
+    Matrix embedded0 = embedGate(2, g0);
+    Matrix expected0 = Matrix::identity(2).kron(gateMatrix(Gate::h(0)));
+    EXPECT_TRUE(embedded0.approxEqual(expected0, 1e-12));
+}
+
+TEST(Unitary, EmbedTwoQubitReversedOperands)
+{
+    // cnot(1,0) on a 2-qubit register: control = qubit 1.
+    Matrix m = embedGate(2, Gate::cnot(1, 0));
+    // |10> (bit1 set) -> |11>.
+    EXPECT_EQ(m(3, 2), Cplx(1, 0));
+    EXPECT_EQ(m(1, 1), Cplx(1, 0));
+    EXPECT_TRUE(m.isUnitary());
+}
+
+TEST(Unitary, SwapNetworkReverses)
+{
+    // Swapping (0,1)(1,2)(0,1) reverses a 3-qubit register: it maps
+    // basis |b2 b1 b0> to |b0 b1 b2>.
+    Circuit c(3);
+    c.add(Gate::swap(0, 1));
+    c.add(Gate::swap(1, 2));
+    c.add(Gate::swap(0, 1));
+    Matrix u = circuitUnitary(c);
+    for (int b = 0; b < 8; ++b) {
+        int rev = ((b & 1) << 2) | (b & 2) | ((b >> 2) & 1);
+        EXPECT_EQ(u(rev, b), Cplx(1, 0)) << b;
+    }
+}
+
+TEST(Unitary, GlobalPhaseEquivalence)
+{
+    // Rz(t) and U1(t) differ only by a global phase.
+    Circuit a(1), b(1);
+    a.add(Gate::rz(0, 1.234));
+    b.add(Gate::u1(0, 1.234));
+    EXPECT_TRUE(sameUnitary(a, b));
+    EXPECT_FALSE(
+        circuitUnitary(a).approxEqual(circuitUnitary(b), 1e-9));
+}
+
+TEST(Unitary, RejectsMeasure)
+{
+    Circuit c(1);
+    c.add(Gate::measure(0));
+    EXPECT_THROW(circuitUnitary(c), PanicError);
+}
+
+TEST(Unitary, RandomCircuitsAreUnitary)
+{
+    Rng rng(31337);
+    for (int rep = 0; rep < 20; ++rep) {
+        Circuit c(3);
+        for (int i = 0; i < 15; ++i) {
+            switch (rng.uniformInt(4)) {
+              case 0:
+                c.add(Gate::h(rng.uniformInt(3)));
+                break;
+              case 1:
+                c.add(Gate::rz(rng.uniformInt(3),
+                               rng.uniform(-kPi, kPi)));
+                break;
+              case 2: {
+                int a = rng.uniformInt(3);
+                int b = (a + 1 + rng.uniformInt(2)) % 3;
+                c.add(Gate::cnot(a, b));
+                break;
+              }
+              default:
+                c.add(Gate::rx(rng.uniformInt(3),
+                               rng.uniform(-kPi, kPi)));
+                break;
+            }
+        }
+        EXPECT_TRUE(circuitUnitary(c).isUnitary(1e-9));
+    }
+}
+
+} // namespace
+} // namespace triq

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Tests for the ScaffLite writer round trip and the compilation
+ * verification API, plus the extra workloads (Grover, GHZ).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "core/unitary.hh"
+#include "device/machines.hh"
+#include "lang/lower.hh"
+#include "lang/scaff_writer.hh"
+#include "sim/verify.hh"
+#include "workloads/benchmarks.hh"
+
+namespace triq
+{
+namespace
+{
+
+TEST(ScaffWriter, RoundTripsEveryBenchmark)
+{
+    for (const auto &name : benchmarkNames()) {
+        Circuit original = makeBenchmark(name);
+        std::string source = toScaffLite(original);
+        Circuit back = compileScaffLite(source);
+        EXPECT_EQ(back.numQubits(), original.numQubits()) << name;
+        EXPECT_EQ(back.measuredQubits(), original.measuredQubits())
+            << name;
+        EXPECT_TRUE(sameUnitary(back, original)) << name << "\n"
+                                                 << source;
+    }
+}
+
+TEST(ScaffWriter, RoundTripsExtraWorkloads)
+{
+    for (const Circuit &c : {makeGrover2(), makeGhzRoundTrip(4)}) {
+        Circuit back = compileScaffLite(toScaffLite(c));
+        EXPECT_TRUE(sameUnitary(back, c)) << c.name();
+    }
+}
+
+TEST(ScaffWriter, PiMultiplesStayExact)
+{
+    Circuit c(1);
+    c.add(Gate::rz(0, kPi / 8));
+    c.add(Gate::rx(0, -kPi / 2));
+    Circuit back = compileScaffLite(toScaffLite(c));
+    EXPECT_DOUBLE_EQ(back.gate(0).params[0], kPi / 8);
+    EXPECT_DOUBLE_EQ(back.gate(1).params[0], -kPi / 2);
+}
+
+TEST(ScaffWriter, RejectsDeviceLevelGates)
+{
+    Circuit c(1);
+    c.add(Gate::u2(0, 0.0, kPi));
+    EXPECT_THROW(toScaffLite(c), FatalError);
+    Circuit x(2);
+    x.add(Gate::xx(0, 1, kPi / 4));
+    EXPECT_THROW(toScaffLite(x), FatalError);
+}
+
+TEST(Verify, AcceptsEveryCompiledBenchmark)
+{
+    Device dev = makeIbmQ14();
+    Calibration calib = dev.calibrate(2);
+    for (const auto &name : benchmarkNames()) {
+        Circuit program = makeBenchmark(name);
+        CompileOptions opts;
+        opts.emitAssembly = false;
+        CompileResult res = compileForDevice(program, dev, calib, opts);
+        VerificationResult v = verifyCompilation(program, res);
+        EXPECT_TRUE(v.equivalent)
+            << name << " maxDeviation=" << v.maxDeviation;
+        EXPECT_LT(v.totalVariation, 1e-7) << name;
+    }
+}
+
+TEST(Verify, DetectsCorruptedCompilation)
+{
+    Device dev = makeIbmQ5();
+    Calibration calib = dev.calibrate(0);
+    Circuit program = makeBenchmark("BV4");
+    CompileOptions opts;
+    opts.emitAssembly = false;
+    CompileResult res = compileForDevice(program, dev, calib, opts);
+    // Sabotage: flip a measured hardware qubit just before readout.
+    Circuit broken(res.hwCircuit.numQubits(), "broken");
+    HwQubit victim = res.hwCircuit.measuredQubits().front();
+    for (const auto &g : res.hwCircuit.gates()) {
+        if (g.kind == GateKind::Measure && g.qubit(0) == victim)
+            broken.add(Gate::u3(victim, kPi, 0.0, kPi)); // X pulse.
+        broken.add(g);
+    }
+    CompileResult tampered = res;
+    tampered.hwCircuit = broken;
+    VerificationResult v = verifyCompilation(program, tampered);
+    EXPECT_FALSE(v.equivalent);
+    EXPECT_GT(v.maxDeviation, 0.5);
+}
+
+TEST(Verify, RequiresMeasurement)
+{
+    Device dev = makeIbmQ5();
+    Circuit program(2, "nomeas");
+    program.add(Gate::h(0));
+    CompileResult res;
+    EXPECT_THROW(verifyCompilation(program, res), FatalError);
+}
+
+TEST(ExtraWorkloads, GroverFindsEveryMarkedItem)
+{
+    for (uint64_t marked = 0; marked < 4; ++marked)
+        EXPECT_EQ(idealOutcome(makeGrover2(marked)), marked);
+    EXPECT_THROW(makeGrover2(4), FatalError);
+}
+
+TEST(ExtraWorkloads, GhzRoundTripDeterministic)
+{
+    for (int n : {2, 3, 5})
+        EXPECT_EQ(idealOutcome(makeGhzRoundTrip(n)), 1u) << n;
+    EXPECT_THROW(makeGhzRoundTrip(1), FatalError);
+}
+
+TEST(ExtraWorkloads, ShippedProgramFilesCompile)
+{
+    // The generated .scaff files in examples/programs must stay in
+    // sync with the built-in generators.
+    struct Entry
+    {
+        const char *file;
+        const char *bench;
+    };
+    const Entry entries[] = {
+        {"examples/programs/bv4.scaff", "BV4"},
+        {"examples/programs/hs4.scaff", "HS4"},
+        {"examples/programs/toffoli.scaff", "Toffoli"},
+        {"examples/programs/qft.scaff", "QFT"},
+        {"examples/programs/adder.scaff", "Adder"},
+    };
+    for (const auto &e : entries) {
+        Circuit from_file = [&] {
+            try {
+                return compileScaffLiteFile(e.file);
+            } catch (const FatalError &) {
+                // Running from another directory: try the source root.
+                return compileScaffLiteFile(std::string(TRIQ_SOURCE_DIR) +
+                                            "/" + e.file);
+            }
+        }();
+        EXPECT_TRUE(sameUnitary(from_file, makeBenchmark(e.bench)))
+            << e.file;
+    }
+}
+
+} // namespace
+} // namespace triq

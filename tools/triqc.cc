@@ -1,0 +1,249 @@
+/**
+ * @file
+ * triqc — the TriQ command-line compiler driver.
+ *
+ * Compiles a ScaffLite or OpenQASM program for any of the seven study
+ * machines at any Table-1 optimization level and prints the executable
+ * assembly, plus an optional compilation/prediction report.
+ *
+ * Usage:
+ *   triqc [options] <program-file>
+ *   triqc --list-devices
+ *   triqc --bench BV4 -d IBMQ14 -O cn --report
+ *
+ * Options:
+ *   -d, --device NAME    target machine (default IBMQ5)
+ *   -O, --level L        n | 1q | c | cn (default cn)
+ *   -m, --mapper M       trivial | greedy | bnb | smt (default bnb)
+ *   --day N              calibration day (default 0)
+ *   --bench NAME         compile a built-in study benchmark instead of
+ *                        a file
+ *   --qasm               parse the input file as OpenQASM 2.0
+ *   --peephole           enable inverse-pair cancellation
+ *   --report             print gate counts, ESP and predicted success
+ *   --trials N           trials for the success prediction (default 2000)
+ *   -o FILE              write assembly to FILE instead of stdout
+ */
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "core/compiler.hh"
+#include "core/esp.hh"
+#include "device/machines.hh"
+#include "lang/lower.hh"
+#include "lang/qasm_parser.hh"
+#include "sim/executor.hh"
+#include "sim/verify.hh"
+#include "workloads/benchmarks.hh"
+
+using namespace triq;
+
+namespace
+{
+
+struct Args
+{
+    std::string device = "IBMQ5";
+    std::string level = "cn";
+    std::string mapper = "bnb";
+    std::string inputFile;
+    std::string benchName;
+    std::string outputFile;
+    std::string calibrationFile;
+    int day = 0;
+    int trials = 2000;
+    bool qasm = false;
+    bool peephole = false;
+    bool report = false;
+    bool verify = false;
+    bool listDevices = false;
+};
+
+void
+usage()
+{
+    std::cerr <<
+        "usage: triqc [options] <program.scaff>\n"
+        "  -d, --device NAME   target machine (see --list-devices)\n"
+        "  -O, --level L       n | 1q | c | cn         (default cn)\n"
+        "  -m, --mapper M      trivial|greedy|bnb|smt  (default bnb)\n"
+        "  --day N             calibration day         (default 0)\n"
+        "  --calibration FILE  load calibration from FILE (triq-calgen\n"
+        "                      format) instead of synthesizing a day\n"
+        "  --bench NAME        compile a built-in benchmark\n"
+        "  --qasm              input is OpenQASM 2.0\n"
+        "  --peephole          enable inverse-pair cancellation\n"
+        "  --report            print stats, ESP, predicted success\n"
+        "  --verify            check compiled-vs-program equivalence\n"
+        "  --trials N          prediction trials       (default 2000)\n"
+        "  -o FILE             write assembly to FILE\n"
+        "  --list-devices      list the seven study machines\n";
+}
+
+Args
+parseArgs(int argc, char **argv)
+{
+    Args a;
+    auto need_value = [&](int &i, const char *flag) -> const char * {
+        if (i + 1 >= argc)
+            fatal("triqc: ", flag, " needs a value");
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (!std::strcmp(arg, "-d") || !std::strcmp(arg, "--device"))
+            a.device = need_value(i, arg);
+        else if (!std::strcmp(arg, "-O") || !std::strcmp(arg, "--level"))
+            a.level = need_value(i, arg);
+        else if (!std::strcmp(arg, "-m") || !std::strcmp(arg, "--mapper"))
+            a.mapper = need_value(i, arg);
+        else if (!std::strcmp(arg, "--day"))
+            a.day = std::atoi(need_value(i, arg));
+        else if (!std::strcmp(arg, "--calibration"))
+            a.calibrationFile = need_value(i, arg);
+        else if (!std::strcmp(arg, "--bench"))
+            a.benchName = need_value(i, arg);
+        else if (!std::strcmp(arg, "--qasm"))
+            a.qasm = true;
+        else if (!std::strcmp(arg, "--peephole"))
+            a.peephole = true;
+        else if (!std::strcmp(arg, "--report"))
+            a.report = true;
+        else if (!std::strcmp(arg, "--verify"))
+            a.verify = true;
+        else if (!std::strcmp(arg, "--trials"))
+            a.trials = std::atoi(need_value(i, arg));
+        else if (!std::strcmp(arg, "-o"))
+            a.outputFile = need_value(i, arg);
+        else if (!std::strcmp(arg, "--list-devices"))
+            a.listDevices = true;
+        else if (!std::strcmp(arg, "-h") || !std::strcmp(arg, "--help")) {
+            usage();
+            std::exit(0);
+        } else if (arg[0] == '-') {
+            fatal("triqc: unknown option '", arg, "'");
+        } else {
+            a.inputFile = arg;
+        }
+    }
+    return a;
+}
+
+OptLevel
+levelFromString(const std::string &s)
+{
+    if (s == "n")
+        return OptLevel::N;
+    if (s == "1q")
+        return OptLevel::OneQOpt;
+    if (s == "c")
+        return OptLevel::OneQOptC;
+    if (s == "cn")
+        return OptLevel::OneQOptCN;
+    fatal("triqc: unknown level '", s, "' (expected n|1q|c|cn)");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        Args args = parseArgs(argc, argv);
+        if (args.listDevices) {
+            for (const Device &d : allStudyDevices())
+                std::cout << d.name() << ": " << d.numQubits()
+                          << " qubits, " << d.gateSet().describe()
+                          << "\n";
+            return 0;
+        }
+        if (args.inputFile.empty() && args.benchName.empty()) {
+            usage();
+            return 2;
+        }
+
+        Circuit program = [&] {
+            if (!args.benchName.empty())
+                return makeBenchmark(args.benchName);
+            if (args.qasm) {
+                std::ifstream in(args.inputFile);
+                if (!in)
+                    fatal("triqc: cannot open '", args.inputFile, "'");
+                std::ostringstream ss;
+                ss << in.rdbuf();
+                return parseOpenQasm(ss.str());
+            }
+            return compileScaffLiteFile(args.inputFile);
+        }();
+
+        Device dev = [&] {
+            for (auto &d : allStudyDevices())
+                if (d.name() == args.device)
+                    return d;
+            fatal("triqc: unknown device '", args.device,
+                  "' (try --list-devices)");
+        }();
+
+        Calibration calib = [&] {
+            if (args.calibrationFile.empty())
+                return dev.calibrate(args.day);
+            std::ifstream in(args.calibrationFile);
+            if (!in)
+                fatal("triqc: cannot open calibration '",
+                      args.calibrationFile, "'");
+            return Calibration::load(in);
+        }();
+        CompileOptions opts;
+        opts.level = levelFromString(args.level);
+        opts.mapping.kind = mapperKindFromString(args.mapper);
+        opts.peephole = args.peephole;
+        CompileResult res = compileForDevice(program, dev, calib, opts);
+
+        if (args.outputFile.empty()) {
+            std::cout << res.assembly;
+        } else {
+            std::ofstream out(args.outputFile);
+            if (!out)
+                fatal("triqc: cannot write '", args.outputFile, "'");
+            out << res.assembly;
+        }
+
+        if (args.verify) {
+            VerificationResult v = verifyCompilation(program, res);
+            std::cerr << "verification: "
+                      << (v.equivalent ? "EQUIVALENT" : "MISMATCH")
+                      << " (max deviation " << v.maxDeviation << ")\n";
+            if (!v.equivalent)
+                return 3;
+        }
+
+        if (args.report) {
+            ExecutionResult run =
+                executeNoisy(res.hwCircuit, dev, calib, args.trials);
+            std::cerr << "== triqc report ==\n"
+                      << "program:        " << program.name() << " ("
+                      << program.numQubits() << " qubits)\n"
+                      << "device:         " << dev.name() << " day "
+                      << args.day << "\n"
+                      << "level:          " << optLevelName(opts.level)
+                      << "\n"
+                      << "2Q gates:       " << res.stats.twoQ << "\n"
+                      << "1Q pulses:      " << res.stats.pulses1q << "\n"
+                      << "virtual Z:      " << res.stats.virtualZ << "\n"
+                      << "swaps:          " << res.swapCount << "\n"
+                      << "compile time:   " << res.compileMs << " ms\n"
+                      << "ESP:            " << run.esp << "\n"
+                      << "pred. success:  " << run.successRate << " ("
+                      << run.trials << " trials)\n";
+        }
+        return 0;
+    } catch (const FatalError &e) {
+        return 1;
+    } catch (const PanicError &e) {
+        return 70;
+    }
+}
