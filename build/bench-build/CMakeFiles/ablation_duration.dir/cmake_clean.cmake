@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_duration"
+  "../bench/ablation_duration.pdb"
+  "CMakeFiles/ablation_duration.dir/ablation_duration.cc.o"
+  "CMakeFiles/ablation_duration.dir/ablation_duration.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_duration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

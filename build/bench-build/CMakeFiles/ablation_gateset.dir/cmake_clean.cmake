@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_gateset"
+  "../bench/ablation_gateset.pdb"
+  "CMakeFiles/ablation_gateset.dir/ablation_gateset.cc.o"
+  "CMakeFiles/ablation_gateset.dir/ablation_gateset.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_gateset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

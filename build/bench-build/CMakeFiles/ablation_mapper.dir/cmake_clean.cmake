@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_mapper"
+  "../bench/ablation_mapper.pdb"
+  "CMakeFiles/ablation_mapper.dir/ablation_mapper.cc.o"
+  "CMakeFiles/ablation_mapper.dir/ablation_mapper.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mapper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

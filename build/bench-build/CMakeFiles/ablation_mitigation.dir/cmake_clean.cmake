@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_mitigation"
+  "../bench/ablation_mitigation.pdb"
+  "CMakeFiles/ablation_mitigation.dir/ablation_mitigation.cc.o"
+  "CMakeFiles/ablation_mitigation.dir/ablation_mitigation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mitigation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

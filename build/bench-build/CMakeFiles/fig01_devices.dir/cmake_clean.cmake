@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig01_devices"
+  "../bench/fig01_devices.pdb"
+  "CMakeFiles/fig01_devices.dir/fig01_devices.cc.o"
+  "CMakeFiles/fig01_devices.dir/fig01_devices.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_devices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

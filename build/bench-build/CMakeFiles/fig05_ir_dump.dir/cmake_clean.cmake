@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig05_ir_dump"
+  "../bench/fig05_ir_dump.pdb"
+  "CMakeFiles/fig05_ir_dump.dir/fig05_ir_dump.cc.o"
+  "CMakeFiles/fig05_ir_dump.dir/fig05_ir_dump.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_ir_dump.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

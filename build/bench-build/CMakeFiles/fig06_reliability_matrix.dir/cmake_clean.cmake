@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig06_reliability_matrix"
+  "../bench/fig06_reliability_matrix.pdb"
+  "CMakeFiles/fig06_reliability_matrix.dir/fig06_reliability_matrix.cc.o"
+  "CMakeFiles/fig06_reliability_matrix.dir/fig06_reliability_matrix.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_reliability_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig07_benchmarks"
+  "../bench/fig07_benchmarks.pdb"
+  "CMakeFiles/fig07_benchmarks.dir/fig07_benchmarks.cc.o"
+  "CMakeFiles/fig07_benchmarks.dir/fig07_benchmarks.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_benchmarks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig08_1q_counts"
+  "../bench/fig08_1q_counts.pdb"
+  "CMakeFiles/fig08_1q_counts.dir/fig08_1q_counts.cc.o"
+  "CMakeFiles/fig08_1q_counts.dir/fig08_1q_counts.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_1q_counts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig08_1q_counts.
+# This may be replaced when dependencies are built.

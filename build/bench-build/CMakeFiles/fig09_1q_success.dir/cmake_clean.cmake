@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_1q_success"
+  "../bench/fig09_1q_success.pdb"
+  "CMakeFiles/fig09_1q_success.dir/fig09_1q_success.cc.o"
+  "CMakeFiles/fig09_1q_success.dir/fig09_1q_success.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_1q_success.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_comm_opt"
+  "../bench/fig10_comm_opt.pdb"
+  "CMakeFiles/fig10_comm_opt.dir/fig10_comm_opt.cc.o"
+  "CMakeFiles/fig10_comm_opt.dir/fig10_comm_opt.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_comm_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_noise_adaptivity"
+  "../bench/fig11_noise_adaptivity.pdb"
+  "CMakeFiles/fig11_noise_adaptivity.dir/fig11_noise_adaptivity.cc.o"
+  "CMakeFiles/fig11_noise_adaptivity.dir/fig11_noise_adaptivity.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_noise_adaptivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_cross_platform"
+  "../bench/fig12_cross_platform.pdb"
+  "CMakeFiles/fig12_cross_platform.dir/fig12_cross_platform.cc.o"
+  "CMakeFiles/fig12_cross_platform.dir/fig12_cross_platform.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_cross_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

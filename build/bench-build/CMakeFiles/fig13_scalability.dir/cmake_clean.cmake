@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig13_scalability"
+  "../bench/fig13_scalability.pdb"
+  "CMakeFiles/fig13_scalability.dir/fig13_scalability.cc.o"
+  "CMakeFiles/fig13_scalability.dir/fig13_scalability.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

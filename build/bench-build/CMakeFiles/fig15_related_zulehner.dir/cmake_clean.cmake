@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig15_related_zulehner"
+  "../bench/fig15_related_zulehner.pdb"
+  "CMakeFiles/fig15_related_zulehner.dir/fig15_related_zulehner.cc.o"
+  "CMakeFiles/fig15_related_zulehner.dir/fig15_related_zulehner.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_related_zulehner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig15_related_zulehner.
+# This may be replaced when dependencies are built.

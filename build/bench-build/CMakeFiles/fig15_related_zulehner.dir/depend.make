@@ -1,0 +1,2 @@
+# Empty dependencies file for fig15_related_zulehner.
+# This may be replaced when dependencies are built.

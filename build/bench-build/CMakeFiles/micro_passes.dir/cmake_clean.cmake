@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_passes"
+  "../bench/micro_passes.pdb"
+  "CMakeFiles/micro_passes.dir/micro_passes.cc.o"
+  "CMakeFiles/micro_passes.dir/micro_passes.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_passes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

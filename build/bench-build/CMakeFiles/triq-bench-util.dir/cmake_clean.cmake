@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/triq-bench-util.dir/bench_util.cc.o"
+  "CMakeFiles/triq-bench-util.dir/bench_util.cc.o.d"
+  "libtriq-bench-util.a"
+  "libtriq-bench-util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/triq-bench-util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for triq-bench-util.
+# This may be replaced when dependencies are built.

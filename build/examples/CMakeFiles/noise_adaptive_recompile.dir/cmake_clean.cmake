@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noise_adaptive_recompile.dir/noise_adaptive_recompile.cpp.o"
+  "CMakeFiles/noise_adaptive_recompile.dir/noise_adaptive_recompile.cpp.o.d"
+  "noise_adaptive_recompile"
+  "noise_adaptive_recompile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noise_adaptive_recompile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

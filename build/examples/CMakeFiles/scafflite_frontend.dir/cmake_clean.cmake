@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scafflite_frontend.dir/scafflite_frontend.cpp.o"
+  "CMakeFiles/scafflite_frontend.dir/scafflite_frontend.cpp.o.d"
+  "scafflite_frontend"
+  "scafflite_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scafflite_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

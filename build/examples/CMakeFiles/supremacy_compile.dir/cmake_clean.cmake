@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/supremacy_compile.dir/supremacy_compile.cpp.o"
+  "CMakeFiles/supremacy_compile.dir/supremacy_compile.cpp.o.d"
+  "supremacy_compile"
+  "supremacy_compile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/supremacy_compile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

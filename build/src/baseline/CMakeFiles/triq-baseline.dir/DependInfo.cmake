@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/astar_router.cc" "src/baseline/CMakeFiles/triq-baseline.dir/astar_router.cc.o" "gcc" "src/baseline/CMakeFiles/triq-baseline.dir/astar_router.cc.o.d"
+  "/root/repo/src/baseline/vendor_compilers.cc" "src/baseline/CMakeFiles/triq-baseline.dir/vendor_compilers.cc.o" "gcc" "src/baseline/CMakeFiles/triq-baseline.dir/vendor_compilers.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/triq-core.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/triq-device.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/triq-common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/triq-baseline.dir/astar_router.cc.o"
+  "CMakeFiles/triq-baseline.dir/astar_router.cc.o.d"
+  "CMakeFiles/triq-baseline.dir/vendor_compilers.cc.o"
+  "CMakeFiles/triq-baseline.dir/vendor_compilers.cc.o.d"
+  "libtriq-baseline.a"
+  "libtriq-baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/triq-baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/triq-common.dir/logging.cc.o"
+  "CMakeFiles/triq-common.dir/logging.cc.o.d"
+  "CMakeFiles/triq-common.dir/matrix.cc.o"
+  "CMakeFiles/triq-common.dir/matrix.cc.o.d"
+  "CMakeFiles/triq-common.dir/rng.cc.o"
+  "CMakeFiles/triq-common.dir/rng.cc.o.d"
+  "CMakeFiles/triq-common.dir/stats.cc.o"
+  "CMakeFiles/triq-common.dir/stats.cc.o.d"
+  "CMakeFiles/triq-common.dir/table.cc.o"
+  "CMakeFiles/triq-common.dir/table.cc.o.d"
+  "CMakeFiles/triq-common.dir/types.cc.o"
+  "CMakeFiles/triq-common.dir/types.cc.o.d"
+  "libtriq-common.a"
+  "libtriq-common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/triq-common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

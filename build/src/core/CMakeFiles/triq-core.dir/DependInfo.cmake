@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/backend.cc" "src/core/CMakeFiles/triq-core.dir/backend.cc.o" "gcc" "src/core/CMakeFiles/triq-core.dir/backend.cc.o.d"
+  "/root/repo/src/core/circuit.cc" "src/core/CMakeFiles/triq-core.dir/circuit.cc.o" "gcc" "src/core/CMakeFiles/triq-core.dir/circuit.cc.o.d"
+  "/root/repo/src/core/compiler.cc" "src/core/CMakeFiles/triq-core.dir/compiler.cc.o" "gcc" "src/core/CMakeFiles/triq-core.dir/compiler.cc.o.d"
+  "/root/repo/src/core/decompose.cc" "src/core/CMakeFiles/triq-core.dir/decompose.cc.o" "gcc" "src/core/CMakeFiles/triq-core.dir/decompose.cc.o.d"
+  "/root/repo/src/core/draw.cc" "src/core/CMakeFiles/triq-core.dir/draw.cc.o" "gcc" "src/core/CMakeFiles/triq-core.dir/draw.cc.o.d"
+  "/root/repo/src/core/esp.cc" "src/core/CMakeFiles/triq-core.dir/esp.cc.o" "gcc" "src/core/CMakeFiles/triq-core.dir/esp.cc.o.d"
+  "/root/repo/src/core/gate.cc" "src/core/CMakeFiles/triq-core.dir/gate.cc.o" "gcc" "src/core/CMakeFiles/triq-core.dir/gate.cc.o.d"
+  "/root/repo/src/core/mapper.cc" "src/core/CMakeFiles/triq-core.dir/mapper.cc.o" "gcc" "src/core/CMakeFiles/triq-core.dir/mapper.cc.o.d"
+  "/root/repo/src/core/mapper_z3.cc" "src/core/CMakeFiles/triq-core.dir/mapper_z3.cc.o" "gcc" "src/core/CMakeFiles/triq-core.dir/mapper_z3.cc.o.d"
+  "/root/repo/src/core/peephole.cc" "src/core/CMakeFiles/triq-core.dir/peephole.cc.o" "gcc" "src/core/CMakeFiles/triq-core.dir/peephole.cc.o.d"
+  "/root/repo/src/core/quaternion.cc" "src/core/CMakeFiles/triq-core.dir/quaternion.cc.o" "gcc" "src/core/CMakeFiles/triq-core.dir/quaternion.cc.o.d"
+  "/root/repo/src/core/reliability.cc" "src/core/CMakeFiles/triq-core.dir/reliability.cc.o" "gcc" "src/core/CMakeFiles/triq-core.dir/reliability.cc.o.d"
+  "/root/repo/src/core/router.cc" "src/core/CMakeFiles/triq-core.dir/router.cc.o" "gcc" "src/core/CMakeFiles/triq-core.dir/router.cc.o.d"
+  "/root/repo/src/core/schedule.cc" "src/core/CMakeFiles/triq-core.dir/schedule.cc.o" "gcc" "src/core/CMakeFiles/triq-core.dir/schedule.cc.o.d"
+  "/root/repo/src/core/serialize.cc" "src/core/CMakeFiles/triq-core.dir/serialize.cc.o" "gcc" "src/core/CMakeFiles/triq-core.dir/serialize.cc.o.d"
+  "/root/repo/src/core/translate.cc" "src/core/CMakeFiles/triq-core.dir/translate.cc.o" "gcc" "src/core/CMakeFiles/triq-core.dir/translate.cc.o.d"
+  "/root/repo/src/core/unitary.cc" "src/core/CMakeFiles/triq-core.dir/unitary.cc.o" "gcc" "src/core/CMakeFiles/triq-core.dir/unitary.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/triq-common.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/triq-device.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/device/calibration.cc" "src/device/CMakeFiles/triq-device.dir/calibration.cc.o" "gcc" "src/device/CMakeFiles/triq-device.dir/calibration.cc.o.d"
+  "/root/repo/src/device/device.cc" "src/device/CMakeFiles/triq-device.dir/device.cc.o" "gcc" "src/device/CMakeFiles/triq-device.dir/device.cc.o.d"
+  "/root/repo/src/device/gateset.cc" "src/device/CMakeFiles/triq-device.dir/gateset.cc.o" "gcc" "src/device/CMakeFiles/triq-device.dir/gateset.cc.o.d"
+  "/root/repo/src/device/machines.cc" "src/device/CMakeFiles/triq-device.dir/machines.cc.o" "gcc" "src/device/CMakeFiles/triq-device.dir/machines.cc.o.d"
+  "/root/repo/src/device/topology.cc" "src/device/CMakeFiles/triq-device.dir/topology.cc.o" "gcc" "src/device/CMakeFiles/triq-device.dir/topology.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/triq-common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/triq-device.dir/calibration.cc.o"
+  "CMakeFiles/triq-device.dir/calibration.cc.o.d"
+  "CMakeFiles/triq-device.dir/device.cc.o"
+  "CMakeFiles/triq-device.dir/device.cc.o.d"
+  "CMakeFiles/triq-device.dir/gateset.cc.o"
+  "CMakeFiles/triq-device.dir/gateset.cc.o.d"
+  "CMakeFiles/triq-device.dir/machines.cc.o"
+  "CMakeFiles/triq-device.dir/machines.cc.o.d"
+  "CMakeFiles/triq-device.dir/topology.cc.o"
+  "CMakeFiles/triq-device.dir/topology.cc.o.d"
+  "libtriq-device.a"
+  "libtriq-device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/triq-device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lang/lexer.cc" "src/lang/CMakeFiles/triq-lang.dir/lexer.cc.o" "gcc" "src/lang/CMakeFiles/triq-lang.dir/lexer.cc.o.d"
+  "/root/repo/src/lang/lower.cc" "src/lang/CMakeFiles/triq-lang.dir/lower.cc.o" "gcc" "src/lang/CMakeFiles/triq-lang.dir/lower.cc.o.d"
+  "/root/repo/src/lang/parser.cc" "src/lang/CMakeFiles/triq-lang.dir/parser.cc.o" "gcc" "src/lang/CMakeFiles/triq-lang.dir/parser.cc.o.d"
+  "/root/repo/src/lang/qasm_parser.cc" "src/lang/CMakeFiles/triq-lang.dir/qasm_parser.cc.o" "gcc" "src/lang/CMakeFiles/triq-lang.dir/qasm_parser.cc.o.d"
+  "/root/repo/src/lang/scaff_writer.cc" "src/lang/CMakeFiles/triq-lang.dir/scaff_writer.cc.o" "gcc" "src/lang/CMakeFiles/triq-lang.dir/scaff_writer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/triq-core.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/triq-device.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/triq-common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

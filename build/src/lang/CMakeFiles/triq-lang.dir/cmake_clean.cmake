@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/triq-lang.dir/lexer.cc.o"
+  "CMakeFiles/triq-lang.dir/lexer.cc.o.d"
+  "CMakeFiles/triq-lang.dir/lower.cc.o"
+  "CMakeFiles/triq-lang.dir/lower.cc.o.d"
+  "CMakeFiles/triq-lang.dir/parser.cc.o"
+  "CMakeFiles/triq-lang.dir/parser.cc.o.d"
+  "CMakeFiles/triq-lang.dir/qasm_parser.cc.o"
+  "CMakeFiles/triq-lang.dir/qasm_parser.cc.o.d"
+  "CMakeFiles/triq-lang.dir/scaff_writer.cc.o"
+  "CMakeFiles/triq-lang.dir/scaff_writer.cc.o.d"
+  "libtriq-lang.a"
+  "libtriq-lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/triq-lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

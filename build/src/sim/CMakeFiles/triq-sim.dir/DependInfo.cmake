@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/compact.cc" "src/sim/CMakeFiles/triq-sim.dir/compact.cc.o" "gcc" "src/sim/CMakeFiles/triq-sim.dir/compact.cc.o.d"
+  "/root/repo/src/sim/density.cc" "src/sim/CMakeFiles/triq-sim.dir/density.cc.o" "gcc" "src/sim/CMakeFiles/triq-sim.dir/density.cc.o.d"
+  "/root/repo/src/sim/executor.cc" "src/sim/CMakeFiles/triq-sim.dir/executor.cc.o" "gcc" "src/sim/CMakeFiles/triq-sim.dir/executor.cc.o.d"
+  "/root/repo/src/sim/mitigation.cc" "src/sim/CMakeFiles/triq-sim.dir/mitigation.cc.o" "gcc" "src/sim/CMakeFiles/triq-sim.dir/mitigation.cc.o.d"
+  "/root/repo/src/sim/noise.cc" "src/sim/CMakeFiles/triq-sim.dir/noise.cc.o" "gcc" "src/sim/CMakeFiles/triq-sim.dir/noise.cc.o.d"
+  "/root/repo/src/sim/statevector.cc" "src/sim/CMakeFiles/triq-sim.dir/statevector.cc.o" "gcc" "src/sim/CMakeFiles/triq-sim.dir/statevector.cc.o.d"
+  "/root/repo/src/sim/verify.cc" "src/sim/CMakeFiles/triq-sim.dir/verify.cc.o" "gcc" "src/sim/CMakeFiles/triq-sim.dir/verify.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/triq-core.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/triq-device.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/triq-common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/triq-sim.dir/compact.cc.o"
+  "CMakeFiles/triq-sim.dir/compact.cc.o.d"
+  "CMakeFiles/triq-sim.dir/density.cc.o"
+  "CMakeFiles/triq-sim.dir/density.cc.o.d"
+  "CMakeFiles/triq-sim.dir/executor.cc.o"
+  "CMakeFiles/triq-sim.dir/executor.cc.o.d"
+  "CMakeFiles/triq-sim.dir/mitigation.cc.o"
+  "CMakeFiles/triq-sim.dir/mitigation.cc.o.d"
+  "CMakeFiles/triq-sim.dir/noise.cc.o"
+  "CMakeFiles/triq-sim.dir/noise.cc.o.d"
+  "CMakeFiles/triq-sim.dir/statevector.cc.o"
+  "CMakeFiles/triq-sim.dir/statevector.cc.o.d"
+  "CMakeFiles/triq-sim.dir/verify.cc.o"
+  "CMakeFiles/triq-sim.dir/verify.cc.o.d"
+  "libtriq-sim.a"
+  "libtriq-sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/triq-sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

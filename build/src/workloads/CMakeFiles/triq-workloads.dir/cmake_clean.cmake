@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/triq-workloads.dir/benchmarks.cc.o"
+  "CMakeFiles/triq-workloads.dir/benchmarks.cc.o.d"
+  "CMakeFiles/triq-workloads.dir/supremacy.cc.o"
+  "CMakeFiles/triq-workloads.dir/supremacy.cc.o.d"
+  "CMakeFiles/triq-workloads.dir/variational.cc.o"
+  "CMakeFiles/triq-workloads.dir/variational.cc.o.d"
+  "libtriq-workloads.a"
+  "libtriq-workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/triq-workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_esp.dir/test_esp.cc.o"
+  "CMakeFiles/test_esp.dir/test_esp.cc.o.d"
+  "test_esp"
+  "test_esp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_esp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_peephole.cc" "tests/CMakeFiles/test_peephole.dir/test_peephole.cc.o" "gcc" "tests/CMakeFiles/test_peephole.dir/test_peephole.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lang/CMakeFiles/triq-lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/triq-workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/triq-baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/triq-sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/triq-core.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/triq-device.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/triq-common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

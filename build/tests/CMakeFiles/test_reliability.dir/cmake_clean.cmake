@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reliability.dir/test_reliability.cc.o"
+  "CMakeFiles/test_reliability.dir/test_reliability.cc.o.d"
+  "test_reliability"
+  "test_reliability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reliability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_variational.dir/test_variational.cc.o"
+  "CMakeFiles/test_variational.dir/test_variational.cc.o.d"
+  "test_variational"
+  "test_variational.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_variational.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

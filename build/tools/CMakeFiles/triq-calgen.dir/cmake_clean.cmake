@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/triq-calgen.dir/triq_calgen.cc.o"
+  "CMakeFiles/triq-calgen.dir/triq_calgen.cc.o.d"
+  "triq-calgen"
+  "triq-calgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/triq-calgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

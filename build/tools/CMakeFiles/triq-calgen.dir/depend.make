@@ -1,0 +1,2 @@
+# Empty dependencies file for triq-calgen.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/triqc.dir/triqc.cc.o"
+  "CMakeFiles/triqc.dir/triqc.cc.o.d"
+  "triqc"
+  "triqc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/triqc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_triqc_bench "/root/repo/build/tools/triqc" "--bench" "BV4" "-d" "IBMQ5" "--verify" "-o" "/dev/null")
+set_tests_properties(cli_triqc_bench PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_triqc_scaff "/root/repo/build/tools/triqc" "/root/repo/examples/programs/qft.scaff" "-d" "UMDTI" "--verify" "-o" "/dev/null")
+set_tests_properties(cli_triqc_scaff PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_triqc_list "/root/repo/build/tools/triqc" "--list-devices")
+set_tests_properties(cli_triqc_list PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_calgen_roundtrip "sh" "-c" "/root/repo/build/tools/triq-calgen -d IBMQ14 --day 7 -o cal14.txt &&           /root/repo/build/tools/triqc --bench Toffoli -d IBMQ14               --calibration cal14.txt --verify -o /dev/null")
+set_tests_properties(cli_calgen_roundtrip PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;15;add_test;/root/repo/tools/CMakeLists.txt;0;")
