@@ -1,7 +1,6 @@
 #include "bench_util.hh"
 
-#include <cstdlib>
-
+#include "common/env.hh"
 #include "common/logging.hh"
 #include "common/table.hh"
 
@@ -22,10 +21,7 @@ deviceByName(const std::string &name)
 int
 defaultDay()
 {
-    const char *env = std::getenv("TRIQ_DAY");
-    if (!env)
-        return 3;
-    return std::atoi(env);
+    return envInt("TRIQ_DAY", 3, 0);
 }
 
 RunPoint

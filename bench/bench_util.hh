@@ -4,9 +4,12 @@
  * compile-and-execute helpers, and consistent run configuration.
  *
  * Environment knobs:
- *   TRIQ_TRIALS  trials per success-rate measurement (default 1000;
- *                the paper used 8192 / 5000 on real hardware)
- *   TRIQ_DAY     calibration day index (default 3)
+ *   TRIQ_TRIALS       trials per success-rate measurement (default
+ *                     1000; the paper used 8192 / 5000 on hardware)
+ *   TRIQ_DAY          calibration day index (default 3)
+ *   TRIQ_SIM_THREADS  executor worker threads (default 1). Success
+ *                     rates and histograms are bit-identical for any
+ *                     value; only wall-clock time changes.
  */
 
 #ifndef TRIQ_BENCH_BENCH_UTIL_HH

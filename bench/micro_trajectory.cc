@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Trajectory-engine microbenchmark: measures executeNoisy throughput
+ * (trials/sec) on a fig07-style compiled workload in three
+ * configurations — serial without prefix checkpointing, serial with
+ * it, and multi-threaded — and emits one JSON object so CI can track
+ * the simulator's performance trajectory across PRs.
+ *
+ * The run doubles as a determinism check: the serial and threaded
+ * configurations must produce bit-identical results, and the JSON
+ * records whether they did.
+ *
+ * Usage:
+ *   micro_trajectory [--bench NAME] [--device NAME] [--trials N]
+ *                    [--threads N] [--json FILE]
+ */
+
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "bench_util.hh"
+#include "common/logging.hh"
+#include "common/thread_pool.hh"
+#include "workloads/benchmarks.hh"
+
+using namespace triq;
+
+namespace
+{
+
+double
+runMs(const Circuit &hw, const Device &dev, const Calibration &calib,
+      int trials, const ExecOptions &opts, ExecutionResult *out)
+{
+    auto t0 = std::chrono::steady_clock::now();
+    ExecutionResult r = executeNoisy(hw, dev, calib, trials, 12345, opts);
+    auto t1 = std::chrono::steady_clock::now();
+    if (out)
+        *out = std::move(r);
+    return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+double
+trialsPerSec(int trials, double ms)
+{
+    return ms > 0.0 ? 1000.0 * trials / ms : 0.0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+try {
+    std::string bench_name = "BV8";
+    std::string device_name = "IBMQ14";
+    std::string json_file;
+    int trials = defaultTrials(2000);
+    int threads = std::max(2, ThreadPool::hardwareThreads());
+    for (int i = 1; i < argc; ++i) {
+        auto need_value = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc)
+                fatal("micro_trajectory: ", flag, " needs a value");
+            return argv[++i];
+        };
+        if (!std::strcmp(argv[i], "--bench"))
+            bench_name = need_value("--bench");
+        else if (!std::strcmp(argv[i], "--device"))
+            device_name = need_value("--device");
+        else if (!std::strcmp(argv[i], "--trials"))
+            trials = std::atoi(need_value("--trials"));
+        else if (!std::strcmp(argv[i], "--threads"))
+            threads = std::atoi(need_value("--threads"));
+        else if (!std::strcmp(argv[i], "--json"))
+            json_file = need_value("--json");
+        else
+            fatal("micro_trajectory: unknown argument '", argv[i], "'");
+    }
+    if (trials < 1 || threads < 1)
+        fatal("micro_trajectory: --trials and --threads must be >= 1");
+
+    Device dev = bench::deviceByName(device_name);
+    int day = bench::defaultDay();
+    Calibration calib = dev.calibrate(day);
+    Circuit program = makeBenchmark(bench_name);
+    CompileOptions copts;
+    copts.emitAssembly = false;
+    CompileResult compiled = compileForDevice(program, dev, calib, copts);
+
+    // Serial baseline with checkpointing off: every faulty trajectory
+    // replays the full circuit from |0...0>, the pre-optimization
+    // behavior.
+    ExecOptions no_ckpt;
+    no_ckpt.threads = 1;
+    no_ckpt.checkpointInterval = -1;
+    ExecutionResult r_base;
+    double base_ms =
+        runMs(compiled.hwCircuit, dev, calib, trials, no_ckpt, &r_base);
+
+    // Serial with automatic prefix checkpointing.
+    ExecOptions serial;
+    serial.threads = 1;
+    ExecutionResult r_serial;
+    double serial_ms =
+        runMs(compiled.hwCircuit, dev, calib, trials, serial, &r_serial);
+
+    // Threaded with checkpointing; must match the serial run bit for
+    // bit (chunk-sharded RNG + chunk-ordered merge).
+    ExecOptions threaded;
+    threaded.threads = threads;
+    ExecutionResult r_threaded;
+    double threaded_ms = runMs(compiled.hwCircuit, dev, calib, trials,
+                               threaded, &r_threaded);
+
+    bool identical =
+        r_serial.successRate == r_threaded.successRate &&
+        r_serial.successRate == r_base.successRate &&
+        r_serial.simulatedTrajectories == r_threaded.simulatedTrajectories &&
+        r_serial.simulatedTrajectories == r_base.simulatedTrajectories &&
+        r_serial.histogram == r_threaded.histogram &&
+        r_serial.histogram == r_base.histogram;
+
+    std::ostringstream json;
+    json << "{\n"
+         << "  \"benchmark\": \"" << bench_name << "\",\n"
+         << "  \"device\": \"" << device_name << "\",\n"
+         << "  \"day\": " << day << ",\n"
+         << "  \"trials\": " << trials << ",\n"
+         << "  \"simulated_trajectories\": "
+         << r_serial.simulatedTrajectories << ",\n"
+         << "  \"success_rate\": " << r_serial.successRate << ",\n"
+         << "  \"serial_no_checkpoint_ms\": " << base_ms << ",\n"
+         << "  \"serial_no_checkpoint_trials_per_sec\": "
+         << trialsPerSec(trials, base_ms) << ",\n"
+         << "  \"serial_ms\": " << serial_ms << ",\n"
+         << "  \"serial_trials_per_sec\": "
+         << trialsPerSec(trials, serial_ms) << ",\n"
+         << "  \"checkpoint_speedup\": "
+         << (serial_ms > 0.0 ? base_ms / serial_ms : 0.0) << ",\n"
+         << "  \"threads\": " << threads << ",\n"
+         << "  \"threaded_ms\": " << threaded_ms << ",\n"
+         << "  \"threaded_trials_per_sec\": "
+         << trialsPerSec(trials, threaded_ms) << ",\n"
+         << "  \"thread_speedup\": "
+         << (threaded_ms > 0.0 ? serial_ms / threaded_ms : 0.0) << ",\n"
+         << "  \"identical_across_configs\": "
+         << (identical ? "true" : "false") << "\n"
+         << "}\n";
+
+    std::cout << json.str();
+    if (!json_file.empty()) {
+        std::ofstream out(json_file);
+        if (!out)
+            fatal("micro_trajectory: cannot write '", json_file, "'");
+        out << json.str();
+    }
+    return identical ? 0 : 4;
+} catch (const FatalError &) {
+    return 1;
+}

@@ -40,9 +40,11 @@ evaluate(const MaxCutGraph &graph, double gamma, double beta,
     ExecutionResult run =
         executeNoisy(res.hwCircuit, dev, calib, trials);
     // The histogram keys follow ascending measured hardware qubits;
-    // translate them back into program-vertex order.
+    // translate them back into program-vertex order. sortedHistogram()
+    // keeps the summation order (and thus the printed expectation)
+    // reproducible.
     std::vector<std::pair<uint64_t, int>> counts;
-    for (const auto &[key, count] : run.histogram)
+    for (const auto &[key, count] : run.sortedHistogram())
         counts.push_back({outcomeForProgram(key, res.hwCircuit,
                                             res.finalMap,
                                             qaoa.measuredQubits()),

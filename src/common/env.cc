@@ -1,0 +1,29 @@
+#include "common/env.hh"
+
+#include <cerrno>
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace triq
+{
+
+int
+envInt(const char *name, int fallback, int min_value)
+{
+    const char *env = std::getenv(name);
+    if (!env)
+        return fallback;
+    errno = 0;
+    char *end = nullptr;
+    long v = std::strtol(env, &end, 10);
+    bool parsed = end != env && *end == '\0' && errno == 0;
+    if (!parsed || v < min_value || v > 1000000000L) {
+        warn(name, "='", env, "' is not an integer >= ", min_value,
+             "; using ", fallback);
+        return fallback;
+    }
+    return static_cast<int>(v);
+}
+
+} // namespace triq

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Environment-variable helpers shared by the executor and the bench
+ * harnesses. All TRIQ_* integer knobs (TRIQ_TRIALS, TRIQ_DAY,
+ * TRIQ_SIM_THREADS) funnel through envInt so malformed values produce
+ * one consistent warn-and-fallback behavior instead of silent atoi
+ * garbage.
+ */
+
+#ifndef TRIQ_COMMON_ENV_HH
+#define TRIQ_COMMON_ENV_HH
+
+namespace triq
+{
+
+/**
+ * Read an integer environment variable.
+ *
+ * @param name Variable name, e.g. "TRIQ_TRIALS".
+ * @param fallback Value returned when the variable is unset or invalid.
+ * @param min_value Smallest accepted value; anything below it (or any
+ *        string that is not a plain decimal integer) triggers a warning
+ *        and returns `fallback`.
+ */
+int envInt(const char *name, int fallback, int min_value = 1);
+
+} // namespace triq
+
+#endif // TRIQ_COMMON_ENV_HH

@@ -137,6 +137,17 @@ Rng::logNormal(double median, double sigma)
 }
 
 Rng
+Rng::stream(uint64_t seed, uint64_t stream_index)
+{
+    // Two splitmix64 rounds over (seed, index) so that consecutive
+    // stream indices land in unrelated xoshiro states.
+    uint64_t x = seed;
+    uint64_t h = splitmix64(x);
+    x = h ^ (stream_index * 0xD1342543DE82EF95ull);
+    return Rng(splitmix64(x));
+}
+
+Rng
 Rng::fork(uint64_t tag) const
 {
     // Derive a child seed from the current state and the tag; the parent

@@ -65,6 +65,17 @@ class Rng
     /** Fork an independent stream keyed by an integer tag. */
     Rng fork(uint64_t tag) const;
 
+    /**
+     * Deterministic independent stream keyed by (seed, stream index).
+     *
+     * Unlike fork(), this is a pure function of its arguments: stream
+     * (s, i) is the same Rng no matter where or when it is created,
+     * which is what makes chunk-sharded trajectory simulation
+     * bit-identical across thread counts — every chunk owns stream
+     * (seed, chunk_index) regardless of which worker runs it.
+     */
+    static Rng stream(uint64_t seed, uint64_t stream_index);
+
   private:
     uint64_t s_[4];
     double cachedNormal_;

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * A small reusable worker pool for data-parallel simulation work.
+ *
+ * The trajectory executor shards trials into fixed-size chunks and runs
+ * them here; determinism comes from the sharded RNG streams and the
+ * chunk-ordered merge, not from any scheduling property of this pool,
+ * so workers are free to steal whatever job is next.
+ *
+ * Jobs must not themselves submit to the same pool (no nesting); the
+ * executor's flat chunk fan-out never needs it.
+ */
+
+#ifndef TRIQ_COMMON_THREAD_POOL_HH
+#define TRIQ_COMMON_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace triq
+{
+
+/** Fixed-size worker pool with a blocking wait and error propagation. */
+class ThreadPool
+{
+  public:
+    /**
+     * Spawn `num_threads` workers. @pre num_threads >= 1.
+     * A 1-thread pool still spawns a worker; callers that want a true
+     * serial path should simply not construct a pool.
+     */
+    explicit ThreadPool(int num_threads);
+
+    /** Drains remaining jobs, then joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueue one job. Thread-safe. */
+    void submit(std::function<void()> job);
+
+    /**
+     * Block until every submitted job has finished. If any job threw,
+     * rethrows the first exception (by submission-processing order is
+     * not guaranteed — one of the thrown exceptions).
+     */
+    void wait();
+
+    /** Worker count. */
+    int size() const { return static_cast<int>(workers_.size()); }
+
+    /** Hardware concurrency with a sane floor of 1. */
+    static int hardwareThreads();
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable workReady_;
+    std::condition_variable allDone_;
+    int active_ = 0;
+    bool stopping_ = false;
+    std::exception_ptr firstError_;
+};
+
+/**
+ * Run fn(0) .. fn(num_tasks - 1) across the pool and wait for all of
+ * them. Exceptions from any task propagate out (first one wins).
+ */
+void parallelFor(ThreadPool &pool, int num_tasks,
+                 const std::function<void(int)> &fn);
+
+} // namespace triq
+
+#endif // TRIQ_COMMON_THREAD_POOL_HH

@@ -1,11 +1,13 @@
 #include "sim/executor.hh"
 
 #include <algorithm>
+#include <climits>
 #include <cstdlib>
-#include <map>
 
+#include "common/env.hh"
 #include "common/logging.hh"
 #include "common/rng.hh"
+#include "common/thread_pool.hh"
 #include "core/esp.hh"
 #include "sim/compact.hh"
 #include "sim/noise.hh"
@@ -17,6 +19,15 @@ namespace triq
 namespace
 {
 
+/** Trials per RNG chunk; part of the sampling contract (see header). */
+constexpr int kDefaultChunkSize = 64;
+
+/** Histograms this narrow use a flat per-chunk count vector. */
+constexpr size_t kFlatHistogramBits = 12;
+
+/** Snapshot memory budget for automatic checkpoint spacing. */
+constexpr uint64_t kCheckpointBudgetBytes = 64ull << 20;
+
 /** Map a sampled basis index to the measured-qubit key. */
 uint64_t
 outcomeKey(uint64_t basis, const std::vector<ProgQubit> &measured)
@@ -27,78 +38,57 @@ outcomeKey(uint64_t basis, const std::vector<ProgQubit> &measured)
     return key;
 }
 
-} // namespace
-
-ExecutionResult
-executeNoisy(const Circuit &hw, const Device &dev, const Calibration &calib,
-             int trials, uint64_t seed)
+/** An ideal-evolution snapshot taken after `gatesApplied` gates. */
+struct Checkpoint
 {
-    if (trials < 1)
-        fatal("executeNoisy: need at least one trial");
-    if (hw.numQubits() != dev.numQubits())
-        fatal("executeNoisy: circuit width ", hw.numQubits(),
-              " does not match device ", dev.name());
+    int gatesApplied;
+    StateVector state;
+};
 
-    // Error sites are enumerated on the full-width circuit (edge lookup
-    // needs hardware indices), then relabeled onto the compact register.
-    std::vector<ErrorSite> sites =
-        collectErrorSites(hw, dev.topology(), calib);
-    CompactCircuit cc = compactCircuit(hw);
-    for (auto &s : sites) {
-        s.q0 = cc.hwToCompact[static_cast<size_t>(s.q0)];
-        if (s.q1 != -1)
-            s.q1 = cc.hwToCompact[static_cast<size_t>(s.q1)];
-    }
+/** Read-only per-call context shared by every chunk. */
+struct TrajectoryContext
+{
+    const Circuit *circuit; // compact circuit
+    const std::vector<ErrorSite> *sites;
+    const std::vector<std::vector<int>> *sitesAfter;
+    const std::vector<ProgQubit> *measured;
+    const std::vector<double> *roErr;
+    const StateVector *ideal;
+    const std::vector<Checkpoint> *checkpoints; // ascending gatesApplied
+    uint64_t correctOutcome;
+    bool flatHistogram;
+};
 
-    std::vector<ProgQubit> measured = cc.circuit.measuredQubits();
-    if (measured.empty())
-        fatal("executeNoisy: circuit measures no qubits");
-    std::vector<double> ro_err(measured.size());
-    for (size_t k = 0; k < measured.size(); ++k) {
-        HwQubit hq = cc.compactToHw[static_cast<size_t>(measured[k])];
-        ro_err[k] = calib.errRO[static_cast<size_t>(hq)];
-    }
-
-    // Ideal reference state and the benchmark's correct answer: the
-    // dominant outcome of the *measured-qubit marginal* (unmeasured
-    // ancillas may legitimately end in superposition).
-    StateVector ideal(cc.circuit.numQubits());
-    ideal.applyCircuit(cc.circuit);
-    std::vector<double> marginal(uint64_t{1} << measured.size(), 0.0);
-    for (uint64_t b = 0; b < ideal.dim(); ++b) {
-        double p = ideal.probability(b);
-        if (p > 0.0)
-            marginal[outcomeKey(b, measured)] += p;
-    }
-    uint64_t ideal_key = 0;
-    double ideal_prob = -1.0;
-    for (uint64_t k = 0; k < marginal.size(); ++k)
-        if (marginal[k] > ideal_prob) {
-            ideal_prob = marginal[k];
-            ideal_key = k;
-        }
-    ExecutionResult res;
-    res.correctOutcome = ideal_key;
-    res.trials = trials;
-    res.esp = estimatedSuccessProbability(hw, dev.topology(), calib);
-    res.noErrorProb = noErrorProbability(sites);
-    if (ideal_prob < 0.99)
-        warn("executeNoisy: ", hw.name(),
-             " has a non-deterministic ideal output (p=", ideal_prob,
-             "); success is counted against the dominant outcome");
-
-    // Sites grouped by the gate they follow, for trajectory replay.
-    std::vector<std::vector<int>> sites_after(
-        static_cast<size_t>(cc.circuit.numGates()));
-    for (size_t i = 0; i < sites.size(); ++i)
-        sites_after[static_cast<size_t>(sites[i].gateIdx)].push_back(
-            static_cast<int>(i));
-
-    Rng rng(seed ^ 0xABCDEF1234567890ull);
-    StateVector traj(cc.circuit.numQubits());
-    std::vector<bool> fired(sites.size(), false);
+/** Per-chunk accumulator; merged into the result in chunk order. */
+struct ChunkStats
+{
     int successes = 0;
-    std::map<uint64_t, int> &histogram = res.histogram;
+    int simulated = 0;
+    std::vector<int> flat;
+    std::unordered_map<uint64_t, int> sparse;
+};
+
+/**
+ * Run one chunk of trials on the RNG stream (seed, chunk index). Every
+ * random draw happens in a fixed per-trial order (site Bernoullis,
+ * Pauli choices in gate order, measurement sample, readout flips), so
+ * the chunk's outcome depends only on its stream — never on which
+ * worker thread runs it or on checkpoint spacing.
+ */
+void
+runChunk(const TrajectoryContext &ctx, Rng rng, int chunk_trials,
+         ChunkStats &out)
+{
+    const Circuit &circuit = *ctx.circuit;
+    const std::vector<ErrorSite> &sites = *ctx.sites;
+    const std::vector<ProgQubit> &measured = *ctx.measured;
+    const std::vector<double> &ro_err = *ctx.roErr;
+    const int num_gates = circuit.numGates();
+
+    StateVector traj(circuit.numQubits());
+    std::vector<bool> fired(sites.size(), false);
+    if (ctx.flatHistogram)
+        out.flat.assign(uint64_t{1} << measured.size(), 0);
 
     auto inject = [&](const ErrorSite &s) {
         auto pauli1 = [&](int q, int which) {
@@ -131,24 +121,42 @@ executeNoisy(const Circuit &hw, const Device &dev, const Calibration &calib,
             pauli1(s.q1, p1 - 1);
     };
 
-    for (int t = 0; t < trials; ++t) {
+    for (int t = 0; t < chunk_trials; ++t) {
         bool any = false;
+        int first_gate = INT_MAX;
         for (size_t i = 0; i < sites.size(); ++i) {
             fired[i] = rng.bernoulli(sites[i].prob);
-            any = any || fired[i];
+            if (fired[i]) {
+                any = true;
+                first_gate = std::min(first_gate, sites[i].gateIdx);
+            }
         }
         uint64_t basis;
         if (!any) {
             // Fault-free trajectory: sample from the cached ideal state.
-            basis = ideal.sampleMeasurement(rng);
+            basis = ctx.ideal->sampleMeasurement(rng);
         } else {
-            ++res.simulatedTrajectories;
-            traj.reset();
-            for (int gi = 0; gi < cc.circuit.numGates(); ++gi) {
-                const Gate &g = cc.circuit.gate(gi);
+            ++out.simulated;
+            // Resume from the last ideal-prefix checkpoint that still
+            // precedes the first fired site; the prefix is fault-free,
+            // so its evolution is identical to a full replay's.
+            int start_gate = 0;
+            const std::vector<Checkpoint> &ckpts = *ctx.checkpoints;
+            auto it = std::upper_bound(
+                ckpts.begin(), ckpts.end(), first_gate,
+                [](int g, const Checkpoint &c) { return g < c.gatesApplied; });
+            if (it != ckpts.begin()) {
+                const Checkpoint &c = *std::prev(it);
+                traj.amps() = c.state.amps();
+                start_gate = c.gatesApplied;
+            } else {
+                traj.reset();
+            }
+            for (int gi = start_gate; gi < num_gates; ++gi) {
+                const Gate &g = circuit.gate(gi);
                 if (g.kind != GateKind::Measure)
                     traj.applyGate(g);
-                for (int si : sites_after[static_cast<size_t>(gi)])
+                for (int si : (*ctx.sitesAfter)[static_cast<size_t>(gi)])
                     if (fired[static_cast<size_t>(si)])
                         inject(sites[static_cast<size_t>(si)]);
             }
@@ -159,13 +167,175 @@ executeNoisy(const Circuit &hw, const Device &dev, const Calibration &calib,
         for (size_t k = 0; k < measured.size(); ++k)
             if (rng.bernoulli(ro_err[k]))
                 key ^= uint64_t{1} << k;
-        if (key == res.correctOutcome)
-            ++successes;
-        ++histogram[key];
+        if (key == ctx.correctOutcome)
+            ++out.successes;
+        if (ctx.flatHistogram)
+            ++out.flat[key];
+        else
+            ++out.sparse[key];
+    }
+}
+
+} // namespace
+
+std::vector<std::pair<uint64_t, int>>
+ExecutionResult::sortedHistogram() const
+{
+    std::vector<std::pair<uint64_t, int>> out(histogram.begin(),
+                                              histogram.end());
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+ExecutionResult
+executeNoisy(const Circuit &hw, const Device &dev, const Calibration &calib,
+             int trials, uint64_t seed, const ExecOptions &opts)
+{
+    if (trials < 1)
+        fatal("executeNoisy: need at least one trial");
+    if (hw.numQubits() != dev.numQubits())
+        fatal("executeNoisy: circuit width ", hw.numQubits(),
+              " does not match device ", dev.name());
+
+    // Error sites are enumerated on the full-width circuit (edge lookup
+    // needs hardware indices), then relabeled onto the compact register.
+    std::vector<ErrorSite> sites =
+        collectErrorSites(hw, dev.topology(), calib);
+    CompactCircuit cc = compactCircuit(hw);
+    for (auto &s : sites) {
+        s.q0 = cc.hwToCompact[static_cast<size_t>(s.q0)];
+        if (s.q1 != -1)
+            s.q1 = cc.hwToCompact[static_cast<size_t>(s.q1)];
+    }
+
+    std::vector<ProgQubit> measured = cc.circuit.measuredQubits();
+    if (measured.empty())
+        fatal("executeNoisy: circuit measures no qubits");
+    std::vector<double> ro_err(measured.size());
+    for (size_t k = 0; k < measured.size(); ++k) {
+        HwQubit hq = cc.compactToHw[static_cast<size_t>(measured[k])];
+        ro_err[k] = calib.errRO[static_cast<size_t>(hq)];
+    }
+
+    // Ideal reference evolution, snapshotted every K gates so faulty
+    // trajectories can resume mid-circuit. K is chosen so the snapshots
+    // stay within a fixed memory budget; the final state doubles as the
+    // fault-free sampling cache and the benchmark's correct answer.
+    const int num_gates = cc.circuit.numGates();
+    StateVector ideal(cc.circuit.numQubits());
+    int interval = opts.checkpointInterval;
+    if (interval == 0) {
+        uint64_t bytes_per = ideal.dim() * sizeof(Cplx);
+        int max_ckpts = static_cast<int>(std::clamp<uint64_t>(
+            kCheckpointBudgetBytes / std::max<uint64_t>(bytes_per, 1), 1,
+            64));
+        interval = std::max(8, (num_gates + max_ckpts - 1) / max_ckpts);
+    }
+    std::vector<Checkpoint> checkpoints;
+    for (int gi = 0; gi < num_gates; ++gi) {
+        const Gate &g = cc.circuit.gate(gi);
+        if (g.kind != GateKind::Measure)
+            ideal.applyGate(g);
+        int applied = gi + 1;
+        if (interval > 0 && applied % interval == 0 &&
+            applied < num_gates)
+            checkpoints.push_back({applied, ideal});
+    }
+
+    // The benchmark's correct answer: the dominant outcome of the
+    // *measured-qubit marginal* (unmeasured ancillas may legitimately
+    // end in superposition).
+    std::vector<double> marginal(uint64_t{1} << measured.size(), 0.0);
+    for (uint64_t b = 0; b < ideal.dim(); ++b) {
+        double p = ideal.probability(b);
+        if (p > 0.0)
+            marginal[outcomeKey(b, measured)] += p;
+    }
+    uint64_t ideal_key = 0;
+    double ideal_prob = -1.0;
+    for (uint64_t k = 0; k < marginal.size(); ++k)
+        if (marginal[k] > ideal_prob) {
+            ideal_prob = marginal[k];
+            ideal_key = k;
+        }
+    ExecutionResult res;
+    res.correctOutcome = ideal_key;
+    res.trials = trials;
+    res.esp = estimatedSuccessProbability(hw, dev.topology(), calib);
+    res.noErrorProb = noErrorProbability(sites);
+    if (ideal_prob < 0.99)
+        warn("executeNoisy: ", hw.name(),
+             " has a non-deterministic ideal output (p=", ideal_prob,
+             "); success is counted against the dominant outcome");
+
+    // Sites grouped by the gate they follow, for trajectory replay.
+    std::vector<std::vector<int>> sites_after(
+        static_cast<size_t>(num_gates));
+    for (size_t i = 0; i < sites.size(); ++i)
+        sites_after[static_cast<size_t>(sites[i].gateIdx)].push_back(
+            static_cast<int>(i));
+
+    TrajectoryContext ctx;
+    ctx.circuit = &cc.circuit;
+    ctx.sites = &sites;
+    ctx.sitesAfter = &sites_after;
+    ctx.measured = &measured;
+    ctx.roErr = &ro_err;
+    ctx.ideal = &ideal;
+    ctx.checkpoints = &checkpoints;
+    ctx.correctOutcome = ideal_key;
+    ctx.flatHistogram = measured.size() <= kFlatHistogramBits;
+
+    // Shard trials into chunks; chunk ci owns the RNG stream
+    // (seed, ci), and chunks merge in index order below, so the result
+    // is a pure function of (seed, trials, chunk size) — never of the
+    // thread count.
+    const int chunk_size =
+        opts.chunkSize > 0 ? opts.chunkSize : kDefaultChunkSize;
+    const int num_chunks = (trials + chunk_size - 1) / chunk_size;
+    const uint64_t stream_seed = seed ^ 0xABCDEF1234567890ull;
+    std::vector<ChunkStats> stats(static_cast<size_t>(num_chunks));
+    auto run_chunk = [&](int ci) {
+        int lo = ci * chunk_size;
+        int n = std::min(chunk_size, trials - lo);
+        runChunk(ctx, Rng::stream(stream_seed, static_cast<uint64_t>(ci)),
+                 n, stats[static_cast<size_t>(ci)]);
+    };
+    int threads = opts.threads > 0 ? opts.threads : defaultSimThreads();
+    threads = std::min(threads, num_chunks);
+    if (threads <= 1) {
+        for (int ci = 0; ci < num_chunks; ++ci)
+            run_chunk(ci);
+    } else {
+        ThreadPool pool(threads);
+        parallelFor(pool, num_chunks, run_chunk);
+    }
+
+    // Chunk-ordered merge keeps even the histogram's unordered-map
+    // construction sequence identical across thread counts.
+    int successes = 0;
+    if (ctx.flatHistogram) {
+        std::vector<int> total(uint64_t{1} << measured.size(), 0);
+        for (const ChunkStats &s : stats) {
+            successes += s.successes;
+            res.simulatedTrajectories += s.simulated;
+            for (size_t k = 0; k < total.size(); ++k)
+                total[k] += s.flat[k];
+        }
+        for (size_t k = 0; k < total.size(); ++k)
+            if (total[k] != 0)
+                res.histogram.emplace(static_cast<uint64_t>(k), total[k]);
+    } else {
+        for (const ChunkStats &s : stats) {
+            successes += s.successes;
+            res.simulatedTrajectories += s.simulated;
+            for (const auto &[key, count] : s.sparse)
+                res.histogram[key] += count;
+        }
     }
     res.successRate = static_cast<double>(successes) / trials;
     int modal_count = 0;
-    for (const auto &[key, count] : histogram)
+    for (const auto &[key, count] : res.histogram)
         if (count > modal_count)
             modal_count = count;
     res.correctIsModal = successes == modal_count;
@@ -198,16 +368,13 @@ outcomeForProgram(uint64_t key, const Circuit &hw,
 int
 defaultTrials(int fallback)
 {
-    const char *env = std::getenv("TRIQ_TRIALS");
-    if (!env)
-        return fallback;
-    int v = std::atoi(env);
-    if (v < 1) {
-        warn("TRIQ_TRIALS='", env, "' is not a positive integer; using ",
-             fallback);
-        return fallback;
-    }
-    return v;
+    return envInt("TRIQ_TRIALS", fallback, 1);
+}
+
+int
+defaultSimThreads(int fallback)
+{
+    return envInt("TRIQ_SIM_THREADS", fallback, 1);
 }
 
 } // namespace triq

@@ -6,17 +6,26 @@
  * under the stochastic-Pauli noise model and reports the success rate —
  * the fraction of trials returning the benchmark's correct answer.
  *
- * Performance: the circuit is first compacted onto its active qubits,
- * and trials in which no error site fires reuse the cached ideal state,
- * so the state-vector simulator only runs for trajectories that
- * actually contain faults.
+ * Performance architecture (see DESIGN.md, "Simulator performance
+ * architecture"):
+ *  - the circuit is compacted onto its active qubits and trials in
+ *    which no error site fires reuse the cached ideal state;
+ *  - trials are sharded into fixed-size chunks, each owning the RNG
+ *    stream Rng::stream(seed, chunk_index); chunks run on a thread
+ *    pool and merge in chunk order, so results are bit-identical for
+ *    any thread count (TRIQ_SIM_THREADS, default 1);
+ *  - faulty trajectories replay from the nearest ideal-prefix
+ *    checkpoint before their first fired error site instead of from
+ *    |0...0>.
  */
 
 #ifndef TRIQ_SIM_EXECUTOR_HH
 #define TRIQ_SIM_EXECUTOR_HH
 
 #include <cstdint>
-#include <map>
+#include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "core/circuit.hh"
 #include "device/device.hh"
@@ -56,9 +65,40 @@ struct ExecutionResult
      * Observed outcome counts over the measured qubits (ascending
      * hardware order defines key bits). Lets variational workloads
      * (QAOA, VQE-style) evaluate expectation values instead of a
-     * single-answer success rate.
+     * single-answer success rate. Unordered for hot-loop speed; use
+     * sortedHistogram() wherever counts are printed or summed in a
+     * reproducible order.
      */
-    std::map<uint64_t, int> histogram;
+    std::unordered_map<uint64_t, int> histogram;
+
+    /** Histogram entries sorted by ascending outcome key. */
+    std::vector<std::pair<uint64_t, int>> sortedHistogram() const;
+};
+
+/** Tuning knobs for executeNoisy; the defaults match the env knobs. */
+struct ExecOptions
+{
+    /**
+     * Worker threads for trajectory chunks. 0 reads TRIQ_SIM_THREADS
+     * (default 1, i.e. serial). Results are bit-identical for every
+     * value — threads only change wall-clock time.
+     */
+    int threads = 0;
+
+    /**
+     * Ideal-prefix checkpoint spacing in gates. 0 picks an automatic
+     * value (bounded snapshot memory); negative disables checkpointing
+     * (every faulty trajectory replays from |0...0>). Results are
+     * bit-identical for every value.
+     */
+    int checkpointInterval = 0;
+
+    /**
+     * Trials per RNG chunk (default 64). Part of the sampling contract:
+     * changing it changes which random stream each trial draws from, so
+     * results are only comparable at equal chunk size.
+     */
+    int chunkSize = 0;
 };
 
 /**
@@ -73,6 +113,7 @@ struct ExecutionResult
  * @param trials Number of repetitions (the paper uses 8192 on
  *               superconducting machines, 5000 on UMDTI).
  * @param seed RNG seed; fixed seeds make experiments reproducible.
+ * @param opts Performance knobs (thread count, checkpoint spacing).
  *
  * @note Circuits without a dominant ideal outcome (variational
  *       workloads like QAOA) trigger a one-line advisory per call;
@@ -81,13 +122,20 @@ struct ExecutionResult
  */
 ExecutionResult executeNoisy(const Circuit &hw, const Device &dev,
                              const Calibration &calib, int trials,
-                             uint64_t seed = 12345);
+                             uint64_t seed = 12345,
+                             const ExecOptions &opts = {});
 
 /**
  * Default trial count for experiment harnesses: reads the TRIQ_TRIALS
  * environment variable, falling back to `fallback`.
  */
 int defaultTrials(int fallback = 1000);
+
+/**
+ * Default simulation thread count: reads the TRIQ_SIM_THREADS
+ * environment variable, falling back to `fallback` (serial).
+ */
+int defaultSimThreads(int fallback = 1);
 
 /**
  * Re-order an outcome key from the executor's hardware-measured-qubit

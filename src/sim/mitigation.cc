@@ -23,7 +23,7 @@ measuredReadoutErrors(const Circuit &hw, const Calibration &calib)
 }
 
 std::vector<double>
-mitigateReadoutHistogram(const std::map<uint64_t, int> &histogram,
+mitigateReadoutHistogram(const std::unordered_map<uint64_t, int> &histogram,
                          const std::vector<double> &ro_errs)
 {
     const size_t k = ro_errs.size();
@@ -80,7 +80,7 @@ mitigateReadoutHistogram(const std::map<uint64_t, int> &histogram,
 }
 
 double
-mitigatedSuccess(const std::map<uint64_t, int> &histogram,
+mitigatedSuccess(const std::unordered_map<uint64_t, int> &histogram,
                  const std::vector<double> &ro_errs,
                  uint64_t correct_outcome)
 {

@@ -15,7 +15,7 @@
 #define TRIQ_SIM_MITIGATION_HH
 
 #include <cstdint>
-#include <map>
+#include <unordered_map>
 #include <vector>
 
 #include "core/circuit.hh"
@@ -41,14 +41,14 @@ std::vector<double> measuredReadoutErrors(const Circuit &hw,
  *         non-negative and renormalized).
  */
 std::vector<double>
-mitigateReadoutHistogram(const std::map<uint64_t, int> &histogram,
+mitigateReadoutHistogram(const std::unordered_map<uint64_t, int> &histogram,
                          const std::vector<double> &ro_errs);
 
 /**
  * Convenience: the mitigated probability of `correct_outcome`.
  * Compare against raw successRate to quantify the recovery.
  */
-double mitigatedSuccess(const std::map<uint64_t, int> &histogram,
+double mitigatedSuccess(const std::unordered_map<uint64_t, int> &histogram,
                         const std::vector<double> &ro_errs,
                         uint64_t correct_outcome);
 

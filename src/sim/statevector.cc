@@ -133,6 +133,82 @@ StateVector::applyZ(int q)
 }
 
 void
+StateVector::applyPhase1(int q, Cplx phase)
+{
+    checkQubit(q);
+    const uint64_t bit = uint64_t{1} << q;
+    for (uint64_t i = 0; i < dim(); ++i)
+        if (i & bit)
+            amps_[i] *= phase;
+}
+
+void
+StateVector::applyRz(int q, double theta)
+{
+    checkQubit(q);
+    const uint64_t bit = uint64_t{1} << q;
+    const Cplx lo = std::exp(Cplx(0, -theta / 2));
+    const Cplx hi = std::exp(Cplx(0, theta / 2));
+    for (uint64_t i = 0; i < dim(); ++i)
+        amps_[i] *= (i & bit) ? hi : lo;
+}
+
+void
+StateVector::applyCnot(int control, int target)
+{
+    checkQubit(control);
+    checkQubit(target);
+    if (control == target)
+        panic("applyCnot: identical qubits");
+    const uint64_t cb = uint64_t{1} << control;
+    const uint64_t tb = uint64_t{1} << target;
+    for (uint64_t i = 0; i < dim(); ++i)
+        if ((i & cb) && !(i & tb))
+            std::swap(amps_[i], amps_[i | tb]);
+}
+
+void
+StateVector::applyCz(int a, int b)
+{
+    checkQubit(a);
+    checkQubit(b);
+    if (a == b)
+        panic("applyCz: identical qubits");
+    const uint64_t mask = (uint64_t{1} << a) | (uint64_t{1} << b);
+    for (uint64_t i = 0; i < dim(); ++i)
+        if ((i & mask) == mask)
+            amps_[i] = -amps_[i];
+}
+
+void
+StateVector::applyCphase(int a, int b, double lambda)
+{
+    checkQubit(a);
+    checkQubit(b);
+    if (a == b)
+        panic("applyCphase: identical qubits");
+    const uint64_t mask = (uint64_t{1} << a) | (uint64_t{1} << b);
+    const Cplx phase = std::exp(Cplx(0, lambda));
+    for (uint64_t i = 0; i < dim(); ++i)
+        if ((i & mask) == mask)
+            amps_[i] *= phase;
+}
+
+void
+StateVector::applySwap(int a, int b)
+{
+    checkQubit(a);
+    checkQubit(b);
+    if (a == b)
+        panic("applySwap: identical qubits");
+    const uint64_t ba = uint64_t{1} << a;
+    const uint64_t bb = uint64_t{1} << b;
+    for (uint64_t i = 0; i < dim(); ++i)
+        if ((i & ba) && !(i & bb))
+            std::swap(amps_[i], amps_[(i & ~ba) | bb]);
+}
+
+void
 StateVector::applyGate(const Gate &g)
 {
     if (g.kind == GateKind::Barrier || g.kind == GateKind::I)
@@ -151,13 +227,46 @@ StateVector::applyGate(const Gate &g)
           case GateKind::Z:
             applyZ(g.qubit(0));
             return;
+          case GateKind::S:
+            applyPhase1(g.qubit(0), Cplx(0, 1));
+            return;
+          case GateKind::Sdg:
+            applyPhase1(g.qubit(0), Cplx(0, -1));
+            return;
+          case GateKind::T:
+            applyPhase1(g.qubit(0), std::exp(Cplx(0, kPi / 4)));
+            return;
+          case GateKind::Tdg:
+            applyPhase1(g.qubit(0), std::exp(Cplx(0, -kPi / 4)));
+            return;
+          case GateKind::U1:
+            applyPhase1(g.qubit(0), std::exp(Cplx(0, g.params[0])));
+            return;
+          case GateKind::Rz:
+            applyRz(g.qubit(0), g.params[0]);
+            return;
           default:
             applyMatrix1(gateMatrix(g), g.qubit(0));
             return;
         }
       case 2:
-        applyMatrix2(gateMatrix(g), g.qubit(0), g.qubit(1));
-        return;
+        switch (g.kind) {
+          case GateKind::Cnot:
+            applyCnot(g.qubit(0), g.qubit(1));
+            return;
+          case GateKind::Cz:
+            applyCz(g.qubit(0), g.qubit(1));
+            return;
+          case GateKind::Cphase:
+            applyCphase(g.qubit(0), g.qubit(1), g.params[0]);
+            return;
+          case GateKind::Swap:
+            applySwap(g.qubit(0), g.qubit(1));
+            return;
+          default:
+            applyMatrix2(gateMatrix(g), g.qubit(0), g.qubit(1));
+            return;
+        }
       case 3: {
         // Composite gates are rare post-decomposition; expand via two
         // levels: apply as a controlled operation by direct permutation.

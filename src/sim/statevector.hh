@@ -69,6 +69,19 @@ class StateVector
     void applyZ(int q);
 
     /**
+     * Specialized kernels for the gate families that dominate compiled
+     * circuits (diagonal phases, CNOT/CZ, SWAP). applyGate dispatches
+     * here instead of the general 2x2/4x4 matrix path; they are exact,
+     * so results match the matrix path bit for bit.
+     */
+    void applyPhase1(int q, Cplx phase); //!< diag(1, phase) on qubit q.
+    void applyRz(int q, double theta);   //!< diag(e^-it/2, e^+it/2).
+    void applyCnot(int control, int target);
+    void applyCz(int a, int b);
+    void applyCphase(int a, int b, double lambda);
+    void applySwap(int a, int b);
+
+    /**
      * Sample a full measurement outcome (all qubits) without collapsing.
      * @return Basis index distributed according to |amplitude|^2.
      */

@@ -1,19 +1,23 @@
 /**
  * @file
- * Unit tests for the common subsystem: angles, RNG, matrices, stats
- * and table formatting.
+ * Unit tests for the common subsystem: angles, RNG, matrices, stats,
+ * env helpers, the thread pool and table formatting.
  */
 
+#include <atomic>
 #include <cmath>
+#include <cstdlib>
 #include <sstream>
 
 #include <gtest/gtest.h>
 
+#include "common/env.hh"
 #include "common/logging.hh"
 #include "common/matrix.hh"
 #include "common/rng.hh"
 #include "common/stats.hh"
 #include "common/table.hh"
+#include "common/thread_pool.hh"
 #include "common/types.hh"
 
 namespace triq
@@ -246,6 +250,86 @@ TEST(Formatting, Helpers)
     EXPECT_EQ(fmtI(-42), "-42");
     EXPECT_EQ(fmtFactor(2.5), "2.50x");
     EXPECT_EQ(fmtFactor(std::nan("")), "-");
+}
+
+TEST(Rng, StreamIsPureFunctionOfSeedAndIndex)
+{
+    Rng a = Rng::stream(7, 0), b = Rng::stream(7, 0);
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(a.next(), b.next());
+    // Different indices (and different seeds) give unrelated streams.
+    Rng c = Rng::stream(7, 1), d = Rng::stream(8, 0);
+    Rng a2 = Rng::stream(7, 0);
+    bool differs_idx = false, differs_seed = false;
+    for (int i = 0; i < 50; ++i) {
+        uint64_t r = a2.next();
+        differs_idx = differs_idx || c.next() != r;
+        differs_seed = differs_seed || d.next() != r;
+    }
+    EXPECT_TRUE(differs_idx);
+    EXPECT_TRUE(differs_seed);
+}
+
+TEST(Rng, StreamsAreStatisticallyIndependent)
+{
+    // Adjacent chunk streams must not be shifted copies of each other:
+    // their uniforms should be uncorrelated.
+    Rng a = Rng::stream(99, 4), b = Rng::stream(99, 5);
+    double sum_ab = 0.0, sum_a = 0.0, sum_b = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        double x = a.uniform(), y = b.uniform();
+        sum_ab += x * y;
+        sum_a += x;
+        sum_b += y;
+    }
+    double cov = sum_ab / n - (sum_a / n) * (sum_b / n);
+    EXPECT_NEAR(cov, 0.0, 0.01);
+}
+
+TEST(Env, EnvIntParsesAndFallsBack)
+{
+    unsetenv("TRIQ_TEST_ENVINT");
+    EXPECT_EQ(envInt("TRIQ_TEST_ENVINT", 42), 42);
+    setenv("TRIQ_TEST_ENVINT", "17", 1);
+    EXPECT_EQ(envInt("TRIQ_TEST_ENVINT", 42), 17);
+    setenv("TRIQ_TEST_ENVINT", "bogus", 1);
+    EXPECT_EQ(envInt("TRIQ_TEST_ENVINT", 42), 42);
+    setenv("TRIQ_TEST_ENVINT", "17abc", 1);
+    EXPECT_EQ(envInt("TRIQ_TEST_ENVINT", 42), 42);
+    setenv("TRIQ_TEST_ENVINT", "0", 1);
+    EXPECT_EQ(envInt("TRIQ_TEST_ENVINT", 42), 42);     // below min 1
+    EXPECT_EQ(envInt("TRIQ_TEST_ENVINT", 42, 0), 0);   // min 0 accepts
+    setenv("TRIQ_TEST_ENVINT", "-3", 1);
+    EXPECT_EQ(envInt("TRIQ_TEST_ENVINT", 42, 0), 42);
+    unsetenv("TRIQ_TEST_ENVINT");
+}
+
+TEST(ThreadPool, RunsEveryJobAcrossWorkers)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.size(), 4);
+    std::atomic<long> sum{0};
+    parallelFor(pool, 1000, [&](int i) { sum += i; });
+    EXPECT_EQ(sum.load(), 999L * 1000 / 2);
+    // The pool is reusable after wait().
+    parallelFor(pool, 10, [&](int) { sum += 1; });
+    EXPECT_EQ(sum.load(), 999L * 1000 / 2 + 10);
+}
+
+TEST(ThreadPool, PropagatesJobExceptions)
+{
+    ThreadPool pool(2);
+    EXPECT_THROW(parallelFor(pool, 8,
+                             [&](int i) {
+                                 if (i == 5)
+                                     panic("boom from job ", i);
+                             }),
+                 PanicError);
+    // Still usable after an error.
+    std::atomic<int> ok{0};
+    parallelFor(pool, 4, [&](int) { ++ok; });
+    EXPECT_EQ(ok.load(), 4);
 }
 
 } // namespace

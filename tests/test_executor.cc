@@ -224,6 +224,80 @@ TEST(Noise, CrosstalkRequiresSpatialAdjacency)
     EXPECT_DOUBLE_EQ(sites[1].prob, 0.05);
 }
 
+TEST(Executor, BitIdenticalAcrossThreadCounts)
+{
+    Device dev = makeIbmQ5();
+    Calibration c = dev.calibrate(2);
+    Circuit program = makeBenchmark("Peres");
+    CompileOptions opts;
+    CompileResult res = compileForDevice(program, dev, c, opts);
+    ExecOptions serial;
+    serial.threads = 1;
+    ExecutionResult base =
+        executeNoisy(res.hwCircuit, dev, c, 1500, 99, serial);
+    EXPECT_GT(base.simulatedTrajectories, 0);
+    for (int threads : {2, 8}) {
+        ExecOptions t;
+        t.threads = threads;
+        ExecutionResult r =
+            executeNoisy(res.hwCircuit, dev, c, 1500, 99, t);
+        EXPECT_DOUBLE_EQ(r.successRate, base.successRate);
+        EXPECT_EQ(r.simulatedTrajectories, base.simulatedTrajectories);
+        EXPECT_EQ(r.correctOutcome, base.correctOutcome);
+        EXPECT_EQ(r.histogram, base.histogram);
+    }
+    // sortedHistogram: ascending keys, counts summing to trials.
+    auto sorted = base.sortedHistogram();
+    long total = 0;
+    for (size_t i = 0; i < sorted.size(); ++i) {
+        if (i > 0) {
+            EXPECT_LT(sorted[i - 1].first, sorted[i].first);
+        }
+        total += sorted[i].second;
+    }
+    EXPECT_EQ(total, base.trials);
+}
+
+TEST(Executor, CheckpointedReplayMatchesFullReplay)
+{
+    // Certain 1Q error sites force every trial onto the trajectory
+    // path, so checkpointed and full replay are both fully exercised.
+    Device dev = probe(1.0, 0.3, 0.02);
+    Calibration c = dev.averageCalibration();
+    c.err1q = {1.0, 1.0};
+    Circuit circ(2, "forced");
+    for (int i = 0; i < 6; ++i) {
+        circ.add(Gate::rx(0, kPi / 3));
+        circ.add(Gate::rx(1, kPi / 5));
+        circ.add(Gate::cz(0, 1));
+    }
+    circ.add(Gate::measure(0));
+    circ.add(Gate::measure(1));
+    ExecOptions full;
+    full.checkpointInterval = -1; // replay from |00> every time
+    ExecutionResult a = executeNoisy(circ, dev, c, 800, 21, full);
+    EXPECT_EQ(a.simulatedTrajectories, a.trials);
+    for (int interval : {1, 2, 5, 0}) {
+        ExecOptions ck;
+        ck.checkpointInterval = interval;
+        ExecutionResult b = executeNoisy(circ, dev, c, 800, 21, ck);
+        EXPECT_DOUBLE_EQ(b.successRate, a.successRate);
+        EXPECT_EQ(b.simulatedTrajectories, a.simulatedTrajectories);
+        EXPECT_EQ(b.histogram, a.histogram);
+    }
+}
+
+TEST(Executor, DefaultSimThreadsEnv)
+{
+    unsetenv("TRIQ_SIM_THREADS");
+    EXPECT_EQ(defaultSimThreads(), 1);
+    setenv("TRIQ_SIM_THREADS", "6", 1);
+    EXPECT_EQ(defaultSimThreads(), 6);
+    setenv("TRIQ_SIM_THREADS", "zero?", 1);
+    EXPECT_EQ(defaultSimThreads(), 1);
+    unsetenv("TRIQ_SIM_THREADS");
+}
+
 TEST(Executor, DefaultTrialsEnv)
 {
     unsetenv("TRIQ_TRIALS");

@@ -27,7 +27,7 @@ TEST(Mitigation, ExactInversionOfPureReadoutNoise)
     // Analytic case: true state |1>, flip probability e. Observed
     // distribution {0: e, 1: 1-e}; mitigation must return {0, 1}.
     const double e = 0.2;
-    std::map<uint64_t, int> hist;
+    std::unordered_map<uint64_t, int> hist;
     hist[0] = 2000; // 0.2 of 10000
     hist[1] = 8000;
     std::vector<double> p = mitigateReadoutHistogram(hist, {e});
@@ -40,7 +40,7 @@ TEST(Mitigation, TwoBitFactorizedInversion)
     // True outcome 0b10 observed through flips (e0, e1); build the
     // exact observed distribution and invert it.
     const double e0 = 0.1, e1 = 0.25;
-    std::map<uint64_t, int> hist;
+    std::unordered_map<uint64_t, int> hist;
     const int n = 1000000;
     // P(observed b0 b1) for true (0, 1).
     hist[0b00] = static_cast<int>(n * (1 - e0) * e1);
@@ -74,10 +74,10 @@ TEST(Mitigation, RecoversExecutorReadoutLoss)
 
 TEST(Mitigation, Validation)
 {
-    std::map<uint64_t, int> hist{{0, 10}};
+    std::unordered_map<uint64_t, int> hist{{0, 10}};
     EXPECT_THROW(mitigateReadoutHistogram(hist, {0.6}), FatalError);
     EXPECT_THROW(mitigateReadoutHistogram({}, {0.1}), FatalError);
-    std::map<uint64_t, int> wide{{4, 1}};
+    std::unordered_map<uint64_t, int> wide{{4, 1}};
     EXPECT_THROW(mitigateReadoutHistogram(wide, {0.1, 0.1}),
                  FatalError);
 }

@@ -182,5 +182,37 @@ TEST(StateVector, NormPreservedByLongCircuits)
     EXPECT_NEAR(sv.normSquared(), 1.0, 1e-9);
 }
 
+TEST(StateVector, FastPathKernelsMatchMatrixPath)
+{
+    // Every specialized kernel must agree with the general matrix path
+    // it replaces, on a random (normalized-enough) dense state.
+    std::vector<Gate> gates = {
+        Gate::s(1),          Gate::sdg(2),
+        Gate::t(0),          Gate::tdg(1),
+        Gate::u1(2, 0.7),    Gate::rz(0, -1.3),
+        Gate::cnot(0, 2),    Gate::cnot(2, 0),
+        Gate::cz(1, 2),      Gate::cphase(0, 1, 0.9),
+        Gate::swap(0, 2),    Gate::swap(1, 0),
+    };
+    Rng rng(23);
+    for (const Gate &g : gates) {
+        StateVector fast(3), ref(3);
+        for (uint64_t b = 0; b < fast.dim(); ++b) {
+            Cplx amp(rng.uniform(-1, 1), rng.uniform(-1, 1));
+            fast.amps()[b] = amp;
+            ref.amps()[b] = amp;
+        }
+        fast.applyGate(g); // dispatches to the specialized kernel
+        if (g.arity() == 1)
+            ref.applyMatrix1(gateMatrix(g), g.qubit(0));
+        else
+            ref.applyMatrix2(gateMatrix(g), g.qubit(0), g.qubit(1));
+        for (uint64_t b = 0; b < fast.dim(); ++b)
+            EXPECT_NEAR(std::abs(fast.amplitude(b) - ref.amplitude(b)),
+                        0.0, 1e-12)
+                << g.str() << " basis " << b;
+    }
+}
+
 } // namespace
 } // namespace triq

@@ -118,7 +118,7 @@ TEST(Qaoa, HistogramExpectationMatchesIdealUnderZeroNoise)
     setQuiet(false);
     std::vector<std::pair<uint64_t, int>> counts;
     long total = 0;
-    for (const auto &[key, count] : run.histogram) {
+    for (const auto &[key, count] : run.sortedHistogram()) {
         counts.push_back(
             {outcomeForProgram(key, res.hwCircuit, res.finalMap,
                                c.measuredQubits()),
@@ -148,8 +148,8 @@ TEST(Qaoa, NoiseDegradesCut)
     ExecutionResult run =
         executeNoisy(res.hwCircuit, dev, calib, 8000, 3);
     setQuiet(false);
-    std::vector<std::pair<uint64_t, int>> counts(
-        run.histogram.begin(), run.histogram.end());
+    std::vector<std::pair<uint64_t, int>> counts =
+        run.sortedHistogram();
     for (auto &[key, count] : counts)
         key = outcomeForProgram(key, res.hwCircuit, res.finalMap,
                                 c.measuredQubits());

@@ -22,6 +22,7 @@
  *   --peephole           enable inverse-pair cancellation
  *   --report             print gate counts, ESP and predicted success
  *   --trials N           trials for the success prediction (default 2000)
+ *   --sim-threads N      simulator worker threads for the prediction
  *   -o FILE              write assembly to FILE instead of stdout
  */
 
@@ -56,6 +57,7 @@ struct Args
     std::string calibrationFile;
     int day = 0;
     int trials = 2000;
+    int simThreads = 0; // 0 = TRIQ_SIM_THREADS env (default serial)
     bool qasm = false;
     bool peephole = false;
     bool report = false;
@@ -80,6 +82,9 @@ usage()
         "  --report            print stats, ESP, predicted success\n"
         "  --verify            check compiled-vs-program equivalence\n"
         "  --trials N          prediction trials       (default 2000)\n"
+        "  --sim-threads N     simulator worker threads for --report\n"
+        "                      (default: TRIQ_SIM_THREADS env, else 1;\n"
+        "                      results are identical for any value)\n"
         "  -o FILE             write assembly to FILE\n"
         "  --list-devices      list the seven study machines\n";
 }
@@ -117,6 +122,8 @@ parseArgs(int argc, char **argv)
             a.verify = true;
         else if (!std::strcmp(arg, "--trials"))
             a.trials = std::atoi(need_value(i, arg));
+        else if (!std::strcmp(arg, "--sim-threads"))
+            a.simThreads = std::atoi(need_value(i, arg));
         else if (!std::strcmp(arg, "-o"))
             a.outputFile = need_value(i, arg);
         else if (!std::strcmp(arg, "--list-devices"))
@@ -222,8 +229,11 @@ main(int argc, char **argv)
         }
 
         if (args.report) {
+            ExecOptions exec_opts;
+            exec_opts.threads = args.simThreads;
             ExecutionResult run =
-                executeNoisy(res.hwCircuit, dev, calib, args.trials);
+                executeNoisy(res.hwCircuit, dev, calib, args.trials,
+                             12345, exec_opts);
             std::cerr << "== triqc report ==\n"
                       << "program:        " << program.name() << " ("
                       << program.numQubits() << " qubits)\n"
