@@ -44,6 +44,7 @@ run(const Circuit &program, const Device &dev, const Calibration &calib,
     opts.kind = MapperKind::BranchAndBound;
     opts.objective = objective;
     opts.nodeBudget = 5000000;
+    opts.budget = CompileBudget::withDeadlineMs(60000.0);
     auto t0 = std::chrono::steady_clock::now();
     Mapping m = mapQubits(info, rel, opts);
     double ms = std::chrono::duration<double, std::milli>(
@@ -119,6 +120,7 @@ main()
             MappingOptions opts;
             opts.kind = kind;
             opts.nodeBudget = 100000;
+            opts.budget = CompileBudget::withDeadlineMs(30000.0);
             auto t0 = std::chrono::steady_clock::now();
             Mapping m = mapQubits(info, rel, opts);
             double ms = std::chrono::duration<double, std::milli>(

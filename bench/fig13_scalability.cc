@@ -28,6 +28,9 @@ compileTimeMs(const Circuit &program, const Device &dev, MapperKind kind)
     opts.level = OptLevel::OneQOptCN;
     opts.mapping.kind = kind;
     opts.mapping.nodeBudget = 200000;
+    // Explicit wall-clock ceiling: the scalability sweep must terminate
+    // even on configurations where the node budget alone is too lax.
+    opts.budget = CompileBudget::withDeadlineMs(30000.0);
     opts.emitAssembly = false;
     auto res = compileForDevice(program, dev, calib, opts);
     return res.compileMs;

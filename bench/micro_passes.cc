@@ -63,8 +63,12 @@ BM_Mapper(benchmark::State &state)
     ReliabilityMatrix rel(ibmq14().topology(), calib14(), Vendor::IBM);
     MappingOptions opts;
     opts.kind = kind;
-    for (auto _ : state)
+    for (auto _ : state) {
+        // Fresh deadline per iteration: a loop-hoisted budget would
+        // expire mid-run and silently degrade later iterations.
+        opts.budget = CompileBudget::withDeadlineMs(10000.0);
         benchmark::DoNotOptimize(mapQubits(info, rel, opts));
+    }
 }
 BENCHMARK(BM_Mapper)
     ->Arg(static_cast<int>(MapperKind::Greedy))

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * CompileBudget: a wall-clock deadline plus node budget threaded from
+ * the compiler driver through the mapper and scheduling passes so a
+ * mappable program *always* yields a routed circuit in bounded time.
+ *
+ * The budget is deliberately advisory rather than preemptive: passes
+ * poll `expired()` at safe points (the branch-and-bound mapper every
+ * few thousand nodes, local search between passes) and return their
+ * best incumbent instead of continuing. A default-constructed budget is
+ * unlimited, so code that never checks the clock behaves bit-for-bit as
+ * before — the anytime guarantee only changes behavior when a deadline
+ * actually fires (see DESIGN.md, "Error-handling contract").
+ */
+
+#ifndef TRIQ_COMMON_BUDGET_HH
+#define TRIQ_COMMON_BUDGET_HH
+
+#include <chrono>
+
+namespace triq
+{
+
+/** Wall-clock + work budget for one compilation. */
+class CompileBudget
+{
+  public:
+    using Clock = std::chrono::steady_clock;
+
+    /** Unlimited: `expired()` is always false and costs no clock read. */
+    CompileBudget() = default;
+
+    /** Budget expiring `ms` milliseconds after *now*. */
+    static CompileBudget
+    withDeadlineMs(double ms)
+    {
+        CompileBudget b;
+        b.hasDeadline_ = true;
+        b.deadline_ = Clock::now() +
+                      std::chrono::duration_cast<Clock::duration>(
+                          std::chrono::duration<double, std::milli>(ms));
+        return b;
+    }
+
+    /** True when a wall-clock deadline is armed. */
+    bool limited() const { return hasDeadline_; }
+
+    /** True when the deadline has passed (never true when unlimited). */
+    bool
+    expired() const
+    {
+        return hasDeadline_ && Clock::now() >= deadline_;
+    }
+
+    /**
+     * Milliseconds until the deadline; negative when already expired.
+     * Meaningless (a large positive number) when unlimited.
+     */
+    double
+    remainingMs() const
+    {
+        if (!hasDeadline_)
+            return 1e18;
+        return std::chrono::duration<double, std::milli>(deadline_ -
+                                                         Clock::now())
+            .count();
+    }
+
+  private:
+    bool hasDeadline_ = false;
+    Clock::time_point deadline_{};
+};
+
+} // namespace triq
+
+#endif // TRIQ_COMMON_BUDGET_HH

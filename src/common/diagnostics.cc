@@ -1,0 +1,180 @@
+#include "common/diagnostics.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace triq
+{
+
+const char *
+diagSeverityName(DiagSeverity s)
+{
+    switch (s) {
+      case DiagSeverity::Note:
+        return "note";
+      case DiagSeverity::Warning:
+        return "warning";
+      case DiagSeverity::Error:
+        return "error";
+    }
+    return "unknown";
+}
+
+std::string
+Diagnostic::str() const
+{
+    std::ostringstream os;
+    if (!origin.empty())
+        os << origin << ":";
+    if (span.line > 0) {
+        os << span.line << ":";
+        if (span.col > 0)
+            os << span.col << ":";
+    }
+    if (os.tellp() > 0)
+        os << " ";
+    os << diagSeverityName(severity) << ": " << message;
+    if (!code.empty())
+        os << " [" << code << "]";
+    return os.str();
+}
+
+void
+Diagnostics::add(DiagSeverity sev, std::string code, std::string message,
+                 SourceSpan span)
+{
+    if (sev == DiagSeverity::Error) {
+        ++errorCount_;
+        if (errorCount_ > maxErrors) {
+            truncated_ = true;
+            return;
+        }
+    } else if (sev == DiagSeverity::Warning) {
+        ++warningCount_;
+    }
+    Diagnostic d;
+    d.severity = sev;
+    d.code = std::move(code);
+    d.message = std::move(message);
+    d.span = span;
+    d.origin = origin_;
+    diags_.push_back(std::move(d));
+}
+
+void
+Diagnostics::error(std::string code, std::string message, SourceSpan span)
+{
+    add(DiagSeverity::Error, std::move(code), std::move(message), span);
+}
+
+void
+Diagnostics::warning(std::string code, std::string message, SourceSpan span)
+{
+    add(DiagSeverity::Warning, std::move(code), std::move(message), span);
+}
+
+void
+Diagnostics::note(std::string code, std::string message, SourceSpan span)
+{
+    add(DiagSeverity::Note, std::move(code), std::move(message), span);
+}
+
+void
+Diagnostics::merge(const Diagnostics &other)
+{
+    for (const auto &d : other.diags_) {
+        if (d.severity == DiagSeverity::Error) {
+            ++errorCount_;
+            if (errorCount_ > maxErrors) {
+                truncated_ = true;
+                continue;
+            }
+        } else if (d.severity == DiagSeverity::Warning) {
+            ++warningCount_;
+        }
+        diags_.push_back(d);
+    }
+    truncated_ = truncated_ || other.truncated_;
+}
+
+std::string
+Diagnostics::text() const
+{
+    std::ostringstream os;
+    for (const auto &d : diags_)
+        os << d.str() << "\n";
+    if (truncated_)
+        os << "(further errors suppressed: " << errorCount_
+           << " total)\n";
+    return os.str();
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::ostringstream os;
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"':
+            os << "\\\"";
+            break;
+          case '\\':
+            os << "\\\\";
+            break;
+          case '\n':
+            os << "\\n";
+            break;
+          case '\r':
+            os << "\\r";
+            break;
+          case '\t':
+            os << "\\t";
+            break;
+          default:
+            if (c < 0x20 || c >= 0x7f) {
+                // Escape control bytes and non-ASCII so garbage input
+                // (bad UTF-8 from a fuzzed file) still yields valid JSON.
+                static const char hex[] = "0123456789abcdef";
+                os << "\\u00" << hex[(c >> 4) & 0xf] << hex[c & 0xf];
+            } else {
+                os << static_cast<char>(c);
+            }
+        }
+    }
+    return os.str();
+}
+
+std::string
+Diagnostics::json() const
+{
+    std::ostringstream os;
+    os << "{\"errors\":" << errorCount_
+       << ",\"warnings\":" << warningCount_
+       << ",\"truncated\":" << (truncated_ ? "true" : "false")
+       << ",\"diagnostics\":[";
+    bool first = true;
+    for (const auto &d : diags_) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "{\"severity\":\"" << diagSeverityName(d.severity)
+           << "\",\"code\":\"" << jsonEscape(d.code)
+           << "\",\"message\":\"" << jsonEscape(d.message)
+           << "\",\"line\":" << d.span.line << ",\"col\":" << d.span.col
+           << ",\"origin\":\"" << jsonEscape(d.origin) << "\"}";
+    }
+    os << "]}";
+    return os.str();
+}
+
+void
+Diagnostics::throwIfErrors(const std::string &context) const
+{
+    if (!hasErrors())
+        return;
+    fatal(context, ": ", errorCount_, " error",
+          errorCount_ == 1 ? "" : "s", "\n", text());
+}
+
+} // namespace triq

@@ -55,6 +55,76 @@ struct CompileOptions
 
     /** Emit vendor assembly text into CompileResult::assembly. */
     bool emitAssembly = true;
+
+    /**
+     * Wall-clock budget for the whole compilation. Unlimited by
+     * default (bit-for-bit identical to the unbudgeted pipeline). With
+     * a deadline armed the pipeline is *anytime*: optional optimization
+     * passes are skipped and the mapper returns its best incumbent when
+     * the deadline fires, but a mappable program always yields a valid
+     * routed circuit — the degradations are recorded in
+     * CompileResult::report.
+     */
+    CompileBudget budget;
+
+    /**
+     * Calibration input policy: false (default) sanitizes bad values
+     * (clamp + warning diagnostics in the report); true rejects them
+     * with FatalError (the `triqc --strict-calibration` contract).
+     */
+    bool strictCalibration = false;
+};
+
+/**
+ * Structured account of how one compilation went: which engines ran,
+ * how long each pass took, and every graceful degradation taken. The
+ * report is how a caller distinguishes "full-strength result" from
+ * "valid but degraded under the budget" without either case throwing.
+ */
+struct CompileReport
+{
+    /** One pipeline pass and its wall-clock cost. */
+    struct PassTiming
+    {
+        std::string pass;
+        double ms = 0.0;
+    };
+
+    /** Per-pass timings in execution order. */
+    std::vector<PassTiming> passes;
+
+    /** Mapping engine requested (MappingOptions::kind display name). */
+    std::string requestedMapper;
+
+    /** Mapping engine that actually produced the placement. */
+    std::string mapperEngine;
+
+    /** Search nodes explored by the mapper (0 for greedy/trivial). */
+    long mapperNodes = 0;
+
+    /** True when the mapper proved its objective optimal. */
+    bool mapperOptimal = false;
+
+    /** True when any fallback or early stop was taken. */
+    bool degraded = false;
+
+    /** True when the wall-clock deadline fired somewhere. */
+    bool deadlineHit = false;
+
+    /** One entry per degradation, in pipeline order. */
+    std::vector<std::string> degradations;
+
+    /** Calibration values clamped/repaired by input sanitization. */
+    int calibrationRepairs = 0;
+
+    /** Sanitization warnings (and any errors in strict mode). */
+    Diagnostics calibrationDiags{"calibration"};
+
+    /** Multi-line human-readable rendering. */
+    std::string str() const;
+
+    /** JSON object rendering (the `triqc --diag-json` report field). */
+    std::string json() const;
 };
 
 /** Everything the toolflow produces for one (program, device) pair. */
@@ -81,6 +151,9 @@ struct CompileResult
 
     /** Vendor-format executable text (empty if not requested). */
     std::string assembly;
+
+    /** How the compilation went: engines, timings, degradations. */
+    CompileReport report;
 };
 
 /**

@@ -46,6 +46,22 @@ mapperKindFromString(const std::string &s)
     fatal("unknown mapper kind '", s, "'");
 }
 
+std::string
+mapperKindName(MapperKind kind)
+{
+    switch (kind) {
+      case MapperKind::Trivial:
+        return "trivial";
+      case MapperKind::Greedy:
+        return "greedy";
+      case MapperKind::BranchAndBound:
+        return "bnb";
+      case MapperKind::Smt:
+        return "smt";
+    }
+    panic("mapperKindName: unknown kind");
+}
+
 std::vector<ProgQubit>
 Mapping::hwToProg(int num_hw) const
 {
@@ -241,7 +257,7 @@ struct SearchContext
 Mapping
 finishMapping(const ProgramInfo &info, const ReliabilityMatrix &rel,
               std::vector<HwQubit> map, bool include_ro, bool optimal,
-              long nodes)
+              long nodes, const char *engine)
 {
     Mapping m;
     m.progToHw = std::move(map);
@@ -250,6 +266,7 @@ finishMapping(const ProgramInfo &info, const ReliabilityMatrix &rel,
     m.logProduct = mappingLogProduct(info, rel, m.progToHw, include_ro);
     m.optimal = optimal;
     m.nodesExplored = nodes;
+    m.engine = engine;
     return m;
 }
 
@@ -288,11 +305,14 @@ greedyPlace(const SearchContext &ctx)
  * Hill-climbing improvement: move a program qubit to a free hardware
  * qubit or swap two placements when it improves the objective pair
  * lexicographically (primary metric first, the other as tie-break).
+ * Anytime: returns false when the budget deadline fired before the
+ * climb converged (the map still holds the best placement reached).
  */
-void
+bool
 localSearch(const ProgramInfo &info, const ReliabilityMatrix &rel,
             bool include_ro, MappingObjective objective,
-            std::vector<HwQubit> &map)
+            std::vector<HwQubit> &map,
+            const CompileBudget &budget = CompileBudget())
 {
     const int mhw = rel.numQubits();
     const int n = info.numProgQubits;
@@ -318,6 +338,8 @@ localSearch(const ProgramInfo &info, const ReliabilityMatrix &rel,
     for (int pass = 0; pass < 32; ++pass) {
         bool improved = false;
         for (int p = 0; p < n; ++p) {
+            if (budget.expired())
+                return false;
             for (HwQubit h = 0; h < mhw; ++h) {
                 HwQubit old = map[static_cast<size_t>(p)];
                 if (h == old)
@@ -342,6 +364,7 @@ localSearch(const ProgramInfo &info, const ReliabilityMatrix &rel,
         if (!improved)
             break;
     }
+    return true;
 }
 
 /**
@@ -356,8 +379,10 @@ struct BnbProductSearch
 {
     const SearchContext &ctx;
     long budget;
+    const CompileBudget &clock;
     long nodes = 0;
     bool exhausted = false;
+    bool timedOut = false;
     double bestSum;
     std::vector<HwQubit> bestMap;
     std::vector<HwQubit> map;
@@ -368,9 +393,9 @@ struct BnbProductSearch
     double maxRoLog;
 
     BnbProductSearch(const SearchContext &c, long node_budget,
-                     double incumbent,
+                     const CompileBudget &clk, double incumbent,
                      std::vector<HwQubit> incumbent_map)
-        : ctx(c), budget(node_budget), bestSum(incumbent),
+        : ctx(c), budget(node_budget), clock(clk), bestSum(incumbent),
           bestMap(std::move(incumbent_map)),
           map(static_cast<size_t>(c.info.numProgQubits), -1),
           used(static_cast<size_t>(c.rel.numQubits()), false)
@@ -428,6 +453,13 @@ struct BnbProductSearch
             exhausted = true;
             return;
         }
+        // Poll the wall clock sparsely: a clock read per node would
+        // dominate the search itself.
+        if ((nodes & 0xFFF) == 0 && clock.expired()) {
+            exhausted = true;
+            timedOut = true;
+            return;
+        }
         std::vector<std::pair<double, HwQubit>> cands;
         for (HwQubit h = 0; h < ctx.rel.numQubits(); ++h) {
             if (used[static_cast<size_t>(h)])
@@ -459,16 +491,19 @@ struct BnbSearch
 {
     const SearchContext &ctx;
     long budget;
+    const CompileBudget &clock;
     long nodes = 0;
     bool exhausted = false;
+    bool timedOut = false;
     double bestMin;
     std::vector<HwQubit> bestMap;
     std::vector<HwQubit> map;
     std::vector<bool> used;
 
-    BnbSearch(const SearchContext &c, long node_budget, double incumbent,
+    BnbSearch(const SearchContext &c, long node_budget,
+              const CompileBudget &clk, double incumbent,
               std::vector<HwQubit> incumbent_map)
-        : ctx(c), budget(node_budget), bestMin(incumbent),
+        : ctx(c), budget(node_budget), clock(clk), bestMin(incumbent),
           bestMap(std::move(incumbent_map)),
           map(static_cast<size_t>(c.info.numProgQubits), -1),
           used(static_cast<size_t>(c.rel.numQubits()), false)
@@ -489,6 +524,13 @@ struct BnbSearch
         }
         if (++nodes > budget) {
             exhausted = true;
+            return;
+        }
+        // Poll the wall clock sparsely: a clock read per node would
+        // dominate the search itself.
+        if ((nodes & 0xFFF) == 0 && clock.expired()) {
+            exhausted = true;
+            timedOut = true;
             return;
         }
         ProgQubit q = ctx.order[k];
@@ -530,7 +572,8 @@ trivialMapping(const ProgramInfo &info, const ReliabilityMatrix &rel)
               " qubits, device has ", rel.numQubits());
     std::vector<HwQubit> map(static_cast<size_t>(info.numProgQubits));
     std::iota(map.begin(), map.end(), 0);
-    return finishMapping(info, rel, std::move(map), true, false, 0);
+    return finishMapping(info, rel, std::move(map), true, false, 0,
+                         "trivial");
 }
 
 Mapping
@@ -541,7 +584,8 @@ mapQubits(const ProgramInfo &info, const ReliabilityMatrix &rel,
         fatal("mapQubits: program needs ", info.numProgQubits,
               " qubits, device has only ", rel.numQubits());
     if (info.numProgQubits == 0)
-        return finishMapping(info, rel, {}, opts.includeReadout, true, 0);
+        return finishMapping(info, rel, {}, opts.includeReadout, true, 0,
+                             "trivial");
 
     switch (opts.kind) {
       case MapperKind::Trivial:
@@ -549,34 +593,72 @@ mapQubits(const ProgramInfo &info, const ReliabilityMatrix &rel,
       case MapperKind::Greedy: {
         SearchContext ctx(info, rel, opts.includeReadout);
         auto map = greedyPlace(ctx);
-        localSearch(info, rel, opts.includeReadout, opts.objective, map);
-        return finishMapping(info, rel, std::move(map),
-                             opts.includeReadout, false, 0);
+        bool converged = localSearch(info, rel, opts.includeReadout,
+                                     opts.objective, map, opts.budget);
+        Mapping m = finishMapping(info, rel, std::move(map),
+                                  opts.includeReadout, false, 0,
+                                  "greedy");
+        if (!converged) {
+            m.timedOut = true;
+            m.notes.push_back("deadline fired during greedy local "
+                              "search; returning best placement so far");
+        }
+        return m;
       }
       case MapperKind::BranchAndBound: {
         SearchContext ctx(info, rel, opts.includeReadout);
         auto seed = greedyPlace(ctx);
-        localSearch(info, rel, opts.includeReadout, opts.objective,
-                    seed);
+        bool converged = localSearch(info, rel, opts.includeReadout,
+                                     opts.objective, seed, opts.budget);
+        // The greedy incumbent is the anytime floor: if the deadline
+        // already fired, skip the exact search and return it.
+        if (!converged || opts.budget.expired()) {
+            Mapping m = finishMapping(info, rel, std::move(seed),
+                                      opts.includeReadout, false, 0,
+                                      "greedy");
+            m.timedOut = true;
+            m.notes.push_back(
+                "deadline fired before branch-and-bound could run; "
+                "degraded to the greedy incumbent");
+            return m;
+        }
         if (opts.objective == MappingObjective::Product) {
             double incumbent = mappingLogProduct(info, rel, seed,
                                                  opts.includeReadout);
-            BnbProductSearch search(ctx, opts.nodeBudget, incumbent,
-                                    seed);
+            BnbProductSearch search(ctx, opts.nodeBudget, opts.budget,
+                                    incumbent, seed);
             search.dfs(0, 0.0);
-            return finishMapping(info, rel, search.bestMap,
-                                 opts.includeReadout, !search.exhausted,
-                                 search.nodes);
+            Mapping m = finishMapping(info, rel, search.bestMap,
+                                      opts.includeReadout,
+                                      !search.exhausted, search.nodes,
+                                      "bnb");
+            m.timedOut = search.timedOut;
+            if (search.timedOut)
+                m.notes.push_back(
+                    "deadline fired during branch-and-bound; returning "
+                    "the best incumbent found");
+            else if (search.exhausted)
+                m.notes.push_back("branch-and-bound node budget "
+                                  "exhausted; returning the incumbent");
+            return m;
         }
         double incumbent = mappingMinReliability(info, rel, seed,
                                                  opts.includeReadout);
         // Search strictly above the incumbent; the incumbent map is
         // returned when nothing better exists.
-        BnbSearch search(ctx, opts.nodeBudget, incumbent, seed);
+        BnbSearch search(ctx, opts.nodeBudget, opts.budget, incumbent,
+                         seed);
         search.dfs(0, 1.0);
         Mapping m = finishMapping(info, rel, search.bestMap,
                                   opts.includeReadout, !search.exhausted,
-                                  search.nodes);
+                                  search.nodes, "bnb");
+        m.timedOut = search.timedOut;
+        if (search.timedOut)
+            m.notes.push_back("deadline fired during branch-and-bound; "
+                              "returning the best incumbent found");
+        else if (search.exhausted)
+            m.notes.push_back("branch-and-bound node budget exhausted; "
+                              "returning the incumbent");
         return m;
       }
       case MapperKind::Smt:
@@ -585,7 +667,11 @@ mapQubits(const ProgramInfo &info, const ReliabilityMatrix &rel,
                  "using branch-and-bound for the product objective");
             MappingOptions fb = opts;
             fb.kind = MapperKind::BranchAndBound;
-            return mapQubits(info, rel, fb);
+            Mapping m = mapQubits(info, rel, fb);
+            m.notes.insert(m.notes.begin(),
+                           "SMT engine cannot optimize the product "
+                           "objective; degraded to branch-and-bound");
+            return m;
         }
         return mapQubitsSmtOrFallback(info, rel, opts);
     }

@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "common/budget.hh"
 #include "core/circuit.hh"
 #include "core/reliability.hh"
 
@@ -63,6 +64,9 @@ enum class MapperKind
 /** Parse "trivial" / "greedy" / "bnb" / "smt". */
 MapperKind mapperKindFromString(const std::string &s);
 
+/** Inverse of mapperKindFromString: the engine's display name. */
+std::string mapperKindName(MapperKind kind);
+
 /**
  * Mapping objective. The paper (Sec. 4.3) argues for max-min over the
  * whole-graph reliability product of prior work because partial
@@ -92,6 +96,15 @@ struct MappingOptions
 
     /** Z3 soft timeout in milliseconds (Smt engine only). */
     unsigned smtTimeoutMs = 60000;
+
+    /**
+     * Wall-clock budget for the search. Every engine is *anytime* under
+     * it: when the deadline fires mid-search the best incumbent found
+     * so far is returned (marked Mapping::timedOut) instead of running
+     * unbounded or throwing. Default-constructed = unlimited, which
+     * reproduces the unbudgeted search bit for bit.
+     */
+    CompileBudget budget;
 };
 
 /** Result of a mapping run. */
@@ -111,6 +124,23 @@ struct Mapping
 
     /** True when the engine proved max-min optimality. */
     bool optimal = false;
+
+    /**
+     * The engine that actually produced this map ("trivial", "greedy",
+     * "bnb", "smt") — may differ from MappingOptions::kind when the
+     * fallback ladder Z3 -> B&B -> greedy degraded the request.
+     */
+    std::string engine;
+
+    /** True when the budget deadline fired during the search. */
+    bool timedOut = false;
+
+    /**
+     * Degradation trail: one human-readable entry per fallback or
+     * early stop (empty for a clean full-strength run). Feeds
+     * CompileReport::degradations.
+     */
+    std::vector<std::string> notes;
 
     /** Inverse view: hwToProg[h] = program qubit at h, or -1. */
     std::vector<ProgQubit> hwToProg(int num_hw) const;

@@ -46,7 +46,18 @@ feasibleAt(double theta, const ProgramInfo &info,
     z3::context ctx;
     z3::solver solver(ctx);
     z3::params p(ctx);
-    p.set("timeout", opts.smtTimeoutMs);
+    // A wall-clock budget tightens the per-check solver timeout so the
+    // binary search cannot overshoot the deadline by a whole check.
+    unsigned timeout_ms = opts.smtTimeoutMs;
+    if (opts.budget.limited()) {
+        double remaining = opts.budget.remainingMs();
+        timeout_ms = remaining <= 1.0
+                         ? 1u
+                         : std::min<unsigned>(
+                               timeout_ms,
+                               static_cast<unsigned>(remaining));
+    }
+    p.set("timeout", timeout_ms);
     solver.set(p);
 
     std::vector<z3::expr> x;
@@ -96,11 +107,28 @@ feasibleAt(double theta, const ProgramInfo &info,
 
 } // namespace
 
+/** Degrade one rung down the ladder: Z3 -> branch-and-bound. */
+Mapping
+fallBackToBnb(const ProgramInfo &info, const ReliabilityMatrix &rel,
+              const MappingOptions &opts, const std::string &why)
+{
+    warn("SMT mapper: ", why, "; falling back to branch-and-bound");
+    MappingOptions fb = opts;
+    fb.kind = MapperKind::BranchAndBound;
+    Mapping m = mapQubits(info, rel, fb);
+    m.notes.insert(m.notes.begin(), "SMT engine degraded: " + why);
+    return m;
+}
+
 Mapping
 mapQubitsSmtOrFallback(const ProgramInfo &info, const ReliabilityMatrix &rel,
                        const MappingOptions &opts)
 {
     const int m = rel.numQubits();
+
+    if (opts.budget.expired())
+        return fallBackToBnb(info, rel, opts,
+                             "deadline fired before the solver started");
 
     // Candidate thresholds: distinct reliabilities that can be the min.
     std::vector<double> cands;
@@ -118,14 +146,19 @@ mapQubitsSmtOrFallback(const ProgramInfo &info, const ReliabilityMatrix &rel,
         // Binary search the largest feasible threshold.
         std::vector<HwQubit> best_model;
         if (!feasibleAt(cands.front(), info, rel, opts, &best_model)) {
-            warn("SMT mapper: even the weakest threshold is infeasible; "
-                 "falling back to branch-and-bound");
-            MappingOptions fb = opts;
-            fb.kind = MapperKind::BranchAndBound;
-            return mapQubits(info, rel, fb);
+            return fallBackToBnb(info, rel, opts,
+                                 "even the weakest threshold is "
+                                 "infeasible (or the first check timed "
+                                 "out)");
         }
         size_t lo = 0, hi = cands.size() - 1; // lo always feasible.
+        bool timed_out = false;
         while (lo < hi) {
+            if (opts.budget.expired()) {
+                // Anytime: keep the best model proven so far.
+                timed_out = true;
+                break;
+            }
             size_t mid = (lo + hi + 1) / 2;
             std::vector<HwQubit> model;
             if (feasibleAt(cands[mid], info, rel, opts, &model)) {
@@ -141,14 +174,17 @@ mapQubitsSmtOrFallback(const ProgramInfo &info, const ReliabilityMatrix &rel,
                                                    opts.includeReadout);
         out.logProduct = mappingLogProduct(info, rel, out.progToHw,
                                            opts.includeReadout);
-        out.optimal = true;
+        out.optimal = !timed_out;
+        out.engine = "smt";
+        out.timedOut = timed_out;
+        if (timed_out)
+            out.notes.push_back(
+                "deadline fired during the SMT threshold search; "
+                "returning the best model proven so far");
         return out;
     } catch (const z3::exception &e) {
-        warn("SMT mapper: Z3 error '", e.msg(),
-             "'; falling back to branch-and-bound");
-        MappingOptions fb = opts;
-        fb.kind = MapperKind::BranchAndBound;
-        return mapQubits(info, rel, fb);
+        return fallBackToBnb(info, rel, opts,
+                             std::string("Z3 error '") + e.msg() + "'");
     }
 }
 
@@ -173,7 +209,10 @@ mapQubitsSmtOrFallback(const ProgramInfo &info, const ReliabilityMatrix &rel,
          "using branch-and-bound");
     MappingOptions fb = opts;
     fb.kind = MapperKind::BranchAndBound;
-    return mapQubits(info, rel, fb);
+    Mapping m = mapQubits(info, rel, fb);
+    m.notes.insert(m.notes.begin(),
+                   "SMT engine degraded: this build has no Z3");
+    return m;
 }
 
 } // namespace triq

@@ -7,6 +7,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "common/fault_injector.hh"
 #include "common/logging.hh"
 #include "common/rng.hh"
 #include "device/topology.hh"
@@ -107,8 +108,12 @@ Calibration::load(std::istream &is)
     expect("qubits");
     if (!(is >> c.numQubits) || c.numQubits < 0)
         fatal("Calibration::load: bad qubit count");
+    // Plausibility caps: a corrupt count must produce a diagnostic, not
+    // a multi-gigabyte resize.
+    if (c.numQubits > 1000000)
+        fatal("Calibration::load: implausible qubit count ", c.numQubits);
     expect("edges");
-    if (!(is >> nedges))
+    if (!(is >> nedges) || nedges > 10000000)
         fatal("Calibration::load: bad edge count");
     expect("durations");
     if (!(is >> c.durations.oneQ >> c.durations.twoQ >> c.durations.readout))
@@ -131,6 +136,205 @@ Calibration::load(std::istream &is)
     read_vec("t2us", c.t2Us, nq);
     read_vec("err2q", c.err2q, nedges);
     return c;
+}
+
+namespace
+{
+
+/** Error rates clamp into [0, kMaxErrRate]: strictly below 1 so every
+ *  reliability stays positive and -log costs stay finite downstream. */
+constexpr double kMaxErrRate = 0.999999;
+
+/** Pessimistic-but-valid replacements for unrepairable garbage. */
+constexpr double kFallbackErrRate = 0.5;
+constexpr double kFallbackT2Us = 1.0;
+
+/** One value-level check/repair; returns true when `v` was bad. */
+bool
+checkRate(double &v, ValidateMode mode, Diagnostics &diags,
+          const char *field, size_t index)
+{
+    std::string where =
+        std::string(field) + "[" + std::to_string(index) + "]";
+    if (!std::isfinite(v)) {
+        if (mode == ValidateMode::Sanitize) {
+            diags.warning("calib.nan-error-rate",
+                          where + " is not finite; clamped to " +
+                              std::to_string(kFallbackErrRate));
+            v = kFallbackErrRate;
+        } else {
+            diags.error("calib.nan-error-rate", where + " is not finite");
+        }
+        return true;
+    }
+    if (v < 0.0 || v > kMaxErrRate) {
+        double clamped = std::clamp(v, 0.0, kMaxErrRate);
+        if (mode == ValidateMode::Sanitize) {
+            diags.warning("calib.error-rate-out-of-range",
+                          where + " = " + std::to_string(v) +
+                              " outside [0, 1); clamped to " +
+                              std::to_string(clamped));
+            v = clamped;
+        } else {
+            diags.error("calib.error-rate-out-of-range",
+                        where + " = " + std::to_string(v) +
+                            " outside [0, 1)");
+        }
+        return true;
+    }
+    return false;
+}
+
+/** Positive-finite check for durations and coherence times. */
+bool
+checkPositive(double &v, double fallback, ValidateMode mode,
+              Diagnostics &diags, const std::string &where)
+{
+    if (std::isfinite(v) && v > 0.0)
+        return false;
+    if (mode == ValidateMode::Sanitize) {
+        diags.warning("calib.nonpositive-duration",
+                      where + " = " + std::to_string(v) +
+                          " must be positive; replaced with " +
+                          std::to_string(fallback));
+        v = fallback;
+    } else {
+        diags.error("calib.nonpositive-duration",
+                    where + " = " + std::to_string(v) +
+                        " must be positive");
+    }
+    return true;
+}
+
+/** Per-qubit vector sized to n? Sanitize resizes with `fill`. */
+bool
+checkSize(std::vector<double> &v, size_t n, double fill, ValidateMode mode,
+          Diagnostics &diags, const char *field)
+{
+    if (v.size() == n)
+        return false;
+    if (mode == ValidateMode::Sanitize) {
+        diags.warning("calib.size-mismatch",
+                      std::string(field) + " has " +
+                          std::to_string(v.size()) + " entries, expected " +
+                          std::to_string(n) + "; resized");
+        v.resize(n, fill);
+    } else {
+        diags.error("calib.size-mismatch",
+                    std::string(field) + " has " +
+                        std::to_string(v.size()) + " entries, expected " +
+                        std::to_string(n));
+    }
+    return true;
+}
+
+} // namespace
+
+int
+Calibration::validate(ValidateMode mode, Diagnostics &diags)
+{
+    int repairs = 0;
+    auto count = [&](bool bad) {
+        if (bad && mode == ValidateMode::Sanitize)
+            ++repairs;
+    };
+
+    if (numQubits < 0) {
+        // No clamp makes a negative qubit count meaningful.
+        diags.error("calib.negative-qubit-count",
+                    "qubit count " + std::to_string(numQubits) +
+                        " is negative");
+        return repairs;
+    }
+
+    size_t nq = static_cast<size_t>(numQubits);
+    count(checkSize(err1q, nq, kFallbackErrRate, mode, diags, "err1q"));
+    count(checkSize(errRO, nq, kFallbackErrRate, mode, diags, "errRO"));
+    count(checkSize(t2Us, nq, kFallbackT2Us, mode, diags, "t2us"));
+
+    for (size_t i = 0; i < err1q.size(); ++i)
+        count(checkRate(err1q[i], mode, diags, "err1q", i));
+    for (size_t i = 0; i < errRO.size(); ++i)
+        count(checkRate(errRO[i], mode, diags, "errRO", i));
+    for (size_t i = 0; i < err2q.size(); ++i)
+        count(checkRate(err2q[i], mode, diags, "err2q", i));
+    for (size_t i = 0; i < t2Us.size(); ++i)
+        count(checkPositive(t2Us[i], kFallbackT2Us, mode, diags,
+                            "t2us[" + std::to_string(i) + "]"));
+
+    count(checkPositive(durations.oneQ, 0.05, mode, diags,
+                        "durations.oneQ"));
+    count(checkPositive(durations.twoQ, 0.3, mode, diags,
+                        "durations.twoQ"));
+    count(checkPositive(durations.readout, 1.0, mode, diags,
+                        "durations.readout"));
+
+    if (!std::isfinite(crosstalkFactor) || crosstalkFactor < 0.0) {
+        if (mode == ValidateMode::Sanitize) {
+            diags.warning("calib.bad-crosstalk",
+                          "crosstalk factor " +
+                              std::to_string(crosstalkFactor) +
+                              " invalid; reset to 0");
+            crosstalkFactor = 0.0;
+            ++repairs;
+        } else {
+            diags.error("calib.bad-crosstalk",
+                        "crosstalk factor " +
+                            std::to_string(crosstalkFactor) +
+                            " must be finite and non-negative");
+        }
+    }
+    return repairs;
+}
+
+int
+Calibration::validate(const Topology &topo, ValidateMode mode,
+                      Diagnostics &diags)
+{
+    if (numQubits != topo.numQubits()) {
+        diags.error("calib.qubit-count-mismatch",
+                    "calibration covers " + std::to_string(numQubits) +
+                        " qubits but the topology has " +
+                        std::to_string(topo.numQubits()));
+        return 0;
+    }
+    if (!topo.connected())
+        diags.error("topo.disconnected",
+                    "device topology is not connected; no SWAP chain can "
+                    "join its components");
+
+    int repairs = 0;
+    size_t ne = static_cast<size_t>(topo.numEdges());
+    if (err2q.size() != ne) {
+        if (mode == ValidateMode::Sanitize) {
+            diags.warning("calib.missing-edges",
+                          "err2q covers " + std::to_string(err2q.size()) +
+                              " edges, topology has " + std::to_string(ne) +
+                              "; missing entries filled pessimistically");
+            err2q.resize(ne, kFallbackErrRate);
+            ++repairs;
+        } else {
+            diags.error("calib.missing-edges",
+                        "err2q covers " + std::to_string(err2q.size()) +
+                            " edges, topology has " + std::to_string(ne));
+        }
+    }
+    return repairs + validate(mode, diags);
+}
+
+int
+injectCalibrationFaults(Calibration &calib, FaultInjector &inj)
+{
+    if (!inj.armsCalibration())
+        return 0;
+    int hits = 0;
+    hits += inj.corruptValues(calib.err1q);
+    hits += inj.corruptValues(calib.errRO);
+    hits += inj.corruptValues(calib.err2q);
+    hits += inj.corruptValues(calib.t2Us);
+    if (inj.corruptScalar(calib.durations.twoQ))
+        ++hits;
+    return hits;
 }
 
 Calibration
@@ -178,6 +382,14 @@ synthesizeCalibration(const Topology &topo, const NoiseSpec &spec,
             spatial.logNormal(meanPreservingMedian(spec.mean2q, ss), ss);
         c.err2q[e] = clampError(base * daily.logNormal(1.0, ts));
     }
+
+    // The synthetic feed honors the same contract a real vendor feed
+    // must pass: every snapshot leaves here sanitized. A nonsensical
+    // NoiseSpec (NaN means, zero durations) degrades to clamped values
+    // with warnings instead of poisoning the mapper.
+    Diagnostics diags(device_name + "/day" + std::to_string(day));
+    if (c.validate(topo, ValidateMode::Sanitize, diags) > 0)
+        warn("synthesizeCalibration: repaired snapshot:\n", diags.text());
     return c;
 }
 
@@ -192,6 +404,10 @@ averageCalibration(const Topology &topo, const NoiseSpec &spec)
     c.errRO.assign(c.numQubits, spec.meanRO);
     c.t2Us.assign(c.numQubits, spec.coherenceUs);
     c.err2q.assign(topo.numEdges(), spec.mean2q);
+
+    Diagnostics diags("average-calibration");
+    if (c.validate(topo, ValidateMode::Sanitize, diags) > 0)
+        warn("averageCalibration: repaired snapshot:\n", diags.text());
     return c;
 }
 

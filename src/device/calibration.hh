@@ -20,10 +20,24 @@
 #include <string>
 #include <vector>
 
+#include "common/diagnostics.hh"
+
 namespace triq
 {
 
+class FaultInjector;
 class Topology;
+
+/**
+ * How Calibration::validate treats invalid data: Strict records errors
+ * and leaves the snapshot untouched (reject); Sanitize clamps each bad
+ * value to the nearest physical one and records a warning (repair).
+ */
+enum class ValidateMode
+{
+    Strict,
+    Sanitize,
+};
 
 /** Wall-clock gate durations in microseconds. */
 struct GateDurations
@@ -73,7 +87,41 @@ struct Calibration
 
     /** Parse the format written by save(). Throws FatalError on bad data. */
     static Calibration load(std::istream &is);
+
+    /**
+     * Check every field for physical validity: error rates must be
+     * finite and in [0, 1), coherence times and gate durations finite
+     * and positive, the crosstalk factor finite and non-negative, and
+     * the per-qubit vectors sized to `numQubits`.
+     *
+     * In Sanitize mode each violation is repaired in place (clamped or
+     * resized with pessimistic fill values) and recorded as a warning;
+     * in Strict mode violations are recorded as errors and the data is
+     * left untouched. Structural problems that no clamp can fix (a
+     * negative qubit count) are errors in both modes.
+     *
+     * @return Number of repairs performed (always 0 in Strict mode).
+     */
+    int validate(ValidateMode mode, Diagnostics &diags);
+
+    /**
+     * validate() plus topology cross-checks: the snapshot's qubit count
+     * must match the topology's, err2q must cover every edge, and the
+     * topology must be connected (a disconnected device cannot route,
+     * so it is an error in both modes).
+     */
+    int validate(const Topology &topo, ValidateMode mode,
+                 Diagnostics &diags);
 };
+
+/**
+ * Corrupt calibration fields through a FaultInjector (no-op unless the
+ * injector arms calibration faults). Pairs with validate(Sanitize) to
+ * prove the pipeline degrades instead of crashing on corrupt feeds.
+ *
+ * @return Number of values corrupted.
+ */
+int injectCalibrationFaults(Calibration &calib, FaultInjector &inj);
 
 /**
  * Noise specification: nominal device characteristics (Fig. 1) plus the

@@ -23,6 +23,15 @@ Token::isIdent(const char *kw) const
 std::vector<Token>
 tokenize(const std::string &source)
 {
+    Diagnostics diags("<source>");
+    std::vector<Token> out = tokenize(source, diags);
+    diags.throwIfErrors("lexer");
+    return out;
+}
+
+std::vector<Token>
+tokenize(const std::string &source, Diagnostics &diags)
+{
     std::vector<Token> out;
     size_t i = 0;
     int line = 1, col = 1;
@@ -52,13 +61,18 @@ tokenize(const std::string &source)
             }
             if (source[i + 1] == '*') {
                 int start_line = line;
+                int start_col = col;
                 advance(2);
                 while (i + 1 < source.size() &&
                        !(source[i] == '*' && source[i + 1] == '/'))
                     advance(1);
-                if (i + 1 >= source.size())
-                    fatal("lexer: unterminated comment starting at line ",
-                          start_line);
+                if (i + 1 >= source.size()) {
+                    diags.error("lex.unterminated-comment",
+                                "unterminated /* comment",
+                                {start_line, start_col});
+                    advance(source.size() - i); // recover: close at EOF
+                    continue;
+                }
                 advance(2);
                 continue;
             }
@@ -129,15 +143,22 @@ tokenize(const std::string &source)
         if (ch == '"') {
             advance(1);
             std::string text;
-            while (i < source.size() && source[i] != '"') {
+            bool terminated = false;
+            while (i < source.size()) {
+                if (source[i] == '"') {
+                    terminated = true;
+                    advance(1);
+                    break;
+                }
                 if (source[i] == '\n')
-                    fatal("lexer: unterminated string at line ", tok.line);
+                    break; // recover: close the string at the newline
                 text += source[i];
                 advance(1);
             }
-            if (i >= source.size())
-                fatal("lexer: unterminated string at line ", tok.line);
-            advance(1);
+            if (!terminated)
+                diags.error("lex.unterminated-string",
+                            "unterminated string literal",
+                            {tok.line, tok.col});
             tok.kind = TokKind::Str;
             tok.text = std::move(text);
             out.push_back(tok);
@@ -166,8 +187,19 @@ tokenize(const std::string &source)
             out.push_back(tok);
             continue;
         }
-        fatal("lexer: unexpected character '", std::string(1, ch),
-              "' at line ", line, " col ", col);
+        // Recover from garbage bytes (fuzzed input, bad UTF-8): record
+        // one diagnostic per byte value and skip.
+        std::string shown =
+            std::isprint(static_cast<unsigned char>(ch))
+                ? "'" + std::string(1, ch) + "'"
+                : "byte 0x" + [&] {
+                      static const char *hex = "0123456789abcdef";
+                      unsigned char u = static_cast<unsigned char>(ch);
+                      return std::string{hex[u >> 4], hex[u & 0xF]};
+                  }();
+        diags.error("lex.bad-character",
+                    "unexpected character " + shown, {line, col});
+        advance(1);
     }
     Token end;
     end.kind = TokKind::End;

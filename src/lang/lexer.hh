@@ -14,6 +14,8 @@
 #include <string>
 #include <vector>
 
+#include "common/diagnostics.hh"
+
 namespace triq
 {
 
@@ -53,6 +55,15 @@ struct Token
  *         comments).
  */
 std::vector<Token> tokenize(const std::string &source);
+
+/**
+ * Diagnostic-collecting tokenizer: never throws on bad input. Malformed
+ * bytes are recorded in `diags` and skipped, unterminated comments and
+ * strings are recorded and closed at end of input, and lexing continues
+ * so one pass reports every lexical problem. The returned stream always
+ * ends with a TokKind::End token.
+ */
+std::vector<Token> tokenize(const std::string &source, Diagnostics &diags);
 
 } // namespace triq
 

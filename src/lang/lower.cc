@@ -238,6 +238,22 @@ compileScaffLite(const std::string &source)
 }
 
 Circuit
+compileScaffLite(const std::string &source, Diagnostics &diags)
+{
+    Module m = parseScaffLite(source, diags);
+    if (diags.hasErrors())
+        return Circuit(0, "invalid");
+    // Lowering stays first-throw internally; route its FatalError into
+    // the collector so callers see one uniform channel.
+    try {
+        return lowerToCircuit(m);
+    } catch (const FatalError &e) {
+        diags.error("scaff.lower", e.what());
+        return Circuit(0, "invalid");
+    }
+}
+
+Circuit
 compileScaffLiteFile(const std::string &path)
 {
     std::ifstream in(path);

@@ -10,6 +10,7 @@
 #ifndef TRIQ_LANG_LOWER_HH
 #define TRIQ_LANG_LOWER_HH
 
+#include "common/diagnostics.hh"
 #include "core/circuit.hh"
 #include "lang/ast.hh"
 
@@ -25,6 +26,14 @@ Circuit lowerToCircuit(const Module &module);
 
 /** Convenience: parse + lower a ScaffLite source string. */
 Circuit compileScaffLite(const std::string &source);
+
+/**
+ * Diagnostic-collecting parse + lower: syntax errors are collected with
+ * statement-level recovery, semantic (lowering) errors are recorded as
+ * a "scaff.lower" diagnostic. Returns an empty circuit named "invalid"
+ * when `diags.hasErrors()`.
+ */
+Circuit compileScaffLite(const std::string &source, Diagnostics &diags);
 
 /** Convenience: parse + lower a ScaffLite file from disk. */
 Circuit compileScaffLiteFile(const std::string &path);

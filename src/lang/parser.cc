@@ -9,11 +9,17 @@ namespace triq
 namespace
 {
 
-/** Token-stream cursor with error helpers. */
+/** Thrown to unwind to the nearest statement-level recovery point. */
+struct ParseBail
+{
+};
+
+/** Token-stream cursor with error helpers and statement recovery. */
 class Parser
 {
   public:
-    explicit Parser(std::vector<Token> toks) : toks_(std::move(toks))
+    Parser(std::vector<Token> toks, Diagnostics &diags)
+        : toks_(std::move(toks)), diags_(diags)
     {
     }
 
@@ -21,19 +27,34 @@ class Parser
     parseModule()
     {
         Module m;
-        expectIdent("module");
-        m.name = expectAnyIdent("module name");
-        expectPunct("{");
-        while (!peek().is("}"))
-            m.body.push_back(parseStmt());
-        expectPunct("}");
-        if (peek().kind != TokKind::End)
-            err(peek(), "trailing input after module");
+        try {
+            expectIdent("module");
+            m.name = expectAnyIdent("module name");
+            expectPunct("{");
+        } catch (const ParseBail &) {
+            // Without a module header there is nothing to recover into.
+            return m;
+        }
+        while (!peek().is("}") && peek().kind != TokKind::End &&
+               !tooManyErrors()) {
+            try {
+                m.body.push_back(parseStmt());
+            } catch (const ParseBail &) {
+                syncToStmt();
+            }
+        }
+        try {
+            expectPunct("}");
+            if (peek().kind != TokKind::End)
+                err(peek(), "trailing input after module");
+        } catch (const ParseBail &) {
+        }
         return m;
     }
 
   private:
     std::vector<Token> toks_;
+    Diagnostics &diags_;
     size_t pos_ = 0;
 
     const Token &peek(size_t ahead = 0) const
@@ -51,12 +72,35 @@ class Parser
         return t;
     }
 
-    [[noreturn]] void
-    err(const Token &t, const std::string &what) const
+    bool
+    tooManyErrors() const
     {
-        fatal("parse error at line ", t.line, " col ", t.col, ": ", what,
-              t.kind == TokKind::End ? " (at end of input)"
-                                     : (" (got '" + t.text + "')"));
+        return diags_.errorCount() >= diags_.maxErrors;
+    }
+
+    /**
+     * Recovery: skip to just past the next ';' (or stop before '}' /
+     * end of input) so the statement loop can continue. Guarantees
+     * progress whenever the cursor is not already at '}' or End.
+     */
+    void
+    syncToStmt()
+    {
+        while (peek().kind != TokKind::End && !peek().is("}")) {
+            if (next().is(";"))
+                return;
+        }
+    }
+
+    [[noreturn]] void
+    err(const Token &t, const std::string &what)
+    {
+        diags_.error("scaff.parse",
+                     what + (t.kind == TokKind::End
+                                 ? " (at end of input)"
+                                 : " (got '" + t.text + "')"),
+                     {t.line, t.col});
+        throw ParseBail{};
     }
 
     void
@@ -109,8 +153,14 @@ class Parser
             expectPunct("..");
             stmt->loopHi = parseExpr();
             expectPunct("{");
-            while (!peek().is("}"))
-                stmt->body.push_back(parseStmt());
+            while (!peek().is("}") && peek().kind != TokKind::End &&
+                   !tooManyErrors()) {
+                try {
+                    stmt->body.push_back(parseStmt());
+                } catch (const ParseBail &) {
+                    syncToStmt();
+                }
+            }
             expectPunct("}");
             return stmt;
         }
@@ -234,7 +284,16 @@ class Parser
 Module
 parseScaffLite(const std::string &source)
 {
-    return Parser(tokenize(source)).parseModule();
+    Diagnostics diags("<scafflite>");
+    Module m = parseScaffLite(source, diags);
+    diags.throwIfErrors("ScaffLite parse");
+    return m;
+}
+
+Module
+parseScaffLite(const std::string &source, Diagnostics &diags)
+{
+    return Parser(tokenize(source, diags), diags).parseModule();
 }
 
 } // namespace triq

@@ -10,6 +10,7 @@
 
 #include <string>
 
+#include "common/diagnostics.hh"
 #include "lang/ast.hh"
 
 namespace triq
@@ -20,6 +21,13 @@ namespace triq
  * @throws FatalError with line/column context on syntax errors.
  */
 Module parseScaffLite(const std::string &source);
+
+/**
+ * Diagnostic-collecting parse: records every syntax error it can find
+ * (recovering at statement boundaries) instead of throwing on the
+ * first. The returned Module is partial when `diags.hasErrors()`.
+ */
+Module parseScaffLite(const std::string &source, Diagnostics &diags);
 
 } // namespace triq
 

@@ -13,44 +13,69 @@ namespace triq
 namespace
 {
 
+/**
+ * Importer cap on total declared qubits: far above any simulable or
+ * mappable size, low enough that a fuzzed "qreg q[999999999]" cannot
+ * drive a giant allocation.
+ */
+constexpr int kMaxQubits = 4096;
+
+/** Thrown to unwind to the nearest statement-level recovery point. */
+struct ParseBail
+{
+};
+
 /** OpenQASM 2.0 parser over the shared token stream. */
 class QasmParser
 {
   public:
-    explicit QasmParser(std::vector<Token> toks) : toks_(std::move(toks))
+    QasmParser(std::vector<Token> toks, Diagnostics &diags)
+        : toks_(std::move(toks)), diags_(diags)
     {
     }
 
     Circuit
     parse()
     {
-        expectIdent("OPENQASM");
-        // Version: lexed as a float (2.0).
-        if (peek().kind != TokKind::Float && peek().kind != TokKind::Int)
-            err(peek(), "expected version number");
-        next();
-        expectPunct(";");
-
-        // Optional includes: include "qelib1.inc";
-        while (peek().isIdent("include")) {
-            next();
-            if (peek().kind != TokKind::Str)
-                err(peek(), "expected include file name");
+        try {
+            expectIdent("OPENQASM");
+            // Version: lexed as a float (2.0).
+            if (peek().kind != TokKind::Float &&
+                peek().kind != TokKind::Int)
+                err(peek(), "expected version number");
             next();
             expectPunct(";");
+
+            // Optional includes: include "qelib1.inc";
+            while (peek().isIdent("include")) {
+                next();
+                if (peek().kind != TokKind::Str)
+                    err(peek(), "expected include file name");
+                next();
+                expectPunct(";");
+            }
+        } catch (const ParseBail &) {
+            syncToStmt();
         }
 
         // Declarations and statements in order; qregs must all appear
         // before the first gate so the register layout is final.
-        while (peek().kind != TokKind::End)
-            parseStatement();
+        while (peek().kind != TokKind::End && !tooManyErrors()) {
+            try {
+                parseStatement();
+            } catch (const ParseBail &) {
+                syncToStmt();
+            }
+        }
         if (total_ == 0)
-            fatal("OpenQASM: no qreg declared");
+            diags_.error("qasm.no-qreg", "no qreg declared");
+        ensureCircuit();
         return std::move(*circuit_);
     }
 
   private:
     std::vector<Token> toks_;
+    Diagnostics &diags_;
     size_t pos_ = 0;
     struct RegInfo
     {
@@ -74,11 +99,38 @@ class QasmParser
         return t;
     }
 
-    [[noreturn]] void
-    err(const Token &t, const std::string &what) const
+    bool
+    tooManyErrors() const
     {
-        fatal("OpenQASM parse error at line ", t.line, ": ", what,
-              " (got '", t.text, "')");
+        return diags_.errorCount() >= diags_.maxErrors;
+    }
+
+    /** Recovery: skip to just past the next ';' (or end of input). */
+    void
+    syncToStmt()
+    {
+        while (peek().kind != TokKind::End)
+            if (next().is(";"))
+                return;
+    }
+
+    [[noreturn]] void
+    err(const Token &t, const std::string &what)
+    {
+        diags_.error("qasm.parse",
+                     what + (t.kind == TokKind::End
+                                 ? " (at end of input)"
+                                 : " (got '" + t.text + "')"),
+                     {t.line, t.col});
+        throw ParseBail{};
+    }
+
+    /** Semantic error anchored to a statement's first line. */
+    [[noreturn]] void
+    errAt(int line, std::string code, std::string what)
+    {
+        diags_.error(std::move(code), std::move(what), {line, 0});
+        throw ParseBail{};
     }
 
     void
@@ -116,31 +168,62 @@ class QasmParser
     declareQreg(const std::string &name, int size, int line)
     {
         if (circuit_)
-            fatal("OpenQASM line ", line,
-                  ": qreg declared after first gate (unsupported)");
+            errAt(line, "qasm.late-qreg",
+                  "qreg declared after first gate (unsupported)");
         if (qregs_.count(name))
-            fatal("OpenQASM line ", line, ": qreg '", name,
-                  "' redeclared");
+            errAt(line, "qasm.redeclared-qreg",
+                  "qreg '" + name + "' redeclared");
+        if (size <= 0)
+            errAt(line, "qasm.bad-qreg-size",
+                  "qreg '" + name + "' has non-positive size " +
+                      std::to_string(size));
+        if (total_ > kMaxQubits - size)
+            errAt(line, "qasm.too-many-qubits",
+                  "qreg '" + name + "' overflows the " +
+                      std::to_string(kMaxQubits) + "-qubit importer cap");
         qregs_[name] = {total_, size};
         total_ += size;
     }
 
-    ProgQubit
-    parseQubitOperand(int line)
+    /**
+     * A syntactically-parsed qubit operand, not yet resolved against
+     * the declared registers. Keeping syntax and resolution separate
+     * lets a statement be consumed in full before semantic checks run,
+     * so a semantic error never desynchronizes statement recovery.
+     */
+    struct RawOperand
     {
-        std::string reg = parseIdent("qubit register");
+        std::string reg;
+        long idx;
+        int line;
+    };
+
+    RawOperand
+    parseRawOperand()
+    {
+        RawOperand r;
+        r.line = peek().line;
+        r.reg = parseIdent("qubit register");
         expectPunct("[");
         if (peek().kind != TokKind::Int)
             err(peek(), "expected qubit index");
-        long idx = next().intValue;
+        r.idx = next().intValue;
         expectPunct("]");
-        auto it = qregs_.find(reg);
+        return r;
+    }
+
+    ProgQubit
+    resolveOperand(const RawOperand &r)
+    {
+        auto it = qregs_.find(r.reg);
         if (it == qregs_.end())
-            fatal("OpenQASM line ", line, ": unknown qreg '", reg, "'");
-        if (idx < 0 || idx >= it->second.size)
-            fatal("OpenQASM line ", line, ": index ", idx,
-                  " out of range for ", reg);
-        return it->second.offset + static_cast<int>(idx);
+            errAt(r.line, "qasm.unknown-qreg",
+                  "unknown qreg '" + r.reg + "'");
+        if (r.idx < 0 || r.idx >= it->second.size)
+            errAt(r.line, "qasm.index-out-of-range",
+                  "index " + std::to_string(r.idx) +
+                      " out of range for " + r.reg);
+        return it->second.offset + static_cast<int>(r.idx);
     }
 
     std::string
@@ -217,7 +300,12 @@ class QasmParser
             int size = static_cast<int>(next().intValue);
             expectPunct("]");
             expectPunct(";");
-            declareQreg(name, size, line);
+            // Syntax is fully consumed; a semantic failure here must
+            // not resynchronize (that would swallow the next stmt).
+            try {
+                declareQreg(name, size, line);
+            } catch (const ParseBail &) {
+            }
             return;
         }
         if (t.isIdent("creg")) {
@@ -243,7 +331,7 @@ class QasmParser
         }
         if (t.isIdent("measure")) {
             next();
-            ProgQubit q = parseQubitOperand(line);
+            RawOperand raw = parseRawOperand();
             expectPunct("->");
             parseIdent("creg name");
             expectPunct("[");
@@ -252,7 +340,10 @@ class QasmParser
             next();
             expectPunct("]");
             expectPunct(";");
-            emit(Gate::measure(q));
+            try {
+                emit(Gate::measure(resolveOperand(raw)));
+            } catch (const ParseBail &) {
+            }
             return;
         }
         // Gate application.
@@ -269,14 +360,21 @@ class QasmParser
             }
             expectPunct(")");
         }
-        std::vector<ProgQubit> qs;
-        qs.push_back(parseQubitOperand(line));
+        std::vector<RawOperand> raws;
+        raws.push_back(parseRawOperand());
         while (peek().is(",")) {
             next();
-            qs.push_back(parseQubitOperand(line));
+            raws.push_back(parseRawOperand());
         }
         expectPunct(";");
-        emitGate(name, params, qs, line);
+        try {
+            std::vector<ProgQubit> qs;
+            qs.reserve(raws.size());
+            for (const RawOperand &r : raws)
+                qs.push_back(resolveOperand(r));
+            emitGate(name, params, qs, line);
+        } catch (const ParseBail &) {
+        }
     }
 
     void
@@ -285,8 +383,10 @@ class QasmParser
     {
         auto need = [&](size_t nq, size_t np) {
             if (q.size() != nq || p.size() != np)
-                fatal("OpenQASM line ", line, ": gate '", name,
-                      "' expects ", nq, " qubits / ", np, " params");
+                errAt(line, "qasm.bad-arity",
+                      "gate '" + name + "' expects " +
+                          std::to_string(nq) + " qubits / " +
+                          std::to_string(np) + " params");
         };
         if (name == "u1") {
             need(1, 1);
@@ -349,8 +449,8 @@ class QasmParser
             need(3, 0);
             emit(Gate::ccx(q[0], q[1], q[2]));
         } else {
-            fatal("OpenQASM line ", line, ": unsupported gate '", name,
-                  "'");
+            errAt(line, "qasm.unknown-gate",
+                  "unsupported gate '" + name + "'");
         }
     }
 };
@@ -360,7 +460,16 @@ class QasmParser
 Circuit
 parseOpenQasm(const std::string &source)
 {
-    return QasmParser(tokenize(source)).parse();
+    Diagnostics diags("<qasm>");
+    Circuit c = parseOpenQasm(source, diags);
+    diags.throwIfErrors("OpenQASM parse");
+    return c;
+}
+
+Circuit
+parseOpenQasm(const std::string &source, Diagnostics &diags)
+{
+    return QasmParser(tokenize(source, diags), diags).parse();
 }
 
 } // namespace triq

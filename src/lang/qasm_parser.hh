@@ -10,6 +10,7 @@
 
 #include <string>
 
+#include "common/diagnostics.hh"
 #include "core/circuit.hh"
 
 namespace triq
@@ -24,6 +25,13 @@ namespace triq
  * @throws FatalError on unsupported constructs.
  */
 Circuit parseOpenQasm(const std::string &source);
+
+/**
+ * Diagnostic-collecting import: records every problem it can find
+ * (recovering at statement boundaries) instead of throwing on the
+ * first. The returned circuit is partial when `diags.hasErrors()`.
+ */
+Circuit parseOpenQasm(const std::string &source, Diagnostics &diags);
 
 } // namespace triq
 

@@ -197,10 +197,25 @@ executeNoisy(const Circuit &hw, const Device &dev, const Calibration &calib,
         fatal("executeNoisy: circuit width ", hw.numQubits(),
               " does not match device ", dev.name());
 
+    // Never trust the calibration feed: a NaN or negative rate here
+    // would silently poison every Bernoulli draw, and an undersized
+    // vector would read out of bounds below.
+    Calibration safe = calib;
+    {
+        Diagnostics cdiags("calibration");
+        int repairs =
+            safe.validate(dev.topology(), ValidateMode::Sanitize, cdiags);
+        cdiags.throwIfErrors("executeNoisy: unusable calibration for " +
+                             dev.name());
+        if (repairs > 0)
+            warn("executeNoisy: sanitized ", repairs,
+                 " invalid calibration value(s)");
+    }
+
     // Error sites are enumerated on the full-width circuit (edge lookup
     // needs hardware indices), then relabeled onto the compact register.
     std::vector<ErrorSite> sites =
-        collectErrorSites(hw, dev.topology(), calib);
+        collectErrorSites(hw, dev.topology(), safe);
     CompactCircuit cc = compactCircuit(hw);
     for (auto &s : sites) {
         s.q0 = cc.hwToCompact[static_cast<size_t>(s.q0)];
@@ -214,7 +229,7 @@ executeNoisy(const Circuit &hw, const Device &dev, const Calibration &calib,
     std::vector<double> ro_err(measured.size());
     for (size_t k = 0; k < measured.size(); ++k) {
         HwQubit hq = cc.compactToHw[static_cast<size_t>(measured[k])];
-        ro_err[k] = calib.errRO[static_cast<size_t>(hq)];
+        ro_err[k] = safe.errRO[static_cast<size_t>(hq)];
     }
 
     // Ideal reference evolution, snapshotted every K gates so faulty
@@ -261,7 +276,7 @@ executeNoisy(const Circuit &hw, const Device &dev, const Calibration &calib,
     ExecutionResult res;
     res.correctOutcome = ideal_key;
     res.trials = trials;
-    res.esp = estimatedSuccessProbability(hw, dev.topology(), calib);
+    res.esp = estimatedSuccessProbability(hw, dev.topology(), safe);
     res.noErrorProb = noErrorProbability(sites);
     if (ideal_prob < 0.99)
         warn("executeNoisy: ", hw.name(),

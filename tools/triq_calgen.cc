@@ -73,6 +73,14 @@ main(int argc, char **argv)
         }
         return 0;
     } catch (const FatalError &) {
-        return 1;
+        return 1; // message already printed by fatal()
+    } catch (const PanicError &) {
+        return 2; // internal invariant violation, printed by panic()
+    } catch (const std::exception &e) {
+        std::cerr << "triq-calgen: internal error: " << e.what() << "\n";
+        return 2;
+    } catch (...) {
+        std::cerr << "triq-calgen: internal error: unknown exception\n";
+        return 2;
     }
 }

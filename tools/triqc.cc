@@ -31,6 +31,7 @@
 #include <iostream>
 #include <sstream>
 
+#include "common/fault_injector.hh"
 #include "common/logging.hh"
 #include "core/compiler.hh"
 #include "core/esp.hh"
@@ -58,6 +59,10 @@ struct Args
     int day = 0;
     int trials = 2000;
     int simThreads = 0; // 0 = TRIQ_SIM_THREADS env (default serial)
+    double budgetMs = 0.0; // 0 = unlimited
+    long nodeBudget = 0;   // 0 = engine default
+    bool strictCalibration = false;
+    bool diagJson = false;
     bool qasm = false;
     bool peephole = false;
     bool report = false;
@@ -79,6 +84,14 @@ usage()
         "  --bench NAME        compile a built-in benchmark\n"
         "  --qasm              input is OpenQASM 2.0\n"
         "  --peephole          enable inverse-pair cancellation\n"
+        "  --budget-ms MS      wall-clock compile deadline; the pipeline\n"
+        "                      degrades gracefully (anytime mapping)\n"
+        "                      instead of overrunning\n"
+        "  --node-budget N     mapper search-node budget\n"
+        "  --strict-calibration  reject invalid calibration values\n"
+        "                      instead of clamping them\n"
+        "  --diag-json         print diagnostics + compile report as JSON\n"
+        "                      on stdout (suppresses assembly; use -o)\n"
         "  --report            print stats, ESP, predicted success\n"
         "  --verify            check compiled-vs-program equivalence\n"
         "  --trials N          prediction trials       (default 2000)\n"
@@ -112,6 +125,14 @@ parseArgs(int argc, char **argv)
             a.calibrationFile = need_value(i, arg);
         else if (!std::strcmp(arg, "--bench"))
             a.benchName = need_value(i, arg);
+        else if (!std::strcmp(arg, "--budget-ms"))
+            a.budgetMs = std::atof(need_value(i, arg));
+        else if (!std::strcmp(arg, "--node-budget"))
+            a.nodeBudget = std::atol(need_value(i, arg));
+        else if (!std::strcmp(arg, "--strict-calibration"))
+            a.strictCalibration = true;
+        else if (!std::strcmp(arg, "--diag-json"))
+            a.diagJson = true;
         else if (!std::strcmp(arg, "--qasm"))
             a.qasm = true;
         else if (!std::strcmp(arg, "--peephole"))
@@ -154,106 +175,154 @@ levelFromString(const std::string &s)
     fatal("triqc: unknown level '", s, "' (expected n|1q|c|cn)");
 }
 
+/** The real driver; exceptions escape to main()'s exit-code mapping. */
+int
+run(int argc, char **argv)
+{
+    Args args = parseArgs(argc, argv);
+    if (args.listDevices) {
+        for (const Device &d : allStudyDevices())
+            std::cout << d.name() << ": " << d.numQubits()
+                      << " qubits, " << d.gateSet().describe() << "\n";
+        return 0;
+    }
+    if (args.inputFile.empty() && args.benchName.empty()) {
+        usage();
+        return 1;
+    }
+
+    // Optional fault injection (TRIQ_FAULT env): corrupts the inputs
+    // *before* they hit the front end / validator, to exercise exactly
+    // the paths a hostile or broken feed would.
+    FaultInjector inj = FaultInjector::fromEnv();
+    if (inj.enabled())
+        warn("triqc: fault injection armed (", inj.summary(), ")");
+
+    Diagnostics diags(args.benchName.empty() ? args.inputFile
+                                             : "<bench>");
+    Circuit program = [&] {
+        if (!args.benchName.empty())
+            return makeBenchmark(args.benchName);
+        std::ifstream in(args.inputFile);
+        if (!in)
+            fatal("triqc: cannot open '", args.inputFile, "'");
+        std::ostringstream ss;
+        ss << in.rdbuf();
+        std::string source = ss.str();
+        if (inj.armsText())
+            source = inj.corruptText(std::move(source));
+        return args.qasm ? parseOpenQasm(source, diags)
+                         : compileScaffLite(source, diags);
+    }();
+    if (!diags.all().empty())
+        std::cerr << diags.text();
+    if (diags.hasErrors()) {
+        if (args.diagJson)
+            std::cout << "{\"diagnostics\":" << diags.json() << "}\n";
+        std::cerr << "triqc: " << diags.errorCount()
+                  << " error(s) in '" << args.inputFile << "'\n";
+        return 1;
+    }
+
+    Device dev = [&] {
+        for (auto &d : allStudyDevices())
+            if (d.name() == args.device)
+                return d;
+        fatal("triqc: unknown device '", args.device,
+              "' (try --list-devices)");
+    }();
+
+    Calibration calib = [&] {
+        if (args.calibrationFile.empty())
+            return dev.calibrate(args.day);
+        std::ifstream in(args.calibrationFile);
+        if (!in)
+            fatal("triqc: cannot open calibration '",
+                  args.calibrationFile, "'");
+        return Calibration::load(in);
+    }();
+    if (inj.armsCalibration()) {
+        int n = injectCalibrationFaults(calib, inj);
+        warn("triqc: injected ", n, " calibration fault(s)");
+    }
+
+    CompileOptions opts;
+    opts.level = levelFromString(args.level);
+    opts.mapping.kind = mapperKindFromString(args.mapper);
+    opts.peephole = args.peephole;
+    opts.strictCalibration = args.strictCalibration;
+    if (args.budgetMs > 0.0)
+        opts.budget = CompileBudget::withDeadlineMs(args.budgetMs);
+    if (args.nodeBudget > 0)
+        opts.mapping.nodeBudget = args.nodeBudget;
+    CompileResult res = compileForDevice(program, dev, calib, opts);
+
+    if (!args.outputFile.empty()) {
+        std::ofstream out(args.outputFile);
+        if (!out)
+            fatal("triqc: cannot write '", args.outputFile, "'");
+        out << res.assembly;
+    } else if (!args.diagJson) {
+        std::cout << res.assembly;
+    }
+    if (args.diagJson)
+        std::cout << "{\"diagnostics\":" << diags.json()
+                  << ",\"report\":" << res.report.json() << "}\n";
+
+    if (args.verify) {
+        VerificationResult v = verifyCompilation(program, res);
+        std::cerr << "verification: "
+                  << (v.equivalent ? "EQUIVALENT" : "MISMATCH")
+                  << " (max deviation " << v.maxDeviation << ")\n";
+        if (!v.equivalent)
+            return 3;
+    }
+
+    if (args.report) {
+        ExecOptions exec_opts;
+        exec_opts.threads = args.simThreads;
+        ExecutionResult run =
+            executeNoisy(res.hwCircuit, dev, calib, args.trials, 12345,
+                         exec_opts);
+        std::cerr << "== triqc report ==\n"
+                  << "program:        " << program.name() << " ("
+                  << program.numQubits() << " qubits)\n"
+                  << "device:         " << dev.name() << " day "
+                  << args.day << "\n"
+                  << "level:          " << optLevelName(opts.level)
+                  << "\n"
+                  << "2Q gates:       " << res.stats.twoQ << "\n"
+                  << "1Q pulses:      " << res.stats.pulses1q << "\n"
+                  << "virtual Z:      " << res.stats.virtualZ << "\n"
+                  << "swaps:          " << res.swapCount << "\n"
+                  << "compile time:   " << res.compileMs << " ms\n"
+                  << "ESP:            " << run.esp << "\n"
+                  << "pred. success:  " << run.successRate << " ("
+                  << run.trials << " trials)\n"
+                  << res.report.str();
+    }
+    return 0;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
+    // Exit-code contract (DESIGN.md, "Error-handling contract"):
+    //   0 success, 1 user error, 2 internal TriQ bug, 3 verification
+    //   mismatch. Nothing escapes as an uncaught exception.
     try {
-        Args args = parseArgs(argc, argv);
-        if (args.listDevices) {
-            for (const Device &d : allStudyDevices())
-                std::cout << d.name() << ": " << d.numQubits()
-                          << " qubits, " << d.gateSet().describe()
-                          << "\n";
-            return 0;
-        }
-        if (args.inputFile.empty() && args.benchName.empty()) {
-            usage();
-            return 2;
-        }
-
-        Circuit program = [&] {
-            if (!args.benchName.empty())
-                return makeBenchmark(args.benchName);
-            if (args.qasm) {
-                std::ifstream in(args.inputFile);
-                if (!in)
-                    fatal("triqc: cannot open '", args.inputFile, "'");
-                std::ostringstream ss;
-                ss << in.rdbuf();
-                return parseOpenQasm(ss.str());
-            }
-            return compileScaffLiteFile(args.inputFile);
-        }();
-
-        Device dev = [&] {
-            for (auto &d : allStudyDevices())
-                if (d.name() == args.device)
-                    return d;
-            fatal("triqc: unknown device '", args.device,
-                  "' (try --list-devices)");
-        }();
-
-        Calibration calib = [&] {
-            if (args.calibrationFile.empty())
-                return dev.calibrate(args.day);
-            std::ifstream in(args.calibrationFile);
-            if (!in)
-                fatal("triqc: cannot open calibration '",
-                      args.calibrationFile, "'");
-            return Calibration::load(in);
-        }();
-        CompileOptions opts;
-        opts.level = levelFromString(args.level);
-        opts.mapping.kind = mapperKindFromString(args.mapper);
-        opts.peephole = args.peephole;
-        CompileResult res = compileForDevice(program, dev, calib, opts);
-
-        if (args.outputFile.empty()) {
-            std::cout << res.assembly;
-        } else {
-            std::ofstream out(args.outputFile);
-            if (!out)
-                fatal("triqc: cannot write '", args.outputFile, "'");
-            out << res.assembly;
-        }
-
-        if (args.verify) {
-            VerificationResult v = verifyCompilation(program, res);
-            std::cerr << "verification: "
-                      << (v.equivalent ? "EQUIVALENT" : "MISMATCH")
-                      << " (max deviation " << v.maxDeviation << ")\n";
-            if (!v.equivalent)
-                return 3;
-        }
-
-        if (args.report) {
-            ExecOptions exec_opts;
-            exec_opts.threads = args.simThreads;
-            ExecutionResult run =
-                executeNoisy(res.hwCircuit, dev, calib, args.trials,
-                             12345, exec_opts);
-            std::cerr << "== triqc report ==\n"
-                      << "program:        " << program.name() << " ("
-                      << program.numQubits() << " qubits)\n"
-                      << "device:         " << dev.name() << " day "
-                      << args.day << "\n"
-                      << "level:          " << optLevelName(opts.level)
-                      << "\n"
-                      << "2Q gates:       " << res.stats.twoQ << "\n"
-                      << "1Q pulses:      " << res.stats.pulses1q << "\n"
-                      << "virtual Z:      " << res.stats.virtualZ << "\n"
-                      << "swaps:          " << res.swapCount << "\n"
-                      << "compile time:   " << res.compileMs << " ms\n"
-                      << "ESP:            " << run.esp << "\n"
-                      << "pred. success:  " << run.successRate << " ("
-                      << run.trials << " trials)\n";
-        }
-        return 0;
-    } catch (const FatalError &e) {
-        return 1;
-    } catch (const PanicError &e) {
-        return 70;
+        return run(argc, argv);
+    } catch (const FatalError &) {
+        return 1; // message already printed by fatal()
+    } catch (const PanicError &) {
+        return 2; // message already printed by panic()
+    } catch (const std::exception &e) {
+        std::cerr << "triqc: internal error: " << e.what() << "\n";
+        return 2;
+    } catch (...) {
+        std::cerr << "triqc: internal error: unknown exception\n";
+        return 2;
     }
 }
