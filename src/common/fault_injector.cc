@@ -27,11 +27,13 @@ FaultInjector::fromEnv()
             classes.text = true;
         else if (item == "all")
             classes.calibration = classes.text = true;
+        else if (item == "panic")
+            classes.panic = true;
         else if (!item.empty())
             warn("TRIQ_FAULT: unknown fault class '", item,
-                 "' ignored (known: calib, text, all)");
+                 "' ignored (known: calib, text, panic, all)");
     }
-    if (!classes.calibration && !classes.text)
+    if (!classes.calibration && !classes.text && !classes.panic)
         return FaultInjector();
     uint64_t seed =
         static_cast<uint64_t>(envInt("TRIQ_FAULT_SEED", 1, 0));

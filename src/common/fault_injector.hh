@@ -11,7 +11,8 @@
  *
  * Activation: construct one explicitly, or via fromEnv() which reads
  *   TRIQ_FAULT       fault classes to arm: comma list of
- *                    "calib", "text", "all" (unset/empty = disabled)
+ *                    "calib", "text", "panic", "all" (unset/empty =
+ *                    disabled; "all" = calib+text, panic is by name)
  *   TRIQ_FAULT_SEED  decimal seed (default 1); same seed, same faults
  * so any existing binary (triqc, the benches) can be driven into its
  * degradation paths without a rebuild.
@@ -42,6 +43,15 @@ class FaultInjector
     {
         bool calibration = false; //!< Numeric calibration fields.
         bool text = false;        //!< Program source text.
+
+        /**
+         * Deterministic internal panic: the driver raises a PanicError
+         * at a well-defined pipeline point so the crash-report path
+         * (bundle dump + replay) can be exercised end to end. Not part
+         * of "all" — a synthetic crash is opt-in by name only, so the
+         * garbage-in suites keep their "diagnostic out" contract.
+         */
+        bool panic = false;
     };
 
     /** Disabled injector: every operation is a no-op. */
@@ -49,8 +59,8 @@ class FaultInjector
 
     /** Armed injector with the given classes and seed. */
     FaultInjector(Classes classes, uint64_t seed)
-        : classes_(classes), rng_(seed), enabled_(classes.calibration ||
-                                                  classes.text)
+        : classes_(classes), rng_(seed),
+          enabled_(classes.calibration || classes.text || classes.panic)
     {
     }
 
@@ -65,6 +75,9 @@ class FaultInjector
 
     /** True when program-text faults are armed. */
     bool armsText() const { return enabled_ && classes_.text; }
+
+    /** True when a synthetic internal panic is armed. */
+    bool armsPanic() const { return enabled_ && classes_.panic; }
 
     /**
      * A pathological double: NaN, +/-infinity, negative, huge, tiny

@@ -1,0 +1,167 @@
+#include "core/crash_report.hh"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+
+#ifdef _WIN32
+#include <process.h>
+#else
+#include <unistd.h>
+#endif
+
+namespace triq
+{
+
+namespace fs = std::filesystem;
+
+namespace
+{
+
+constexpr const char *kProgramFile = "program.txt";
+constexpr const char *kCalibrationFile = "calibration.txt";
+constexpr const char *kOptionsFile = "options.txt";
+constexpr const char *kErrorFile = "error.txt";
+
+void
+writeFile(const fs::path &path, const std::string &content)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        fatal("crash report: cannot write '", path.string(), "'");
+    out << content;
+    if (!out)
+        fatal("crash report: write to '", path.string(), "' failed");
+}
+
+std::string
+readFile(const fs::path &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        fatal("crash report: cannot read '", path.string(), "'");
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+} // namespace
+
+void
+CrashBundle::write(const std::string &dir) const
+{
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    if (ec)
+        fatal("crash report: cannot create '", dir, "': ", ec.message());
+
+    std::ostringstream opts;
+    opts.precision(17);
+    opts << "bench=" << benchName << "\n"
+         << "qasm=" << (qasm ? 1 : 0) << "\n"
+         << "device=" << device << "\n"
+         << "day=" << day << "\n"
+         << "level=" << level << "\n"
+         << "mapper=" << mapper << "\n"
+         << "peephole=" << (peephole ? 1 : 0) << "\n"
+         << "strict_calibration=" << (strictCalibration ? 1 : 0) << "\n"
+         << "budget_ms=" << budgetMs << "\n"
+         << "node_budget=" << nodeBudget << "\n"
+         << "seed=" << seed << "\n"
+         << "trials=" << trials << "\n"
+         << "sim_threads=" << simThreads << "\n"
+         << "sim_fusion=" << simFusion << "\n";
+    writeFile(fs::path(dir) / kOptionsFile, opts.str());
+
+    if (hasProgram)
+        writeFile(fs::path(dir) / kProgramFile, programText);
+    if (hasCalibration) {
+        std::ostringstream cal;
+        calibration.save(cal);
+        writeFile(fs::path(dir) / kCalibrationFile, cal.str());
+    }
+    writeFile(fs::path(dir) / kErrorFile,
+              error.empty() ? std::string("(no message)\n") : error + "\n");
+}
+
+CrashBundle
+CrashBundle::load(const std::string &dir)
+{
+    if (!fs::is_directory(dir))
+        fatal("crash report: '", dir, "' is not a directory");
+
+    CrashBundle b;
+    std::istringstream opts(readFile(fs::path(dir) / kOptionsFile));
+    std::string line;
+    int lineno = 0;
+    while (std::getline(opts, line)) {
+        ++lineno;
+        if (line.empty() || line[0] == '#')
+            continue;
+        size_t eq = line.find('=');
+        if (eq == std::string::npos)
+            fatal("crash report: malformed options.txt line ", lineno,
+                  ": '", line, "'");
+        std::string key = line.substr(0, eq);
+        std::string val = line.substr(eq + 1);
+        if (key == "bench")
+            b.benchName = val;
+        else if (key == "qasm")
+            b.qasm = val == "1";
+        else if (key == "device")
+            b.device = val;
+        else if (key == "day")
+            b.day = std::atoi(val.c_str());
+        else if (key == "level")
+            b.level = val;
+        else if (key == "mapper")
+            b.mapper = val;
+        else if (key == "peephole")
+            b.peephole = val == "1";
+        else if (key == "strict_calibration")
+            b.strictCalibration = val == "1";
+        else if (key == "budget_ms")
+            b.budgetMs = std::atof(val.c_str());
+        else if (key == "node_budget")
+            b.nodeBudget = std::atol(val.c_str());
+        else if (key == "seed")
+            b.seed = std::strtoull(val.c_str(), nullptr, 10);
+        else if (key == "trials")
+            b.trials = std::atoi(val.c_str());
+        else if (key == "sim_threads")
+            b.simThreads = std::atoi(val.c_str());
+        else if (key == "sim_fusion")
+            b.simFusion = std::atoi(val.c_str());
+        // Unknown keys are skipped so newer bundles load in older
+        // builds; the replay just ignores options it predates.
+    }
+
+    if (fs::exists(fs::path(dir) / kProgramFile)) {
+        b.programText = readFile(fs::path(dir) / kProgramFile);
+        b.hasProgram = true;
+    }
+    if (fs::exists(fs::path(dir) / kCalibrationFile)) {
+        std::istringstream cal(readFile(fs::path(dir) / kCalibrationFile));
+        b.calibration = Calibration::load(cal);
+        b.hasCalibration = true;
+    }
+    if (!b.hasProgram && b.benchName.empty())
+        fatal("crash report: '", dir,
+              "' has neither program.txt nor a bench= option");
+    return b;
+}
+
+std::string
+defaultCrashDir()
+{
+#ifdef _WIN32
+    int pid = _getpid();
+#else
+    int pid = static_cast<int>(getpid());
+#endif
+    return "triq-crash-" + std::to_string(pid);
+}
+
+} // namespace triq

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <climits>
+#include <cmath>
 #include <cstdlib>
 
 #include "common/env.hh"
@@ -10,6 +11,7 @@
 #include "common/thread_pool.hh"
 #include "core/esp.hh"
 #include "sim/compact.hh"
+#include "sim/fusion.hh"
 #include "sim/noise.hh"
 #include "sim/statevector.hh"
 
@@ -50,11 +52,12 @@ struct TrajectoryContext
 {
     const Circuit *circuit; // compact circuit
     const std::vector<ErrorSite> *sites;
-    const std::vector<std::vector<int>> *sitesAfter;
+    const std::vector<int> *injOrder; // site indices by (gateIdx, index)
     const std::vector<ProgQubit> *measured;
     const std::vector<double> *roErr;
     const StateVector *ideal;
     const std::vector<Checkpoint> *checkpoints; // ascending gatesApplied
+    const FusedProgram *fused;                  // null = replay plain gates
     uint64_t correctOutcome;
     bool flatHistogram;
 };
@@ -67,6 +70,96 @@ struct ChunkStats
     std::vector<int> flat;
     std::unordered_map<uint64_t, int> sparse;
 };
+
+/**
+ * Apply the unitary gates in [from, to) — through the fused program
+ * when fusion is on, gate by gate otherwise.
+ */
+void
+advanceState(const TrajectoryContext &ctx, StateVector &sv, int from,
+             int to)
+{
+    if (ctx.fused != nullptr) {
+        ctx.fused->apply(sv, from, to);
+        return;
+    }
+    for (int gi = from; gi < to; ++gi) {
+        const Gate &g = ctx.circuit->gate(gi);
+        if (g.kind != GateKind::Measure)
+            sv.applyGate(g);
+    }
+}
+
+/**
+ * Draw the Pauli choice for a fired site. Idle sites deterministically
+ * inject Z (pure dephasing) and consume no randomness; 1Q sites draw a
+ * uniform X/Y/Z; 2Q sites draw a uniform non-identity two-qubit Pauli
+ * (index 1..15 in base 4). The returned code fits in 5 bits.
+ */
+int
+drawPauliCode(Rng &rng, const ErrorSite &s)
+{
+    if (s.idle)
+        return 0;
+    if (s.q1 == -1)
+        return rng.uniformInt(3);
+    return 1 + rng.uniformInt(15);
+}
+
+/** Inject the Pauli a (site, code) pair denotes. */
+void
+injectPauli(StateVector &sv, const ErrorSite &s, int code)
+{
+    auto pauli1 = [&](int q, int which) {
+        switch (which) {
+          case 0:
+            sv.applyX(q);
+            break;
+          case 1:
+            sv.applyY(q);
+            break;
+          default:
+            sv.applyZ(q);
+            break;
+        }
+    };
+    if (s.idle) {
+        sv.applyZ(s.q0);
+        return;
+    }
+    if (s.q1 == -1) {
+        pauli1(s.q0, code);
+        return;
+    }
+    int p0 = code & 3, p1 = (code >> 2) & 3;
+    if (p0 != 0)
+        pauli1(s.q0, p0 - 1);
+    if (p1 != 0)
+        pauli1(s.q1, p1 - 1);
+}
+
+/**
+ * Seek the last ideal-prefix checkpoint at or before `first_gate` and
+ * load it into `sv` (or reset to |0...0>). The prefix is fault-free, so
+ * its evolution is identical to a full replay's.
+ * @return Number of gates already applied to `sv`.
+ */
+int
+seekCheckpoint(const TrajectoryContext &ctx, StateVector &sv,
+               int first_gate)
+{
+    const std::vector<Checkpoint> &ckpts = *ctx.checkpoints;
+    auto it = std::upper_bound(
+        ckpts.begin(), ckpts.end(), first_gate,
+        [](int g, const Checkpoint &c) { return g < c.gatesApplied; });
+    if (it != ckpts.begin()) {
+        const Checkpoint &c = *std::prev(it);
+        sv.amps() = c.state.amps();
+        return c.gatesApplied;
+    }
+    sv.reset();
+    return 0;
+}
 
 /**
  * Run one chunk of trials on the RNG stream (seed, chunk index). Every
@@ -89,37 +182,8 @@ runChunk(const TrajectoryContext &ctx, Rng rng, int chunk_trials,
     std::vector<bool> fired(sites.size(), false);
     if (ctx.flatHistogram)
         out.flat.assign(uint64_t{1} << measured.size(), 0);
-
-    auto inject = [&](const ErrorSite &s) {
-        auto pauli1 = [&](int q, int which) {
-            switch (which) {
-              case 0:
-                traj.applyX(q);
-                break;
-              case 1:
-                traj.applyY(q);
-                break;
-              default:
-                traj.applyZ(q);
-                break;
-            }
-        };
-        if (s.idle) {
-            traj.applyZ(s.q0);
-            return;
-        }
-        if (s.q1 == -1) {
-            pauli1(s.q0, rng.uniformInt(3));
-            return;
-        }
-        // Uniform non-identity 2Q Pauli: index 1..15 in base 4.
-        int code = 1 + rng.uniformInt(15);
-        int p0 = code & 3, p1 = (code >> 2) & 3;
-        if (p0 != 0)
-            pauli1(s.q0, p0 - 1);
-        if (p1 != 0)
-            pauli1(s.q1, p1 - 1);
-    };
+    else
+        out.sparse.reserve(static_cast<size_t>(chunk_trials));
 
     for (int t = 0; t < chunk_trials; ++t) {
         bool any = false;
@@ -137,29 +201,19 @@ runChunk(const TrajectoryContext &ctx, Rng rng, int chunk_trials,
             basis = ctx.ideal->sampleMeasurement(rng);
         } else {
             ++out.simulated;
-            // Resume from the last ideal-prefix checkpoint that still
-            // precedes the first fired site; the prefix is fault-free,
-            // so its evolution is identical to a full replay's.
-            int start_gate = 0;
-            const std::vector<Checkpoint> &ckpts = *ctx.checkpoints;
-            auto it = std::upper_bound(
-                ckpts.begin(), ckpts.end(), first_gate,
-                [](int g, const Checkpoint &c) { return g < c.gatesApplied; });
-            if (it != ckpts.begin()) {
-                const Checkpoint &c = *std::prev(it);
-                traj.amps() = c.state.amps();
-                start_gate = c.gatesApplied;
-            } else {
-                traj.reset();
+            int pos = seekCheckpoint(ctx, traj, first_gate);
+            // Walk the fired sites in injection order — (gateIdx, site
+            // index) ascending — advancing the state up to each site's
+            // gate before injecting its Pauli.
+            for (int si : *ctx.injOrder) {
+                if (!fired[static_cast<size_t>(si)])
+                    continue;
+                const ErrorSite &s = sites[static_cast<size_t>(si)];
+                advanceState(ctx, traj, pos, s.gateIdx + 1);
+                pos = std::max(pos, s.gateIdx + 1);
+                injectPauli(traj, s, drawPauliCode(rng, s));
             }
-            for (int gi = start_gate; gi < num_gates; ++gi) {
-                const Gate &g = circuit.gate(gi);
-                if (g.kind != GateKind::Measure)
-                    traj.applyGate(g);
-                for (int si : (*ctx.sitesAfter)[static_cast<size_t>(gi)])
-                    if (fired[static_cast<size_t>(si)])
-                        inject(sites[static_cast<size_t>(si)]);
-            }
+            advanceState(ctx, traj, pos, num_gates);
             basis = traj.sampleMeasurement(rng);
         }
         uint64_t key = outcomeKey(basis, measured);
@@ -173,6 +227,202 @@ runChunk(const TrajectoryContext &ctx, Rng rng, int chunk_trials,
             ++out.flat[key];
         else
             ++out.sparse[key];
+    }
+}
+
+/**
+ * Flat per-trial randomness the dedup engine pre-draws. The draws are
+ * consumed from each trial's RNG position in exactly runChunk's order
+ * (site Bernoullis, Pauli codes in injection order, one measurement
+ * uniform, readout flips), so grouping trials afterwards cannot change
+ * any trial's randomness. Fault patterns — fired (site << 5 | code)
+ * words in injection order — are stored back to back per chunk, so
+ * presampling a trial allocates nothing.
+ */
+struct PresampledDraws
+{
+    std::vector<std::vector<uint32_t>> chunkWords; //!< Patterns, per chunk.
+    std::vector<int> patternLen;                   //!< Per trial.
+    std::vector<int> firstGate; //!< Per trial; INT_MAX = fault-free.
+    std::vector<double> u;      //!< Per trial: measurement uniform.
+    std::vector<uint64_t> flips; //!< Per trial: readout-flip mask.
+};
+
+/** Pre-draw one chunk of trials [lo, lo+n) into `words` and `out`. */
+void
+presampleChunk(const TrajectoryContext &ctx, Rng rng, int lo, int n,
+               std::vector<uint32_t> &words, PresampledDraws &out)
+{
+    const std::vector<ErrorSite> &sites = *ctx.sites;
+    const std::vector<double> &ro_err = *ctx.roErr;
+    std::vector<bool> fired(sites.size(), false);
+    for (int t = lo; t < lo + n; ++t) {
+        bool any = false;
+        int first_gate = INT_MAX;
+        for (size_t i = 0; i < sites.size(); ++i) {
+            fired[i] = rng.bernoulli(sites[i].prob);
+            if (fired[i]) {
+                any = true;
+                first_gate = std::min(first_gate, sites[i].gateIdx);
+            }
+        }
+        int len = 0;
+        if (any)
+            for (int si : *ctx.injOrder) {
+                if (!fired[static_cast<size_t>(si)])
+                    continue;
+                int code = drawPauliCode(
+                    rng, sites[static_cast<size_t>(si)]);
+                words.push_back((static_cast<uint32_t>(si) << 5) |
+                                static_cast<uint32_t>(code));
+                ++len;
+            }
+        out.patternLen[static_cast<size_t>(t)] = len;
+        out.firstGate[static_cast<size_t>(t)] = first_gate;
+        out.u[static_cast<size_t>(t)] = rng.uniform();
+        uint64_t fl = 0;
+        for (size_t k = 0; k < ro_err.size(); ++k)
+            if (rng.bernoulli(ro_err[k]))
+                fl ^= uint64_t{1} << k;
+        out.flips[static_cast<size_t>(t)] = fl;
+    }
+}
+
+/** FNV-1a over a fault pattern's raw words. */
+uint64_t
+patternHash(const uint32_t *p, int n)
+{
+    uint64_t h = 0xcbf29ce484222325ull;
+    for (int i = 0; i < n; ++i) {
+        h ^= p[i];
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+/** One distinct fault pattern and the trials that drew it. */
+struct PatternGroup
+{
+    const uint32_t *pattern = nullptr; //!< Into PresampledDraws words.
+    int patternLen = 0;
+    int firstGate = INT_MAX;
+    std::vector<int> trials; // ascending
+};
+
+/** Length of the common (site, code) prefix of two fault patterns. */
+int
+patternLcp(const uint32_t *a, int la, const uint32_t *b, int lb)
+{
+    int n = std::min(la, lb), k = 0;
+    while (k < n && a[k] == b[k])
+        ++k;
+    return k;
+}
+
+/**
+ * Sample every member trial's measurement from the group's final state.
+ *
+ * Sampling stays bit-identical to per-trial sampleMeasurement(u): the
+ * member uniforms are sorted and assigned in one cumulative scan whose
+ * accumulation order (basis index ascending) matches the per-trial
+ * scan, so each uniform maps to exactly the basis index it would have
+ * mapped to alone.
+ */
+void
+sampleGroupTrials(const StateVector &state, const PatternGroup &group,
+                  const PresampledDraws &draws,
+                  std::vector<uint64_t> &basis_of)
+{
+    std::vector<std::pair<double, int>> us;
+    us.reserve(group.trials.size());
+    for (int t : group.trials)
+        us.emplace_back(draws.u[static_cast<size_t>(t)], t);
+    std::sort(us.begin(), us.end());
+
+    const std::vector<Cplx> &amps = state.amps();
+    const uint64_t dim = state.dim();
+    size_t p = 0;
+    double acc = 0.0;
+    for (uint64_t i = 0; i < dim && p < us.size(); ++i) {
+        acc += std::norm(amps[i]);
+        while (p < us.size() && us[p].first < acc)
+            basis_of[static_cast<size_t>(us[p++].second)] = i;
+    }
+    while (p < us.size())
+        basis_of[static_cast<size_t>(us[p++].second)] = dim - 1;
+}
+
+/**
+ * Simulate a contiguous slice of pattern-sorted groups, sharing state
+ * between patterns with a common injection prefix.
+ *
+ * `order` lists group indices sorted lexicographically by pattern
+ * content, so patterns that start with the same (site, code) injections
+ * sit next to each other. While replaying a pattern the slice snapshots
+ * the state after each injection it still shares with the *next*
+ * pattern; that pattern then resumes from the deepest shared snapshot
+ * instead of replaying the common prefix again. A snapshot is a copy of
+ * exactly the state a from-scratch replay would reach (the prefix
+ * determines the checkpoint seek, every advance and every injection),
+ * so the reuse is bitwise invisible — results do not depend on slice
+ * boundaries or thread count.
+ */
+void
+runGroupSlice(const TrajectoryContext &ctx,
+              const std::vector<PatternGroup> &groups,
+              const std::vector<int> &order, size_t lo, size_t hi,
+              const PresampledDraws &draws, std::vector<uint64_t> &basis_of)
+{
+    const std::vector<ErrorSite> &sites = *ctx.sites;
+    StateVector traj(ctx.circuit->numQubits());
+    std::vector<StateVector> snaps; // state after injection k
+    std::vector<int> snapPos;       // gates applied at that point
+    int valid_depth = 0;            // prefix of snaps shared with `traj`'s
+                                    // last pattern that is still live
+
+    for (size_t p = lo; p < hi; ++p) {
+        const PatternGroup &group = groups[static_cast<size_t>(order[p])];
+        if (group.patternLen == 0) {
+            // Fault-free pattern (sorts first): sample the cached ideal.
+            sampleGroupTrials(*ctx.ideal, group, draws, basis_of);
+            valid_depth = 0;
+            continue;
+        }
+        int next_lcp = 0;
+        if (p + 1 < hi) {
+            const PatternGroup &next =
+                groups[static_cast<size_t>(order[p + 1])];
+            next_lcp = patternLcp(group.pattern, group.patternLen,
+                                  next.pattern, next.patternLen);
+        }
+        if (next_lcp > static_cast<int>(snaps.size())) {
+            snaps.resize(static_cast<size_t>(next_lcp),
+                         StateVector(ctx.circuit->numQubits()));
+            snapPos.resize(static_cast<size_t>(next_lcp));
+        }
+
+        int pos;
+        int resume = std::min(valid_depth, group.patternLen);
+        if (resume > 0) {
+            traj.amps() = snaps[static_cast<size_t>(resume - 1)].amps();
+            pos = snapPos[static_cast<size_t>(resume - 1)];
+        } else {
+            pos = seekCheckpoint(ctx, traj, group.firstGate);
+        }
+        for (int k = resume; k < group.patternLen; ++k) {
+            const uint32_t entry = group.pattern[k];
+            const ErrorSite &s = sites[entry >> 5];
+            advanceState(ctx, traj, pos, s.gateIdx + 1);
+            pos = std::max(pos, s.gateIdx + 1);
+            injectPauli(traj, s, static_cast<int>(entry & 31u));
+            if (k < next_lcp) {
+                snaps[static_cast<size_t>(k)].amps() = traj.amps();
+                snapPos[static_cast<size_t>(k)] = pos;
+            }
+        }
+        advanceState(ctx, traj, pos, ctx.circuit->numGates());
+        sampleGroupTrials(traj, group, draws, basis_of);
+        valid_depth = next_lcp;
     }
 }
 
@@ -236,6 +486,9 @@ executeNoisy(const Circuit &hw, const Device &dev, const Calibration &calib,
     // trajectories can resume mid-circuit. K is chosen so the snapshots
     // stay within a fixed memory budget; the final state doubles as the
     // fault-free sampling cache and the benchmark's correct answer.
+    // The ideal pass stays gate-by-gate even with fusion on, so the
+    // checkpoints (and the fault-free sampling cache) are bitwise
+    // independent of the fusion setting.
     const int num_gates = cc.circuit.numGates();
     StateVector ideal(cc.circuit.numQubits());
     int interval = opts.checkpointInterval;
@@ -243,8 +496,8 @@ executeNoisy(const Circuit &hw, const Device &dev, const Calibration &calib,
         uint64_t bytes_per = ideal.dim() * sizeof(Cplx);
         int max_ckpts = static_cast<int>(std::clamp<uint64_t>(
             kCheckpointBudgetBytes / std::max<uint64_t>(bytes_per, 1), 1,
-            64));
-        interval = std::max(8, (num_gates + max_ckpts - 1) / max_ckpts);
+            1024));
+        interval = std::max(1, (num_gates + max_ckpts - 1) / max_ckpts);
     }
     std::vector<Checkpoint> checkpoints;
     for (int gi = 0; gi < num_gates; ++gi) {
@@ -283,21 +536,44 @@ executeNoisy(const Circuit &hw, const Device &dev, const Calibration &calib,
              " has a non-deterministic ideal output (p=", ideal_prob,
              "); success is counted against the dominant outcome");
 
-    // Sites grouped by the gate they follow, for trajectory replay.
-    std::vector<std::vector<int>> sites_after(
-        static_cast<size_t>(num_gates));
+    // Injection order: site indices sorted by (gateIdx, site index).
+    // Both engines draw fired sites' Pauli codes and apply their
+    // injections in exactly this order.
+    std::vector<int> inj_order(sites.size());
     for (size_t i = 0; i < sites.size(); ++i)
-        sites_after[static_cast<size_t>(sites[i].gateIdx)].push_back(
-            static_cast<int>(i));
+        inj_order[i] = static_cast<int>(i);
+    std::stable_sort(inj_order.begin(), inj_order.end(),
+                     [&](int a, int b) {
+                         return sites[static_cast<size_t>(a)].gateIdx <
+                                sites[static_cast<size_t>(b)].gateIdx;
+                     });
+
+    const bool use_fusion =
+        opts.fusion > 0 || (opts.fusion == 0 && defaultSimFusion());
+    const bool use_dedup =
+        opts.dedup > 0 || (opts.dedup == 0 && defaultSimDedup());
+    FusedProgram fused_program;
+    if (use_fusion) {
+        // Align fused operators to the checkpoint interval so replays
+        // resumed from a checkpoint start on an operator boundary
+        // instead of falling back to plain gates mid-operator. A
+        // per-gate interval would forbid all fusion, so leave operators
+        // unaligned there — every boundary is an op boundary anyway
+        // once spans stay small.
+        FusionOptions fopt;
+        fopt.alignBoundary = interval > 1 ? interval : 0;
+        fused_program = FusedProgram(cc.circuit, fopt);
+    }
 
     TrajectoryContext ctx;
     ctx.circuit = &cc.circuit;
     ctx.sites = &sites;
-    ctx.sitesAfter = &sites_after;
+    ctx.injOrder = &inj_order;
     ctx.measured = &measured;
     ctx.roErr = &ro_err;
     ctx.ideal = &ideal;
     ctx.checkpoints = &checkpoints;
+    ctx.fused = use_fusion ? &fused_program : nullptr;
     ctx.correctOutcome = ideal_key;
     ctx.flatHistogram = measured.size() <= kFlatHistogramBits;
 
@@ -309,6 +585,158 @@ executeNoisy(const Circuit &hw, const Device &dev, const Calibration &calib,
         opts.chunkSize > 0 ? opts.chunkSize : kDefaultChunkSize;
     const int num_chunks = (trials + chunk_size - 1) / chunk_size;
     const uint64_t stream_seed = seed ^ 0xABCDEF1234567890ull;
+    int threads = opts.threads > 0 ? opts.threads : defaultSimThreads();
+
+    if (use_dedup) {
+        // Phase A: pre-draw every trial's randomness, chunk-parallel.
+        // Chunks write disjoint trial slots and their own word buffers,
+        // so scheduling cannot change any draw.
+        PresampledDraws draws;
+        draws.chunkWords.resize(static_cast<size_t>(num_chunks));
+        draws.patternLen.resize(static_cast<size_t>(trials));
+        draws.firstGate.resize(static_cast<size_t>(trials));
+        draws.u.resize(static_cast<size_t>(trials));
+        draws.flips.resize(static_cast<size_t>(trials));
+        auto presample = [&](int ci) {
+            int lo = ci * chunk_size;
+            int n = std::min(chunk_size, trials - lo);
+            presampleChunk(ctx,
+                           Rng::stream(stream_seed,
+                                       static_cast<uint64_t>(ci)),
+                           lo, n,
+                           draws.chunkWords[static_cast<size_t>(ci)],
+                           draws);
+        };
+        int pre_threads = std::min(threads, num_chunks);
+        if (pre_threads <= 1) {
+            for (int ci = 0; ci < num_chunks; ++ci)
+                presample(ci);
+        } else {
+            ThreadPool pool(pre_threads);
+            parallelFor(pool, num_chunks, presample);
+        }
+
+        // Phase B: group trials by identical fault pattern, in trial
+        // order (deterministic first-seen group numbering). The hash
+        // only picks a bucket; group identity is pattern equality.
+        std::vector<PatternGroup> groups;
+        std::unordered_map<uint64_t, std::vector<int>> buckets;
+        buckets.reserve(static_cast<size_t>(trials) / 2 + 1);
+        for (int ci = 0, t = 0; ci < num_chunks; ++ci) {
+            const uint32_t *w =
+                draws.chunkWords[static_cast<size_t>(ci)].data();
+            const int n =
+                std::min(chunk_size, trials - ci * chunk_size);
+            for (int k = 0; k < n; ++k, ++t) {
+                const int len =
+                    draws.patternLen[static_cast<size_t>(t)];
+                std::vector<int> &bucket =
+                    buckets[patternHash(w, len)];
+                int gidx = -1;
+                for (int g : bucket) {
+                    const PatternGroup &pg =
+                        groups[static_cast<size_t>(g)];
+                    if (pg.patternLen == len &&
+                        std::equal(pg.pattern, pg.pattern + len, w)) {
+                        gidx = g;
+                        break;
+                    }
+                }
+                if (gidx < 0) {
+                    gidx = static_cast<int>(groups.size());
+                    PatternGroup g;
+                    g.pattern = w;
+                    g.patternLen = len;
+                    g.firstGate =
+                        draws.firstGate[static_cast<size_t>(t)];
+                    groups.push_back(std::move(g));
+                    bucket.push_back(gidx);
+                }
+                groups[static_cast<size_t>(gidx)].trials.push_back(t);
+                w += len;
+            }
+        }
+
+        // Phase C: simulate each distinct pattern once. Groups are
+        // sorted by pattern content so patterns sharing an injection
+        // prefix run back to back and reuse the shared state (see
+        // runGroupSlice); each parallel worker takes one contiguous
+        // slice of the sorted order. Groups write disjoint basis_of
+        // slots and snapshot reuse is bitwise exact, so neither
+        // scheduling nor the slice boundaries can change any result.
+        std::vector<uint64_t> basis_of(static_cast<size_t>(trials));
+        const int num_groups = static_cast<int>(groups.size());
+        std::vector<int> order(static_cast<size_t>(num_groups));
+        for (int gi = 0; gi < num_groups; ++gi)
+            order[static_cast<size_t>(gi)] = gi;
+        std::sort(order.begin(), order.end(), [&](int a, int b) {
+            const PatternGroup &ga = groups[static_cast<size_t>(a)];
+            const PatternGroup &gb = groups[static_cast<size_t>(b)];
+            return std::lexicographical_compare(
+                ga.pattern, ga.pattern + ga.patternLen, gb.pattern,
+                gb.pattern + gb.patternLen);
+        });
+        int grp_threads = std::min(threads, num_groups);
+        if (grp_threads <= 1) {
+            runGroupSlice(ctx, groups, order, 0,
+                          static_cast<size_t>(num_groups), draws,
+                          basis_of);
+        } else {
+            ThreadPool pool(grp_threads);
+            parallelFor(pool, grp_threads, [&](int w) {
+                size_t lo = static_cast<size_t>(num_groups) *
+                            static_cast<size_t>(w) /
+                            static_cast<size_t>(grp_threads);
+                size_t hi = static_cast<size_t>(num_groups) *
+                            static_cast<size_t>(w + 1) /
+                            static_cast<size_t>(grp_threads);
+                runGroupSlice(ctx, groups, order, lo, hi, draws,
+                              basis_of);
+            });
+        }
+        for (const PatternGroup &g : groups)
+            if (g.patternLen > 0)
+                ++res.simulatedTrajectories;
+
+        // Phase D: serial tally in trial order.
+        int successes = 0;
+        if (ctx.flatHistogram) {
+            std::vector<int> total(uint64_t{1} << measured.size(), 0);
+            for (int t = 0; t < trials; ++t) {
+                uint64_t key =
+                    outcomeKey(basis_of[static_cast<size_t>(t)],
+                               measured) ^
+                    draws.flips[static_cast<size_t>(t)];
+                if (key == ideal_key)
+                    ++successes;
+                ++total[key];
+            }
+            res.histogram.reserve(total.size());
+            for (size_t k = 0; k < total.size(); ++k)
+                if (total[k] != 0)
+                    res.histogram.emplace(static_cast<uint64_t>(k),
+                                          total[k]);
+        } else {
+            res.histogram.reserve(static_cast<size_t>(trials));
+            for (int t = 0; t < trials; ++t) {
+                uint64_t key =
+                    outcomeKey(basis_of[static_cast<size_t>(t)],
+                               measured) ^
+                    draws.flips[static_cast<size_t>(t)];
+                if (key == ideal_key)
+                    ++successes;
+                ++res.histogram[key];
+            }
+        }
+        res.successRate = static_cast<double>(successes) / trials;
+        int modal_count = 0;
+        for (const auto &[key, count] : res.histogram)
+            if (count > modal_count)
+                modal_count = count;
+        res.correctIsModal = successes == modal_count;
+        return res;
+    }
+
     std::vector<ChunkStats> stats(static_cast<size_t>(num_chunks));
     auto run_chunk = [&](int ci) {
         int lo = ci * chunk_size;
@@ -316,13 +744,12 @@ executeNoisy(const Circuit &hw, const Device &dev, const Calibration &calib,
         runChunk(ctx, Rng::stream(stream_seed, static_cast<uint64_t>(ci)),
                  n, stats[static_cast<size_t>(ci)]);
     };
-    int threads = opts.threads > 0 ? opts.threads : defaultSimThreads();
-    threads = std::min(threads, num_chunks);
-    if (threads <= 1) {
+    int chunk_threads = std::min(threads, num_chunks);
+    if (chunk_threads <= 1) {
         for (int ci = 0; ci < num_chunks; ++ci)
             run_chunk(ci);
     } else {
-        ThreadPool pool(threads);
+        ThreadPool pool(chunk_threads);
         parallelFor(pool, num_chunks, run_chunk);
     }
 
@@ -337,10 +764,12 @@ executeNoisy(const Circuit &hw, const Device &dev, const Calibration &calib,
             for (size_t k = 0; k < total.size(); ++k)
                 total[k] += s.flat[k];
         }
+        res.histogram.reserve(total.size());
         for (size_t k = 0; k < total.size(); ++k)
             if (total[k] != 0)
                 res.histogram.emplace(static_cast<uint64_t>(k), total[k]);
     } else {
+        res.histogram.reserve(static_cast<size_t>(trials));
         for (const ChunkStats &s : stats) {
             successes += s.successes;
             res.simulatedTrajectories += s.simulated;
@@ -390,6 +819,18 @@ int
 defaultSimThreads(int fallback)
 {
     return envInt("TRIQ_SIM_THREADS", fallback, 1);
+}
+
+bool
+defaultSimFusion(bool fallback)
+{
+    return envInt("TRIQ_SIM_FUSION", fallback ? 1 : 0, 0) != 0;
+}
+
+bool
+defaultSimDedup(bool fallback)
+{
+    return envInt("TRIQ_SIM_DEDUP", fallback ? 1 : 0, 0) != 0;
 }
 
 } // namespace triq

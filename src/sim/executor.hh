@@ -16,7 +16,16 @@
  *    any thread count (TRIQ_SIM_THREADS, default 1);
  *  - faulty trajectories replay from the nearest ideal-prefix
  *    checkpoint before their first fired error site instead of from
- *    |0...0>.
+ *    |0...0>;
+ *  - gate fusion (sim/fusion.hh, TRIQ_SIM_FUSION, default on) rewrites
+ *    the compact circuit into fused kernels so each replay makes fewer
+ *    passes over the state;
+ *  - fault-pattern deduplication (TRIQ_SIM_DEDUP, default on)
+ *    pre-samples every trial's fault pattern, simulates each distinct
+ *    pattern once and draws all of its trials' measurement samples
+ *    from the shared final state. Dedup consumes the per-trial RNG
+ *    draws in exactly the per-trial engine's order, so its histograms
+ *    are bit-identical to the dedup-off path.
  */
 
 #ifndef TRIQ_SIM_EXECUTOR_HH
@@ -51,7 +60,12 @@ struct ExecutionResult
     /** Probability that a trial contains no fault at all. */
     double noErrorProb = 0.0;
 
-    /** Trials that required a full state-vector trajectory. */
+    /**
+     * Distinct state-vector trajectories simulated. With fault-pattern
+     * deduplication on (the default) this is the number of *distinct
+     * non-empty fault patterns*; with it off, the number of faulty
+     * trials (every faulty trial replays individually).
+     */
     int simulatedTrajectories = 0;
 
     /**
@@ -99,6 +113,24 @@ struct ExecOptions
      * results are only comparable at equal chunk size.
      */
     int chunkSize = 0;
+
+    /**
+     * Gate fusion for trajectory replays: > 0 on, < 0 off, 0 reads
+     * TRIQ_SIM_FUSION (default on). Fusion keeps amplitudes equal to
+     * the gate-by-gate path to ~1e-15 per gate (it reassociates
+     * floating-point products), so histograms match the unfused path
+     * for all practical seeds but are not guaranteed bit-identical.
+     */
+    int fusion = 0;
+
+    /**
+     * Fault-pattern deduplication: > 0 on, < 0 off, 0 reads
+     * TRIQ_SIM_DEDUP (default on). Bit-identical to the per-trial
+     * engine for any thread count: it consumes the RNG draws in the
+     * same per-trial order and samples measurements by the same
+     * cumulative scan.
+     */
+    int dedup = 0;
 };
 
 /**
@@ -136,6 +168,18 @@ int defaultTrials(int fallback = 1000);
  * environment variable, falling back to `fallback` (serial).
  */
 int defaultSimThreads(int fallback = 1);
+
+/**
+ * Default gate-fusion setting: reads the TRIQ_SIM_FUSION environment
+ * variable (0 disables), falling back to `fallback` (on).
+ */
+bool defaultSimFusion(bool fallback = true);
+
+/**
+ * Default fault-pattern-dedup setting: reads the TRIQ_SIM_DEDUP
+ * environment variable (0 disables), falling back to `fallback` (on).
+ */
+bool defaultSimDedup(bool fallback = true);
 
 /**
  * Re-order an outcome key from the executor's hardware-measured-qubit

@@ -208,6 +208,11 @@ StateVector::applySwap(int a, int b)
             std::swap(amps_[i], amps_[(i & ~ba) | bb]);
 }
 
+// applyFused1/2/3 and applyDiagonal — the cache-blocked kernels used by
+// the gate-fusion pre-pass — live in fused_kernels.cc so the build can
+// give them tuned optimization flags without affecting the per-gate
+// baseline paths above.
+
 void
 StateVector::applyGate(const Gate &g)
 {
@@ -317,7 +322,12 @@ StateVector::applyCircuit(const Circuit &c)
 uint64_t
 StateVector::sampleMeasurement(Rng &rng) const
 {
-    double r = rng.uniform();
+    return sampleMeasurement(rng.uniform());
+}
+
+uint64_t
+StateVector::sampleMeasurement(double r) const
+{
     double acc = 0.0;
     for (uint64_t i = 0; i < dim(); ++i) {
         acc += std::norm(amps_[i]);

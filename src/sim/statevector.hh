@@ -82,10 +82,40 @@ class StateVector
     void applySwap(int a, int b);
 
     /**
+     * Cache-blocked dense kernels used by the gate-fusion pass
+     * (sim/fusion.hh). Unlike applyMatrix1/2 they enumerate only the
+     * amplitudes they touch (no skip branch), and the 3-qubit variant
+     * completes the ladder for fused regions. Matrices are row-major
+     * with local qubit i = bit i; per-amplitude arithmetic matches the
+     * matrix path term for term.
+     */
+    void applyFused1(const Cplx *m, int q);             //!< m: 2x2.
+    void applyFused2(const Cplx *m, int q0, int q1);    //!< m: 4x4.
+    void applyFused3(const Cplx *m, int q0, int q1, int q2); //!< 8x8.
+
+    /**
+     * Multiply by a diagonal operator supported on a qubit subset:
+     * amps[i] *= diag[local(i)] where bit k of local(i) is bit
+     * qubits[k] of i. One pass over the state regardless of how many
+     * diagonal gates were collapsed into the table.
+     */
+    void applyDiagonal(const Cplx *diag, const int *qubits,
+                       int num_qubits);
+
+    /**
      * Sample a full measurement outcome (all qubits) without collapsing.
      * @return Basis index distributed according to |amplitude|^2.
      */
     uint64_t sampleMeasurement(Rng &rng) const;
+
+    /**
+     * Deterministic variant: map a caller-supplied uniform draw
+     * r in [0, 1) to a basis index by the same cumulative scan as
+     * sampleMeasurement(Rng&). Lets the dedup executor pre-draw each
+     * trial's uniform and sample many trials from one shared state
+     * while staying bit-identical to the per-trial path.
+     */
+    uint64_t sampleMeasurement(double r) const;
 
     /**
      * The most probable basis state.

@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Crash-report bundles: round-trip fidelity of CrashBundle write/load,
+ * and the end-to-end contract — a triqc invocation that hits an
+ * internal error (deterministically injected via TRIQ_FAULT=panic)
+ * dumps a bundle, and `triqc --replay <dir>` reproduces the exact
+ * invocation from that one artifact.
+ *
+ * The end-to-end cases drive the real triqc binary (path baked in as
+ * TRIQ_TRIQC_PATH) through std::system, because the contract under
+ * test is the process-level one: exit codes, files on disk, and
+ * byte-identical assembly between a replay and a direct run.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "core/crash_report.hh"
+#include "device/machines.hh"
+
+using namespace triq;
+namespace fs = std::filesystem;
+
+namespace
+{
+
+/** Fresh scratch directory, removed on destruction. */
+struct TempDir
+{
+    fs::path path;
+
+    TempDir()
+    {
+        std::string tmpl =
+            (fs::temp_directory_path() / "triq_crash_XXXXXX").string();
+        char *made = mkdtemp(tmpl.data());
+        if (!made)
+            throw std::runtime_error("mkdtemp failed");
+        path = made;
+    }
+    ~TempDir()
+    {
+        std::error_code ec;
+        fs::remove_all(path, ec);
+    }
+};
+
+std::string
+slurp(const fs::path &p)
+{
+    std::ifstream in(p, std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+std::string
+calText(const Calibration &c)
+{
+    std::ostringstream os;
+    c.save(os);
+    return os.str();
+}
+
+#ifdef TRIQ_TRIQC_PATH
+/** Run a shell command; returns the process exit code. */
+int
+runCmd(const std::string &cmd)
+{
+    int status = std::system(cmd.c_str());
+    return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+#endif
+
+} // namespace
+
+TEST(CrashReport, BundleRoundTripsEveryField)
+{
+    Device dev = allStudyDevices().front();
+
+    CrashBundle b;
+    b.programText = "qreg q[3];\nX q[0];\nCNOT q[0], q[1];\n";
+    b.hasProgram = true;
+    b.qasm = true;
+    b.device = dev.name();
+    b.day = 7;
+    b.calibration = dev.calibrate(7);
+    b.hasCalibration = true;
+    b.level = "c";
+    b.mapper = "greedy";
+    b.peephole = true;
+    b.strictCalibration = true;
+    b.budgetMs = 250.5;
+    b.nodeBudget = 12345;
+    b.seed = 0xDEADBEEFull;
+    b.trials = 777;
+    b.simThreads = 3;
+    b.simFusion = -1;
+    b.error = "test panic message";
+
+    TempDir tmp;
+    std::string dir = (tmp.path / "bundle").string();
+    b.write(dir);
+
+    for (const char *f :
+         {"program.txt", "calibration.txt", "options.txt", "error.txt"})
+        EXPECT_TRUE(fs::exists(fs::path(dir) / f)) << f;
+    EXPECT_NE(slurp(fs::path(dir) / "error.txt").find("test panic"),
+              std::string::npos);
+
+    CrashBundle r = CrashBundle::load(dir);
+    EXPECT_EQ(r.programText, b.programText);
+    EXPECT_TRUE(r.hasProgram);
+    EXPECT_EQ(r.qasm, b.qasm);
+    EXPECT_EQ(r.device, b.device);
+    EXPECT_EQ(r.day, b.day);
+    EXPECT_TRUE(r.hasCalibration);
+    EXPECT_EQ(calText(r.calibration), calText(b.calibration));
+    EXPECT_EQ(r.level, b.level);
+    EXPECT_EQ(r.mapper, b.mapper);
+    EXPECT_EQ(r.peephole, b.peephole);
+    EXPECT_EQ(r.strictCalibration, b.strictCalibration);
+    EXPECT_DOUBLE_EQ(r.budgetMs, b.budgetMs);
+    EXPECT_EQ(r.nodeBudget, b.nodeBudget);
+    EXPECT_EQ(r.seed, b.seed);
+    EXPECT_EQ(r.trials, b.trials);
+    EXPECT_EQ(r.simThreads, b.simThreads);
+    EXPECT_EQ(r.simFusion, b.simFusion);
+}
+
+TEST(CrashReport, BenchOnlyBundleOmitsProgramFile)
+{
+    CrashBundle b;
+    b.benchName = "BV4";
+    b.error = "boom";
+
+    TempDir tmp;
+    std::string dir = (tmp.path / "bundle").string();
+    b.write(dir);
+    EXPECT_FALSE(fs::exists(fs::path(dir) / "program.txt"));
+    EXPECT_FALSE(fs::exists(fs::path(dir) / "calibration.txt"));
+
+    CrashBundle r = CrashBundle::load(dir);
+    EXPECT_EQ(r.benchName, "BV4");
+    EXPECT_FALSE(r.hasProgram);
+    EXPECT_FALSE(r.hasCalibration);
+}
+
+TEST(CrashReport, LoadRejectsMissingOrEmptyBundles)
+{
+    TempDir tmp;
+    EXPECT_THROW(CrashBundle::load((tmp.path / "nope").string()),
+                 FatalError);
+
+    // A directory whose options.txt names no program source at all is
+    // not replayable and must be rejected, not half-loaded.
+    fs::path dir = tmp.path / "empty";
+    fs::create_directories(dir);
+    std::ofstream(dir / "options.txt") << "device=IBMQ5\n";
+    EXPECT_THROW(CrashBundle::load(dir.string()), FatalError);
+}
+
+TEST(CrashReport, DefaultDirNamesThisProcess)
+{
+    std::string dir = defaultCrashDir();
+    EXPECT_EQ(dir.rfind("triq-crash-", 0), 0u) << dir;
+    EXPECT_GT(dir.size(), std::string("triq-crash-").size());
+}
+
+#ifdef TRIQ_TRIQC_PATH
+
+TEST(CrashReport, PanicDumpsBundleAndReplayReproducesAssembly)
+{
+    TempDir tmp;
+    std::string bundle = (tmp.path / "bundle").string();
+    std::string scaff =
+        std::string(TRIQ_SOURCE_DIR) + "/examples/programs/qft.scaff";
+    std::string common = " -d IBMQ14 -O cn -m greedy --day 3 --peephole ";
+
+    // 1. Injected internal fault: exit code 2 (TriQ bug), bundle on disk.
+    int rc = runCmd("TRIQ_FAULT=panic " TRIQ_TRIQC_PATH + common + scaff +
+                    " --crash-dir " + bundle + " -o /dev/null 2>/dev/null");
+    EXPECT_EQ(rc, 2);
+    ASSERT_TRUE(fs::is_directory(bundle));
+    for (const char *f :
+         {"program.txt", "calibration.txt", "options.txt", "error.txt"})
+        EXPECT_TRUE(fs::exists(fs::path(bundle) / f)) << f;
+    EXPECT_NE(slurp(fs::path(bundle) / "error.txt").find("injected"),
+              std::string::npos);
+    EXPECT_EQ(slurp(fs::path(bundle) / "program.txt"), slurp(scaff));
+
+    // 2. Replay from the bundle alone (no flags, no TRIQ_FAULT):
+    //    compiles cleanly and emits assembly.
+    std::string replay_out = (tmp.path / "replay.s").string();
+    rc = runCmd(std::string(TRIQ_TRIQC_PATH) + " --replay " + bundle +
+                " -o " + replay_out + " 2>/dev/null");
+    EXPECT_EQ(rc, 0);
+
+    // 3. The replay must be byte-identical to a direct run with the
+    //    original flags — the bundle captured the whole invocation.
+    std::string direct_out = (tmp.path / "direct.s").string();
+    rc = runCmd(std::string(TRIQ_TRIQC_PATH) + common + scaff + " -o " +
+                direct_out + " 2>/dev/null");
+    EXPECT_EQ(rc, 0);
+    EXPECT_EQ(slurp(replay_out), slurp(direct_out));
+    EXPECT_FALSE(slurp(replay_out).empty());
+}
+
+TEST(CrashReport, CleanRunLeavesNoBundle)
+{
+    TempDir tmp;
+    std::string bundle = (tmp.path / "bundle").string();
+    int rc = runCmd(std::string(TRIQ_TRIQC_PATH) +
+                    " --bench BV4 -d IBMQ5 --crash-dir " + bundle +
+                    " -o /dev/null 2>/dev/null");
+    EXPECT_EQ(rc, 0);
+    EXPECT_FALSE(fs::exists(bundle));
+}
+
+TEST(CrashReport, ReplayOfBenchBundleMatchesDirectRun)
+{
+    TempDir tmp;
+    std::string bundle = (tmp.path / "bundle").string();
+    int rc = runCmd("TRIQ_FAULT=panic " TRIQ_TRIQC_PATH
+                    " --bench Toffoli -d UMDTI -O 1q --crash-dir " +
+                    bundle + " -o /dev/null 2>/dev/null");
+    EXPECT_EQ(rc, 2);
+    ASSERT_TRUE(fs::is_directory(bundle));
+    EXPECT_FALSE(fs::exists(fs::path(bundle) / "program.txt"));
+
+    std::string replay_out = (tmp.path / "replay.s").string();
+    rc = runCmd(std::string(TRIQ_TRIQC_PATH) + " --replay " + bundle +
+                " -o " + replay_out + " 2>/dev/null");
+    EXPECT_EQ(rc, 0);
+
+    std::string direct_out = (tmp.path / "direct.s").string();
+    rc = runCmd(std::string(TRIQ_TRIQC_PATH) +
+                " --bench Toffoli -d UMDTI -O 1q -o " + direct_out +
+                " 2>/dev/null");
+    EXPECT_EQ(rc, 0);
+    EXPECT_EQ(slurp(replay_out), slurp(direct_out));
+    EXPECT_FALSE(slurp(replay_out).empty());
+}
+
+#endif // TRIQ_TRIQC_PATH

@@ -273,13 +273,21 @@ TEST(Executor, CheckpointedReplayMatchesFullReplay)
     }
     circ.add(Gate::measure(0));
     circ.add(Gate::measure(1));
+    // This test exercises the per-trial checkpoint replay engine, so
+    // fault-pattern dedup is pinned off (it would collapse the 800
+    // trials to their distinct patterns); fusion off keeps the replay
+    // strictly gate by gate.
     ExecOptions full;
     full.checkpointInterval = -1; // replay from |00> every time
+    full.dedup = -1;
+    full.fusion = -1;
     ExecutionResult a = executeNoisy(circ, dev, c, 800, 21, full);
     EXPECT_EQ(a.simulatedTrajectories, a.trials);
     for (int interval : {1, 2, 5, 0}) {
         ExecOptions ck;
         ck.checkpointInterval = interval;
+        ck.dedup = -1;
+        ck.fusion = -1;
         ExecutionResult b = executeNoisy(circ, dev, c, 800, 21, ck);
         EXPECT_DOUBLE_EQ(b.successRate, a.successRate);
         EXPECT_EQ(b.simulatedTrajectories, a.simulatedTrajectories);

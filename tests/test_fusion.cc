@@ -1,0 +1,344 @@
+/**
+ * @file
+ * Gate-fusion and fault-pattern-dedup tests: fused replay must match
+ * the gate-by-gate path to 1e-12 on random circuits over the full
+ * fast-path gate set, partial-range application must fall back
+ * correctly at fused-op boundaries, and dedup must reproduce the
+ * per-trial engine's histograms bit for bit at any thread count.
+ */
+
+#include <cmath>
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "core/compiler.hh"
+#include "core/unitary.hh"
+#include "device/machines.hh"
+#include "sim/executor.hh"
+#include "sim/fusion.hh"
+#include "sim/statevector.hh"
+#include "workloads/benchmarks.hh"
+
+namespace triq
+{
+namespace
+{
+
+/**
+ * A random circuit over every gate kind the simulator fast-paths,
+ * weighted toward the diagonal and 1Q gates fusion targets.
+ */
+Circuit
+randomCircuit(int num_qubits, int num_gates, uint64_t seed)
+{
+    Rng rng(seed);
+    Circuit c(num_qubits, "random");
+    auto q = [&] { return rng.uniformInt(num_qubits); };
+    auto pair = [&](int &a, int &b) {
+        a = q();
+        do {
+            b = q();
+        } while (b == a);
+    };
+    for (int i = 0; i < num_gates; ++i) {
+        int a, b;
+        switch (rng.uniformInt(17)) {
+          case 0:
+            c.add(Gate::i(q()));
+            break;
+          case 1:
+            c.add(Gate::x(q()));
+            break;
+          case 2:
+            c.add(Gate::y(q()));
+            break;
+          case 3:
+            c.add(Gate::z(q()));
+            break;
+          case 4:
+            c.add(Gate::h(q()));
+            break;
+          case 5:
+            c.add(Gate::s(q()));
+            break;
+          case 6:
+            c.add(Gate::sdg(q()));
+            break;
+          case 7:
+            c.add(Gate::t(q()));
+            break;
+          case 8:
+            c.add(Gate::tdg(q()));
+            break;
+          case 9:
+            c.add(Gate::rz(q(), rng.uniform(-kPi, kPi)));
+            break;
+          case 10:
+            c.add(Gate::u1(q(), rng.uniform(-kPi, kPi)));
+            break;
+          case 11:
+            c.add(Gate::u3(q(), rng.uniform(0, kPi),
+                           rng.uniform(-kPi, kPi),
+                           rng.uniform(-kPi, kPi)));
+            break;
+          case 12:
+            pair(a, b);
+            c.add(Gate::cnot(a, b));
+            break;
+          case 13:
+            pair(a, b);
+            c.add(Gate::cz(a, b));
+            break;
+          case 14:
+            pair(a, b);
+            c.add(Gate::cphase(a, b, rng.uniform(-kPi, kPi)));
+            break;
+          case 15:
+            pair(a, b);
+            c.add(Gate::swap(a, b));
+            break;
+          default:
+            pair(a, b);
+            c.add(Gate::xx(a, b, rng.uniform(-kPi, kPi)));
+            break;
+        }
+    }
+    return c;
+}
+
+/** Largest per-amplitude deviation between two states. */
+double
+maxAmpDelta(const StateVector &a, const StateVector &b)
+{
+    double worst = 0.0;
+    for (uint64_t i = 0; i < a.dim(); ++i)
+        worst = std::max(worst,
+                         std::abs(a.amplitude(i) - b.amplitude(i)));
+    return worst;
+}
+
+TEST(Fusion, FusedMatchesUnfusedOnRandomCircuits)
+{
+    for (uint64_t seed = 1; seed <= 10; ++seed) {
+        Circuit c = randomCircuit(5, 120, seed);
+        StateVector plain(5);
+        plain.applyCircuit(c);
+        FusedProgram fused(c);
+        StateVector sv(5);
+        fused.applyAll(sv);
+        EXPECT_LE(maxAmpDelta(sv, plain), 1e-12)
+            << "seed " << seed << " diverged";
+        // The pass must actually fuse something on circuits this dense.
+        EXPECT_GT(fused.stats().fusedGates, 0) << "seed " << seed;
+        EXPECT_LT(fused.stats().ops, fused.stats().gates)
+            << "seed " << seed;
+        EXPECT_LT(fused.stats().modeledCostRatio, 1.0)
+            << "seed " << seed;
+    }
+}
+
+TEST(Fusion, PartialRangesFallBackToOriginalGates)
+{
+    // Splitting the replay at every possible gate boundary must agree
+    // with the uninterrupted gate-by-gate evolution, even when the
+    // split lands inside a fused operator.
+    Circuit c = randomCircuit(4, 60, 42);
+    FusedProgram fused(c);
+    ASSERT_GT(fused.stats().fusedGates, 0);
+    StateVector plain(4);
+    plain.applyCircuit(c);
+    for (int split = 0; split <= c.numGates(); ++split) {
+        StateVector sv(4);
+        fused.apply(sv, 0, split);
+        fused.apply(sv, split, c.numGates());
+        EXPECT_LE(maxAmpDelta(sv, plain), 1e-12)
+            << "split at gate " << split;
+    }
+}
+
+TEST(Fusion, DiagonalRunsCollapse)
+{
+    Circuit c(3);
+    c.add(Gate::t(0));
+    c.add(Gate::rz(1, 0.7));
+    c.add(Gate::cz(0, 1));
+    c.add(Gate::cphase(1, 2, 0.3));
+    c.add(Gate::s(2));
+    FusedProgram fused(c);
+    EXPECT_EQ(fused.stats().diagonal, 1);
+    EXPECT_EQ(fused.stats().fusedGates, 5);
+    StateVector plain(3), sv(3);
+    // Start from a superposition so every phase is observable.
+    for (int q = 0; q < 3; ++q)
+        plain.applyGate(Gate::h(q));
+    plain.applyCircuit(c);
+    for (int q = 0; q < 3; ++q)
+        sv.applyGate(Gate::h(q));
+    fused.applyAll(sv);
+    EXPECT_LE(maxAmpDelta(sv, plain), 1e-12);
+}
+
+TEST(Fusion, SameQubitRunsMergeToOneKernel)
+{
+    Circuit c(2);
+    c.add(Gate::h(0));
+    c.add(Gate::rz(0, 0.4));
+    c.add(Gate::h(0));
+    c.add(Gate::u3(0, 0.3, 0.2, 0.1));
+    FusedProgram fused(c);
+    EXPECT_EQ(fused.stats().dense1, 1);
+    EXPECT_EQ(fused.stats().fusedGates, 4);
+    StateVector plain(2), sv(2);
+    plain.applyCircuit(c);
+    fused.applyAll(sv);
+    EXPECT_LE(maxAmpDelta(sv, plain), 1e-12);
+}
+
+TEST(Fusion, FusedKernelsMatchMatrixPath)
+{
+    // The blocked kernels themselves are exact: applying a gate's
+    // matrix through applyFused{1,2,3}/applyDiagonal must equal the
+    // established applyMatrix path bit for bit is too strict across
+    // compilers, so we require <= 1e-15 per amplitude.
+    Rng rng(7);
+    StateVector a(3), b(3);
+    for (int q = 0; q < 3; ++q) {
+        a.applyGate(Gate::h(q));
+        b.applyGate(Gate::h(q));
+    }
+    Gate u = Gate::u3(1, 0.3, 1.1, -0.6);
+    Matrix m1 = gateMatrix(u);
+    Cplx f1[4] = {m1(0, 0), m1(0, 1), m1(1, 0), m1(1, 1)};
+    a.applyMatrix1(m1, 1);
+    b.applyFused1(f1, 1);
+    EXPECT_LE(maxAmpDelta(a, b), 1e-15);
+
+    Matrix m2 = gateMatrix(Gate::xx(0, 2, 0.9));
+    Cplx f2[16];
+    for (int r = 0; r < 4; ++r)
+        for (int col = 0; col < 4; ++col)
+            f2[r * 4 + col] = m2(r, col);
+    a.applyMatrix2(m2, 0, 2);
+    b.applyFused2(f2, 0, 2);
+    EXPECT_LE(maxAmpDelta(a, b), 1e-15);
+
+    // diag over (q0, q2): bit 0 carries S's phase i, bit 1 Z's -1.
+    int qs[2] = {0, 2};
+    Cplx full[4] = {Cplx(1, 0), Cplx(0, 1), Cplx(-1, 0), Cplx(0, -1)};
+    a.applyGate(Gate::s(0));
+    a.applyGate(Gate::z(2));
+    b.applyDiagonal(full, qs, 2);
+    EXPECT_LE(maxAmpDelta(a, b), 1e-12);
+}
+
+TEST(Fusion, EnvDefaultToggles)
+{
+    unsetenv("TRIQ_SIM_FUSION");
+    EXPECT_TRUE(defaultSimFusion());
+    setenv("TRIQ_SIM_FUSION", "0", 1);
+    EXPECT_FALSE(defaultSimFusion());
+    setenv("TRIQ_SIM_FUSION", "1", 1);
+    EXPECT_TRUE(defaultSimFusion());
+    unsetenv("TRIQ_SIM_FUSION");
+
+    unsetenv("TRIQ_SIM_DEDUP");
+    EXPECT_TRUE(defaultSimDedup());
+    setenv("TRIQ_SIM_DEDUP", "0", 1);
+    EXPECT_FALSE(defaultSimDedup());
+    unsetenv("TRIQ_SIM_DEDUP");
+}
+
+/** Compile one benchmark for IBMQ5 and return its hardware circuit. */
+CompileResult
+compiledPeres(const Device &dev, const Calibration &c)
+{
+    Circuit program = makeBenchmark("Peres");
+    CompileOptions opts;
+    return compileForDevice(program, dev, c, opts);
+}
+
+TEST(Dedup, BitIdenticalToPerTrialEngine)
+{
+    // With fusion pinned off both engines replay the identical gate
+    // sequence, so dedup on vs. off must agree bit for bit: same
+    // histogram, same success rate, for any thread count.
+    Device dev = makeIbmQ5();
+    Calibration c = dev.calibrate(2);
+    CompileResult res = compiledPeres(dev, c);
+    ExecOptions base;
+    base.threads = 1;
+    base.fusion = -1;
+    base.dedup = -1;
+    ExecutionResult a = executeNoisy(res.hwCircuit, dev, c, 2000, 99, base);
+    EXPECT_GT(a.simulatedTrajectories, 0);
+    for (int threads : {1, 2, 8}) {
+        ExecOptions d;
+        d.threads = threads;
+        d.fusion = -1;
+        d.dedup = 1;
+        ExecutionResult b =
+            executeNoisy(res.hwCircuit, dev, c, 2000, 99, d);
+        EXPECT_DOUBLE_EQ(b.successRate, a.successRate);
+        EXPECT_EQ(b.histogram, a.histogram);
+        EXPECT_EQ(b.correctOutcome, a.correctOutcome);
+        // Dedup simulates each distinct pattern once — never more
+        // trajectories than the per-trial engine's faulty-trial count.
+        EXPECT_LE(b.simulatedTrajectories, a.simulatedTrajectories);
+        EXPECT_GT(b.simulatedTrajectories, 0);
+    }
+}
+
+TEST(Dedup, FusionPlusDedupMatchesBaselineHistogram)
+{
+    // Fusion reassociates floating point, so this equality is the
+    // empirical acceptance guarantee (a uniform draw would have to
+    // land within ~1e-13 of a cumulative-probability boundary to
+    // flip), not an algebraic one.
+    Device dev = makeIbmQ5();
+    Calibration c = dev.calibrate(2);
+    CompileResult res = compiledPeres(dev, c);
+    ExecOptions base;
+    base.threads = 1;
+    base.fusion = -1;
+    base.dedup = -1;
+    ExecutionResult a = executeNoisy(res.hwCircuit, dev, c, 2000, 99, base);
+    for (int threads : {1, 2, 8}) {
+        ExecOptions d;
+        d.threads = threads;
+        d.fusion = 1;
+        d.dedup = 1;
+        ExecutionResult b =
+            executeNoisy(res.hwCircuit, dev, c, 2000, 99, d);
+        EXPECT_DOUBLE_EQ(b.successRate, a.successRate);
+        EXPECT_EQ(b.histogram, a.histogram);
+    }
+}
+
+TEST(Dedup, ZeroFaultCircuitSimulatesNothing)
+{
+    // Readout-only noise: every pattern is empty, so dedup samples all
+    // trials from the cached ideal state without one trajectory.
+    Topology t = Topology::line(2);
+    NoiseSpec spec{0.0, 0.0, 0.05, 1e18, 0.0, 0.0, {0.1, 0.4, 3.0}};
+    Device dev("Probe2", std::move(t), GateSet::rigetti(), spec);
+    Calibration c = dev.averageCalibration();
+    Circuit circ(2, "ro");
+    circ.add(Gate::x(0));
+    circ.add(Gate::measure(0));
+    circ.add(Gate::measure(1));
+    ExecOptions d;
+    d.dedup = 1;
+    ExecutionResult r = executeNoisy(circ, dev, c, 4000, 7, d);
+    EXPECT_EQ(r.simulatedTrajectories, 0);
+    ExecOptions off;
+    off.dedup = -1;
+    off.fusion = -1;
+    ExecutionResult base = executeNoisy(circ, dev, c, 4000, 7, off);
+    EXPECT_EQ(r.histogram, base.histogram);
+    EXPECT_DOUBLE_EQ(r.successRate, base.successRate);
+}
+
+} // namespace
+} // namespace triq

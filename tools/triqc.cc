@@ -23,7 +23,13 @@
  *   --report             print gate counts, ESP and predicted success
  *   --trials N           trials for the success prediction (default 2000)
  *   --sim-threads N      simulator worker threads for the prediction
+ *   --sim-fusion N       gate fusion for the prediction (1 on, -1 off)
  *   -o FILE              write assembly to FILE instead of stdout
+ *
+ * Internal errors (PanicError — a TriQ bug, exit code 2) dump a crash
+ * report to triq-crash-<pid>/ (program text, calibration snapshot,
+ * options, seed); `triqc --replay <dir>` re-runs that exact invocation
+ * from the bundle. See src/core/crash_report.hh.
  */
 
 #include <cstring>
@@ -34,6 +40,7 @@
 #include "common/fault_injector.hh"
 #include "common/logging.hh"
 #include "core/compiler.hh"
+#include "core/crash_report.hh"
 #include "core/esp.hh"
 #include "device/machines.hh"
 #include "lang/lower.hh"
@@ -56,9 +63,12 @@ struct Args
     std::string benchName;
     std::string outputFile;
     std::string calibrationFile;
+    std::string crashDir;  // "" = triq-crash-<pid> in the CWD
+    std::string replayDir; // "" = normal invocation
     int day = 0;
     int trials = 2000;
     int simThreads = 0; // 0 = TRIQ_SIM_THREADS env (default serial)
+    int simFusion = 0;  // 0 = TRIQ_SIM_FUSION env (default on)
     double budgetMs = 0.0; // 0 = unlimited
     long nodeBudget = 0;   // 0 = engine default
     bool strictCalibration = false;
@@ -98,6 +108,13 @@ usage()
         "  --sim-threads N     simulator worker threads for --report\n"
         "                      (default: TRIQ_SIM_THREADS env, else 1;\n"
         "                      results are identical for any value)\n"
+        "  --sim-fusion N      gate fusion for --report trajectories:\n"
+        "                      1 on, -1 off (default: TRIQ_SIM_FUSION\n"
+        "                      env, else on)\n"
+        "  --crash-dir DIR     where an internal-error crash report is\n"
+        "                      written (default triq-crash-<pid>/)\n"
+        "  --replay DIR        re-run the invocation captured in a\n"
+        "                      crash-report directory\n"
         "  -o FILE             write assembly to FILE\n"
         "  --list-devices      list the seven study machines\n";
 }
@@ -145,6 +162,12 @@ parseArgs(int argc, char **argv)
             a.trials = std::atoi(need_value(i, arg));
         else if (!std::strcmp(arg, "--sim-threads"))
             a.simThreads = std::atoi(need_value(i, arg));
+        else if (!std::strcmp(arg, "--sim-fusion"))
+            a.simFusion = std::atoi(need_value(i, arg));
+        else if (!std::strcmp(arg, "--crash-dir"))
+            a.crashDir = need_value(i, arg);
+        else if (!std::strcmp(arg, "--replay"))
+            a.replayDir = need_value(i, arg);
         else if (!std::strcmp(arg, "-o"))
             a.outputFile = need_value(i, arg);
         else if (!std::strcmp(arg, "--list-devices"))
@@ -159,6 +182,34 @@ parseArgs(int argc, char **argv)
         }
     }
     return a;
+}
+
+/**
+ * Crash capture: run() snapshots every input into this bundle as it
+ * materializes (program text post-injection, calibration snapshot,
+ * compile options), so main()'s internal-error handlers can dump a
+ * replayable artifact no matter where the pipeline panicked.
+ */
+CrashBundle g_crash;
+bool g_crashArmed = false;
+std::string g_crashDir; // --crash-dir override ("" = default)
+
+/** Dump the captured inputs next to the panic message (best effort). */
+void
+reportCrash(const char *what)
+{
+    if (!g_crashArmed)
+        return;
+    g_crash.error = what ? what : "";
+    std::string dir = g_crashDir.empty() ? defaultCrashDir() : g_crashDir;
+    try {
+        g_crash.write(dir);
+        std::cerr << "triqc: crash report written to '" << dir
+                  << "/'; reproduce with: triqc --replay " << dir << "\n";
+    } catch (...) {
+        std::cerr << "triqc: failed to write crash report to '" << dir
+                  << "'\n";
+    }
 }
 
 OptLevel
@@ -186,10 +237,55 @@ run(int argc, char **argv)
                       << " qubits, " << d.gateSet().describe() << "\n";
         return 0;
     }
+    // Replay mode: a crash bundle is just a saved invocation, so
+    // replaying is rewriting the argument set to point at the bundle's
+    // files and falling through to the normal pipeline. Replays should
+    // run with TRIQ_FAULT unset — the bundle already holds the inputs
+    // *after* any original fault injection.
+    if (!args.replayDir.empty()) {
+        CrashBundle b = CrashBundle::load(args.replayDir);
+        args.benchName = b.benchName;
+        args.qasm = b.qasm;
+        args.device = b.device;
+        args.day = b.day;
+        args.level = b.level;
+        args.mapper = b.mapper;
+        args.peephole = b.peephole;
+        args.strictCalibration = b.strictCalibration;
+        args.budgetMs = b.budgetMs;
+        args.nodeBudget = b.nodeBudget;
+        args.trials = b.trials;
+        args.simThreads = b.simThreads;
+        args.simFusion = b.simFusion;
+        args.inputFile =
+            b.hasProgram ? args.replayDir + "/program.txt" : "";
+        args.calibrationFile =
+            b.hasCalibration ? args.replayDir + "/calibration.txt" : "";
+        std::cerr << "triqc: replaying crash report '" << args.replayDir
+                  << "'\n";
+    }
     if (args.inputFile.empty() && args.benchName.empty()) {
         usage();
         return 1;
     }
+
+    // From here on an internal error produces a crash bundle.
+    g_crashDir = args.crashDir;
+    g_crashArmed = true;
+    g_crash.benchName = args.benchName;
+    g_crash.qasm = args.qasm;
+    g_crash.device = args.device;
+    g_crash.day = args.day;
+    g_crash.level = args.level;
+    g_crash.mapper = args.mapper;
+    g_crash.peephole = args.peephole;
+    g_crash.strictCalibration = args.strictCalibration;
+    g_crash.budgetMs = args.budgetMs;
+    g_crash.nodeBudget = args.nodeBudget;
+    g_crash.seed = 12345; // executeNoisy seed below
+    g_crash.trials = args.trials;
+    g_crash.simThreads = args.simThreads;
+    g_crash.simFusion = args.simFusion;
 
     // Optional fault injection (TRIQ_FAULT env): corrupts the inputs
     // *before* they hit the front end / validator, to exercise exactly
@@ -211,6 +307,8 @@ run(int argc, char **argv)
         std::string source = ss.str();
         if (inj.armsText())
             source = inj.corruptText(std::move(source));
+        g_crash.programText = source;
+        g_crash.hasProgram = true;
         return args.qasm ? parseOpenQasm(source, diags)
                          : compileScaffLite(source, diags);
     }();
@@ -245,6 +343,8 @@ run(int argc, char **argv)
         int n = injectCalibrationFaults(calib, inj);
         warn("triqc: injected ", n, " calibration fault(s)");
     }
+    g_crash.calibration = calib;
+    g_crash.hasCalibration = true;
 
     CompileOptions opts;
     opts.level = levelFromString(args.level);
@@ -255,6 +355,13 @@ run(int argc, char **argv)
         opts.budget = CompileBudget::withDeadlineMs(args.budgetMs);
     if (args.nodeBudget > 0)
         opts.mapping.nodeBudget = args.nodeBudget;
+
+    // Synthetic internal fault (TRIQ_FAULT=panic): raised after every
+    // input is captured, so the crash-report dump-and-replay loop can
+    // be driven deterministically by tests.
+    if (inj.armsPanic())
+        panic("triqc: injected internal fault (TRIQ_FAULT=panic)");
+
     CompileResult res = compileForDevice(program, dev, calib, opts);
 
     if (!args.outputFile.empty()) {
@@ -281,6 +388,7 @@ run(int argc, char **argv)
     if (args.report) {
         ExecOptions exec_opts;
         exec_opts.threads = args.simThreads;
+        exec_opts.fusion = args.simFusion;
         ExecutionResult run =
             executeNoisy(res.hwCircuit, dev, calib, args.trials, 12345,
                          exec_opts);
@@ -316,13 +424,18 @@ main(int argc, char **argv)
         return run(argc, argv);
     } catch (const FatalError &) {
         return 1; // message already printed by fatal()
-    } catch (const PanicError &) {
-        return 2; // message already printed by panic()
+    } catch (const PanicError &e) {
+        // Message already printed by panic(); dump the captured inputs
+        // so the bug reproduces from one artifact (triqc --replay).
+        reportCrash(e.what());
+        return 2;
     } catch (const std::exception &e) {
         std::cerr << "triqc: internal error: " << e.what() << "\n";
+        reportCrash(e.what());
         return 2;
     } catch (...) {
         std::cerr << "triqc: internal error: unknown exception\n";
+        reportCrash("unknown exception");
         return 2;
     }
 }
