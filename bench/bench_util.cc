@@ -2,7 +2,9 @@
 
 #include "common/env.hh"
 #include "common/logging.hh"
+#include "common/stats.hh"
 #include "common/table.hh"
+#include "workloads/benchmarks.hh"
 
 namespace triq
 {
@@ -24,16 +26,66 @@ defaultDay()
     return envInt("TRIQ_DAY", 3, 0);
 }
 
-RunPoint
-runTriq(const Circuit &program, const Device &dev, OptLevel level, int day,
-        int trials)
+CompileCache &
+processCompileCache()
+{
+    static CompileCache cache;
+    return cache;
+}
+
+CompileResult
+compileTriq(const Circuit &program, const Device &dev, OptLevel level,
+            int day)
 {
     Calibration calib = dev.calibrate(day);
     CompileOptions opts;
     opts.level = level;
     opts.emitAssembly = false;
+    if (!cacheEnabledFromEnv())
+        return compileForDevice(program, dev, calib, opts);
+    CachedCompile cc = compileThroughCache(&processCompileCache(),
+                                           program, dev, day, calib, opts);
+    return *cc.result;
+}
+
+void
+forEachStudyBenchmark(
+    const Device &dev,
+    const std::function<void(const std::string &, const Circuit &)> &row,
+    const std::function<void(const std::string &)> &skip)
+{
+    for (const std::string &name : benchmarkNames()) {
+        Circuit program = makeBenchmark(name);
+        if (program.numQubits() > dev.numQubits()) {
+            if (skip)
+                skip(name);
+            continue;
+        }
+        row(name, program);
+    }
+}
+
+void
+Ratios::add(double r)
+{
+    if (r > 0)
+        ratios_.push_back(r);
+}
+
+std::string
+Ratios::summary() const
+{
+    return "geomean: " + fmtFactor(geomean(ratios_)) +
+           "  max: " + fmtFactor(maxOf(ratios_));
+}
+
+RunPoint
+runTriq(const Circuit &program, const Device &dev, OptLevel level, int day,
+        int trials)
+{
+    Calibration calib = dev.calibrate(day);
     RunPoint pt;
-    pt.compiled = compileForDevice(program, dev, calib, opts);
+    pt.compiled = compileTriq(program, dev, level, day);
     pt.executed = executeNoisy(pt.compiled.hwCircuit, dev, calib, trials,
                                0x5EED0000 + static_cast<uint64_t>(day));
     return pt;

@@ -15,10 +15,13 @@
 #ifndef TRIQ_BENCH_BENCH_UTIL_HH
 #define TRIQ_BENCH_BENCH_UTIL_HH
 
+#include <functional>
 #include <string>
+#include <vector>
 
 #include "core/compiler.hh"
 #include "device/machines.hh"
+#include "service/sweep.hh"
 #include "sim/executor.hh"
 
 namespace triq
@@ -31,6 +34,48 @@ Device deviceByName(const std::string &name);
 
 /** Calibration day index (TRIQ_DAY env, default 3). */
 int defaultDay();
+
+/**
+ * The harness's process-wide compile memo. Every compile issued
+ * through compileTriq/runTriq lands here, so a figure that evaluates
+ * the same (program, device, day, level) cell twice — or two panels
+ * that share cells — compiles it once. TRIQ_CACHE=0 bypasses it
+ * (every call compiles cold).
+ */
+CompileCache &processCompileCache();
+
+/**
+ * Compile `program` for `dev` at `level` against day `day`'s
+ * calibration, memoized in processCompileCache(). Cache hits are
+ * bit-identical to a cold compile (the service-layer determinism
+ * contract), so figures may use this freely.
+ */
+CompileResult compileTriq(const Circuit &program, const Device &dev,
+                          OptLevel level, int day);
+
+/**
+ * Run `row(name, program)` for every study benchmark that fits on
+ * `dev`, and `skip(name)` (when non-null) for each one too large —
+ * the figures' shared "X" table convention.
+ */
+void forEachStudyBenchmark(
+    const Device &dev,
+    const std::function<void(const std::string &, const Circuit &)> &row,
+    const std::function<void(const std::string &)> &skip = nullptr);
+
+/** Improvement-ratio accumulator for the figures' summary lines. */
+class Ratios
+{
+  public:
+    /** Record a ratio; non-positive values (failed runs) are dropped. */
+    void add(double r);
+
+    /** "geomean: 1.4x  max: 2.8x" over everything recorded. */
+    std::string summary() const;
+
+  private:
+    std::vector<double> ratios_;
+};
 
 /** A compiled-and-executed experiment point. */
 struct RunPoint

@@ -23,33 +23,29 @@ main()
         Device dev = bench::deviceByName(dev_name);
         Table tab("Fig. 8: native 1Q pulse counts on " + dev.name());
         tab.setHeader({"benchmark", "TriQ-N", "TriQ-1QOpt", "reduction"});
-        std::vector<double> ratios;
-        Calibration calib = dev.calibrate(day);
-        for (const std::string &name : benchmarkNames()) {
-            Circuit program = makeBenchmark(name);
-            if (program.numQubits() > dev.numQubits()) {
+        bench::Ratios ratios;
+        bench::forEachStudyBenchmark(
+            dev,
+            [&](const std::string &name, const Circuit &program) {
+                auto naive =
+                    bench::compileTriq(program, dev, OptLevel::N, day);
+                auto fused = bench::compileTriq(program, dev,
+                                                OptLevel::OneQOpt, day);
+                double ratio =
+                    fused.stats.pulses1q > 0
+                        ? static_cast<double>(naive.stats.pulses1q) /
+                              fused.stats.pulses1q
+                        : 0.0;
+                ratios.add(ratio);
+                tab.addRow({name, fmtI(naive.stats.pulses1q),
+                            fmtI(fused.stats.pulses1q),
+                            fmtFactor(ratio)});
+            },
+            [&](const std::string &name) {
                 tab.addRow({name, "X", "X", "-"});
-                continue;
-            }
-            CompileOptions opts;
-            opts.emitAssembly = false;
-            opts.level = OptLevel::N;
-            auto naive = compileForDevice(program, dev, calib, opts);
-            opts.level = OptLevel::OneQOpt;
-            auto fused = compileForDevice(program, dev, calib, opts);
-            double ratio =
-                fused.stats.pulses1q > 0
-                    ? static_cast<double>(naive.stats.pulses1q) /
-                          fused.stats.pulses1q
-                    : 0.0;
-            if (ratio > 0.0)
-                ratios.push_back(ratio);
-            tab.addRow({name, fmtI(naive.stats.pulses1q),
-                        fmtI(fused.stats.pulses1q), fmtFactor(ratio)});
-        }
+            });
         tab.print(std::cout);
-        std::cout << "geomean reduction: " << fmtFactor(geomean(ratios))
-                  << "  max: " << fmtFactor(maxOf(ratios)) << "\n";
+        std::cout << "reduction " << ratios.summary() << "\n";
         const char *paper = dev.name() == "UMDTI" ? "1.6x" : "1.4x";
         std::cout << "paper geomean: " << paper << " (max 4.6x)\n\n";
     }

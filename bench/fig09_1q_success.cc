@@ -25,33 +25,30 @@ main()
                   dev.name() + " (" + std::to_string(trials) + " trials)");
         tab.setHeader(
             {"benchmark", "TriQ-N", "TriQ-1QOpt", "improvement"});
-        std::vector<double> ratios;
-        for (const std::string &name : benchmarkNames()) {
-            Circuit program = makeBenchmark(name);
-            if (program.numQubits() > dev.numQubits()) {
+        bench::Ratios ratios;
+        bench::forEachStudyBenchmark(
+            dev,
+            [&](const std::string &name, const Circuit &program) {
+                auto n = bench::runTriq(program, dev, OptLevel::N, day,
+                                        trials);
+                auto o = bench::runTriq(program, dev, OptLevel::OneQOpt,
+                                        day, trials);
+                double ratio = n.executed.successRate > 0
+                                   ? o.executed.successRate /
+                                         n.executed.successRate
+                                   : 0.0;
+                ratios.add(ratio);
+                tab.addRow({name, bench::successCell(n.executed),
+                            bench::successCell(o.executed),
+                            fmtFactor(ratio)});
+            },
+            [&](const std::string &name) {
                 tab.addRow({name, "X", "X", "-"});
-                continue;
-            }
-            auto n = bench::runTriq(program, dev, OptLevel::N, day,
-                                    trials);
-            auto o = bench::runTriq(program, dev, OptLevel::OneQOpt, day,
-                                    trials);
-            double ratio = n.executed.successRate > 0
-                               ? o.executed.successRate /
-                                     n.executed.successRate
-                               : 0.0;
-            if (ratio > 0)
-                ratios.push_back(ratio);
-            tab.addRow({name, bench::successCell(n.executed),
-                        bench::successCell(o.executed),
-                        fmtFactor(ratio)});
-        }
+            });
         tab.print(std::cout);
         std::cout << "(* = correct answer not modal; paper plots these "
                      "as failed runs)\n";
-        std::cout << "geomean improvement: "
-                  << fmtFactor(geomean(ratios)) << "  max: "
-                  << fmtFactor(maxOf(ratios)) << "\n";
+        std::cout << "improvement " << ratios.summary() << "\n";
         std::cout << "paper geomean: "
                   << (dev.name() == "UMDTI" ? "1.03x" : "1.09x")
                   << " (max 1.26x)\n\n";

@@ -25,34 +25,29 @@ gateCountTable(const std::string &dev_name, const char *paper_note)
 {
     Device dev = bench::deviceByName(dev_name);
     const int day = bench::defaultDay();
-    Calibration calib = dev.calibrate(day);
     Table tab("Fig. 10: 2Q gate counts on " + dev.name());
     tab.setHeader({"benchmark", "TriQ-1QOpt", "TriQ-1QOptC", "reduction"});
-    std::vector<double> ratios;
-    for (const std::string &name : benchmarkNames()) {
-        Circuit program = makeBenchmark(name);
-        if (program.numQubits() > dev.numQubits()) {
+    bench::Ratios ratios;
+    bench::forEachStudyBenchmark(
+        dev,
+        [&](const std::string &name, const Circuit &program) {
+            auto deflt =
+                bench::compileTriq(program, dev, OptLevel::OneQOpt, day);
+            auto comm =
+                bench::compileTriq(program, dev, OptLevel::OneQOptC, day);
+            double ratio = comm.stats.twoQ > 0
+                               ? static_cast<double>(deflt.stats.twoQ) /
+                                     comm.stats.twoQ
+                               : 0.0;
+            ratios.add(ratio);
+            tab.addRow({name, fmtI(deflt.stats.twoQ),
+                        fmtI(comm.stats.twoQ), fmtFactor(ratio)});
+        },
+        [&](const std::string &name) {
             tab.addRow({name, "X", "X", "-"});
-            continue;
-        }
-        CompileOptions opts;
-        opts.emitAssembly = false;
-        opts.level = OptLevel::OneQOpt;
-        auto deflt = compileForDevice(program, dev, calib, opts);
-        opts.level = OptLevel::OneQOptC;
-        auto comm = compileForDevice(program, dev, calib, opts);
-        double ratio = comm.stats.twoQ > 0
-                           ? static_cast<double>(deflt.stats.twoQ) /
-                                 comm.stats.twoQ
-                           : 0.0;
-        if (ratio > 0)
-            ratios.push_back(ratio);
-        tab.addRow({name, fmtI(deflt.stats.twoQ), fmtI(comm.stats.twoQ),
-                    fmtFactor(ratio)});
-    }
+        });
     tab.print(std::cout);
-    std::cout << "geomean reduction: " << fmtFactor(geomean(ratios))
-              << "  max: " << fmtFactor(maxOf(ratios)) << "\npaper: "
+    std::cout << "reduction " << ratios.summary() << "\npaper: "
               << paper_note << "\n\n";
 }
 
@@ -71,15 +66,15 @@ main()
     Table tab("Fig. 10(c): success rate on IBMQ14 (" +
               std::to_string(trials) + " trials)");
     tab.setHeader({"benchmark", "TriQ-1QOpt", "TriQ-1QOptC"});
-    for (const std::string &name : benchmarkNames()) {
-        Circuit program = makeBenchmark(name);
-        auto o = bench::runTriq(program, dev, OptLevel::OneQOpt, day,
-                                trials);
-        auto c = bench::runTriq(program, dev, OptLevel::OneQOptC, day,
-                                trials);
-        tab.addRow({name, bench::successCell(o.executed),
-                    bench::successCell(c.executed)});
-    }
+    bench::forEachStudyBenchmark(
+        dev, [&](const std::string &name, const Circuit &program) {
+            auto o = bench::runTriq(program, dev, OptLevel::OneQOpt, day,
+                                    trials);
+            auto c = bench::runTriq(program, dev, OptLevel::OneQOptC, day,
+                                    trials);
+            tab.addRow({name, bench::successCell(o.executed),
+                        bench::successCell(c.executed)});
+        });
     tab.print(std::cout);
     std::cout << "(* = correct answer not modal; paper: failed run)\n"
               << "paper: comm-opt lets BV6/BV8/Toffoli succeed where the "

@@ -35,42 +35,39 @@ ibmPanel(int day, int trials)
                std::to_string(trials) + " trials)");
     succ.setHeader({"benchmark", "Qiskit", "TriQ-1QOptC", "TriQ-1QOptCN",
                     "CN/Qiskit", "CN/C"});
-    std::vector<double> vs_qiskit, vs_c;
-    for (const std::string &name : benchmarkNames()) {
-        Circuit program = makeBenchmark(name);
-        auto qk = compileQiskitLike(program, dev);
-        auto qk_ex = bench::runCompiled(qk, dev, day, trials);
-        auto c = bench::runTriq(program, dev, OptLevel::OneQOptC, day,
-                                trials);
-        auto cn = bench::runTriq(program, dev, OptLevel::OneQOptCN, day,
-                                 trials);
-        counts.addRow({name, fmtI(qk.stats.twoQ),
-                       fmtI(c.compiled.stats.twoQ),
-                       fmtI(cn.compiled.stats.twoQ)});
-        double rq = qk_ex.successRate > 0
-                        ? cn.executed.successRate / qk_ex.successRate
-                        : 0.0;
-        double rc = c.executed.successRate > 0
-                        ? cn.executed.successRate /
-                              c.executed.successRate
-                        : 0.0;
-        if (rq > 0)
-            vs_qiskit.push_back(rq);
-        if (rc > 0)
-            vs_c.push_back(rc);
-        succ.addRow({name, bench::successCell(qk_ex),
-                     bench::successCell(c.executed),
-                     bench::successCell(cn.executed), fmtFactor(rq),
-                     fmtFactor(rc)});
-    }
+    bench::Ratios vs_qiskit, vs_c;
+    bench::forEachStudyBenchmark(
+        dev, [&](const std::string &name, const Circuit &program) {
+            auto qk = compileQiskitLike(program, dev);
+            auto qk_ex = bench::runCompiled(qk, dev, day, trials);
+            auto c = bench::runTriq(program, dev, OptLevel::OneQOptC, day,
+                                    trials);
+            auto cn = bench::runTriq(program, dev, OptLevel::OneQOptCN,
+                                     day, trials);
+            counts.addRow({name, fmtI(qk.stats.twoQ),
+                           fmtI(c.compiled.stats.twoQ),
+                           fmtI(cn.compiled.stats.twoQ)});
+            double rq = qk_ex.successRate > 0
+                            ? cn.executed.successRate / qk_ex.successRate
+                            : 0.0;
+            double rc = c.executed.successRate > 0
+                            ? cn.executed.successRate /
+                                  c.executed.successRate
+                            : 0.0;
+            vs_qiskit.add(rq);
+            vs_c.add(rc);
+            succ.addRow({name, bench::successCell(qk_ex),
+                         bench::successCell(c.executed),
+                         bench::successCell(cn.executed), fmtFactor(rq),
+                         fmtFactor(rc)});
+        });
     counts.print(std::cout);
     std::cout << "\n";
     succ.print(std::cout);
-    std::cout << "geomean CN/Qiskit: " << fmtFactor(geomean(vs_qiskit))
-              << " (max " << fmtFactor(maxOf(vs_qiskit))
-              << "); paper: 3.0x (max 28x)\n";
-    std::cout << "geomean CN/C: " << fmtFactor(geomean(vs_c)) << " (max "
-              << fmtFactor(maxOf(vs_c)) << "); paper: 1.4x (max 2.8x)\n\n";
+    std::cout << "CN/Qiskit " << vs_qiskit.summary()
+              << "; paper: 3.0x (max 28x)\n";
+    std::cout << "CN/C " << vs_c.summary()
+              << "; paper: 1.4x (max 2.8x)\n\n";
 }
 
 void
@@ -80,29 +77,26 @@ rigettiPanel(const std::string &dev_name, int day, int trials)
     Table tab("Fig. 11(c/d): success rate on " + dev.name() + " (" +
               std::to_string(trials) + " trials)");
     tab.setHeader({"benchmark", "Quil", "TriQ-1QOptCN", "improvement"});
-    std::vector<double> ratios;
-    for (const std::string &name : benchmarkNames()) {
-        Circuit program = makeBenchmark(name);
-        if (program.numQubits() > dev.numQubits()) {
+    bench::Ratios ratios;
+    bench::forEachStudyBenchmark(
+        dev,
+        [&](const std::string &name, const Circuit &program) {
+            auto ql = compileQuilLike(program, dev);
+            auto ql_ex = bench::runCompiled(ql, dev, day, trials);
+            auto cn = bench::runTriq(program, dev, OptLevel::OneQOptCN,
+                                     day, trials);
+            double r = ql_ex.successRate > 0
+                           ? cn.executed.successRate / ql_ex.successRate
+                           : 0.0;
+            ratios.add(r);
+            tab.addRow({name, bench::successCell(ql_ex),
+                        bench::successCell(cn.executed), fmtFactor(r)});
+        },
+        [&](const std::string &name) {
             tab.addRow({name, "X", "X", "-"});
-            continue;
-        }
-        auto ql = compileQuilLike(program, dev);
-        auto ql_ex = bench::runCompiled(ql, dev, day, trials);
-        auto cn = bench::runTriq(program, dev, OptLevel::OneQOptCN, day,
-                                 trials);
-        double r = ql_ex.successRate > 0
-                       ? cn.executed.successRate / ql_ex.successRate
-                       : 0.0;
-        if (r > 0)
-            ratios.push_back(r);
-        tab.addRow({name, bench::successCell(ql_ex),
-                    bench::successCell(cn.executed), fmtFactor(r)});
-    }
+        });
     tab.print(std::cout);
-    std::cout << "geomean: " << fmtFactor(geomean(ratios)) << " (max "
-              << fmtFactor(maxOf(ratios))
-              << "); paper: 1.45x (max 2.3x)\n\n";
+    std::cout << ratios.summary() << "; paper: 1.45x (max 2.3x)\n\n";
 }
 
 void

@@ -1,6 +1,7 @@
 #include "common/env.hh"
 
 #include <cerrno>
+#include <cmath>
 #include <cstdlib>
 
 #include "common/logging.hh"
@@ -24,6 +25,24 @@ envInt(const char *name, int fallback, int min_value)
         return fallback;
     }
     return static_cast<int>(v);
+}
+
+double
+envDouble(const char *name, double fallback, double min_value)
+{
+    const char *env = std::getenv(name);
+    if (!env)
+        return fallback;
+    errno = 0;
+    char *end = nullptr;
+    double v = std::strtod(env, &end);
+    bool parsed = end != env && *end == '\0' && errno == 0;
+    if (!parsed || !std::isfinite(v) || v < min_value) {
+        warn(name, "='", env, "' is not a finite number >= ", min_value,
+             "; using ", fallback);
+        return fallback;
+    }
+    return v;
 }
 
 } // namespace triq

@@ -19,10 +19,20 @@ namespace triq
  * @param name Variable name, e.g. "TRIQ_TRIALS".
  * @param fallback Value returned when the variable is unset or invalid.
  * @param min_value Smallest accepted value; anything below it (or any
- *        string that is not a plain decimal integer) triggers a warning
- *        and returns `fallback`.
+ *        string that is not a plain decimal integer, e.g.
+ *        TRIQ_TRIALS=10x) triggers one warn() line and returns
+ *        `fallback` — malformed knobs are never silently ignored.
  */
 int envInt(const char *name, int fallback, int min_value = 1);
+
+/**
+ * Read a floating-point environment variable (e.g. TRIQ_SWEEP_DRIFT).
+ * Same contract as envInt: unset returns `fallback` silently; a
+ * malformed or non-finite value, or one below `min_value`, triggers
+ * one warn() line and returns `fallback`.
+ */
+double envDouble(const char *name, double fallback,
+                 double min_value = 0.0);
 
 } // namespace triq
 

@@ -79,7 +79,8 @@ optLevelName(OptLevel level)
 
 CompileResult
 compileForDevice(const Circuit &program, const Device &dev,
-                 const Calibration &calib, const CompileOptions &opts)
+                 const Calibration &calib, const CompileOptions &opts,
+                 const Circuit *lowered)
 {
     using Clock = std::chrono::steady_clock;
     auto t0 = Clock::now();
@@ -122,9 +123,12 @@ compileForDevice(const Circuit &program, const Device &dev,
 
     // 1. Lower composites to the technology-independent CNOT basis
     //    (keeping controlled-phase structure when the target exposes
-    //    native CPHASE — the Sec. 6.4 what-if).
+    //    native CPHASE — the Sec. 6.4 what-if). A caller that sweeps
+    //    many cells of one program may hand in the decomposition it
+    //    hoisted; the pass entry stays so reports keep one shape.
     Circuit cnot_basis =
-        decomposeToCnotBasis(program, dev.gateSet().nativeCphase);
+        lowered ? *lowered
+                : decomposeToCnotBasis(program, dev.gateSet().nativeCphase);
     mark("decompose");
     if (opts.peephole) {
         // Optional optimization: first thing dropped under deadline

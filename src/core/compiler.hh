@@ -165,10 +165,18 @@ struct CompileResult
  *              the per-qubit/per-edge detail, other levels use the
  *              device's average statistics.
  * @param opts Level and mapper configuration.
+ * @param lowered Optional hoisted decomposition: when non-null it must
+ *        equal decomposeToCnotBasis(program, dev.gateSet().nativeCphase)
+ *        and the driver uses it instead of recomputing — the sweep
+ *        engine (src/service) lowers each program once per gate-set
+ *        variant and shares the result across every (day, level) cell.
+ *        Decomposition is deterministic, so the compiled artifact is
+ *        bit-identical either way.
  */
 CompileResult compileForDevice(const Circuit &program, const Device &dev,
                                const Calibration &calib,
-                               const CompileOptions &opts);
+                               const CompileOptions &opts,
+                               const Circuit *lowered = nullptr);
 
 } // namespace triq
 

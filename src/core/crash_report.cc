@@ -164,4 +164,22 @@ defaultCrashDir()
     return "triq-crash-" + std::to_string(pid);
 }
 
+std::string
+resolveCrashDir(const std::string &base)
+{
+    std::error_code ec;
+    if (!fs::exists(base, ec))
+        return base;
+    // PIDs recycle, so "triq-crash-<pid>" can already hold someone
+    // else's bundle; never overwrite evidence — probe for the first
+    // free monotonic suffix.
+    for (int i = 1; i < 10000; ++i) {
+        std::string candidate = base + "." + std::to_string(i);
+        if (!fs::exists(candidate, ec))
+            return candidate;
+    }
+    fatal("crash report: no free directory name after '", base,
+          "' (10000 suffixes tried)");
+}
+
 } // namespace triq

@@ -96,6 +96,13 @@ struct CrashBundle
 /** The default bundle directory for this process: "triq-crash-<pid>". */
 std::string defaultCrashDir();
 
+/**
+ * Collision-proof `base`: returns `base` when free, else the first
+ * free "base.N" (N = 1, 2, ...). PIDs recycle, so a fresh crash must
+ * never overwrite an earlier process's bundle.
+ */
+std::string resolveCrashDir(const std::string &base);
+
 } // namespace triq
 
 #endif // TRIQ_CORE_CRASH_REPORT_HH

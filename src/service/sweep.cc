@@ -1,0 +1,390 @@
+#include "service/sweep.hh"
+
+#include <algorithm>
+#include <array>
+#include <chrono>
+#include <functional>
+#include <map>
+#include <unordered_map>
+
+#include "common/env.hh"
+#include "common/logging.hh"
+#include "common/thread_pool.hh"
+#include "core/decompose.hh"
+#include "core/esp.hh"
+
+namespace triq
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+double
+msSince(Clock::time_point t0)
+{
+    return std::chrono::duration<double, std::milli>(Clock::now() - t0)
+        .count();
+}
+
+/** Run fn(0..n-1): serial for one thread, pooled otherwise. */
+void
+forEachIndex(ThreadPool *pool, int n, const std::function<void(int)> &fn)
+{
+    if (!pool) {
+        for (int i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+    parallelFor(*pool, n, fn);
+}
+
+} // namespace
+
+std::string
+cellSourceName(CellSource s)
+{
+    switch (s) {
+      case CellSource::Compiled:
+        return "compiled";
+      case CellSource::CacheHit:
+        return "cache_hit";
+      case CellSource::DriftReuse:
+        return "drift_reuse";
+      case CellSource::Skipped:
+        return "skipped";
+    }
+    panic("cellSourceName: unknown source");
+}
+
+int
+defaultSweepThreads()
+{
+    return envInt("TRIQ_SWEEP_THREADS", ThreadPool::hardwareThreads());
+}
+
+double
+defaultDriftThreshold()
+{
+    // Unset/malformed => -1 (drift reuse disabled).
+    return envDouble("TRIQ_SWEEP_DRIFT", -1.0, 0.0);
+}
+
+CachedCompile
+compileThroughCache(CompileCache *cache, const Circuit &program,
+                    const Device &dev, int day, const Calibration &calib,
+                    const CompileOptions &opts, double drift_threshold)
+{
+    CachedCompile out;
+    Circuit lowered =
+        decomposeToCnotBasis(program, dev.gateSet().nativeCphase);
+    out.fingerprint = fingerprintCompile(lowered, dev, calib, opts);
+
+    if (cache) {
+        if (auto hit = cache->find(out.fingerprint)) {
+            out.result = hit->result;
+            out.source = CellSource::CacheHit;
+            out.espAtCompile = hit->espAtCompile;
+            out.esp = estimatedSuccessProbability(
+                out.result->hwCircuit, dev.topology(), calib);
+            return out;
+        }
+        if (opts.level == OptLevel::OneQOptCN && drift_threshold >= 0.0) {
+            double esp_new = 0.0;
+            if (auto stale = cache->findDriftTolerant(
+                    out.fingerprint, dev.topology(), calib,
+                    drift_threshold, &esp_new)) {
+                out.result = stale->result;
+                out.source = CellSource::DriftReuse;
+                out.espAtCompile = stale->espAtCompile;
+                out.esp = esp_new;
+                return out;
+            }
+        }
+    }
+
+    auto compiled = std::make_shared<const CompileResult>(
+        compileForDevice(program, dev, calib, opts, &lowered));
+    out.result = compiled;
+    out.source = CellSource::Compiled;
+    out.esp = estimatedSuccessProbability(compiled->hwCircuit,
+                                          dev.topology(), calib);
+    out.espAtCompile = out.esp;
+    // A deadline-armed compile is wall-clock dependent; memoizing it
+    // would let a degraded artifact impersonate a full-strength one.
+    if (cache && !opts.budget.limited())
+        cache->insert(out.fingerprint, compiled, out.espAtCompile, day);
+    return out;
+}
+
+SweepResult
+runSweep(const SweepConfig &config, CompileCache *cache)
+{
+    auto t_start = Clock::now();
+    if (config.programs.empty() || config.devices.empty() ||
+        config.days.empty() || config.levels.empty())
+        fatal("runSweep: every grid dimension (programs, devices, days, "
+              "levels) must be non-empty");
+
+    const int threads = config.threads > 0 ? config.threads
+                                           : defaultSweepThreads();
+    const bool use_cache =
+        config.useCache && cache != nullptr && cacheEnabledFromEnv();
+    const double drift = config.driftThreshold <= -2.0
+                             ? defaultDriftThreshold()
+                             : config.driftThreshold;
+    const bool budgeted = config.options.budget.limited();
+
+    const int np = static_cast<int>(config.programs.size());
+    const int nd = static_cast<int>(config.devices.size());
+    const int nl = static_cast<int>(config.levels.size());
+
+    // Stage 1 hoist — lower each program once per gate-set variant.
+    // The study devices only differ in nativeCphase here, so this is
+    // at most two decompositions per program however many devices and
+    // days the grid spans.
+    std::vector<std::array<std::unique_ptr<Circuit>, 2>> lowered(np);
+    std::vector<std::array<uint64_t, 2>> program_fp(np);
+    for (int pi = 0; pi < np; ++pi) {
+        for (int variant = 0; variant < 2; ++variant) {
+            bool needed = false;
+            for (const Device &d : config.devices)
+                if (static_cast<int>(d.gateSet().nativeCphase) == variant)
+                    needed = true;
+            if (!needed)
+                continue;
+            auto c = std::make_unique<Circuit>(decomposeToCnotBasis(
+                config.programs[pi].circuit, variant != 0));
+            program_fp[pi][variant] = circuitFingerprint(*c);
+            lowered[pi][variant] = std::move(c);
+        }
+    }
+
+    // Stage 2 hoist — one calibration + sanitize digest + device hash
+    // per (device, day), shared by every program x level cell.
+    std::vector<uint64_t> device_fp(nd);
+    std::vector<uint64_t> avg_sig(nd);
+    for (int di = 0; di < nd; ++di) {
+        const Device &dev = config.devices[di];
+        avg_sig[di] = calibrationSignature(dev.averageCalibration());
+        // Must mirror fingerprintCompile: topology + gate set + average
+        // calibration (the last keeps structural twins distinct).
+        Fnv1a h;
+        h.u64(topologyFingerprint(dev.topology()))
+            .u64(gateSetFingerprint(dev.gateSet()))
+            .u64(avg_sig[di]);
+        device_fp[di] = h.value();
+    }
+    std::vector<int> days = config.days;
+    std::sort(days.begin(), days.end());
+    days.erase(std::unique(days.begin(), days.end()), days.end());
+    // calib[di][day]: the raw snapshot plus its signature and digest.
+    struct DayCalib
+    {
+        Calibration calib;
+        uint64_t signature;
+        uint64_t sanitizeDigest;
+    };
+    std::vector<std::map<int, DayCalib>> day_calib(nd);
+    for (int di = 0; di < nd; ++di)
+        for (int day : days) {
+            DayCalib dc;
+            dc.calib = config.devices[di].calibrate(day);
+            dc.signature = calibrationSignature(dc.calib);
+            dc.sanitizeDigest = calibrationSanitizeDigest(
+                dc.calib, config.devices[di].topology());
+            day_calib[di].emplace(day, std::move(dc));
+        }
+
+    std::vector<uint64_t> options_fp(nl);
+    std::vector<CompileOptions> level_opts(nl);
+    for (int li = 0; li < nl; ++li) {
+        level_opts[li] = config.options;
+        level_opts[li].level = config.levels[li];
+        options_fp[li] = compileOptionsFingerprint(level_opts[li]);
+    }
+
+    // Build the grid in deterministic order.
+    SweepResult out;
+    out.cells.reserve(static_cast<size_t>(np) * nd * days.size() * nl);
+    for (int pi = 0; pi < np; ++pi)
+        for (int di = 0; di < nd; ++di)
+            for (int day : days)
+                for (int li = 0; li < nl; ++li) {
+                    SweepCell cell;
+                    cell.programIndex = pi;
+                    cell.deviceIndex = di;
+                    cell.day = day;
+                    cell.level = config.levels[li];
+                    const Device &dev = config.devices[di];
+                    if (config.programs[pi].circuit.numQubits() >
+                        dev.numQubits()) {
+                        cell.source = CellSource::Skipped;
+                        out.cells.push_back(std::move(cell));
+                        continue;
+                    }
+                    int variant = dev.gateSet().nativeCphase ? 1 : 0;
+                    const DayCalib &dc = day_calib[di].at(day);
+                    CompileFingerprint fp;
+                    fp.program = program_fp[pi][variant];
+                    fp.device = device_fp[di];
+                    fp.options = options_fp[li];
+                    if (cell.level == OptLevel::OneQOptCN) {
+                        fp.calibration = dc.signature;
+                    } else {
+                        Fnv1a h;
+                        h.u64(avg_sig[di]).u64(dc.sanitizeDigest);
+                        fp.calibration = h.value();
+                    }
+                    cell.fingerprint = fp;
+                    cell.source = CellSource::Compiled; // resolved below
+                    out.cells.push_back(std::move(cell));
+                }
+
+    std::unique_ptr<ThreadPool> pool;
+    if (threads > 1)
+        pool = std::make_unique<ThreadPool>(threads);
+
+    // Drift-recompile accounting must be observable per day even
+    // though workers run concurrently.
+    std::mutex stats_mutex;
+
+    // Days ascend with a barrier between them: a later day's drift
+    // check must see the earlier days' entries (the ROADMAP
+    // calibration-feed loop).
+    for (int day : days) {
+        // Group this day's unresolved cells by fingerprint: one
+        // representative compiles/looks up, members share its artifact.
+        std::vector<int> reps;
+        std::unordered_map<uint64_t, std::vector<int>> members;
+        std::unordered_map<uint64_t, int> rep_of;
+        for (int ci = 0; ci < static_cast<int>(out.cells.size()); ++ci) {
+            SweepCell &cell = out.cells[ci];
+            if (cell.day != day ||
+                cell.source == CellSource::Skipped)
+                continue;
+            uint64_t k = cell.fingerprint.combined();
+            auto it = rep_of.find(k);
+            if (it == rep_of.end()) {
+                // Dedup within the run only when caching is on: with
+                // the cache disabled the engine must honestly compile
+                // every cell (the A/B baseline).
+                if (use_cache) {
+                    rep_of.emplace(k, ci);
+                    reps.push_back(ci);
+                } else {
+                    reps.push_back(ci);
+                }
+            } else {
+                members[k].push_back(ci);
+            }
+        }
+
+        forEachIndex(pool.get(), static_cast<int>(reps.size()),
+                     [&](int ri) {
+            int ci = reps[ri];
+            SweepCell &cell = out.cells[ci];
+            const SweepProgram &prog =
+                config.programs[cell.programIndex];
+            const Device &dev = config.devices[cell.deviceIndex];
+            const DayCalib &dc =
+                day_calib[cell.deviceIndex].at(cell.day);
+            int variant = dev.gateSet().nativeCphase ? 1 : 0;
+            const Circuit &low =
+                *lowered[cell.programIndex][variant];
+
+            auto t0 = Clock::now();
+            bool drift_refused = false;
+            if (use_cache) {
+                if (auto hit = cache->find(cell.fingerprint)) {
+                    cell.result = hit->result;
+                    cell.source = CellSource::CacheHit;
+                    cell.espAtCompile = hit->espAtCompile;
+                    cell.ms = msSince(t0);
+                    return;
+                }
+                if (cell.level == OptLevel::OneQOptCN && drift >= 0.0) {
+                    double esp_new = 0.0;
+                    if (auto stale = cache->findDriftTolerant(
+                            cell.fingerprint, dev.topology(), dc.calib,
+                            drift, &esp_new)) {
+                        cell.result = stale->result;
+                        cell.source = CellSource::DriftReuse;
+                        cell.espAtCompile = stale->espAtCompile;
+                        cell.esp = esp_new;
+                        cell.ms = msSince(t0);
+                        return;
+                    }
+                    drift_refused = esp_new > 0.0;
+                }
+            }
+
+            CompileOptions opts = config.options;
+            opts.level = cell.level;
+            auto compiled = std::make_shared<const CompileResult>(
+                compileForDevice(prog.circuit, dev, dc.calib, opts,
+                                 &low));
+            cell.result = compiled;
+            cell.source = CellSource::Compiled;
+            cell.espAtCompile = estimatedSuccessProbability(
+                compiled->hwCircuit, dev.topology(), dc.calib);
+            cell.esp = cell.espAtCompile;
+            cell.ms = msSince(t0);
+            if (use_cache && !budgeted)
+                cache->insert(cell.fingerprint, compiled,
+                              cell.espAtCompile, cell.day);
+            if (drift_refused) {
+                std::lock_guard<std::mutex> lock(stats_mutex);
+                ++out.stats.driftRecompiles;
+            }
+        });
+
+        // Members share their representative's artifact: within one
+        // run that sharing *is* a cache hit (the entry the rep just
+        // inserted or found).
+        for (auto &[k, idxs] : members) {
+            const SweepCell &rep = out.cells[rep_of.at(k)];
+            for (int ci : idxs) {
+                SweepCell &cell = out.cells[ci];
+                cell.result = rep.result;
+                cell.source = rep.source == CellSource::Compiled
+                                  ? CellSource::CacheHit
+                                  : rep.source;
+                cell.espAtCompile = rep.espAtCompile;
+                cell.ms = 0.0;
+            }
+        }
+    }
+
+    // Final pass: score every cell's artifact under its *own* day's
+    // calibration (a cross-day hit keeps the same circuit but idles
+    // under different error rates).
+    for (SweepCell &cell : out.cells) {
+        if (cell.source == CellSource::Skipped || !cell.result)
+            continue;
+        if (cell.source == CellSource::Compiled) {
+            ++out.stats.compiles;
+            continue; // esp already set, same calibration
+        }
+        const Device &dev = config.devices[cell.deviceIndex];
+        cell.esp = estimatedSuccessProbability(
+            cell.result->hwCircuit, dev.topology(),
+            day_calib[cell.deviceIndex].at(cell.day).calib);
+        if (cell.source == CellSource::CacheHit)
+            ++out.stats.cacheHits;
+        else if (cell.source == CellSource::DriftReuse)
+            ++out.stats.driftReuses;
+    }
+    for (const SweepCell &cell : out.cells) {
+        if (cell.source == CellSource::Skipped)
+            ++out.stats.skipped;
+        else
+            ++out.stats.cells;
+    }
+    out.stats.threads = threads;
+    out.stats.wallMs = msSince(t_start);
+    return out;
+}
+
+} // namespace triq

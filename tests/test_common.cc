@@ -305,6 +305,53 @@ TEST(Env, EnvIntParsesAndFallsBack)
     unsetenv("TRIQ_TEST_ENVINT");
 }
 
+TEST(Env, EnvIntWarnsOnMalformedValue)
+{
+    // The warn-never-silent contract: a malformed knob (TRIQ_TRIALS=10x)
+    // must produce a visible diagnostic, not just quietly fall back.
+    setenv("TRIQ_TEST_ENVINT", "10x", 1);
+    testing::internal::CaptureStderr();
+    EXPECT_EQ(envInt("TRIQ_TEST_ENVINT", 42), 42);
+    std::string err = testing::internal::GetCapturedStderr();
+    EXPECT_NE(err.find("TRIQ_TEST_ENVINT"), std::string::npos) << err;
+    EXPECT_NE(err.find("10x"), std::string::npos) << err;
+
+    // A well-formed value stays silent.
+    setenv("TRIQ_TEST_ENVINT", "10", 1);
+    testing::internal::CaptureStderr();
+    EXPECT_EQ(envInt("TRIQ_TEST_ENVINT", 42), 10);
+    EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
+    unsetenv("TRIQ_TEST_ENVINT");
+}
+
+TEST(Env, EnvDoubleParsesAndFallsBack)
+{
+    unsetenv("TRIQ_TEST_ENVDBL");
+    EXPECT_DOUBLE_EQ(envDouble("TRIQ_TEST_ENVDBL", 0.25), 0.25);
+    setenv("TRIQ_TEST_ENVDBL", "0.05", 1);
+    EXPECT_DOUBLE_EQ(envDouble("TRIQ_TEST_ENVDBL", 0.25), 0.05);
+    setenv("TRIQ_TEST_ENVDBL", "1e-3", 1);
+    EXPECT_DOUBLE_EQ(envDouble("TRIQ_TEST_ENVDBL", 0.25), 1e-3);
+    setenv("TRIQ_TEST_ENVDBL", "-1", 1);
+    EXPECT_DOUBLE_EQ(envDouble("TRIQ_TEST_ENVDBL", 0.25, -5.0), -1.0);
+    unsetenv("TRIQ_TEST_ENVDBL");
+}
+
+TEST(Env, EnvDoubleWarnsOnMalformedValue)
+{
+    for (const char *bad : {"0.05x", "nan", "inf", "-0.1", ""}) {
+        setenv("TRIQ_TEST_ENVDBL", bad, 1);
+        testing::internal::CaptureStderr();
+        EXPECT_DOUBLE_EQ(envDouble("TRIQ_TEST_ENVDBL", 0.25), 0.25)
+            << "value: " << bad;
+        EXPECT_NE(testing::internal::GetCapturedStderr().find(
+                      "TRIQ_TEST_ENVDBL"),
+                  std::string::npos)
+            << "value: " << bad;
+    }
+    unsetenv("TRIQ_TEST_ENVDBL");
+}
+
 TEST(ThreadPool, RunsEveryJobAcrossWorkers)
 {
     ThreadPool pool(4);

@@ -172,6 +172,28 @@ TEST(CrashReport, DefaultDirNamesThisProcess)
     EXPECT_GT(dir.size(), std::string("triq-crash-").size());
 }
 
+TEST(CrashReport, ResolveCrashDirProbesMonotonicSuffixes)
+{
+    TempDir tmp;
+    std::string base = (tmp.path / "triq-crash-42").string();
+
+    // Free name: used verbatim.
+    EXPECT_EQ(resolveCrashDir(base), base);
+
+    // Occupied (a recycled PID's bundle): first free suffix, never the
+    // base itself — earlier evidence is sacred.
+    fs::create_directories(base);
+    EXPECT_EQ(resolveCrashDir(base), base + ".1");
+    fs::create_directories(base + ".1");
+    fs::create_directories(base + ".2");
+    EXPECT_EQ(resolveCrashDir(base), base + ".3");
+
+    // A plain *file* squatting the name also counts as a collision.
+    std::string file_base = (tmp.path / "squatted").string();
+    std::ofstream(file_base) << "not a directory";
+    EXPECT_EQ(resolveCrashDir(file_base), file_base + ".1");
+}
+
 #ifdef TRIQ_TRIQC_PATH
 
 TEST(CrashReport, PanicDumpsBundleAndReplayReproducesAssembly)
@@ -220,6 +242,26 @@ TEST(CrashReport, CleanRunLeavesNoBundle)
                     " -o /dev/null 2>/dev/null");
     EXPECT_EQ(rc, 0);
     EXPECT_FALSE(fs::exists(bundle));
+}
+
+TEST(CrashReport, SecondCrashDoesNotOverwriteFirstBundle)
+{
+    TempDir tmp;
+    std::string bundle = (tmp.path / "bundle").string();
+    std::string crash_cmd = "TRIQ_FAULT=panic " TRIQ_TRIQC_PATH
+                            " --bench BV4 -d IBMQ5 --crash-dir " +
+                            bundle + " -o /dev/null 2>/dev/null";
+
+    ASSERT_EQ(runCmd(crash_cmd), 2);
+    ASSERT_TRUE(fs::is_directory(bundle));
+    std::string first_error = slurp(fs::path(bundle) / "error.txt");
+
+    // Same directory requested again (a recycled PID / rerun in the
+    // same cwd): the new bundle lands beside the old one, suffixed.
+    ASSERT_EQ(runCmd(crash_cmd), 2);
+    EXPECT_TRUE(fs::is_directory(bundle + ".1"));
+    EXPECT_TRUE(fs::exists(fs::path(bundle + ".1") / "error.txt"));
+    EXPECT_EQ(slurp(fs::path(bundle) / "error.txt"), first_error);
 }
 
 TEST(CrashReport, ReplayOfBenchBundleMatchesDirectRun)

@@ -1,0 +1,499 @@
+/**
+ * @file
+ * Compile-cache and sweep-engine tests: fingerprint sensitivity, the
+ * cache-hit determinism contract (a hit is byte-identical to a cold
+ * compile), drift-threshold boundary behavior, budget/cache exclusion,
+ * eviction, runSweep grid semantics, and thread-safety of concurrent
+ * sweep workers (this suite carries the "sweep" ctest label so
+ * sanitizer builds can target it).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "common/logging.hh"
+#include "common/thread_pool.hh"
+#include "core/decompose.hh"
+#include "core/esp.hh"
+#include "core/fingerprint.hh"
+#include "device/machines.hh"
+#include "service/sweep.hh"
+#include "workloads/benchmarks.hh"
+
+using namespace triq;
+
+namespace
+{
+
+CompileOptions
+baseOptions(OptLevel level)
+{
+    CompileOptions opts;
+    opts.level = level;
+    opts.emitAssembly = false;
+    return opts;
+}
+
+CompileFingerprint
+fingerprintOf(const Circuit &program, const Device &dev, int day,
+              OptLevel level)
+{
+    Circuit lowered =
+        decomposeToCnotBasis(program, dev.gateSet().nativeCphase);
+    return fingerprintCompile(lowered, dev, dev.calibrate(day),
+                              baseOptions(level));
+}
+
+} // namespace
+
+// --- fingerprints --------------------------------------------------------
+
+TEST(Fingerprint, SensitiveToEveryInputComponent)
+{
+    Device q5 = makeIbmQ5();
+    Device q14 = makeIbmQ14();
+    Circuit bv = makeBenchmark("BV4");
+    Circuit toff = makeBenchmark("Toffoli");
+
+    CompileFingerprint base =
+        fingerprintOf(bv, q5, 0, OptLevel::OneQOptCN);
+
+    // Program changes the key.
+    EXPECT_FALSE(base ==
+                 fingerprintOf(toff, q5, 0, OptLevel::OneQOptCN));
+    // Device changes the key.
+    EXPECT_FALSE(base ==
+                 fingerprintOf(bv, q14, 0, OptLevel::OneQOptCN));
+    // Calibration day changes a noise-aware key.
+    EXPECT_FALSE(base == fingerprintOf(bv, q5, 1, OptLevel::OneQOptCN));
+    // Options change the key.
+    EXPECT_FALSE(base == fingerprintOf(bv, q5, 0, OptLevel::OneQOptC));
+    // Same inputs reproduce the key exactly.
+    EXPECT_TRUE(base == fingerprintOf(bv, q5, 0, OptLevel::OneQOptCN));
+}
+
+TEST(Fingerprint, CircuitNameIsNotContent)
+{
+    Circuit a = makeBenchmark("BV4");
+    Circuit b = a;
+    b.setName("renamed");
+    EXPECT_EQ(circuitFingerprint(a), circuitFingerprint(b));
+}
+
+TEST(Fingerprint, BudgetIsExcludedFromOptions)
+{
+    CompileOptions plain = baseOptions(OptLevel::OneQOptCN);
+    CompileOptions budgeted = plain;
+    budgeted.budget = CompileBudget::withDeadlineMs(1.0);
+    EXPECT_EQ(compileOptionsFingerprint(plain),
+              compileOptionsFingerprint(budgeted));
+}
+
+TEST(Fingerprint, NonCnLevelsShareCleanCalibrationDays)
+{
+    // The synthesized feeds are clean (no sanitize repairs), and the
+    // C level maps against the device average — so two days produce
+    // the same key for C but different keys for CN.
+    Device dev = makeIbmQ14();
+    Circuit bv = makeBenchmark("BV4");
+    EXPECT_TRUE(fingerprintOf(bv, dev, 0, OptLevel::OneQOptC) ==
+                fingerprintOf(bv, dev, 5, OptLevel::OneQOptC));
+    EXPECT_FALSE(fingerprintOf(bv, dev, 0, OptLevel::OneQOptCN) ==
+                 fingerprintOf(bv, dev, 5, OptLevel::OneQOptCN));
+}
+
+TEST(Fingerprint, StructuralTwinsDoNotShareStableKeys)
+{
+    // Aspen1 and Aspen3 share a topology and gate set; only their
+    // calibration models differ. Their keys — including the
+    // calibration-independent stableKey the drift path searches — must
+    // still be distinct, or a sweep would silently reuse one machine's
+    // mapping on the other.
+    Device a1 = makeRigettiAspen1();
+    Device a3 = makeRigettiAspen3();
+    Circuit bv = makeBenchmark("BV4");
+    CompileFingerprint f1 = fingerprintOf(bv, a1, 0, OptLevel::OneQOptCN);
+    CompileFingerprint f3 = fingerprintOf(bv, a3, 0, OptLevel::OneQOptCN);
+    EXPECT_NE(f1.device, f3.device);
+    EXPECT_NE(f1.stableKey(), f3.stableKey());
+}
+
+// --- cache hits ----------------------------------------------------------
+
+TEST(CompileCache, HitIsByteIdenticalToColdCompile)
+{
+    Device dev = makeIbmQ14();
+    Circuit program = makeBenchmark("QFT");
+    Calibration calib = dev.calibrate(2);
+    CompileOptions opts = baseOptions(OptLevel::OneQOptCN);
+
+    CompileCache cache;
+    CachedCompile first = compileThroughCache(&cache, program, dev, 2,
+                                              calib, opts);
+    ASSERT_EQ(first.source, CellSource::Compiled);
+
+    CachedCompile second = compileThroughCache(&cache, program, dev, 2,
+                                               calib, opts);
+    ASSERT_EQ(second.source, CellSource::CacheHit);
+    EXPECT_EQ(second.result.get(), first.result.get());
+
+    // The contract: the memoized artifact is the same bytes a cold
+    // compile produces — routed circuit, maps, stats, assembly and
+    // report (timings excluded).
+    CompileResult cold = compileForDevice(program, dev, calib, opts);
+    EXPECT_EQ(canonicalCompileResultText(*second.result),
+              canonicalCompileResultText(cold));
+    EXPECT_EQ(compileResultDigest(*second.result),
+              compileResultDigest(cold));
+}
+
+TEST(CompileCache, BudgetedCompilesAreNeverInserted)
+{
+    Device dev = makeIbmQ5();
+    Circuit program = makeBenchmark("BV4");
+    Calibration calib = dev.calibrate(0);
+    CompileOptions opts = baseOptions(OptLevel::OneQOptCN);
+    opts.budget = CompileBudget::withDeadlineMs(60000.0);
+
+    CompileCache cache;
+    CachedCompile cc =
+        compileThroughCache(&cache, program, dev, 0, calib, opts);
+    EXPECT_EQ(cc.source, CellSource::Compiled);
+    EXPECT_EQ(cache.size(), 0u);
+    // The same cell again: still a cold compile, never a hit.
+    cc = compileThroughCache(&cache, program, dev, 0, calib, opts);
+    EXPECT_EQ(cc.source, CellSource::Compiled);
+}
+
+TEST(CompileCache, FifoEvictionRespectsCapacity)
+{
+    Device dev = makeIbmQ5();
+    Calibration calib = dev.calibrate(0);
+    CompileOptions opts = baseOptions(OptLevel::OneQOptCN);
+
+    CompileCache cache(2);
+    const char *names[] = {"BV4", "Toffoli", "Fredkin"};
+    std::vector<CompileFingerprint> keys;
+    for (const char *name : names) {
+        Circuit program = makeBenchmark(name);
+        CachedCompile cc =
+            compileThroughCache(&cache, program, dev, 0, calib, opts);
+        keys.push_back(cc.fingerprint);
+    }
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_EQ(cache.stats().evictions, 1);
+    EXPECT_FALSE(cache.find(keys[0]).has_value()); // oldest gone
+    EXPECT_TRUE(cache.find(keys[1]).has_value());
+    EXPECT_TRUE(cache.find(keys[2]).has_value());
+}
+
+// --- drift ---------------------------------------------------------------
+
+TEST(CompileCache, DriftThresholdBoundaries)
+{
+    Device dev = makeIbmQ14();
+    Circuit program = makeBenchmark("BV4");
+    CompileOptions opts = baseOptions(OptLevel::OneQOptCN);
+    Calibration day0 = dev.calibrate(0);
+
+    CompileCache cache;
+    CachedCompile first =
+        compileThroughCache(&cache, program, dev, 0, day0, opts);
+    ASSERT_EQ(first.source, CellSource::Compiled);
+
+    // Find a later day where the day-0 artifact's predicted ESP
+    // actually degrades, so the boundary is meaningful.
+    int drift_day = -1;
+    double esp_new = 0.0;
+    for (int day = 1; day < 10; ++day) {
+        esp_new = estimatedSuccessProbability(
+            first.result->hwCircuit, dev.topology(),
+            dev.calibrate(day));
+        if (esp_new < first.espAtCompile) {
+            drift_day = day;
+            break;
+        }
+    }
+    ASSERT_GT(drift_day, 0) << "no degrading day in the feed";
+    Calibration dayN = dev.calibrate(drift_day);
+    CompileFingerprint key = fingerprintOf(program, dev, drift_day,
+                                           OptLevel::OneQOptCN);
+    double degradation = 1.0 - esp_new / first.espAtCompile;
+
+    // Just under the measured degradation: refuse (recompile).
+    EXPECT_FALSE(cache
+                     .findDriftTolerant(key, dev.topology(), dayN,
+                                        degradation * 0.9)
+                     .has_value());
+    // Just over it: reuse.
+    auto reused = cache.findDriftTolerant(key, dev.topology(), dayN,
+                                          degradation * 1.1);
+    ASSERT_TRUE(reused.has_value());
+    EXPECT_EQ(reused->result.get(), first.result.get());
+    // Negative threshold always refuses, even for zero drift.
+    EXPECT_FALSE(cache
+                     .findDriftTolerant(key, dev.topology(), day0, -1.0)
+                     .has_value());
+    // An *improved* day reuses at threshold zero.
+    for (int day = 1; day < 10; ++day) {
+        Calibration c = dev.calibrate(day);
+        if (estimatedSuccessProbability(first.result->hwCircuit,
+                                        dev.topology(), c) >=
+            first.espAtCompile) {
+            EXPECT_TRUE(cache
+                            .findDriftTolerant(key, dev.topology(), c,
+                                               0.0)
+                            .has_value());
+            break;
+        }
+    }
+    EXPECT_GE(cache.stats().driftChecks, 3);
+}
+
+TEST(Sweep, DriftReplayRecompilesOnlyDegradedCells)
+{
+    // Two-day CN sweep with a generous threshold: day 0 compiles
+    // everything; day 1 either reuses (within threshold) or recompiles
+    // (past it), and the two outcomes partition day 1 exactly.
+    SweepConfig cfg;
+    for (const char *name : {"BV4", "Toffoli", "Fredkin", "Peres"})
+        cfg.programs.push_back({name, makeBenchmark(name)});
+    cfg.devices = {makeIbmQ5(), makeUmdTi()};
+    cfg.days = {0, 1};
+    cfg.levels = {OptLevel::OneQOptCN};
+    cfg.options.emitAssembly = false;
+    cfg.driftThreshold = 0.05;
+    cfg.threads = 2;
+
+    CompileCache cache;
+    SweepResult res = runSweep(cfg, &cache);
+
+    int day0_compiled = 0, day1_reused = 0, day1_compiled = 0;
+    for (const SweepCell &cell : res.cells) {
+        if (cell.day == 0) {
+            EXPECT_EQ(cell.source, CellSource::Compiled);
+            ++day0_compiled;
+        } else if (cell.source == CellSource::DriftReuse) {
+            // Reuse is honest: predicted ESP lost at most 5%.
+            EXPECT_GE(cell.esp, cell.espAtCompile * 0.95);
+            ++day1_reused;
+        } else {
+            EXPECT_EQ(cell.source, CellSource::Compiled);
+            ++day1_compiled;
+        }
+    }
+    EXPECT_EQ(day0_compiled, 8);
+    EXPECT_EQ(day1_reused + day1_compiled, 8);
+    EXPECT_EQ(res.stats.driftReuses, day1_reused);
+    EXPECT_EQ(res.stats.compiles, day0_compiled + day1_compiled);
+    CompileCache::Stats cs = cache.stats();
+    EXPECT_EQ(cs.driftInvalidations, day1_compiled);
+    EXPECT_EQ(cs.driftReuses, day1_reused);
+}
+
+// --- the engine ----------------------------------------------------------
+
+TEST(Sweep, GridSemanticsAndStatsAreConsistent)
+{
+    SweepConfig cfg;
+    cfg.programs.push_back({"BV8", makeBenchmark("BV8")}); // 9 qubits
+    cfg.programs.push_back({"BV4", makeBenchmark("BV4")});
+    cfg.devices = {makeIbmQ5(), makeIbmQ14()};
+    cfg.days = {0, 1};
+    cfg.levels = {OptLevel::OneQOptC, OptLevel::OneQOptCN};
+    cfg.options.emitAssembly = false;
+    cfg.threads = 2;
+
+    CompileCache cache;
+    SweepResult res = runSweep(cfg, &cache);
+
+    // Grid order and size: programs x devices x days x levels.
+    ASSERT_EQ(res.cells.size(), 2u * 2 * 2 * 2);
+    // BV8 does not fit IBMQ5: those four cells are skipped.
+    for (const SweepCell &cell : res.cells) {
+        bool too_big = cell.programIndex == 0 && cell.deviceIndex == 0;
+        EXPECT_EQ(cell.source == CellSource::Skipped, too_big);
+        if (cell.source != CellSource::Skipped) {
+            ASSERT_TRUE(cell.result != nullptr);
+            EXPECT_GT(cell.esp, 0.0);
+        }
+    }
+    EXPECT_EQ(res.stats.skipped, 4);
+    EXPECT_EQ(res.stats.cells, 12);
+    // Every evaluated cell is accounted for exactly once.
+    EXPECT_EQ(res.stats.cells, res.stats.compiles +
+                                   res.stats.cacheHits +
+                                   res.stats.driftReuses);
+    // Day-1 C cells share day-0's artifacts (clean feeds): 3 hits.
+    EXPECT_EQ(res.stats.cacheHits, 3);
+    EXPECT_EQ(res.stats.compiles, 9);
+}
+
+TEST(Sweep, ResultsAreIndependentOfThreadCountAndCacheUse)
+{
+    SweepConfig cfg;
+    for (const char *name : {"BV4", "Toffoli", "QFT"})
+        cfg.programs.push_back({name, makeBenchmark(name)});
+    cfg.devices = {makeIbmQ5(), makeIbmQ14(), makeUmdTi()};
+    cfg.days = {0, 1};
+    cfg.levels = {OptLevel::OneQOptC, OptLevel::OneQOptCN};
+    cfg.options.emitAssembly = false;
+
+    // Cold serial without a cache is the reference.
+    SweepConfig serial = cfg;
+    serial.useCache = false;
+    serial.threads = 1;
+    SweepResult ref = runSweep(serial, nullptr);
+    for (const SweepCell &cell : ref.cells) {
+        if (cell.source != CellSource::Skipped) {
+            EXPECT_EQ(cell.source, CellSource::Compiled);
+        }
+    }
+
+    // Parallel + cached must produce byte-identical artifacts, cell
+    // for cell, however many workers run.
+    for (int threads : {1, 4, 8}) {
+        SweepConfig par = cfg;
+        par.threads = threads;
+        CompileCache cache;
+        SweepResult res = runSweep(par, &cache);
+        ASSERT_EQ(res.cells.size(), ref.cells.size());
+        for (size_t i = 0; i < res.cells.size(); ++i) {
+            const SweepCell &a = ref.cells[i];
+            const SweepCell &b = res.cells[i];
+            EXPECT_EQ(a.source == CellSource::Skipped,
+                      b.source == CellSource::Skipped);
+            if (a.source == CellSource::Skipped)
+                continue;
+            EXPECT_EQ(canonicalCompileResultText(*a.result),
+                      canonicalCompileResultText(*b.result))
+                << "cell " << i << " at " << threads << " threads";
+            EXPECT_DOUBLE_EQ(a.esp, b.esp);
+        }
+    }
+}
+
+TEST(Sweep, WarmSweepCompilesNothing)
+{
+    SweepConfig cfg;
+    for (const char *name : {"BV4", "Toffoli"})
+        cfg.programs.push_back({name, makeBenchmark(name)});
+    cfg.devices = {makeIbmQ5()};
+    cfg.days = {0, 1};
+    cfg.levels = {OptLevel::OneQOptC, OptLevel::OneQOptCN};
+    cfg.options.emitAssembly = false;
+    cfg.threads = 2;
+
+    CompileCache cache;
+    SweepResult cold = runSweep(cfg, &cache);
+    EXPECT_GT(cold.stats.compiles, 0);
+
+    SweepResult warm = runSweep(cfg, &cache);
+    EXPECT_EQ(warm.stats.compiles, 0);
+    EXPECT_EQ(warm.stats.cacheHits, warm.stats.cells);
+    for (size_t i = 0; i < warm.cells.size(); ++i) {
+        if (warm.cells[i].source != CellSource::Skipped) {
+            EXPECT_EQ(warm.cells[i].result.get(),
+                      cold.cells[i].result.get());
+        }
+    }
+}
+
+TEST(Sweep, EmptyGridDimensionIsFatal)
+{
+    SweepConfig cfg;
+    cfg.devices = {makeIbmQ5()};
+    cfg.days = {0};
+    cfg.levels = {OptLevel::OneQOptCN};
+    EXPECT_THROW(runSweep(cfg, nullptr), FatalError);
+}
+
+// --- concurrency ---------------------------------------------------------
+
+TEST(CompileCache, SurvivesConcurrentMixedAccess)
+{
+    // Hammer one cache from many workers mixing find / insert /
+    // drift-lookup on a small key population. Run under
+    // -DTRIQ_SANITIZE=ON this is the data-race check for the sweep
+    // engine's shared-cache usage.
+    Device dev = makeIbmQ5();
+    Calibration day0 = dev.calibrate(0);
+    Calibration day1 = dev.calibrate(1);
+    CompileOptions opts = baseOptions(OptLevel::OneQOptCN);
+
+    const char *names[] = {"BV4", "Toffoli", "Fredkin", "Or", "Peres"};
+    std::vector<Circuit> programs;
+    std::vector<CompileFingerprint> keys;
+    std::vector<std::shared_ptr<const CompileResult>> results;
+    for (const char *name : names) {
+        Circuit p = makeBenchmark(name);
+        Circuit lowered =
+            decomposeToCnotBasis(p, dev.gateSet().nativeCphase);
+        keys.push_back(fingerprintCompile(lowered, dev, day0, opts));
+        results.push_back(std::make_shared<const CompileResult>(
+            compileForDevice(p, dev, day0, opts, &lowered)));
+        programs.push_back(std::move(p));
+    }
+
+    CompileCache cache;
+    std::atomic<long> found{0};
+    ThreadPool pool(8);
+    parallelFor(pool, 64, [&](int i) {
+        size_t k = static_cast<size_t>(i) % keys.size();
+        switch (i % 4) {
+          case 0:
+            cache.insert(keys[k], results[k], 0.5, 0);
+            break;
+          case 1:
+            if (cache.find(keys[k]))
+                found.fetch_add(1);
+            break;
+          case 2: {
+            CompileFingerprint day1_key = keys[k];
+            day1_key.calibration = calibrationSignature(day1);
+            cache.findDriftTolerant(day1_key, dev.topology(), day1,
+                                    0.5);
+            break;
+          }
+          default:
+            cache.stats();
+            cache.size();
+            break;
+        }
+    });
+    // Everything inserted is findable afterwards, unscathed.
+    for (size_t k = 0; k < keys.size(); ++k) {
+        auto e = cache.find(keys[k]);
+        ASSERT_TRUE(e.has_value());
+        EXPECT_EQ(e->result.get(), results[k].get());
+    }
+}
+
+TEST(Sweep, ConcurrentSweepsShareOneCacheSafely)
+{
+    // Two full sweeps over the same grid run simultaneously against one
+    // cache; both must come back complete and identical.
+    SweepConfig cfg;
+    for (const char *name : {"BV4", "Toffoli", "Fredkin"})
+        cfg.programs.push_back({name, makeBenchmark(name)});
+    cfg.devices = {makeIbmQ5(), makeUmdTi()};
+    cfg.days = {0, 1};
+    cfg.levels = {OptLevel::OneQOptCN};
+    cfg.options.emitAssembly = false;
+    cfg.threads = 2;
+
+    CompileCache cache;
+    SweepResult a, b;
+    std::thread t1([&] { a = runSweep(cfg, &cache); });
+    std::thread t2([&] { b = runSweep(cfg, &cache); });
+    t1.join();
+    t2.join();
+
+    ASSERT_EQ(a.cells.size(), b.cells.size());
+    for (size_t i = 0; i < a.cells.size(); ++i) {
+        ASSERT_TRUE(a.cells[i].result && b.cells[i].result);
+        EXPECT_EQ(canonicalCompileResultText(*a.cells[i].result),
+                  canonicalCompileResultText(*b.cells[i].result));
+    }
+}

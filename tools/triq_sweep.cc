@@ -1,0 +1,350 @@
+/**
+ * @file
+ * triq-sweep: evaluate a (program x device x day x level) grid through
+ * the parallel sweep engine and emit a JSON results matrix.
+ *
+ * Usage:
+ *   triq-sweep --manifest sweep.txt [-o out.json] [--threads N]
+ *              [--drift T] [--no-cache]
+ *
+ * Manifest format — one directive per line, '#' comments; program,
+ * device, days and level accept multiple values per line:
+ *   program BV4 Toffoli      # built-in benchmarks (triqc --bench names)
+ *   program all              # every study benchmark
+ *   program file:ex.scaff    # ScaffLite (or .qasm: OpenQASM) source
+ *   device IBMQ14 UMDTI      # study machine names, or "all"
+ *   days 0..6                # inclusive range, or "days 0 2 5"
+ *   level c cn               # n | 1q | c | cn | all
+ *   drift 0.05               # drift threshold (CN reuse), optional
+ *   threads 4                # worker threads, optional
+ *   budget_ms 200            # per-compile wall-clock budget, optional
+ *   cache 0                  # disable the compile cache, optional
+ *
+ * Env knobs (flags/manifest win): TRIQ_SWEEP_THREADS, TRIQ_CACHE,
+ * TRIQ_SWEEP_DRIFT.
+ */
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "common/diagnostics.hh"
+#include "common/logging.hh"
+#include "device/machines.hh"
+#include "lang/lower.hh"
+#include "lang/qasm_parser.hh"
+#include "service/sweep.hh"
+#include "workloads/benchmarks.hh"
+
+namespace triq
+{
+namespace
+{
+
+const char *
+levelToken(OptLevel level)
+{
+    switch (level) {
+      case OptLevel::N:
+        return "n";
+      case OptLevel::OneQOpt:
+        return "1q";
+      case OptLevel::OneQOptC:
+        return "c";
+      case OptLevel::OneQOptCN:
+        return "cn";
+    }
+    return "?";
+}
+
+OptLevel
+parseLevel(const std::string &s)
+{
+    if (s == "n")
+        return OptLevel::N;
+    if (s == "1q")
+        return OptLevel::OneQOpt;
+    if (s == "c")
+        return OptLevel::OneQOptC;
+    if (s == "cn")
+        return OptLevel::OneQOptCN;
+    fatal("triq-sweep: unknown level '", s, "' (expected n|1q|c|cn|all)");
+}
+
+Circuit
+loadProgramFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("triq-sweep: cannot open '", path, "'");
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    Diagnostics diags(path);
+    bool qasm = path.size() > 5 &&
+                path.compare(path.size() - 5, 5, ".qasm") == 0;
+    Circuit c = qasm ? parseOpenQasm(ss.str(), diags)
+                     : compileScaffLite(ss.str(), diags);
+    if (diags.hasErrors()) {
+        std::cerr << diags.text();
+        fatal("triq-sweep: ", diags.errorCount(), " error(s) in '", path,
+              "'");
+    }
+    return c;
+}
+
+Device
+deviceByName(const std::string &name)
+{
+    for (Device &d : allStudyDevices())
+        if (d.name() == name)
+            return d;
+    fatal("triq-sweep: unknown device '", name,
+          "' (see triqc --list-devices)");
+}
+
+/** Parse "0..6" or a single integer into `out`. */
+void
+parseDays(std::istringstream &rest, std::vector<int> &out)
+{
+    std::string tok;
+    while (rest >> tok) {
+        auto dots = tok.find("..");
+        if (dots != std::string::npos) {
+            int lo = std::stoi(tok.substr(0, dots));
+            int hi = std::stoi(tok.substr(dots + 2));
+            if (hi < lo)
+                fatal("triq-sweep: bad day range '", tok, "'");
+            for (int d = lo; d <= hi; ++d)
+                out.push_back(d);
+        } else {
+            out.push_back(std::stoi(tok));
+        }
+    }
+}
+
+SweepConfig
+loadManifest(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("triq-sweep: cannot open manifest '", path, "'");
+    SweepConfig cfg;
+    double budget_ms = 0.0;
+    std::string line;
+    int lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line.resize(hash);
+        std::istringstream ls(line);
+        std::string key;
+        if (!(ls >> key))
+            continue;
+        if (key == "program") {
+            std::string val;
+            while (ls >> val) {
+                if (val == "all") {
+                    for (const std::string &n : benchmarkNames())
+                        cfg.programs.push_back({n, makeBenchmark(n)});
+                } else if (val.rfind("file:", 0) == 0) {
+                    std::string p = val.substr(5);
+                    cfg.programs.push_back({p, loadProgramFile(p)});
+                } else {
+                    cfg.programs.push_back({val, makeBenchmark(val)});
+                }
+            }
+        } else if (key == "device") {
+            std::string val;
+            while (ls >> val) {
+                if (val == "all")
+                    for (Device &d : allStudyDevices())
+                        cfg.devices.push_back(std::move(d));
+                else
+                    cfg.devices.push_back(deviceByName(val));
+            }
+        } else if (key == "days") {
+            parseDays(ls, cfg.days);
+        } else if (key == "level") {
+            std::string val;
+            while (ls >> val) {
+                if (val == "all")
+                    cfg.levels.insert(cfg.levels.end(),
+                                      {OptLevel::N, OptLevel::OneQOpt,
+                                       OptLevel::OneQOptC,
+                                       OptLevel::OneQOptCN});
+                else
+                    cfg.levels.push_back(parseLevel(val));
+            }
+        } else if (key == "drift") {
+            ls >> cfg.driftThreshold;
+        } else if (key == "threads") {
+            ls >> cfg.threads;
+        } else if (key == "budget_ms") {
+            ls >> budget_ms;
+        } else if (key == "cache") {
+            int v = 1;
+            ls >> v;
+            cfg.useCache = v != 0;
+        } else {
+            fatal("triq-sweep: ", path, ":", lineno,
+                  ": unknown directive '", key, "'");
+        }
+    }
+    if (budget_ms > 0.0)
+        cfg.options.budget = CompileBudget::withDeadlineMs(budget_ms);
+    if (cfg.days.empty())
+        cfg.days.push_back(0);
+    if (cfg.levels.empty())
+        cfg.levels.push_back(OptLevel::OneQOptCN);
+    return cfg;
+}
+
+void
+writeJson(std::ostream &os, const SweepConfig &cfg, const SweepResult &res,
+          const CompileCache::Stats &cs)
+{
+    os << "{\n  \"cells\": [\n";
+    bool first = true;
+    for (const SweepCell &c : res.cells) {
+        if (!first)
+            os << ",\n";
+        first = false;
+        os << "    {\"program\": \""
+           << jsonEscape(cfg.programs[c.programIndex].name)
+           << "\", \"device\": \""
+           << jsonEscape(cfg.devices[c.deviceIndex].name())
+           << "\", \"day\": " << c.day << ", \"level\": \""
+           << levelToken(c.level) << "\", \"source\": \""
+           << cellSourceName(c.source) << "\"";
+        if (c.source != CellSource::Skipped) {
+            os << ", \"fingerprint\": \"" << c.fingerprint.str()
+               << "\", \"esp\": " << c.esp
+               << ", \"esp_at_compile\": " << c.espAtCompile
+               << ", \"cnots\": " << c.result->stats.twoQ
+               << ", \"swaps\": " << c.result->swapCount
+               << ", \"degraded\": "
+               << (c.result->report.degraded ? "true" : "false")
+               << ", \"ms\": " << c.ms;
+        }
+        os << "}";
+    }
+    os << "\n  ],\n";
+    os << "  \"stats\": {\"cells\": " << res.stats.cells
+       << ", \"skipped\": " << res.stats.skipped
+       << ", \"compiles\": " << res.stats.compiles
+       << ", \"cache_hits\": " << res.stats.cacheHits
+       << ", \"drift_reuses\": " << res.stats.driftReuses
+       << ", \"drift_recompiles\": " << res.stats.driftRecompiles
+       << ", \"threads\": " << res.stats.threads
+       << ", \"wall_ms\": " << res.stats.wallMs << "},\n";
+    os << "  \"cache\": {\"lookups\": " << cs.lookups
+       << ", \"hits\": " << cs.hits << ", \"misses\": " << cs.misses
+       << ", \"inserts\": " << cs.inserts
+       << ", \"drift_checks\": " << cs.driftChecks
+       << ", \"drift_reuses\": " << cs.driftReuses
+       << ", \"drift_invalidations\": " << cs.driftInvalidations
+       << "}\n}\n";
+}
+
+void
+usage()
+{
+    std::cerr
+        << "usage: triq-sweep --manifest FILE [options]\n"
+           "  --manifest FILE   sweep grid description (required)\n"
+           "  -o, --json FILE   write the results matrix here (default\n"
+           "                    stdout)\n"
+           "  --threads N       worker threads (default:\n"
+           "                    TRIQ_SWEEP_THREADS or hardware)\n"
+           "  --drift T         reuse CN artifacts whose predicted ESP\n"
+           "                    degraded <= T (relative); default off\n"
+           "  --no-cache        disable the compile cache\n";
+}
+
+int
+run(int argc, char **argv)
+{
+    std::string manifest, out_path;
+    int threads = -1;
+    double drift = -3.0;
+    bool no_cache = false;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                fatal("triq-sweep: ", arg, " needs a value");
+            return argv[++i];
+        };
+        if (!std::strcmp(arg, "--manifest"))
+            manifest = next();
+        else if (!std::strcmp(arg, "-o") || !std::strcmp(arg, "--json"))
+            out_path = next();
+        else if (!std::strcmp(arg, "--threads"))
+            threads = std::atoi(next());
+        else if (!std::strcmp(arg, "--drift"))
+            drift = std::atof(next());
+        else if (!std::strcmp(arg, "--no-cache"))
+            no_cache = true;
+        else if (!std::strcmp(arg, "-h") || !std::strcmp(arg, "--help")) {
+            usage();
+            return 0;
+        } else {
+            fatal("triq-sweep: unknown option '", arg, "'");
+        }
+    }
+    if (manifest.empty()) {
+        usage();
+        return 1;
+    }
+
+    SweepConfig cfg = loadManifest(manifest);
+    if (threads >= 0)
+        cfg.threads = threads;
+    if (drift > -3.0)
+        cfg.driftThreshold = drift;
+    if (no_cache)
+        cfg.useCache = false;
+    if (cfg.programs.empty())
+        fatal("triq-sweep: manifest lists no programs");
+    if (cfg.devices.empty())
+        fatal("triq-sweep: manifest lists no devices");
+
+    CompileCache cache;
+    SweepResult res = runSweep(cfg, &cache);
+
+    std::ofstream file;
+    std::ostream *os = &std::cout;
+    if (!out_path.empty()) {
+        file.open(out_path);
+        if (!file)
+            fatal("triq-sweep: cannot write '", out_path, "'");
+        os = &file;
+    }
+    writeJson(*os, cfg, res, cache.stats());
+
+    std::cerr << "triq-sweep: " << res.stats.cells << " cells ("
+              << res.stats.compiles << " compiled, "
+              << res.stats.cacheHits << " cache hits, "
+              << res.stats.driftReuses << " drift reuses, "
+              << res.stats.skipped << " skipped) in "
+              << res.stats.wallMs << " ms on " << res.stats.threads
+              << " thread(s)\n";
+    return 0;
+}
+
+} // namespace
+} // namespace triq
+
+int
+main(int argc, char **argv)
+{
+    try {
+        return triq::run(argc, argv);
+    } catch (const triq::FatalError &) {
+        return 1;
+    } catch (const triq::PanicError &) {
+        return 2;
+    }
+}

@@ -201,7 +201,11 @@ reportCrash(const char *what)
     if (!g_crashArmed)
         return;
     g_crash.error = what ? what : "";
-    std::string dir = g_crashDir.empty() ? defaultCrashDir() : g_crashDir;
+    // resolveCrashDir keeps a recycled PID (or a second crash in one
+    // working directory) from overwriting an earlier bundle.
+    std::string dir =
+        resolveCrashDir(g_crashDir.empty() ? defaultCrashDir()
+                                           : g_crashDir);
     try {
         g_crash.write(dir);
         std::cerr << "triqc: crash report written to '" << dir
