@@ -1,18 +1,23 @@
 /**
  * @file
  * Trajectory-engine microbenchmark: measures executeNoisy throughput
- * (trials/sec) on a fig07-style compiled workload in three
+ * (trials/sec) on fig07-style compiled workloads in three
  * configurations — serial without prefix checkpointing, serial with
- * it, and multi-threaded — and emits one JSON object so CI can track
- * the simulator's performance trajectory across PRs.
+ * it, and multi-threaded — and emits one JSON object with a row per
+ * benchmark so CI can track the simulator's performance trajectory
+ * across PRs. The default row set (BV8, QFT, Adder) spans the study's
+ * width range: BV8 is wide and shallow, QFT and Adder are narrow and
+ * gate-dense, which is where checkpointing and threading trade places.
  *
  * The run doubles as a determinism check: the serial and threaded
- * configurations must produce bit-identical results, and the JSON
- * records whether they did.
+ * configurations must produce bit-identical results per row, and the
+ * JSON records whether they did.
  *
  * Usage:
- *   micro_trajectory [--bench NAME] [--device NAME] [--trials N]
+ *   micro_trajectory [--bench NAME]... [--device NAME] [--trials N]
  *                    [--threads N] [--json FILE]
+ *
+ * --bench may be repeated; when given, only the named benchmarks run.
  */
 
 #include <chrono>
@@ -21,6 +26,7 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "bench_util.hh"
 #include "common/logging.hh"
@@ -55,7 +61,7 @@ trialsPerSec(int trials, double ms)
 int
 main(int argc, char **argv)
 try {
-    std::string bench_name = "BV8";
+    std::vector<std::string> bench_names;
     std::string device_name = "IBMQ14";
     std::string json_file;
     int trials = defaultTrials(2000);
@@ -67,7 +73,7 @@ try {
             return argv[++i];
         };
         if (!std::strcmp(argv[i], "--bench"))
-            bench_name = need_value("--bench");
+            bench_names.push_back(need_value("--bench"));
         else if (!std::strcmp(argv[i], "--device"))
             device_name = need_value("--device");
         else if (!std::strcmp(argv[i], "--trials"))
@@ -79,75 +85,97 @@ try {
         else
             fatal("micro_trajectory: unknown argument '", argv[i], "'");
     }
+    if (bench_names.empty())
+        bench_names = {"BV8", "QFT", "Adder"};
     if (trials < 1 || threads < 1)
         fatal("micro_trajectory: --trials and --threads must be >= 1");
 
     Device dev = bench::deviceByName(device_name);
     int day = bench::defaultDay();
     Calibration calib = dev.calibrate(day);
-    Circuit program = makeBenchmark(bench_name);
-    CompileOptions copts;
-    copts.emitAssembly = false;
-    CompileResult compiled = compileForDevice(program, dev, calib, copts);
 
-    // Serial baseline with checkpointing off: every faulty trajectory
-    // replays the full circuit from |0...0>, the pre-optimization
-    // behavior.
-    ExecOptions no_ckpt;
-    no_ckpt.threads = 1;
-    no_ckpt.checkpointInterval = -1;
-    ExecutionResult r_base;
-    double base_ms =
-        runMs(compiled.hwCircuit, dev, calib, trials, no_ckpt, &r_base);
+    bool all_identical = true;
+    std::ostringstream rows;
+    for (size_t bi = 0; bi < bench_names.size(); ++bi) {
+        const std::string &bench_name = bench_names[bi];
+        Circuit program = makeBenchmark(bench_name);
+        CompileOptions copts;
+        copts.emitAssembly = false;
+        CompileResult compiled =
+            compileForDevice(program, dev, calib, copts);
 
-    // Serial with automatic prefix checkpointing.
-    ExecOptions serial;
-    serial.threads = 1;
-    ExecutionResult r_serial;
-    double serial_ms =
-        runMs(compiled.hwCircuit, dev, calib, trials, serial, &r_serial);
+        // Serial baseline with checkpointing off: every faulty
+        // trajectory replays the full circuit from |0...0>, the
+        // pre-optimization behavior.
+        ExecOptions no_ckpt;
+        no_ckpt.threads = 1;
+        no_ckpt.checkpointInterval = -1;
+        ExecutionResult r_base;
+        double base_ms = runMs(compiled.hwCircuit, dev, calib, trials,
+                               no_ckpt, &r_base);
 
-    // Threaded with checkpointing; must match the serial run bit for
-    // bit (chunk-sharded RNG + chunk-ordered merge).
-    ExecOptions threaded;
-    threaded.threads = threads;
-    ExecutionResult r_threaded;
-    double threaded_ms = runMs(compiled.hwCircuit, dev, calib, trials,
-                               threaded, &r_threaded);
+        // Serial with automatic prefix checkpointing.
+        ExecOptions serial;
+        serial.threads = 1;
+        ExecutionResult r_serial;
+        double serial_ms = runMs(compiled.hwCircuit, dev, calib, trials,
+                                 serial, &r_serial);
 
-    bool identical =
-        r_serial.successRate == r_threaded.successRate &&
-        r_serial.successRate == r_base.successRate &&
-        r_serial.simulatedTrajectories == r_threaded.simulatedTrajectories &&
-        r_serial.simulatedTrajectories == r_base.simulatedTrajectories &&
-        r_serial.histogram == r_threaded.histogram &&
-        r_serial.histogram == r_base.histogram;
+        // Threaded with checkpointing; must match the serial run bit
+        // for bit (chunk-sharded RNG + chunk-ordered merge).
+        ExecOptions threaded;
+        threaded.threads = threads;
+        ExecutionResult r_threaded;
+        double threaded_ms = runMs(compiled.hwCircuit, dev, calib,
+                                   trials, threaded, &r_threaded);
+
+        bool identical =
+            r_serial.successRate == r_threaded.successRate &&
+            r_serial.successRate == r_base.successRate &&
+            r_serial.simulatedTrajectories ==
+                r_threaded.simulatedTrajectories &&
+            r_serial.simulatedTrajectories ==
+                r_base.simulatedTrajectories &&
+            r_serial.histogram == r_threaded.histogram &&
+            r_serial.histogram == r_base.histogram;
+        all_identical = all_identical && identical;
+
+        rows << "    {\n"
+             << "      \"benchmark\": \"" << bench_name << "\",\n"
+             << "      \"simulated_trajectories\": "
+             << r_serial.simulatedTrajectories << ",\n"
+             << "      \"success_rate\": " << r_serial.successRate
+             << ",\n"
+             << "      \"serial_no_checkpoint_ms\": " << base_ms << ",\n"
+             << "      \"serial_no_checkpoint_trials_per_sec\": "
+             << trialsPerSec(trials, base_ms) << ",\n"
+             << "      \"serial_ms\": " << serial_ms << ",\n"
+             << "      \"serial_trials_per_sec\": "
+             << trialsPerSec(trials, serial_ms) << ",\n"
+             << "      \"checkpoint_speedup\": "
+             << (serial_ms > 0.0 ? base_ms / serial_ms : 0.0) << ",\n"
+             << "      \"threaded_ms\": " << threaded_ms << ",\n"
+             << "      \"threaded_trials_per_sec\": "
+             << trialsPerSec(trials, threaded_ms) << ",\n"
+             << "      \"thread_speedup\": "
+             << (threaded_ms > 0.0 ? serial_ms / threaded_ms : 0.0)
+             << ",\n"
+             << "      \"identical_across_configs\": "
+             << (identical ? "true" : "false") << "\n"
+             << "    }"
+             << (bi + 1 == bench_names.size() ? "\n" : ",\n");
+    }
 
     std::ostringstream json;
     json << "{\n"
-         << "  \"benchmark\": \"" << bench_name << "\",\n"
          << "  \"device\": \"" << device_name << "\",\n"
          << "  \"day\": " << day << ",\n"
          << "  \"trials\": " << trials << ",\n"
-         << "  \"simulated_trajectories\": "
-         << r_serial.simulatedTrajectories << ",\n"
-         << "  \"success_rate\": " << r_serial.successRate << ",\n"
-         << "  \"serial_no_checkpoint_ms\": " << base_ms << ",\n"
-         << "  \"serial_no_checkpoint_trials_per_sec\": "
-         << trialsPerSec(trials, base_ms) << ",\n"
-         << "  \"serial_ms\": " << serial_ms << ",\n"
-         << "  \"serial_trials_per_sec\": "
-         << trialsPerSec(trials, serial_ms) << ",\n"
-         << "  \"checkpoint_speedup\": "
-         << (serial_ms > 0.0 ? base_ms / serial_ms : 0.0) << ",\n"
          << "  \"threads\": " << threads << ",\n"
-         << "  \"threaded_ms\": " << threaded_ms << ",\n"
-         << "  \"threaded_trials_per_sec\": "
-         << trialsPerSec(trials, threaded_ms) << ",\n"
-         << "  \"thread_speedup\": "
-         << (threaded_ms > 0.0 ? serial_ms / threaded_ms : 0.0) << ",\n"
+         << "  \"rows\": [\n"
+         << rows.str() << "  ],\n"
          << "  \"identical_across_configs\": "
-         << (identical ? "true" : "false") << "\n"
+         << (all_identical ? "true" : "false") << "\n"
          << "}\n";
 
     std::cout << json.str();
@@ -157,7 +185,7 @@ try {
             fatal("micro_trajectory: cannot write '", json_file, "'");
         out << json.str();
     }
-    return identical ? 0 : 4;
+    return all_identical ? 0 : 4;
 } catch (const FatalError &) {
     return 1;
 }

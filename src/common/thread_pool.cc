@@ -1,5 +1,7 @@
 #include "common/thread_pool.hh"
 
+#include <atomic>
+
 #include "common/logging.hh"
 
 namespace triq
@@ -36,6 +38,23 @@ ThreadPool::submit(std::function<void()> job)
 }
 
 void
+ThreadPool::submitBatch(std::vector<std::function<void()>> jobs)
+{
+    if (jobs.empty())
+        return;
+    const size_t n = jobs.size();
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        for (auto &job : jobs)
+            queue_.push_back(std::move(job));
+    }
+    if (n == 1)
+        workReady_.notify_one();
+    else
+        workReady_.notify_all();
+}
+
+void
 ThreadPool::wait()
 {
     std::unique_lock<std::mutex> lock(mutex_);
@@ -47,11 +66,43 @@ ThreadPool::wait()
     }
 }
 
+void
+ThreadPool::ensureWorkers(int num_threads)
+{
+    while (size() < num_threads)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
 int
 ThreadPool::hardwareThreads()
 {
     unsigned n = std::thread::hardware_concurrency();
     return n == 0 ? 1 : static_cast<int>(n);
+}
+
+namespace
+{
+std::atomic<bool> process_pool_started{false};
+} // namespace
+
+ThreadPool &
+processPool(int min_workers)
+{
+    if (min_workers <= 0)
+        min_workers = ThreadPool::hardwareThreads();
+    // Flag-then-construct: the flag only matters to the scheduler's
+    // cost model (is the spawn cost sunk yet?), so flipping it a hair
+    // early is harmless even if construction throws.
+    process_pool_started.store(true, std::memory_order_relaxed);
+    static ThreadPool pool(min_workers);
+    pool.ensureWorkers(min_workers);
+    return pool;
+}
+
+bool
+processPoolStarted()
+{
+    return process_pool_started.load(std::memory_order_relaxed);
 }
 
 void
@@ -90,8 +141,32 @@ void
 parallelFor(ThreadPool &pool, int num_tasks,
             const std::function<void(int)> &fn)
 {
+    std::vector<std::function<void()>> jobs;
+    jobs.reserve(static_cast<size_t>(num_tasks));
     for (int i = 0; i < num_tasks; ++i)
-        pool.submit([&fn, i] { fn(i); });
+        jobs.push_back([&fn, i] { fn(i); });
+    pool.submitBatch(std::move(jobs));
+    pool.wait();
+}
+
+void
+parallelForRanges(ThreadPool &pool, int num_items, int items_per_task,
+                  const std::function<void(int, int)> &fn)
+{
+    if (num_items <= 0)
+        return;
+    if (items_per_task < 1)
+        items_per_task = 1;
+    const int num_tasks =
+        (num_items + items_per_task - 1) / items_per_task;
+    std::vector<std::function<void()>> jobs;
+    jobs.reserve(static_cast<size_t>(num_tasks));
+    for (int t = 0; t < num_tasks; ++t) {
+        int lo = t * items_per_task;
+        int hi = std::min(num_items, lo + items_per_task);
+        jobs.push_back([&fn, lo, hi] { fn(lo, hi); });
+    }
+    pool.submitBatch(std::move(jobs));
     pool.wait();
 }
 

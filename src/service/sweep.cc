@@ -9,6 +9,7 @@
 
 #include "common/env.hh"
 #include "common/logging.hh"
+#include "common/sched.hh"
 #include "common/thread_pool.hh"
 #include "core/decompose.hh"
 #include "core/esp.hh"
@@ -28,16 +29,42 @@ msSince(Clock::time_point t0)
         .count();
 }
 
-/** Run fn(0..n-1): serial for one thread, pooled otherwise. */
+/** Estimated cost of an exact-fingerprint cache hit (lookup + copy). */
+constexpr double kCacheHitUs = 20.0;
+
+/** Run the day's cells per the scheduler's plan (see executor.cc). */
 void
-forEachIndex(ThreadPool *pool, int n, const std::function<void(int)> &fn)
+runPerPlan(const SchedDecision &dec, int items,
+           const std::function<void(int)> &fn)
 {
-    if (!pool) {
-        for (int i = 0; i < n; ++i)
+    if (!dec.threaded) {
+        for (int i = 0; i < items; ++i)
             fn(i);
         return;
     }
-    parallelFor(*pool, n, fn);
+    ThreadPool &pool = processPool(dec.threads);
+    parallelForRanges(pool, items, dec.itemsPerTask,
+                      [&fn](int lo, int hi) {
+                          for (int i = lo; i < hi; ++i)
+                              fn(i);
+                      });
+}
+
+/** Fold one day's fan-out decision into the sweep-level stats. */
+void
+recordDecision(SweepStats &stats, const SchedDecision &dec, bool first)
+{
+    if (first)
+        stats.schedMode = dec.mode();
+    else if (stats.schedMode != dec.mode())
+        stats.schedMode = "mixed";
+    stats.threads = std::max(stats.threads, dec.threads);
+    if (dec.tasks > stats.schedTasks) {
+        stats.schedTasks = dec.tasks;
+        stats.schedItemsPerTask = dec.itemsPerTask;
+    }
+    stats.schedPredictedMs += dec.predictedMs;
+    stats.schedActualMs += dec.actualMs > 0.0 ? dec.actualMs : 0.0;
 }
 
 } // namespace
@@ -61,7 +88,10 @@ cellSourceName(CellSource s)
 int
 defaultSweepThreads()
 {
-    return envInt("TRIQ_SWEEP_THREADS", ThreadPool::hardwareThreads());
+    // min 0: TRIQ_SWEEP_THREADS=0 is valid and means "adaptive", which
+    // is also the unset default — the cost model already knows when
+    // hardware threads are worth using.
+    return envInt("TRIQ_SWEEP_THREADS", 0, 0);
 }
 
 double
@@ -127,8 +157,13 @@ runSweep(const SweepConfig &config, CompileCache *cache)
         fatal("runSweep: every grid dimension (programs, devices, days, "
               "levels) must be non-empty");
 
-    const int threads = config.threads > 0 ? config.threads
-                                           : defaultSweepThreads();
+    // > 0 forces a worker count (1 = true serial path); <= 0 resolves
+    // to adaptive, where the cost model below decides per day.
+    int threads_req = config.threads;
+    if (threads_req == 0)
+        threads_req = defaultSweepThreads();
+    if (threads_req < 0)
+        threads_req = 0;
     const bool use_cache =
         config.useCache && cache != nullptr && cacheEnabledFromEnv();
     const double drift = config.driftThreshold <= -2.0
@@ -242,13 +277,12 @@ runSweep(const SweepConfig &config, CompileCache *cache)
                     out.cells.push_back(std::move(cell));
                 }
 
-    std::unique_ptr<ThreadPool> pool;
-    if (threads > 1)
-        pool = std::make_unique<ThreadPool>(threads);
-
     // Drift-recompile accounting must be observable per day even
     // though workers run concurrently.
     std::mutex stats_mutex;
+
+    const SchedCalib &scal = schedCalib();
+    bool first_day = true;
 
     // Days ascend with a barrier between them: a later day's drift
     // check must see the earlier days' entries (the ROADMAP
@@ -281,8 +315,36 @@ runSweep(const SweepConfig &config, CompileCache *cache)
             }
         }
 
-        forEachIndex(pool.get(), static_cast<int>(reps.size()),
-                     [&](int ri) {
+        // Cost model: a rep whose exact fingerprint is already cached
+        // is a cheap lookup; anything else is priced as a cold compile
+        // from its lowered circuit. Warm sweeps therefore correctly
+        // estimate near-zero work and stay serial, while a cold day of
+        // many distinct fingerprints fans out with cells batched so
+        // each pool task amortizes its dispatch.
+        double total_us = 0.0;
+        for (int ci : reps) {
+            const SweepCell &cell = out.cells[ci];
+            const Device &dev = config.devices[cell.deviceIndex];
+            int variant = dev.gateSet().nativeCphase ? 1 : 0;
+            const Circuit &low = *lowered[cell.programIndex][variant];
+            bool hit = use_cache && cache->contains(cell.fingerprint);
+            total_us += hit ? kCacheHitUs
+                            : estimateCompileUs(scal, dev.numQubits(),
+                                                low.count2q(),
+                                                low.numGates());
+        }
+        const int num_reps = static_cast<int>(reps.size());
+        double us_per_item =
+            num_reps > 0 ? total_us / num_reps : 0.0;
+        SchedDecision dec =
+            threads_req > 0
+                ? planForced(scal, num_reps, us_per_item, threads_req,
+                             processPoolStarted())
+                : planParallel(scal, num_reps, us_per_item, 0,
+                               processPoolStarted());
+        auto t_day = Clock::now();
+
+        runPerPlan(dec, num_reps, [&](int ri) {
             int ci = reps[ri];
             SweepCell &cell = out.cells[ci];
             const SweepProgram &prog =
@@ -339,6 +401,9 @@ runSweep(const SweepConfig &config, CompileCache *cache)
                 ++out.stats.driftRecompiles;
             }
         });
+        dec.actualMs = msSince(t_day);
+        recordDecision(out.stats, dec, first_day);
+        first_day = false;
 
         // Members share their representative's artifact: within one
         // run that sharing *is* a cache hit (the entry the rep just
@@ -382,7 +447,8 @@ runSweep(const SweepConfig &config, CompileCache *cache)
         else
             ++out.stats.cells;
     }
-    out.stats.threads = threads;
+    // stats.threads was folded in per day by recordDecision (max over
+    // the days' decisions; 1 when every day ran serial).
     out.stats.wallMs = msSince(t_start);
     return out;
 }

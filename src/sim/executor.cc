@@ -1,6 +1,7 @@
 #include "sim/executor.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <climits>
 #include <cmath>
 #include <cstdlib>
@@ -8,6 +9,7 @@
 #include "common/env.hh"
 #include "common/logging.hh"
 #include "common/rng.hh"
+#include "common/sched.hh"
 #include "common/thread_pool.hh"
 #include "core/esp.hh"
 #include "sim/compact.hh"
@@ -23,6 +25,39 @@ namespace
 
 /** Trials per RNG chunk; part of the sampling contract (see header). */
 constexpr int kDefaultChunkSize = 64;
+
+/** Milliseconds since `t0`. */
+double
+msSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+/**
+ * Execute `items` indexed work items per the scheduler's plan: the
+ * true serial loop when the plan says serial (no pool is touched),
+ * otherwise batched ranges on the shared process pool. The RNG
+ * chunking is fixed upstream of this choice, so the plan can never
+ * change a result — only its wall-clock time.
+ */
+void
+runPerPlan(const SchedDecision &dec, int items,
+           const std::function<void(int)> &fn)
+{
+    if (!dec.threaded) {
+        for (int i = 0; i < items; ++i)
+            fn(i);
+        return;
+    }
+    ThreadPool &pool = processPool(dec.threads);
+    parallelForRanges(pool, items, dec.itemsPerTask,
+                      [&fn](int lo, int hi) {
+                          for (int i = lo; i < hi; ++i)
+                              fn(i);
+                      });
+}
 
 /** Histograms this narrow use a flat per-chunk count vector. */
 constexpr size_t kFlatHistogramBits = 12;
@@ -585,7 +620,25 @@ executeNoisy(const Circuit &hw, const Device &dev, const Calibration &calib,
         opts.chunkSize > 0 ? opts.chunkSize : kDefaultChunkSize;
     const int num_chunks = (trials + chunk_size - 1) / chunk_size;
     const uint64_t stream_seed = seed ^ 0xABCDEF1234567890ull;
-    int threads = opts.threads > 0 ? opts.threads : defaultSimThreads();
+
+    // Thread request: > 0 forces that many workers (1 = true serial
+    // path), < 0 is adaptive; 0 defers to TRIQ_SIM_THREADS where 0
+    // again means adaptive. After this block, 0 = adaptive.
+    int threads_req = opts.threads;
+    if (threads_req == 0)
+        threads_req = defaultSimThreads(1);
+    if (threads_req < 0)
+        threads_req = 0;
+    const SchedCalib &scal = schedCalib();
+    const double faulty_frac =
+        std::clamp(1.0 - res.noErrorProb, 0.0, 1.0);
+    auto plan = [&](int items, double us_per_item) {
+        return threads_req > 0
+                   ? planForced(scal, items, us_per_item, threads_req,
+                                processPoolStarted())
+                   : planParallel(scal, items, us_per_item, 0,
+                                  processPoolStarted());
+    };
 
     if (use_dedup) {
         // Phase A: pre-draw every trial's randomness, chunk-parallel.
@@ -607,14 +660,15 @@ executeNoisy(const Circuit &hw, const Device &dev, const Calibration &calib,
                            draws.chunkWords[static_cast<size_t>(ci)],
                            draws);
         };
-        int pre_threads = std::min(threads, num_chunks);
-        if (pre_threads <= 1) {
-            for (int ci = 0; ci < num_chunks; ++ci)
-                presample(ci);
-        } else {
-            ThreadPool pool(pre_threads);
-            parallelFor(pool, num_chunks, presample);
-        }
+        // Presampling is cheap per chunk (a few Bernoullis per site),
+        // so the cost model usually keeps it serial — exactly the case
+        // where the old per-call pool spawn used to eat the win.
+        SchedDecision pre_dec =
+            plan(num_chunks,
+                 estimatePresampleUs(scal,
+                                     static_cast<int>(sites.size()),
+                                     chunk_size));
+        runPerPlan(pre_dec, num_chunks, presample);
 
         // Phase B: group trials by identical fault pattern, in trial
         // order (deterministic first-seen group numbering). The hash
@@ -676,24 +730,38 @@ executeNoisy(const Circuit &hw, const Device &dev, const Calibration &calib,
                 ga.pattern, ga.pattern + ga.patternLen, gb.pattern,
                 gb.pattern + gb.patternLen);
         });
-        int grp_threads = std::min(threads, num_groups);
-        if (grp_threads <= 1) {
+        SchedDecision dec =
+            plan(num_groups,
+                 estimateGroupUs(scal, cc.circuit.numQubits(),
+                                 num_gates));
+        auto t_run = std::chrono::steady_clock::now();
+        if (!dec.threaded) {
             runGroupSlice(ctx, groups, order, 0,
                           static_cast<size_t>(num_groups), draws,
                           basis_of);
         } else {
-            ThreadPool pool(grp_threads);
-            parallelFor(pool, grp_threads, [&](int w) {
+            // One contiguous slice per worker (not the generic batched
+            // ranges): coarse slices keep the LCP state sharing between
+            // neighboring patterns maximal, and slicing is bitwise
+            // invisible (see runGroupSlice).
+            const int slices = std::min(dec.threads, num_groups);
+            ThreadPool &pool = processPool(dec.threads);
+            parallelFor(pool, slices, [&](int w) {
                 size_t lo = static_cast<size_t>(num_groups) *
                             static_cast<size_t>(w) /
-                            static_cast<size_t>(grp_threads);
+                            static_cast<size_t>(slices);
                 size_t hi = static_cast<size_t>(num_groups) *
                             static_cast<size_t>(w + 1) /
-                            static_cast<size_t>(grp_threads);
+                            static_cast<size_t>(slices);
                 runGroupSlice(ctx, groups, order, lo, hi, draws,
                               basis_of);
             });
+            dec.threads = slices;
+            dec.tasks = slices;
+            dec.itemsPerTask = (num_groups + slices - 1) / slices;
         }
+        dec.actualMs = msSince(t_run);
+        res.sched = dec;
         for (const PatternGroup &g : groups)
             if (g.patternLen > 0)
                 ++res.simulatedTrajectories;
@@ -744,14 +812,14 @@ executeNoisy(const Circuit &hw, const Device &dev, const Calibration &calib,
         runChunk(ctx, Rng::stream(stream_seed, static_cast<uint64_t>(ci)),
                  n, stats[static_cast<size_t>(ci)]);
     };
-    int chunk_threads = std::min(threads, num_chunks);
-    if (chunk_threads <= 1) {
-        for (int ci = 0; ci < num_chunks; ++ci)
-            run_chunk(ci);
-    } else {
-        ThreadPool pool(chunk_threads);
-        parallelFor(pool, num_chunks, run_chunk);
-    }
+    SchedDecision dec =
+        plan(num_chunks, estimateChunkUs(scal, cc.circuit.numQubits(),
+                                         num_gates, chunk_size,
+                                         faulty_frac));
+    auto t_run = std::chrono::steady_clock::now();
+    runPerPlan(dec, num_chunks, run_chunk);
+    dec.actualMs = msSince(t_run);
+    res.sched = dec;
 
     // Chunk-ordered merge keeps even the histogram's unordered-map
     // construction sequence identical across thread counts.
@@ -818,7 +886,8 @@ defaultTrials(int fallback)
 int
 defaultSimThreads(int fallback)
 {
-    return envInt("TRIQ_SIM_THREADS", fallback, 1);
+    // min 0: TRIQ_SIM_THREADS=0 is valid and means "adaptive".
+    return envInt("TRIQ_SIM_THREADS", fallback, 0);
 }
 
 bool

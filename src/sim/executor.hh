@@ -11,9 +11,11 @@
  *  - the circuit is compacted onto its active qubits and trials in
  *    which no error site fires reuse the cached ideal state;
  *  - trials are sharded into fixed-size chunks, each owning the RNG
- *    stream Rng::stream(seed, chunk_index); chunks run on a thread
- *    pool and merge in chunk order, so results are bit-identical for
- *    any thread count (TRIQ_SIM_THREADS, default 1);
+ *    stream Rng::stream(seed, chunk_index); chunks run on the shared
+ *    process pool and merge in chunk order, so results are
+ *    bit-identical for any thread count (TRIQ_SIM_THREADS; 0 = let the
+ *    common/sched.hh cost model decide serial vs. threaded and batch
+ *    several chunks per pool task);
  *  - faulty trajectories replay from the nearest ideal-prefix
  *    checkpoint before their first fired error site instead of from
  *    |0...0>;
@@ -36,6 +38,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/sched.hh"
 #include "core/circuit.hh"
 #include "device/device.hh"
 
@@ -85,6 +88,14 @@ struct ExecutionResult
      */
     std::unordered_map<uint64_t, int> histogram;
 
+    /**
+     * The scheduler's plan for the dominant simulation phase (the
+     * trajectory fan-out): mode, thread count, items per task, and
+     * predicted vs. actual wall clock. Purely observational — results
+     * are bit-identical whatever the scheduler chose.
+     */
+    SchedDecision sched;
+
     /** Histogram entries sorted by ascending outcome key. */
     std::vector<std::pair<uint64_t, int>> sortedHistogram() const;
 };
@@ -93,9 +104,14 @@ struct ExecutionResult
 struct ExecOptions
 {
     /**
-     * Worker threads for trajectory chunks. 0 reads TRIQ_SIM_THREADS
-     * (default 1, i.e. serial). Results are bit-identical for every
-     * value — threads only change wall-clock time.
+     * Worker threads for trajectory chunks. > 0 forces that many
+     * workers (1 = true serial path, no pool is constructed); < 0
+     * requests adaptive mode (the common/sched.hh cost model decides
+     * serial vs. threaded per phase and batches pool tasks to amortize
+     * dispatch); 0 reads TRIQ_SIM_THREADS, where 0 likewise means
+     * adaptive and unset defaults to 1 (serial). Results are
+     * bit-identical for every value — threads only change wall-clock
+     * time.
      */
     int threads = 0;
 
@@ -166,6 +182,8 @@ int defaultTrials(int fallback = 1000);
 /**
  * Default simulation thread count: reads the TRIQ_SIM_THREADS
  * environment variable, falling back to `fallback` (serial).
+ * TRIQ_SIM_THREADS=0 returns 0, meaning "adaptive": the cost model in
+ * common/sched.hh picks serial or threaded per job.
  */
 int defaultSimThreads(int fallback = 1);
 

@@ -16,7 +16,7 @@
  *   days 0..6                # inclusive range, or "days 0 2 5"
  *   level c cn               # n | 1q | c | cn | all
  *   drift 0.05               # drift threshold (CN reuse), optional
- *   threads 4                # worker threads, optional
+ *   threads 4                # worker threads; 0 = adaptive, optional
  *   budget_ms 200            # per-compile wall-clock budget, optional
  *   cache 0                  # disable the compile cache, optional
  *
@@ -238,7 +238,12 @@ writeJson(std::ostream &os, const SweepConfig &cfg, const SweepResult &res,
        << ", \"drift_reuses\": " << res.stats.driftReuses
        << ", \"drift_recompiles\": " << res.stats.driftRecompiles
        << ", \"threads\": " << res.stats.threads
-       << ", \"wall_ms\": " << res.stats.wallMs << "},\n";
+       << ", \"wall_ms\": " << res.stats.wallMs
+       << ", \"sched_mode\": \"" << res.stats.schedMode << "\""
+       << ", \"sched_items_per_task\": " << res.stats.schedItemsPerTask
+       << ", \"sched_tasks\": " << res.stats.schedTasks
+       << ", \"sched_predicted_ms\": " << res.stats.schedPredictedMs
+       << ", \"sched_actual_ms\": " << res.stats.schedActualMs << "},\n";
     os << "  \"cache\": {\"lookups\": " << cs.lookups
        << ", \"hits\": " << cs.hits << ", \"misses\": " << cs.misses
        << ", \"inserts\": " << cs.inserts
@@ -256,8 +261,9 @@ usage()
            "  --manifest FILE   sweep grid description (required)\n"
            "  -o, --json FILE   write the results matrix here (default\n"
            "                    stdout)\n"
-           "  --threads N       worker threads (default:\n"
-           "                    TRIQ_SWEEP_THREADS or hardware)\n"
+           "  --threads N       worker threads; 0 = adaptive (default:\n"
+           "                    TRIQ_SWEEP_THREADS, else adaptive —\n"
+           "                    the cost model decides per day)\n"
            "  --drift T         reuse CN artifacts whose predicted ESP\n"
            "                    degraded <= T (relative); default off\n"
            "  --no-cache        disable the compile cache\n";

@@ -107,6 +107,7 @@ usage()
         "  --trials N          prediction trials       (default 2000)\n"
         "  --sim-threads N     simulator worker threads for --report\n"
         "                      (default: TRIQ_SIM_THREADS env, else 1;\n"
+        "                      -1 or env 0 = adaptive cost model;\n"
         "                      results are identical for any value)\n"
         "  --sim-fusion N      gate fusion for --report trajectories:\n"
         "                      1 on, -1 off (default: TRIQ_SIM_FUSION\n"
