@@ -1,5 +1,8 @@
 #include "core/crash_report.hh"
 
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -12,6 +15,10 @@
 #include <unistd.h>
 #endif
 
+extern "C" {
+extern char **environ;
+}
+
 namespace triq
 {
 
@@ -23,6 +30,7 @@ namespace
 constexpr const char *kProgramFile = "program.txt";
 constexpr const char *kCalibrationFile = "calibration.txt";
 constexpr const char *kOptionsFile = "options.txt";
+constexpr const char *kEnvironmentFile = "environment.txt";
 constexpr const char *kErrorFile = "error.txt";
 
 void
@@ -73,7 +81,20 @@ CrashBundle::write(const std::string &dir) const
          << "trials=" << trials << "\n"
          << "sim_threads=" << simThreads << "\n"
          << "sim_fusion=" << simFusion << "\n";
+    if (!requestId.empty())
+        opts << "request_id=" << requestId << "\n";
+    if (!schedMode.empty())
+        opts << "sched_mode=" << schedMode << "\n"
+             << "sched_threads=" << schedThreads << "\n"
+             << "sched_items_per_task=" << schedItemsPerTask << "\n";
     writeFile(fs::path(dir) / kOptionsFile, opts.str());
+
+    if (!envKnobs.empty()) {
+        std::ostringstream env;
+        for (const std::string &kv : envKnobs)
+            env << kv << "\n";
+        writeFile(fs::path(dir) / kEnvironmentFile, env.str());
+    }
 
     if (hasProgram)
         writeFile(fs::path(dir) / kProgramFile, programText);
@@ -134,8 +155,24 @@ CrashBundle::load(const std::string &dir)
             b.simThreads = std::atoi(val.c_str());
         else if (key == "sim_fusion")
             b.simFusion = std::atoi(val.c_str());
+        else if (key == "request_id")
+            b.requestId = val;
+        else if (key == "sched_mode")
+            b.schedMode = val;
+        else if (key == "sched_threads")
+            b.schedThreads = std::atoi(val.c_str());
+        else if (key == "sched_items_per_task")
+            b.schedItemsPerTask = std::atoi(val.c_str());
         // Unknown keys are skipped so newer bundles load in older
         // builds; the replay just ignores options it predates.
+    }
+
+    if (fs::exists(fs::path(dir) / kEnvironmentFile)) {
+        std::istringstream env(readFile(fs::path(dir) / kEnvironmentFile));
+        std::string kv;
+        while (std::getline(env, kv))
+            if (!kv.empty() && kv.find('=') != std::string::npos)
+                b.envKnobs.push_back(kv);
     }
 
     if (fs::exists(fs::path(dir) / kProgramFile)) {
@@ -151,6 +188,39 @@ CrashBundle::load(const std::string &dir)
         fatal("crash report: '", dir,
               "' has neither program.txt nor a bench= option");
     return b;
+}
+
+std::vector<std::string>
+captureTriqEnv()
+{
+    std::vector<std::string> out;
+    for (char **e = environ; e && *e; ++e)
+        if (std::strncmp(*e, "TRIQ_", 5) == 0)
+            out.emplace_back(*e);
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+int
+applyTriqEnv(const std::vector<std::string> &env_knobs)
+{
+    int applied = 0;
+    for (const std::string &kv : env_knobs) {
+        size_t eq = kv.find('=');
+        if (eq == std::string::npos || eq == 0)
+            continue;
+        std::string name = kv.substr(0, eq);
+        if (name == "TRIQ_FAULT" || name == "TRIQ_FAULT_SEED")
+            continue; // bundled inputs are already post-injection
+#ifndef _WIN32
+        if (setenv(name.c_str(), kv.c_str() + eq + 1, 1) == 0)
+            ++applied;
+#else
+        if (_putenv(kv.c_str()) == 0)
+            ++applied;
+#endif
+    }
+    return applied;
 }
 
 std::string

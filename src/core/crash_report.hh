@@ -17,13 +17,21 @@
  *                     post fault-injection
  *   options.txt       key=value lines: device, level, mapper, budget,
  *                     seed, trials — every triqc flag that shapes the
- *                     pipeline
+ *                     pipeline — plus the request id when the crash
+ *                     happened inside triqd, and the adaptive
+ *                     scheduler's decision for the execution phase
+ *                     when one had been taken before the panic
+ *   environment.txt   every TRIQ_* environment knob that was set in
+ *                     the crashing process, NAME=value per line
  *   error.txt         the panic message
  *
  * `triqc --replay <dir>` reconstructs the exact invocation from the
- * bundle, so an internal error reported from the field reproduces from
- * one artifact with no access to the original machine, environment
- * variables or calibration feed.
+ * bundle — including re-applying the captured TRIQ_* knobs (except
+ * TRIQ_FAULT*, since the bundle's inputs are already post-injection)
+ * and pinning the recorded scheduler decision — so an internal error
+ * reported from the field, or from a live triqd under load, reproduces
+ * from one artifact with no access to the original machine,
+ * environment variables or calibration feed.
  */
 
 #ifndef TRIQ_CORE_CRASH_REPORT_HH
@@ -31,6 +39,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "device/calibration.hh"
 
@@ -77,6 +86,34 @@ struct CrashBundle
     int simThreads = 0;
     int simFusion = 0;
 
+    /**
+     * Request id when the crash happened serving a triqd request
+     * ("" for CLI crashes). Purely forensic: it ties the bundle back
+     * to the client frame and the loadgen log that triggered it.
+     */
+    std::string requestId;
+
+    /**
+     * TRIQ_* environment knobs active in the crashing process, as
+     * NAME=value entries (captureTriqEnv()). Replays re-apply them —
+     * minus TRIQ_FAULT/TRIQ_FAULT_SEED, whose effects are already
+     * baked into the bundled inputs — so knob-dependent behavior
+     * (TRIQ_SCHED_CALIB, TRIQ_SIM_DEDUP, ...) reproduces faithfully.
+     */
+    std::vector<std::string> envKnobs;
+
+    /**
+     * The adaptive scheduler's decision for the execution phase, when
+     * one had been taken before the panic ("" = none recorded). A
+     * server-mode run under load may have fanned out differently than
+     * a quiet replay would; pinning the decision removes that
+     * difference. (Results are bit-identical either way — this is
+     * about reproducing the *timing shape* that exposed the bug.)
+     */
+    std::string schedMode;
+    int schedThreads = 0;
+    int schedItemsPerTask = 1;
+
     /** The panic message (written to error.txt, not read back). */
     std::string error;
 
@@ -95,6 +132,20 @@ struct CrashBundle
 
 /** The default bundle directory for this process: "triq-crash-<pid>". */
 std::string defaultCrashDir();
+
+/**
+ * Snapshot every TRIQ_*-prefixed environment variable as NAME=value
+ * entries, sorted by name (deterministic bundles diff cleanly).
+ */
+std::vector<std::string> captureTriqEnv();
+
+/**
+ * Re-apply captured knobs to this process's environment, skipping
+ * TRIQ_FAULT and TRIQ_FAULT_SEED (bundled inputs are post-injection;
+ * re-arming the injector would corrupt them a second time). Returns
+ * the number of variables set.
+ */
+int applyTriqEnv(const std::vector<std::string> &env_knobs);
 
 /**
  * Collision-proof `base`: returns `base` when free, else the first

@@ -1,0 +1,807 @@
+#include "service/server.hh"
+
+#include <algorithm>
+#include <future>
+
+#include "common/diagnostics.hh"
+#include "common/env.hh"
+#include "common/fault_injector.hh"
+#include "common/logging.hh"
+#include "core/compiler.hh"
+#include "core/crash_report.hh"
+#include "core/mapper.hh"
+#include "device/machines.hh"
+#include "lang/lower.hh"
+#include "lang/qasm_parser.hh"
+#include "service/sweep.hh"
+#include "sim/executor.hh"
+#include "workloads/benchmarks.hh"
+
+namespace triq
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+double
+msSince(Clock::time_point t0)
+{
+    return std::chrono::duration<double, std::milli>(Clock::now() - t0)
+        .count();
+}
+
+/** Completed-latency ring size: enough for any loadgen campaign. */
+constexpr size_t kLatencyRing = 1 << 16;
+
+bool
+parseLevel(const std::string &s, OptLevel &out)
+{
+    if (s == "n")
+        out = OptLevel::N;
+    else if (s == "1q")
+        out = OptLevel::OneQOpt;
+    else if (s == "c")
+        out = OptLevel::OneQOptC;
+    else if (s == "cn")
+        out = OptLevel::OneQOptCN;
+    else
+        return false;
+    return true;
+}
+
+/** Render a request's `id` member as a reply fragment ("" = absent). */
+std::string
+renderId(const JsonValue &rq)
+{
+    const JsonValue *id = rq.find("id");
+    if (!id)
+        return "";
+    JsonWriter w;
+    switch (id->kind) {
+      case JsonValue::Kind::String:
+        w.value(id->string);
+        break;
+      case JsonValue::Kind::Number:
+        w.value(id->number);
+        break;
+      case JsonValue::Kind::Bool:
+        w.value(id->boolean);
+        break;
+      default:
+        return ""; // arrays/objects/null: treat as absent
+    }
+    return w.str();
+}
+
+/** The id as plain text for crash-bundle tagging. */
+std::string
+idText(const JsonValue &rq)
+{
+    const JsonValue *id = rq.find("id");
+    if (!id)
+        return "";
+    if (id->isString())
+        return id->string;
+    if (id->isNumber()) {
+        JsonWriter w;
+        w.value(id->number);
+        return w.str();
+    }
+    return "";
+}
+
+/**
+ * Internal signal: the pipeline glue already built the structured
+ * error reply; unwind to execute() and send it as-is.
+ */
+struct ServerReplyError
+{
+    std::string reply;
+};
+
+/** Percentile of an unsorted sample copy (nearest-rank). */
+double
+percentile(std::vector<double> sample, double p)
+{
+    if (sample.empty())
+        return 0.0;
+    size_t rank = static_cast<size_t>(p * (sample.size() - 1) + 0.5);
+    rank = std::min(rank, sample.size() - 1);
+    std::nth_element(sample.begin(), sample.begin() + rank, sample.end());
+    return sample[rank];
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Config.
+// ---------------------------------------------------------------------
+
+void
+ServerConfig::applyDefaults()
+{
+    if (workers <= 0)
+        workers = envInt("TRIQ_SERVER_THREADS", 2, 1);
+    if (queueCapacity <= 0)
+        queueCapacity = envInt("TRIQ_SERVER_QUEUE", 64, 1);
+    if (timeoutMs < 0.0)
+        timeoutMs = envDouble("TRIQ_SERVER_TIMEOUT_MS", 10000.0, 1.0);
+    if (drainMs < 0.0)
+        drainMs = envDouble("TRIQ_SERVER_DRAIN_MS", 2000.0, 0.0);
+    if (maxRequestBytes <= 0)
+        maxRequestBytes = envInt("TRIQ_SERVER_MAX_BYTES", 1 << 20, 1024);
+    if (budgetMs < 0.0)
+        budgetMs = envDouble("TRIQ_SERVER_BUDGET_MS", 0.0, 0.0);
+    if (maxTrials <= 0)
+        maxTrials = 65536;
+}
+
+// ---------------------------------------------------------------------
+// Lifecycle.
+// ---------------------------------------------------------------------
+
+Server::Server(ServerConfig cfg) : cfg_(std::move(cfg))
+{
+    cfg_.applyDefaults();
+    startTime_ = Clock::now();
+    latencies_.reserve(1024);
+}
+
+Server::~Server()
+{
+    drain();
+}
+
+void
+Server::start()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (started_)
+        return;
+    started_ = true;
+    workers_.reserve(cfg_.workers);
+    for (int i = 0; i < cfg_.workers; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+bool
+Server::draining() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return drainRequested_;
+}
+
+// ---------------------------------------------------------------------
+// Admission.
+// ---------------------------------------------------------------------
+
+void
+Server::submit(const std::string &client, std::string line, Respond respond)
+{
+    {
+        std::lock_guard<std::mutex> lock(statsMutex_);
+        ++counters_.received;
+    }
+
+    // Frame-size guard before any parsing: the cap bounds both parser
+    // work and queue memory, so an oversized frame is rejected in O(1).
+    if (static_cast<long>(line.size()) > cfg_.maxRequestBytes) {
+        {
+            std::lock_guard<std::mutex> lock(statsMutex_);
+            ++counters_.failed;
+        }
+        respond(errorReply(
+            "", "proto.oversized",
+            "frame of " + std::to_string(line.size()) +
+                " bytes exceeds the " +
+                std::to_string(cfg_.maxRequestBytes) + "-byte limit"));
+        return;
+    }
+
+    JsonParseResult parsed = parseJson(line);
+    if (!parsed.ok) {
+        std::lock_guard<std::mutex> lock(statsMutex_);
+        ++counters_.failed;
+        // Released before respond below.
+    }
+    if (!parsed.ok) {
+        respond(errorReply("", "proto.parse",
+                           parsed.error + " at byte " +
+                               std::to_string(parsed.errorAt)));
+        return;
+    }
+    if (!parsed.value.isObject()) {
+        {
+            std::lock_guard<std::mutex> lock(statsMutex_);
+            ++counters_.failed;
+        }
+        respond(errorReply("", "proto.bad-request",
+                           "request frame must be a JSON object"));
+        return;
+    }
+
+    std::string id_json = renderId(parsed.value);
+    std::string op = parsed.value.getString("op");
+
+    // Health and metrics answer inline, bypassing the queue: they must
+    // stay responsive precisely when the queue is full or draining.
+    if (op == "ping") {
+        JsonWriter w;
+        w.beginObject();
+        if (!id_json.empty())
+            w.key("id").raw(id_json);
+        w.key("ok").value(true).key("op").value("ping");
+        w.endObject();
+        {
+            std::lock_guard<std::mutex> lock(statsMutex_);
+            ++counters_.completed;
+        }
+        respond(w.str());
+        return;
+    }
+    if (op == "stats") {
+        JsonWriter w;
+        w.beginObject();
+        if (!id_json.empty())
+            w.key("id").raw(id_json);
+        w.key("ok").value(true).key("op").value("stats");
+        w.key("stats").raw(statsJson());
+        w.endObject();
+        {
+            std::lock_guard<std::mutex> lock(statsMutex_);
+            ++counters_.completed;
+        }
+        respond(w.str());
+        return;
+    }
+    if (op != "compile" && op != "simulate") {
+        {
+            std::lock_guard<std::mutex> lock(statsMutex_);
+            ++counters_.failed;
+        }
+        respond(errorReply(id_json, "proto.bad-request",
+                           op.empty()
+                               ? "request has no \"op\" member"
+                               : "unknown op '" + op + "'"));
+        return;
+    }
+
+    start();
+
+    Pending p;
+    p.request = std::move(parsed.value);
+    p.idJson = id_json;
+    p.client = client;
+    p.respond = std::move(respond);
+    p.enqueued = Clock::now();
+    p.timeoutMs = p.request.getNumber("timeout_ms", cfg_.timeoutMs);
+    if (p.timeoutMs <= 0.0)
+        p.timeoutMs = cfg_.timeoutMs;
+
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        if (drainRequested_) {
+            lock.unlock();
+            {
+                std::lock_guard<std::mutex> slock(statsMutex_);
+                ++counters_.cancelled;
+            }
+            p.respond(errorReply(id_json, "server.draining",
+                                 "server is shutting down"));
+            return;
+        }
+        if (queued_ >= cfg_.queueCapacity) {
+            lock.unlock();
+            {
+                std::lock_guard<std::mutex> slock(statsMutex_);
+                ++counters_.rejected;
+            }
+            p.respond(errorReply(
+                id_json, "server.overloaded",
+                "admission queue is full (" +
+                    std::to_string(cfg_.queueCapacity) +
+                    " requests); retry with backoff"));
+            return;
+        }
+        queues_[client].push_back(std::move(p));
+        ++queued_;
+    }
+    workReady_.notify_one();
+}
+
+std::string
+Server::processLine(const std::string &client, const std::string &line)
+{
+    std::promise<std::string> done;
+    std::future<std::string> reply = done.get_future();
+    submit(client, line,
+           [&done](std::string r) { done.set_value(std::move(r)); });
+    return reply.get();
+}
+
+// ---------------------------------------------------------------------
+// Fair scheduling.
+// ---------------------------------------------------------------------
+
+bool
+Server::popNext(Pending &out)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    workReady_.wait(lock, [this] { return queued_ > 0 || stopping_; });
+    if (queued_ == 0)
+        return false; // stopping
+
+    // Round-robin across clients: resume after the client served last,
+    // wrapping; within a client, FIFO. One chatty client therefore
+    // interleaves 1:1 with every waiting neighbor.
+    auto it = queues_.upper_bound(lastClient_);
+    for (size_t step = 0; step <= queues_.size(); ++step, ++it) {
+        if (it == queues_.end())
+            it = queues_.begin();
+        if (!it->second.empty())
+            break;
+    }
+    if (it == queues_.end() || it->second.empty())
+        panic("Server::popNext: queued_ > 0 but no pending request");
+    out = std::move(it->second.front());
+    it->second.pop_front();
+    lastClient_ = it->first;
+    if (it->second.empty())
+        queues_.erase(it);
+    --queued_;
+    ++active_;
+    return true;
+}
+
+void
+Server::finish(Pending &&p)
+{
+    std::string reply = execute(p);
+    try {
+        p.respond(std::move(reply));
+    } catch (...) {
+        // A respond callback that throws (dead socket) must not take
+        // the worker down with it.
+    }
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        --active_;
+    }
+    idle_.notify_all();
+}
+
+void
+Server::workerLoop()
+{
+    Pending p;
+    while (popNext(p))
+        finish(std::move(p));
+}
+
+void
+Server::drain()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!started_) {
+            drainRequested_ = true;
+            return;
+        }
+        drainRequested_ = true;
+    }
+
+    // Phase 1: give queued work the drain window to finish.
+    auto deadline =
+        Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double, std::milli>(
+                               cfg_.drainMs));
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        idle_.wait_until(lock, deadline, [this] {
+            return queued_ == 0 && active_ == 0;
+        });
+    }
+
+    // Phase 2: the deadline fired — cancel whatever is still queued.
+    std::vector<Pending> cancelled;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (auto &[client, q] : queues_)
+            for (Pending &p : q)
+                cancelled.push_back(std::move(p));
+        queues_.clear();
+        queued_ = 0;
+    }
+    for (Pending &p : cancelled) {
+        {
+            std::lock_guard<std::mutex> lock(statsMutex_);
+            ++counters_.cancelled;
+        }
+        try {
+            p.respond(errorReply(p.idJson, "server.draining",
+                                 "cancelled by shutdown drain"));
+        } catch (...) {
+        }
+    }
+
+    // Phase 3: wait out in-flight requests (bounded by their budgets
+    // and trial caps), then stop and join the workers.
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        idle_.wait(lock, [this] { return active_ == 0; });
+        stopping_ = true;
+    }
+    workReady_.notify_all();
+    for (std::thread &t : workers_)
+        t.join();
+    workers_.clear();
+}
+
+// ---------------------------------------------------------------------
+// Execution.
+// ---------------------------------------------------------------------
+
+std::string
+Server::execute(const Pending &p)
+{
+    double waited_ms = msSince(p.enqueued);
+    if (waited_ms > p.timeoutMs) {
+        std::lock_guard<std::mutex> lock(statsMutex_);
+        ++counters_.timeouts;
+        return errorReply(p.idJson, "server.timeout",
+                          "request waited " + std::to_string(waited_ms) +
+                              " ms in queue (timeout " +
+                              std::to_string(p.timeoutMs) + " ms)");
+    }
+
+    // The bundle context fills in as the request resolves (bench name,
+    // post-injection program text, calibration); on panic whatever was
+    // reached is what gets dumped.
+    CrashBundle crash;
+    crash.requestId = idText(p.request);
+
+    try {
+        std::string reply = executeCompileOrSimulate(p, crash);
+        {
+            std::lock_guard<std::mutex> lock(statsMutex_);
+            ++counters_.completed;
+        }
+        recordLatency(msSince(p.enqueued));
+        return reply;
+    } catch (const ServerReplyError &e) {
+        // Structured refusal from inside the pipeline glue.
+        std::lock_guard<std::mutex> lock(statsMutex_);
+        ++counters_.failed;
+        return e.reply;
+    } catch (const FatalError &e) {
+        std::lock_guard<std::mutex> lock(statsMutex_);
+        ++counters_.failed;
+        return errorReply(p.idJson, "input.invalid", e.what());
+    } catch (const std::exception &e) {
+        // PanicError or any other escape: a TriQ bug. Dump a bundle
+        // tagged with the request id, answer structurally, keep
+        // serving.
+        crash.error = e.what();
+        crash.envKnobs = captureTriqEnv();
+        std::string extra;
+        try {
+            std::string dir = resolveCrashDir(
+                cfg_.crashDir.empty() ? defaultCrashDir()
+                                      : cfg_.crashDir);
+            crash.write(dir);
+            extra = "\"crash_dir\": \"" + jsonEscape(dir) + "\"";
+            warn("triqd: request ",
+                 crash.requestId.empty() ? std::string("<no id>")
+                                         : crash.requestId,
+                 " panicked; crash report written to '", dir, "/'");
+        } catch (...) {
+            extra.clear(); // never let bundle I/O take the worker down
+        }
+        {
+            std::lock_guard<std::mutex> lock(statsMutex_);
+            ++counters_.crashes;
+        }
+        return errorReply(p.idJson, "internal.panic", e.what(), extra);
+    }
+}
+
+std::string
+Server::executeCompileOrSimulate(const Pending &p, CrashBundle &crash)
+{
+    const JsonValue &rq = p.request;
+    const std::string op = rq.getString("op");
+    auto refuse = [&](const std::string &code, const std::string &msg,
+                      const std::string &extra = "") -> ServerReplyError {
+        return ServerReplyError{errorReply(p.idJson, code, msg, extra)};
+    };
+
+    // Fault injector: a request can arm its own (the loadgen fault
+    // mode), else the daemon-wide TRIQ_FAULT env applies.
+    FaultInjector inj = FaultInjector::fromEnv();
+    if (const JsonValue *fault = rq.find("fault")) {
+        if (!fault->isString())
+            throw refuse("proto.bad-request",
+                         "\"fault\" must be a string of fault classes");
+        const std::string &s = fault->string;
+        auto has = [&](const char *w) {
+            return s.find(w) != std::string::npos;
+        };
+        FaultInjector::Classes classes;
+        classes.calibration = has("calib") || has("all");
+        classes.text = has("text") || has("all");
+        classes.panic = has("panic");
+        inj = FaultInjector(
+            classes,
+            static_cast<uint64_t>(rq.getNumber("fault_seed", 1.0)));
+    }
+
+    // Program front end: a study benchmark by name or inline source.
+    Circuit program;
+    std::string display;
+    const std::string bench = rq.getString("bench");
+    const JsonValue *prog = rq.find("program");
+    if (!bench.empty() && prog)
+        throw refuse("proto.bad-request",
+                     "request has both \"bench\" and \"program\"");
+    if (!bench.empty()) {
+        crash.benchName = bench;
+        display = bench;
+        try {
+            program = makeBenchmark(bench);
+        } catch (const FatalError &e) {
+            throw refuse("input.invalid", e.what());
+        }
+    } else if (prog) {
+        if (!prog->isString())
+            throw refuse("proto.bad-request",
+                         "\"program\" must be a string of source text");
+        bool qasm =
+            rq.getBool("qasm", false) || rq.getString("lang") == "qasm";
+        std::string text =
+            inj.armsText() ? inj.corruptText(prog->string) : prog->string;
+        crash.programText = text;
+        crash.hasProgram = true;
+        crash.qasm = qasm;
+        display = "<program>";
+        Diagnostics diags(qasm ? "qasm" : "scaff");
+        program = qasm ? parseOpenQasm(text, diags)
+                       : compileScaffLite(text, diags);
+        if (diags.hasErrors())
+            throw refuse("input.parse",
+                         "program has " +
+                             std::to_string(diags.errorCount()) +
+                             " error(s)",
+                         "\"diagnostics\": " + diags.json());
+    } else {
+        throw refuse("proto.bad-request",
+                     op + " needs a \"bench\" name or \"program\" source");
+    }
+
+    // Device and calibration day.
+    static const std::vector<Device> kDevices = allStudyDevices();
+    const std::string dev_name = rq.getString("device", "IBMQ5");
+    const Device *dev = nullptr;
+    for (const Device &d : kDevices)
+        if (d.name() == dev_name)
+            dev = &d;
+    if (!dev) {
+        std::string known;
+        for (const Device &d : kDevices)
+            known += (known.empty() ? "" : ", ") + d.name();
+        throw refuse("proto.bad-request", "unknown device '" + dev_name +
+                                              "' (known: " + known + ")");
+    }
+    crash.device = dev->name();
+    if (program.numQubits() > dev->numQubits())
+        throw refuse("input.too-large",
+                     display + " needs " +
+                         std::to_string(program.numQubits()) +
+                         " qubits but " + dev->name() + " has " +
+                         std::to_string(dev->numQubits()));
+
+    const int day = static_cast<int>(rq.getNumber("day", 0.0));
+    crash.day = day;
+    Calibration calib = dev->calibrate(day);
+    if (inj.armsCalibration())
+        injectCalibrationFaults(calib, inj);
+    crash.calibration = calib;
+    crash.hasCalibration = true;
+
+    // Compile options.
+    CompileOptions opts;
+    const std::string level = rq.getString("level", "cn");
+    if (!parseLevel(level, opts.level))
+        throw refuse("proto.bad-request",
+                     "unknown level '" + level +
+                         "' (expected n, 1q, c or cn)");
+    crash.level = level;
+    const std::string mapper = rq.getString("mapper", "bnb");
+    try {
+        opts.mapping.kind = mapperKindFromString(mapper);
+    } catch (const FatalError &e) {
+        throw refuse("proto.bad-request", e.what());
+    }
+    crash.mapper = mapper;
+    opts.peephole = rq.getBool("peephole", false);
+    opts.strictCalibration = rq.getBool("strict_calibration", false);
+    crash.peephole = opts.peephole;
+    crash.strictCalibration = opts.strictCalibration;
+    const double budget_ms = rq.getNumber("budget_ms", cfg_.budgetMs);
+    if (budget_ms > 0.0) {
+        opts.budget = CompileBudget::withDeadlineMs(budget_ms);
+        crash.budgetMs = budget_ms;
+    }
+
+    // The deterministic synthetic crash (TRIQ_FAULT=panic or a request
+    // "fault":"panic"): exercises the bundle-dump + keep-serving path.
+    if (inj.armsPanic())
+        panic("synthetic fault-injection panic (fault class 'panic')");
+
+    // Compile through the hot process-wide cache. A budget-armed
+    // compile bypasses it (determinism contract), which
+    // compileThroughCache handles internally.
+    const bool cache_on = envInt("TRIQ_CACHE", 1, 0) != 0;
+    const double drift = rq.getNumber("drift", -1.0);
+    CachedCompile cc =
+        compileThroughCache(cache_on ? &cache_ : nullptr, program, *dev,
+                            day, calib, opts, drift);
+
+    JsonWriter w;
+    w.beginObject();
+    if (!p.idJson.empty())
+        w.key("id").raw(p.idJson);
+    w.key("ok").value(true).key("op").value(op);
+    w.key("bench").value(display);
+    w.key("device").value(dev->name()).key("day").value(day);
+    w.key("level").value(level);
+    w.key("source").value(cellSourceName(cc.source));
+    w.key("fingerprint").value(cc.fingerprint.str());
+    w.key("esp").value(cc.esp);
+    w.key("esp_at_compile").value(cc.espAtCompile);
+    w.key("swaps").value(cc.result->swapCount);
+    w.key("two_q").value(cc.result->stats.twoQ);
+    w.key("pulses_1q").value(cc.result->stats.pulses1q);
+    w.key("compile_ms").value(cc.result->compileMs);
+    w.key("degraded").value(cc.result->report.degraded);
+    w.key("deadline_hit").value(cc.result->report.deadlineHit);
+    if (rq.getBool("assembly", false))
+        w.key("assembly").value(cc.result->assembly);
+
+    if (op == "simulate") {
+        int trials = static_cast<int>(rq.getNumber("trials", 1000.0));
+        trials = std::max(1, std::min(trials, cfg_.maxTrials));
+        const uint64_t seed =
+            static_cast<uint64_t>(rq.getNumber("seed", 12345.0));
+        crash.trials = trials;
+        crash.seed = seed;
+        // Serial per request: cross-request concurrency comes from the
+        // server's own workers, and the shared process pool must not
+        // be entered from several workers at once.
+        ExecOptions eo;
+        eo.threads = 1;
+        crash.simThreads = 1;
+        ExecutionResult run =
+            executeNoisy(cc.result->hwCircuit, *dev, calib, trials, seed,
+                         eo);
+        crash.schedMode = run.sched.mode();
+        crash.schedThreads = run.sched.threads;
+        crash.schedItemsPerTask = run.sched.itemsPerTask;
+        w.key("trials").value(run.trials);
+        w.key("success_rate").value(run.successRate);
+        w.key("correct_is_modal").value(run.correctIsModal);
+        w.key("sim_esp").value(run.esp);
+        w.key("no_error_prob").value(run.noErrorProb);
+        w.key("trajectories").value(run.simulatedTrajectories);
+    }
+    w.endObject();
+    return w.str();
+}
+
+std::string
+Server::errorReply(const std::string &id_json, const std::string &code,
+                   const std::string &message,
+                   const std::string &extra_json) const
+{
+    JsonWriter w;
+    w.beginObject();
+    if (!id_json.empty())
+        w.key("id").raw(id_json);
+    else
+        w.key("id").null();
+    w.key("ok").value(false);
+    w.key("error").beginObject();
+    w.key("code").value(code).key("message").value(message);
+    if (!extra_json.empty())
+        w.raw(extra_json);
+    w.endObject().endObject();
+    return w.str();
+}
+
+void
+Server::recordLatency(double ms)
+{
+    std::lock_guard<std::mutex> lock(statsMutex_);
+    ++counters_.latencyCount;
+    if (latencies_.size() < kLatencyRing) {
+        latencies_.push_back(ms);
+    } else {
+        latencies_[latencyNext_] = ms;
+        latencyNext_ = (latencyNext_ + 1) % kLatencyRing;
+    }
+}
+
+ServerStats
+Server::stats() const
+{
+    int queue_depth, active;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        queue_depth = queued_;
+        active = active_;
+    }
+    ServerStats out;
+    std::vector<double> sample;
+    {
+        std::lock_guard<std::mutex> lock(statsMutex_);
+        out = counters_;
+        sample = latencies_;
+    }
+    out.queueDepth = queue_depth;
+    out.active = active;
+    out.uptimeMs = msSince(startTime_);
+    out.p50Ms = percentile(sample, 0.50);
+    out.p99Ms = percentile(sample, 0.99);
+    out.maxMs = sample.empty()
+                    ? 0.0
+                    : *std::max_element(sample.begin(), sample.end());
+    out.cache = cache_.stats();
+    return out;
+}
+
+std::string
+Server::statsJson() const
+{
+    ServerStats s = stats();
+    JsonWriter w;
+    w.beginObject();
+    w.key("uptime_ms").value(s.uptimeMs);
+    w.key("received").value(s.received);
+    w.key("completed").value(s.completed);
+    w.key("failed").value(s.failed);
+    w.key("rejected").value(s.rejected);
+    w.key("timeouts").value(s.timeouts);
+    w.key("cancelled").value(s.cancelled);
+    w.key("crashes").value(s.crashes);
+    w.key("queue_depth").value(s.queueDepth);
+    w.key("active").value(s.active);
+    w.key("latency_ms")
+        .beginObject()
+        .key("count")
+        .value(s.latencyCount)
+        .key("p50")
+        .value(s.p50Ms)
+        .key("p99")
+        .value(s.p99Ms)
+        .key("max")
+        .value(s.maxMs)
+        .endObject();
+    w.key("cache")
+        .beginObject()
+        .key("lookups")
+        .value(s.cache.lookups)
+        .key("hits")
+        .value(s.cache.hits)
+        .key("misses")
+        .value(s.cache.misses)
+        .key("inserts")
+        .value(s.cache.inserts)
+        .key("evictions")
+        .value(s.cache.evictions)
+        .endObject();
+    w.endObject();
+    return w.str();
+}
+
+} // namespace triq

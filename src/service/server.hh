@@ -1,0 +1,258 @@
+/**
+ * @file
+ * The triqd request engine: a long-lived compile-and-simulate service
+ * wrapped in production armor (see DESIGN.md, "triqd server").
+ *
+ * quilc ships its industrial-strength compiler as a persistent daemon
+ * because cold start dominates interactive use; this is the same shape
+ * for TriQ. One Server owns the process-wide CompileCache and drives
+ * requests through the existing hardened pipeline (budgets, calibration
+ * sanitization, structured diagnostics, crash bundles), adding what a
+ * one-shot CLI cannot have:
+ *
+ *  - Admission control: a bounded queue (TRIQ_SERVER_QUEUE). A request
+ *    arriving at a full queue is rejected *immediately* with a
+ *    structured `server.overloaded` error — overload sheds load, it
+ *    never builds an unbounded backlog.
+ *  - Fair queueing: queued requests are grouped per client and workers
+ *    pop them round-robin across clients, so one client streaming a
+ *    thousand compiles cannot starve an interactive neighbor.
+ *  - Timeouts: a request that waited in the queue past its deadline
+ *    (request `timeout_ms`, default TRIQ_SERVER_TIMEOUT_MS) is answered
+ *    with `server.timeout` instead of being run pointlessly.
+ *  - Graceful degradation: every failure mode is a one-line JSON error
+ *    reply, never a dead connection or a dead daemon. PanicErrors
+ *    (TriQ bugs) additionally dump a crash-report bundle tagged with
+ *    the request id, then the daemon keeps serving.
+ *  - Graceful drain: drain() stops admission, lets in-flight work
+ *    finish, cancels whatever is still queued when the drain deadline
+ *    (TRIQ_SERVER_DRAIN_MS) fires, and leaves the metrics readable.
+ *
+ * The engine is transport-free: submit() takes a raw frame plus a
+ * respond callback, so the same code serves a Unix socket (triqd), a
+ * stdin/stdout pipe (triqd --stdio) and the in-process test suites.
+ *
+ * Protocol: newline-delimited JSON, one request per line, one reply
+ * line per request (correlate by `id` — replies may be reordered
+ * across clients, never within one client's serial request stream).
+ *
+ *   {"id":"r1","op":"compile","bench":"BV4","device":"IBMQ5",
+ *    "level":"cn","day":3}
+ *   {"id":"r2","op":"simulate","bench":"QFT","device":"UMDTI",
+ *    "trials":500,"seed":7}
+ *   {"id":"r3","op":"stats"}
+ *   {"id":"r4","op":"ping"}
+ *
+ * Reply: {"id":"r1","ok":true,...} or
+ *        {"id":"r1","ok":false,"error":{"code":"...","message":"..."}}.
+ *
+ * Error taxonomy (stable codes, see DESIGN.md for the full table):
+ *   proto.parse proto.oversized proto.bad-request   — bad frames
+ *   input.parse input.invalid input.too-large       — bad programs/data
+ *   server.overloaded server.timeout server.draining — load shedding
+ *   internal.panic                                  — a TriQ bug
+ *     (+ crash_dir: the replayable bundle, tagged with the request id)
+ */
+
+#ifndef TRIQ_SERVICE_SERVER_HH
+#define TRIQ_SERVICE_SERVER_HH
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/compile_cache.hh"
+#include "service/wire.hh"
+
+namespace triq
+{
+
+struct CrashBundle;
+
+/** Tuning knobs; non-positive fields fall back to TRIQ_SERVER_* env. */
+struct ServerConfig
+{
+    /** Worker threads executing requests (TRIQ_SERVER_THREADS, def 2). */
+    int workers = 0;
+
+    /**
+     * Max requests queued across all clients (TRIQ_SERVER_QUEUE,
+     * default 64). Arrivals past the cap are rejected immediately.
+     */
+    int queueCapacity = 0;
+
+    /**
+     * Queue-wait deadline in ms (TRIQ_SERVER_TIMEOUT_MS, default
+     * 10000). A request may override it down or up with `timeout_ms`.
+     */
+    double timeoutMs = -1.0;
+
+    /**
+     * Drain deadline in ms (TRIQ_SERVER_DRAIN_MS, default 2000): how
+     * long drain() waits for queued work before cancelling it.
+     */
+    double drainMs = -1.0;
+
+    /** Frame size cap in bytes (TRIQ_SERVER_MAX_BYTES, default 1 MiB). */
+    long maxRequestBytes = 0;
+
+    /**
+     * Default per-request compile budget in ms (TRIQ_SERVER_BUDGET_MS,
+     * default 0 = unlimited). Armed budgets make the pipeline anytime
+     * but bypass the compile cache (the determinism contract), so the
+     * default favors cache heat; requests can arm one with `budget_ms`.
+     */
+    double budgetMs = -1.0;
+
+    /** Trial cap for simulate requests (default 65536). */
+    int maxTrials = 0;
+
+    /** Crash-bundle directory base ("" = triq-crash-<pid>). */
+    std::string crashDir;
+
+    /** Resolve every non-positive field from its env knob / default. */
+    void applyDefaults();
+};
+
+/** A point-in-time metrics snapshot (the `stats` reply body). */
+struct ServerStats
+{
+    long received = 0;   //!< Frames submitted (any outcome).
+    long completed = 0;  //!< Requests answered ok:true.
+    long failed = 0;     //!< Structured error replies (bad input etc.).
+    long rejected = 0;   //!< server.overloaded admissions.
+    long timeouts = 0;   //!< server.timeout replies.
+    long cancelled = 0;  //!< server.draining replies.
+    long crashes = 0;    //!< internal.panic replies (bundles written).
+    int queueDepth = 0;  //!< Requests currently queued.
+    int active = 0;      //!< Requests currently executing.
+    double uptimeMs = 0.0;
+
+    /** Completed-request latency distribution (admission to reply). */
+    long latencyCount = 0;
+    double p50Ms = 0.0;
+    double p99Ms = 0.0;
+    double maxMs = 0.0;
+
+    CompileCache::Stats cache;
+};
+
+/** The transport-free triqd engine. */
+class Server
+{
+  public:
+    /** Callback delivering one reply line (no trailing newline). */
+    using Respond = std::function<void(std::string)>;
+
+    explicit Server(ServerConfig cfg = {});
+
+    /** Drains (cancelling queued work) and joins the workers. */
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /** Spawn the worker threads. Idempotent; submit() calls it. */
+    void start();
+
+    /**
+     * Submit one frame from `client` (any stable connection name; the
+     * fairness unit). `respond` is invoked exactly once with the reply
+     * line — inline for admission rejections, ping, stats and parse
+     * errors; from a worker thread for queued work. Thread-safe.
+     */
+    void submit(const std::string &client, std::string line,
+                Respond respond);
+
+    /** Synchronous submit-and-wait (tests and the stdio transport). */
+    std::string processLine(const std::string &client,
+                            const std::string &line);
+
+    /**
+     * Stop admitting, finish in-flight and queued work within the
+     * drain deadline, cancel the rest with `server.draining` replies,
+     * then stop the workers. Idempotent; safe from signal-driven
+     * shutdown paths (not from a worker thread).
+     */
+    void drain();
+
+    /** True once drain() has begun; new submissions are cancelled. */
+    bool draining() const;
+
+    ServerStats stats() const;
+
+    /** The stats reply body as a JSON object fragment. */
+    std::string statsJson() const;
+
+    const ServerConfig &config() const { return cfg_; }
+
+    /** The hot process-wide artifact memo this server owns. */
+    CompileCache &cache() { return cache_; }
+
+  private:
+    struct Pending
+    {
+        JsonValue request;
+        std::string idJson; //!< Pre-rendered id fragment ("" = absent).
+        std::string client;
+        Respond respond;
+        std::chrono::steady_clock::time_point enqueued;
+        double timeoutMs = 0.0;
+    };
+
+    void workerLoop();
+    bool popNext(Pending &out);
+    void finish(Pending &&p);
+
+    /** Execute one admitted request; returns the reply line. */
+    std::string execute(const Pending &p);
+
+    /**
+     * The compile/simulate pipeline glue. `crash` accumulates replay
+     * context (post-injection program text, calibration, options) as
+     * the request resolves; execute() dumps it if this panics.
+     */
+    std::string executeCompileOrSimulate(const Pending &p,
+                                         CrashBundle &crash);
+
+    std::string errorReply(const std::string &id_json,
+                           const std::string &code,
+                           const std::string &message,
+                           const std::string &extra_json = "") const;
+
+    void recordLatency(double ms);
+
+    ServerConfig cfg_;
+    CompileCache cache_;
+
+    mutable std::mutex mutex_;
+    std::condition_variable workReady_;
+    std::condition_variable idle_;
+    /** Per-client FIFO queues; fairness iterates round-robin. */
+    std::map<std::string, std::deque<Pending>> queues_;
+    /** Round-robin cursor: the client served last. */
+    std::string lastClient_;
+    int queued_ = 0;
+    int active_ = 0;
+    bool started_ = false;
+    bool drainRequested_ = false;
+    bool stopping_ = false;
+    std::vector<std::thread> workers_;
+
+    std::chrono::steady_clock::time_point startTime_;
+
+    mutable std::mutex statsMutex_;
+    ServerStats counters_;
+    std::vector<double> latencies_; //!< Ring buffer, newest overwrite.
+    size_t latencyNext_ = 0;
+};
+
+} // namespace triq
+
+#endif // TRIQ_SERVICE_SERVER_HH

@@ -8,6 +8,7 @@
 #include <unordered_map>
 
 #include "common/env.hh"
+#include "common/fault_injector.hh"
 #include "common/logging.hh"
 #include "common/sched.hh"
 #include "common/thread_pool.hh"
@@ -81,6 +82,8 @@ cellSourceName(CellSource s)
         return "drift_reuse";
       case CellSource::Skipped:
         return "skipped";
+      case CellSource::Error:
+        return "error";
     }
     panic("cellSourceName: unknown source");
 }
@@ -221,11 +224,18 @@ runSweep(const SweepConfig &config, CompileCache *cache)
         uint64_t signature;
         uint64_t sanitizeDigest;
     };
+    // The TRIQ_FAULT=calib contract applies to the sweep's calibration
+    // feed too: corrupt it here, *before* signatures are taken, so the
+    // engine's degradation paths (sanitize-and-warn, or per-cell Error
+    // under strictCalibration) are reachable from any harness.
+    FaultInjector fault_inj = FaultInjector::fromEnv();
     std::vector<std::map<int, DayCalib>> day_calib(nd);
     for (int di = 0; di < nd; ++di)
         for (int day : days) {
             DayCalib dc;
             dc.calib = config.devices[di].calibrate(day);
+            if (fault_inj.armsCalibration())
+                injectCalibrationFaults(dc.calib, fault_inj);
             dc.signature = calibrationSignature(dc.calib);
             dc.sanitizeDigest = calibrationSanitizeDigest(
                 dc.calib, config.devices[di].topology());
@@ -358,6 +368,11 @@ runSweep(const SweepConfig &config, CompileCache *cache)
 
             auto t0 = Clock::now();
             bool drift_refused = false;
+            // A throwing cell (strict calibration rejecting a corrupt
+            // feed, or any pipeline failure) is recorded and contained
+            // *inside* the worker: letting it escape would poison
+            // pool.wait() and void every other cell of the sweep.
+            try {
             if (use_cache) {
                 if (auto hit = cache->find(cell.fingerprint)) {
                     cell.result = hit->result;
@@ -400,6 +415,14 @@ runSweep(const SweepConfig &config, CompileCache *cache)
                 std::lock_guard<std::mutex> lock(stats_mutex);
                 ++out.stats.driftRecompiles;
             }
+            } catch (const std::exception &e) {
+                cell.result.reset();
+                cell.source = CellSource::Error;
+                cell.error = e.what();
+                cell.esp = 0.0;
+                cell.espAtCompile = 0.0;
+                cell.ms = msSince(t0);
+            }
         });
         dec.actualMs = msSince(t_day);
         recordDecision(out.stats, dec, first_day);
@@ -417,6 +440,7 @@ runSweep(const SweepConfig &config, CompileCache *cache)
                                   ? CellSource::CacheHit
                                   : rep.source;
                 cell.espAtCompile = rep.espAtCompile;
+                cell.error = rep.error; // Error reps poison their twins
                 cell.ms = 0.0;
             }
         }
@@ -426,7 +450,8 @@ runSweep(const SweepConfig &config, CompileCache *cache)
     // calibration (a cross-day hit keeps the same circuit but idles
     // under different error rates).
     for (SweepCell &cell : out.cells) {
-        if (cell.source == CellSource::Skipped || !cell.result)
+        if (cell.source == CellSource::Skipped ||
+            cell.source == CellSource::Error || !cell.result)
             continue;
         if (cell.source == CellSource::Compiled) {
             ++out.stats.compiles;
@@ -444,9 +469,15 @@ runSweep(const SweepConfig &config, CompileCache *cache)
     for (const SweepCell &cell : out.cells) {
         if (cell.source == CellSource::Skipped)
             ++out.stats.skipped;
+        else if (cell.source == CellSource::Error)
+            ++out.stats.errors;
         else
             ++out.stats.cells;
     }
+    if (out.stats.errors > 0)
+        warn("runSweep: ", out.stats.errors,
+             " cell(s) failed and were recorded as errors; ",
+             out.stats.cells, " cell(s) completed");
     // stats.threads was folded in per day by recordDecision (max over
     // the days' decisions; 1 when every day ran serial).
     out.stats.wallMs = msSince(t_start);

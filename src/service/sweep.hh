@@ -105,9 +105,20 @@ enum class CellSource
     CacheHit,   //!< Exact-fingerprint hit: bit-identical to a cold compile.
     DriftReuse, //!< Stale CN artifact reused within the drift threshold.
     Skipped,    //!< Program needs more qubits than the device has.
+
+    /**
+     * The cell's compile threw (e.g. strict calibration rejected a
+     * corrupt feed). The error is recorded in SweepCell::error and the
+     * sweep carries on — one poisoned (device, day) must not void the
+     * rest of a grid that took hours to evaluate.
+     */
+    Error,
 };
 
-/** Display name ("compiled", "cache_hit", "drift_reuse", "skipped"). */
+/**
+ * Display name ("compiled", "cache_hit", "drift_reuse", "skipped",
+ * "error").
+ */
 std::string cellSourceName(CellSource s);
 
 /** One evaluated grid cell. */
@@ -138,13 +149,17 @@ struct SweepCell
 
     /** Wall-clock spent obtaining this cell (compile or lookup), ms. */
     double ms = 0.0;
+
+    /** Why the cell failed ("" unless source == CellSource::Error). */
+    std::string error;
 };
 
 /** Aggregate counters of one runSweep call. */
 struct SweepStats
 {
-    int cells = 0;      //!< Evaluated cells (excluding Skipped).
+    int cells = 0;      //!< Evaluated cells (excluding Skipped/Error).
     int skipped = 0;    //!< Program-too-large cells.
+    int errors = 0;     //!< Cells whose compile threw (CellSource::Error).
     int compiles = 0;   //!< Cold compiles actually run.
     int cacheHits = 0;  //!< Exact-fingerprint reuses.
     int driftReuses = 0;    //!< Within-threshold stale reuses.

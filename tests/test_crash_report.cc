@@ -14,6 +14,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -22,6 +23,7 @@
 #include "common/logging.hh"
 #include "core/crash_report.hh"
 #include "device/machines.hh"
+#include "service/server.hh"
 
 using namespace triq;
 namespace fs = std::filesystem;
@@ -149,6 +151,97 @@ TEST(CrashReport, BenchOnlyBundleOmitsProgramFile)
     EXPECT_EQ(r.benchName, "BV4");
     EXPECT_FALSE(r.hasProgram);
     EXPECT_FALSE(r.hasCalibration);
+}
+
+TEST(CrashReport, RequestIdEnvAndSchedContextRoundTrip)
+{
+    // The server-mode fields: a daemon bundle is tagged with the
+    // request id, the TRIQ_* environment at crash time, and the
+    // scheduler decision in force — everything `triqc --replay` needs
+    // to reproduce a server-side run outside the server.
+    CrashBundle b;
+    b.benchName = "BV4";
+    b.requestId = "c3-r17";
+    b.envKnobs = {"TRIQ_CACHE=1", "TRIQ_SWEEP_THREADS=4"};
+    b.schedMode = "threaded";
+    b.schedThreads = 4;
+    b.schedItemsPerTask = 8;
+    b.error = "boom";
+
+    TempDir tmp;
+    std::string dir = (tmp.path / "bundle").string();
+    b.write(dir);
+
+    std::string env = slurp(fs::path(dir) / "environment.txt");
+    EXPECT_NE(env.find("TRIQ_CACHE=1"), std::string::npos) << env;
+    EXPECT_NE(env.find("TRIQ_SWEEP_THREADS=4"), std::string::npos);
+
+    CrashBundle r = CrashBundle::load(dir);
+    EXPECT_EQ(r.requestId, "c3-r17");
+    EXPECT_EQ(r.envKnobs, b.envKnobs);
+    EXPECT_EQ(r.schedMode, "threaded");
+    EXPECT_EQ(r.schedThreads, 4);
+    EXPECT_EQ(r.schedItemsPerTask, 8);
+}
+
+TEST(CrashReport, CliBundlesOmitServerOnlyFields)
+{
+    // A plain CLI bundle has no request id, env capture or sched
+    // decision; neither file section may appear, and loading one in a
+    // newer build leaves the fields at their defaults.
+    CrashBundle b;
+    b.benchName = "BV4";
+    b.error = "boom";
+
+    TempDir tmp;
+    std::string dir = (tmp.path / "bundle").string();
+    b.write(dir);
+    EXPECT_FALSE(fs::exists(fs::path(dir) / "environment.txt"));
+    EXPECT_EQ(slurp(fs::path(dir) / "options.txt").find("request_id"),
+              std::string::npos);
+
+    CrashBundle r = CrashBundle::load(dir);
+    EXPECT_TRUE(r.requestId.empty());
+    EXPECT_TRUE(r.envKnobs.empty());
+    EXPECT_TRUE(r.schedMode.empty());
+}
+
+TEST(CrashReport, CaptureTriqEnvSeesOnlyTriqKnobs)
+{
+    ASSERT_EQ(setenv("TRIQ_TEST_CAPTURE_KNOB", "abc", 1), 0);
+    ASSERT_EQ(setenv("NOT_TRIQ_TEST_KNOB", "zzz", 1), 0);
+    std::vector<std::string> knobs = captureTriqEnv();
+    unsetenv("TRIQ_TEST_CAPTURE_KNOB");
+    unsetenv("NOT_TRIQ_TEST_KNOB");
+
+    bool saw_triq = false;
+    for (const std::string &kv : knobs) {
+        EXPECT_EQ(kv.rfind("TRIQ_", 0), 0u) << kv;
+        if (kv == "TRIQ_TEST_CAPTURE_KNOB=abc")
+            saw_triq = true;
+    }
+    EXPECT_TRUE(saw_triq);
+    EXPECT_TRUE(std::is_sorted(knobs.begin(), knobs.end()));
+}
+
+TEST(CrashReport, ApplyTriqEnvSetsKnobsButNeverRearmsFaults)
+{
+    unsetenv("TRIQ_FAULT");
+    unsetenv("TRIQ_FAULT_SEED");
+    unsetenv("TRIQ_TEST_APPLY_KNOB");
+
+    // The bundle's inputs are post-injection, so re-applying the fault
+    // knobs would inject twice on replay; they are skipped by contract.
+    int applied = applyTriqEnv({"TRIQ_TEST_APPLY_KNOB=42",
+                                "TRIQ_FAULT=panic", "TRIQ_FAULT_SEED=3",
+                                "malformed-no-equals", "=no-name"});
+    EXPECT_EQ(applied, 1);
+    const char *v = getenv("TRIQ_TEST_APPLY_KNOB");
+    ASSERT_TRUE(v);
+    EXPECT_STREQ(v, "42");
+    EXPECT_EQ(getenv("TRIQ_FAULT"), nullptr);
+    EXPECT_EQ(getenv("TRIQ_FAULT_SEED"), nullptr);
+    unsetenv("TRIQ_TEST_APPLY_KNOB");
 }
 
 TEST(CrashReport, LoadRejectsMissingOrEmptyBundles)
@@ -286,6 +379,37 @@ TEST(CrashReport, ReplayOfBenchBundleMatchesDirectRun)
                 " 2>/dev/null");
     EXPECT_EQ(rc, 0);
     EXPECT_EQ(slurp(replay_out), slurp(direct_out));
+    EXPECT_FALSE(slurp(replay_out).empty());
+}
+
+TEST(CrashReport, ServerModeBundleReplaysThroughTriqc)
+{
+    // The full server-mode loop: a panicking daemon request dumps a
+    // bundle tagged with its request id, and that bundle alone —
+    // handed to the ordinary CLI on another machine, as it were —
+    // reproduces the compile cleanly.
+    TempDir tmp;
+    ServerConfig cfg;
+    cfg.crashDir = (tmp.path / "server-crash").string();
+    Server server(std::move(cfg));
+
+    std::string reply = server.processLine(
+        "t", "{\"id\":\"replay-me\",\"op\":\"compile\",\"bench\":\"BV4\","
+             "\"device\":\"IBMQ5\",\"fault\":\"panic\"}");
+    JsonParseResult r = parseJson(reply);
+    ASSERT_TRUE(r.ok) << reply;
+    const JsonValue *err = r.value.find("error");
+    ASSERT_TRUE(err) << reply;
+    std::string bundle = err->getString("crash_dir");
+    ASSERT_TRUE(fs::is_directory(bundle)) << reply;
+    EXPECT_NE(slurp(fs::path(bundle) / "options.txt")
+                  .find("request_id=replay-me"),
+              std::string::npos);
+
+    std::string replay_out = (tmp.path / "replay.s").string();
+    int rc = runCmd(std::string(TRIQ_TRIQC_PATH) + " --replay " + bundle +
+                    " -o " + replay_out + " 2>/dev/null");
+    EXPECT_EQ(rc, 0);
     EXPECT_FALSE(slurp(replay_out).empty());
 }
 

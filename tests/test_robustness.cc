@@ -8,9 +8,11 @@
  * validity.
  */
 
+#include <atomic>
 #include <cmath>
 #include <cstring>
 #include <limits>
+#include <thread>
 
 #include <gtest/gtest.h>
 
@@ -19,6 +21,7 @@
 #include "common/logging.hh"
 #include "core/compiler.hh"
 #include "device/machines.hh"
+#include "service/server.hh"
 #include "sim/executor.hh"
 #include "sim/verify.hh"
 #include "workloads/benchmarks.hh"
@@ -432,6 +435,135 @@ TEST(DiagnosticsTest, MergeAndCapBehave)
     EXPECT_TRUE(a.truncated());
     EXPECT_EQ(a.errorCount(), 10);
     EXPECT_LE(static_cast<int>(a.all().size()), 4);
+}
+
+// --- triqd protocol fuzzing -----------------------------------------------
+//
+// The server's input surface is a socket: anything can arrive. The
+// contract under fuzzing is absolute — every frame, however mangled,
+// earns exactly one reply line that this same parser accepts, and the
+// engine keeps serving clean requests afterwards.
+
+namespace
+{
+
+/** Reply must be a JSON object; returns its error code ("" if ok). */
+std::string
+replyCode(Server &server, const std::string &frame)
+{
+    std::string reply = server.processLine("fuzz", frame);
+    JsonParseResult r = parseJson(reply);
+    EXPECT_TRUE(r.ok) << "unparseable reply: " << reply;
+    EXPECT_TRUE(r.value.isObject()) << reply;
+    const JsonValue *err = r.value.find("error");
+    if (err) {
+        EXPECT_FALSE(r.value.getBool("ok", true)) << reply;
+        std::string code = err->getString("code");
+        EXPECT_FALSE(code.empty()) << reply;
+        return code;
+    }
+    EXPECT_TRUE(r.value.getBool("ok")) << reply;
+    return "";
+}
+
+} // namespace
+
+TEST(ServerProtocolFuzzTest, TruncatedFramesAlwaysAnswerStructurally)
+{
+    Server server;
+    const std::string whole =
+        "{\"id\":\"t1\",\"op\":\"compile\",\"bench\":\"BV4\","
+        "\"device\":\"IBMQ5\",\"level\":\"cn\",\"day\":2}";
+    // Every prefix of a valid frame is either valid JSON (the full
+    // frame) or a parse error — never a hang, never a crash.
+    for (size_t cut = 0; cut < whole.size(); ++cut)
+        EXPECT_EQ(replyCode(server, whole.substr(0, cut)), "proto.parse")
+            << "cut=" << cut;
+    EXPECT_EQ(replyCode(server, whole), "");
+}
+
+TEST(ServerProtocolFuzzTest, MangledBytesNeverKillTheEngine)
+{
+    Server server;
+    const std::string base =
+        "{\"id\":9,\"op\":\"compile\",\"bench\":\"BV4\","
+        "\"device\":\"IBMQ5\"}";
+    // Deterministic byte corruption at every position: overwrite with
+    // a control byte, a quote, a brace and a high bit in turn.
+    const char junk[] = {'\x01', '"', '}', '\xff'};
+    for (size_t i = 0; i < base.size(); ++i) {
+        std::string mangled = base;
+        mangled[i] = junk[i % sizeof(junk)];
+        replyCode(server, mangled); // asserts reply well-formedness
+    }
+    // Deterministic pseudo-random garbage lines.
+    uint64_t rng = 0x9e3779b97f4a7c15ull;
+    for (int round = 0; round < 64; ++round) {
+        std::string garbage;
+        for (int k = 0; k < 48; ++k) {
+            rng = rng * 6364136223846793005ull + 1442695040888963407ull;
+            garbage += static_cast<char>(rng >> 56);
+        }
+        replyCode(server, garbage);
+    }
+    // And the engine still serves.
+    EXPECT_EQ(replyCode(server, base), "");
+    ServerStats st = server.stats();
+    EXPECT_EQ(st.crashes, 0);
+}
+
+TEST(ServerProtocolFuzzTest, OversizedFramesAreSingleStructuredRejections)
+{
+    ServerConfig cfg;
+    cfg.maxRequestBytes = 4096;
+    Server server(std::move(cfg));
+    for (long size : {4097L, 8192L, 1L << 18}) {
+        std::string frame = "{\"op\":\"ping\",\"pad\":\"";
+        frame += std::string(static_cast<size_t>(size), 'z');
+        frame += "\"}";
+        EXPECT_EQ(replyCode(server, frame), "proto.oversized") << size;
+    }
+    // Exactly at the cap is admitted (and parses).
+    std::string fit = "{\"op\":\"ping\",\"pad\":\"";
+    fit += std::string(4096 - fit.size() - 2, 'z');
+    fit += "\"}";
+    ASSERT_EQ(static_cast<long>(fit.size()), 4096L);
+    EXPECT_EQ(replyCode(server, fit), "");
+}
+
+TEST(ServerProtocolFuzzTest, InterleavedClientsKeepIdCorrelation)
+{
+    Server server;
+    // Four threads stream distinct ids through one engine; every reply
+    // must carry its own request's id back (no cross-talk between
+    // clients sharing the worker pool and the cache).
+    std::vector<std::thread> clients;
+    std::atomic<int> mismatches{0};
+    for (int c = 0; c < 4; ++c) {
+        clients.emplace_back([&server, &mismatches, c] {
+            const std::string who = "client-" + std::to_string(c);
+            for (int i = 0; i < 8; ++i) {
+                std::string id =
+                    who + "-r" + std::to_string(i);
+                std::string frame =
+                    "{\"id\":\"" + id +
+                    "\",\"op\":\"compile\",\"bench\":\"BV4\","
+                    "\"device\":\"IBMQ5\",\"day\":" +
+                    std::to_string(i % 3) + "}";
+                JsonParseResult r =
+                    parseJson(server.processLine(who, frame));
+                if (!r.ok || r.value.getString("id") != id ||
+                    !r.value.getBool("ok"))
+                    ++mismatches;
+            }
+        });
+    }
+    for (std::thread &t : clients)
+        t.join();
+    EXPECT_EQ(mismatches.load(), 0);
+    ServerStats st = server.stats();
+    EXPECT_EQ(st.completed, 32);
+    EXPECT_EQ(st.crashes, 0);
 }
 
 } // namespace

@@ -1,0 +1,577 @@
+/**
+ * @file
+ * triqd server-engine tests: the wire format, the protocol surface,
+ * admission control, per-client fairness, timeouts, graceful drain,
+ * crash containment (a panicking request answers structurally and the
+ * daemon keeps serving) and the stats contract. Everything runs
+ * against the transport-free Server engine — the same object triqd
+ * wraps in a socket — so the suite needs no live daemon.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <filesystem>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/logging.hh"
+#include "core/crash_report.hh"
+#include "service/server.hh"
+
+using namespace triq;
+namespace fs = std::filesystem;
+
+namespace
+{
+
+/** Fresh scratch directory, removed on destruction. */
+struct TempDir
+{
+    fs::path path;
+
+    TempDir()
+    {
+        std::string tmpl =
+            (fs::temp_directory_path() / "triq_server_XXXXXX").string();
+        char *made = mkdtemp(tmpl.data());
+        if (!made)
+            throw std::runtime_error("mkdtemp failed");
+        path = made;
+    }
+    ~TempDir()
+    {
+        std::error_code ec;
+        fs::remove_all(path, ec);
+    }
+};
+
+/** Parse a reply and hand back the object (asserts well-formedness). */
+JsonValue
+parsed(const std::string &reply)
+{
+    JsonParseResult r = parseJson(reply);
+    EXPECT_TRUE(r.ok) << reply << " -- " << r.error;
+    EXPECT_TRUE(r.value.isObject()) << reply;
+    return r.value;
+}
+
+std::string
+errorCode(const JsonValue &v)
+{
+    const JsonValue *err = v.find("error");
+    return err ? err->getString("code") : "";
+}
+
+ServerConfig
+quietConfig()
+{
+    ServerConfig cfg;
+    cfg.workers = 2;
+    cfg.queueCapacity = 64;
+    cfg.timeoutMs = 30000.0;
+    cfg.drainMs = 500.0;
+    cfg.maxRequestBytes = 1 << 20;
+    cfg.budgetMs = 0.0;
+    cfg.maxTrials = 4096;
+    return cfg;
+}
+
+} // namespace
+
+// --- wire format ---------------------------------------------------------
+
+TEST(WireTest, ParsesScalarsAndNesting)
+{
+    JsonParseResult r = parseJson(
+        " {\"a\": 1.5, \"b\": [true, null, \"x\\n\"], \"c\": {\"d\": -2}} ");
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_DOUBLE_EQ(r.value.getNumber("a"), 1.5);
+    const JsonValue *b = r.value.find("b");
+    ASSERT_TRUE(b && b->isArray());
+    ASSERT_EQ(b->array.size(), 3u);
+    EXPECT_TRUE(b->array[0].boolean);
+    EXPECT_TRUE(b->array[1].isNull());
+    EXPECT_EQ(b->array[2].string, "x\n");
+    const JsonValue *c = r.value.find("c");
+    ASSERT_TRUE(c && c->isObject());
+    EXPECT_DOUBLE_EQ(c->getNumber("d"), -2.0);
+}
+
+TEST(WireTest, RejectsMalformedInput)
+{
+    EXPECT_FALSE(parseJson("").ok);
+    EXPECT_FALSE(parseJson("{").ok);
+    EXPECT_FALSE(parseJson("{\"a\":}").ok);
+    EXPECT_FALSE(parseJson("{\"a\":1,}").ok);
+    EXPECT_FALSE(parseJson("\"unterminated").ok);
+    EXPECT_FALSE(parseJson("nul").ok);
+    EXPECT_FALSE(parseJson("{} trailing").ok);
+    EXPECT_FALSE(parseJson("1e999").ok); // non-finite
+}
+
+TEST(WireTest, DepthCapStopsDeepNesting)
+{
+    std::string deep(200, '[');
+    deep += std::string(200, ']');
+    JsonParseResult r = parseJson(deep, 48);
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.error.find("deep"), std::string::npos) << r.error;
+}
+
+TEST(WireTest, WriterRoundTripsThroughParser)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("s").value("quote\" slash\\ ctrl\x01");
+    w.key("n").value(0.1);
+    w.key("i").value(42L);
+    w.key("t").value(true);
+    w.key("nul").null();
+    w.key("arr").beginArray().value(1).value("two").endArray();
+    w.endObject();
+    JsonParseResult r = parseJson(w.str());
+    ASSERT_TRUE(r.ok) << w.str() << " -- " << r.error;
+    EXPECT_EQ(r.value.getString("s"), "quote\" slash\\ ctrl\x01");
+    EXPECT_DOUBLE_EQ(r.value.getNumber("n"), 0.1);
+    EXPECT_DOUBLE_EQ(r.value.getNumber("i"), 42.0);
+    EXPECT_TRUE(r.value.getBool("t"));
+}
+
+TEST(WireTest, UnicodeEscapesDecodeToUtf8)
+{
+    JsonParseResult r = parseJson("{\"u\": \"\\u00e9\\u0041\"}");
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.value.getString("u"), "\xc3\xa9" "A");
+}
+
+// --- protocol surface ----------------------------------------------------
+
+TEST(ServerTest, PingAndStatsAnswerInline)
+{
+    Server server(quietConfig());
+    JsonValue pong =
+        parsed(server.processLine("t", "{\"id\":\"p1\",\"op\":\"ping\"}"));
+    EXPECT_TRUE(pong.getBool("ok"));
+    EXPECT_EQ(pong.getString("id"), "p1");
+
+    JsonValue st =
+        parsed(server.processLine("t", "{\"id\":2,\"op\":\"stats\"}"));
+    EXPECT_TRUE(st.getBool("ok"));
+    const JsonValue *stats = st.find("stats");
+    ASSERT_TRUE(stats && stats->isObject());
+    EXPECT_GE(stats->getNumber("received"), 2.0);
+}
+
+TEST(ServerTest, CompileThenCacheHit)
+{
+    Server server(quietConfig());
+    std::string rq =
+        "{\"id\":\"a\",\"op\":\"compile\",\"bench\":\"BV4\","
+        "\"device\":\"IBMQ5\"}";
+    JsonValue first = parsed(server.processLine("t", rq));
+    ASSERT_TRUE(first.getBool("ok")) << errorCode(first);
+    EXPECT_EQ(first.getString("source"), "compiled");
+    EXPECT_GT(first.getNumber("esp"), 0.0);
+
+    JsonValue second = parsed(server.processLine("t", rq));
+    ASSERT_TRUE(second.getBool("ok"));
+    EXPECT_EQ(second.getString("source"), "cache_hit");
+    EXPECT_EQ(second.getString("fingerprint"),
+              first.getString("fingerprint"));
+}
+
+TEST(ServerTest, SimulateReportsSuccessRate)
+{
+    Server server(quietConfig());
+    JsonValue r = parsed(server.processLine(
+        "t", "{\"id\":1,\"op\":\"simulate\",\"bench\":\"Toffoli\","
+             "\"device\":\"UMDTI\",\"trials\":200,\"seed\":7}"));
+    ASSERT_TRUE(r.getBool("ok")) << errorCode(r);
+    EXPECT_EQ(r.getNumber("trials"), 200.0);
+    EXPECT_GT(r.getNumber("success_rate"), 0.5);
+    EXPECT_GT(r.getNumber("sim_esp"), 0.0);
+}
+
+TEST(ServerTest, ProgramSourceCompiles)
+{
+    Server server(quietConfig());
+    JsonValue r = parsed(server.processLine(
+        "t",
+        "{\"id\":1,\"op\":\"compile\",\"device\":\"IBMQ5\",\"program\":"
+        "\"module bell { qreg q[2]; h q[0]; cnot q[0], q[1]; "
+        "measure q[0]; measure q[1]; }\"}"));
+    ASSERT_TRUE(r.getBool("ok")) << errorCode(r);
+    EXPECT_GE(r.getNumber("two_q"), 1.0);
+}
+
+TEST(ServerTest, BadProgramEarnsStructuredDiagnostics)
+{
+    Server server(quietConfig());
+    JsonValue r = parsed(server.processLine(
+        "t", "{\"id\":1,\"op\":\"compile\",\"device\":\"IBMQ5\","
+             "\"program\":\"qreg q[2];\\nBOGUS(q[0])\"}"));
+    EXPECT_FALSE(r.getBool("ok", true));
+    EXPECT_EQ(errorCode(r), "input.parse");
+    const JsonValue *err = r.find("error");
+    ASSERT_TRUE(err);
+    EXPECT_TRUE(err->find("diagnostics"));
+}
+
+TEST(ServerTest, ProtocolErrorsHaveStableCodes)
+{
+    Server server(quietConfig());
+    EXPECT_EQ(errorCode(parsed(server.processLine("t", "not json"))),
+              "proto.parse");
+    EXPECT_EQ(errorCode(parsed(server.processLine("t", "[1,2]"))),
+              "proto.bad-request");
+    EXPECT_EQ(errorCode(parsed(server.processLine("t", "{\"id\":1}"))),
+              "proto.bad-request");
+    EXPECT_EQ(errorCode(parsed(server.processLine(
+                  "t", "{\"id\":1,\"op\":\"launch-missiles\"}"))),
+              "proto.bad-request");
+    EXPECT_EQ(errorCode(parsed(server.processLine(
+                  "t", "{\"id\":1,\"op\":\"compile\",\"bench\":\"BV4\","
+                       "\"device\":\"ENIAC\"}"))),
+              "proto.bad-request");
+    EXPECT_EQ(errorCode(parsed(server.processLine(
+                  "t", "{\"id\":1,\"op\":\"compile\",\"bench\":\"Nope\","
+                       "\"device\":\"IBMQ5\"}"))),
+              "input.invalid");
+}
+
+TEST(ServerTest, OversizedFrameRejectedInConstantTime)
+{
+    ServerConfig cfg = quietConfig();
+    cfg.maxRequestBytes = 2048;
+    Server server(std::move(cfg));
+    std::string big = "{\"op\":\"ping\",\"pad\":\"";
+    big += std::string(4096, 'x');
+    big += "\"}";
+    JsonValue r = parsed(server.processLine("t", big));
+    EXPECT_EQ(errorCode(r), "proto.oversized");
+}
+
+TEST(ServerTest, TooLargeProgramRefusedPerDevice)
+{
+    Server server(quietConfig());
+    // BV8 needs 8 qubits; IBMQ5 has 5.
+    JsonValue r = parsed(server.processLine(
+        "t", "{\"id\":1,\"op\":\"compile\",\"bench\":\"BV8\","
+             "\"device\":\"IBMQ5\"}"));
+    EXPECT_EQ(errorCode(r), "input.too-large");
+}
+
+TEST(ServerTest, StrictCalibrationFaultAnswersStructurally)
+{
+    Server server(quietConfig());
+    JsonValue r = parsed(server.processLine(
+        "t", "{\"id\":1,\"op\":\"compile\",\"bench\":\"BV4\","
+             "\"device\":\"IBMQ5\",\"fault\":\"calib\",\"fault_seed\":3,"
+             "\"strict_calibration\":true}"));
+    EXPECT_FALSE(r.getBool("ok", true));
+    EXPECT_EQ(errorCode(r), "input.invalid");
+    // The daemon survives and the next request is clean.
+    JsonValue ok = parsed(server.processLine(
+        "t", "{\"id\":2,\"op\":\"compile\",\"bench\":\"BV4\","
+             "\"device\":\"IBMQ5\"}"));
+    EXPECT_TRUE(ok.getBool("ok"));
+}
+
+// --- crash containment ---------------------------------------------------
+
+TEST(ServerTest, PanicDumpsTaggedBundleAndKeepsServing)
+{
+    TempDir tmp;
+    ServerConfig cfg = quietConfig();
+    cfg.crashDir = (tmp.path / "crash").string();
+    Server server(std::move(cfg));
+
+    JsonValue r = parsed(server.processLine(
+        "t", "{\"id\":\"boom-1\",\"op\":\"compile\",\"bench\":\"BV4\","
+             "\"device\":\"IBMQ5\",\"fault\":\"panic\"}"));
+    EXPECT_FALSE(r.getBool("ok", true));
+    EXPECT_EQ(errorCode(r), "internal.panic");
+    const JsonValue *err = r.find("error");
+    ASSERT_TRUE(err);
+    std::string dir = err->getString("crash_dir");
+    ASSERT_FALSE(dir.empty());
+    ASSERT_TRUE(fs::is_directory(dir));
+
+    CrashBundle b = CrashBundle::load(dir);
+    EXPECT_EQ(b.requestId, "boom-1");
+    EXPECT_EQ(b.benchName, "BV4");
+    EXPECT_EQ(b.device, "IBMQ5");
+
+    // Contract: a panic never takes the server down.
+    JsonValue after = parsed(server.processLine(
+        "t", "{\"id\":2,\"op\":\"compile\",\"bench\":\"BV4\","
+             "\"device\":\"IBMQ5\"}"));
+    EXPECT_TRUE(after.getBool("ok"));
+
+    JsonValue st =
+        parsed(server.processLine("t", "{\"op\":\"stats\"}"));
+    EXPECT_EQ(st.find("stats")->getNumber("crashes"), 1.0);
+}
+
+// --- admission, fairness, timeout, drain ---------------------------------
+
+namespace
+{
+
+/** Collects replies across threads, preserving completion order. */
+struct ReplyLog
+{
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::vector<std::string> ids;
+
+    Server::Respond
+    tagged(std::string tag)
+    {
+        return [this, tag](std::string reply) {
+            JsonParseResult r = parseJson(reply);
+            std::string id =
+                r.ok ? r.value.getString("id", tag) : tag;
+            std::lock_guard<std::mutex> lock(mutex);
+            ids.push_back(id.empty() ? tag : id);
+            cv.notify_all();
+        };
+    }
+
+    void
+    waitFor(size_t n)
+    {
+        std::unique_lock<std::mutex> lock(mutex);
+        cv.wait(lock, [&] { return ids.size() >= n; });
+    }
+
+    long
+    indexOf(const std::string &id)
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        for (size_t i = 0; i < ids.size(); ++i)
+            if (ids[i] == id)
+                return static_cast<long>(i);
+        return -1;
+    }
+};
+
+std::string
+compileFrame(const std::string &id, const std::string &bench = "BV4")
+{
+    return "{\"id\":\"" + id + "\",\"op\":\"compile\",\"bench\":\"" +
+           bench + "\",\"device\":\"IBMQ5\"}";
+}
+
+/**
+ * Parks the (single) worker deterministically: the blocker request
+ * executes instantly, but its respond callback blocks inside the
+ * worker until release(). finish() only decrements `active` after
+ * respond returns, so the worker slot stays provably occupied — the
+ * stand-in for "a slow request is running" in the admission, fairness
+ * and drain tests, immune to CI load and compile-speed variance.
+ */
+struct WorkerGate
+{
+    std::promise<void> release_;
+    std::shared_future<void> gate_ = release_.get_future().share();
+
+    Server::Respond
+    hold()
+    {
+        std::shared_future<void> gate = gate_;
+        return [gate](std::string) { gate.wait(); };
+    }
+
+    void
+    release()
+    {
+        release_.set_value();
+    }
+};
+
+/** Spin until the blocker occupies the worker and the queue is empty. */
+void
+awaitWorkerHeld(Server &server)
+{
+    ServerStats st = server.stats();
+    while (st.active < 1 || st.queueDepth > 0) {
+        std::this_thread::yield();
+        st = server.stats();
+    }
+}
+
+} // namespace
+
+TEST(ServerTest, FullQueueShedsLoadImmediately)
+{
+    ServerConfig cfg = quietConfig();
+    cfg.workers = 1;
+    cfg.queueCapacity = 2;
+    Server server(std::move(cfg));
+    server.start();
+
+    // Park the worker, then submit past the queue capacity: of the six
+    // arrivals, exactly two fit the queue and four are shed at the
+    // door, inline, while the worker never frees up.
+    WorkerGate gate;
+    server.submit("hog", compileFrame("blocker"), gate.hold());
+    awaitWorkerHeld(server);
+
+    int rejected = 0;
+    std::mutex m;
+    std::condition_variable cv;
+    int answered = 0;
+    for (int i = 0; i < 6; ++i) {
+        server.submit(
+            "hog", compileFrame("q" + std::to_string(i)),
+            [&](std::string reply) {
+                JsonValue v = parsed(reply);
+                std::lock_guard<std::mutex> lock(m);
+                if (errorCode(v) == "server.overloaded")
+                    ++rejected;
+                ++answered;
+                cv.notify_all();
+            });
+    }
+    {
+        // The four rejections are answered inline (before release).
+        std::unique_lock<std::mutex> lock(m);
+        cv.wait(lock, [&] { return answered == 4; });
+        EXPECT_EQ(rejected, 4);
+    }
+    gate.release();
+    {
+        std::unique_lock<std::mutex> lock(m);
+        cv.wait(lock, [&] { return answered == 6; });
+    }
+    EXPECT_EQ(rejected, 4); // the queued two completed normally
+    ServerStats st = server.stats();
+    EXPECT_EQ(st.rejected, 4);
+    server.drain();
+}
+
+TEST(ServerTest, RoundRobinInterleavesClients)
+{
+    ServerConfig cfg = quietConfig();
+    cfg.workers = 1;
+    Server server(std::move(cfg));
+    server.start();
+
+    WorkerGate gate;
+    ReplyLog log;
+    server.submit("z-hog", compileFrame("blocker"), gate.hold());
+    awaitWorkerHeld(server);
+
+    // With the worker parked, client A queues three and client B one.
+    // Round-robin must answer B's single request before A's second —
+    // one chatty client cannot starve a neighbor. The completion order
+    // is fully deterministic: a1, b1, a2, a3.
+    server.submit("a", compileFrame("a1", "BV4"), log.tagged("a1"));
+    server.submit("a", compileFrame("a2", "BV6"), log.tagged("a2"));
+    server.submit("a", compileFrame("a3", "HS2"), log.tagged("a3"));
+    server.submit("b", compileFrame("b1", "Peres"), log.tagged("b1"));
+    gate.release();
+    log.waitFor(4);
+
+    EXPECT_LT(log.indexOf("a1"), log.indexOf("b1"));
+    EXPECT_LT(log.indexOf("b1"), log.indexOf("a2"));
+    EXPECT_LT(log.indexOf("a2"), log.indexOf("a3"));
+    server.drain();
+}
+
+TEST(ServerTest, QueueWaitPastDeadlineTimesOut)
+{
+    ServerConfig cfg = quietConfig();
+    cfg.workers = 1;
+    Server server(std::move(cfg));
+    server.start();
+
+    WorkerGate gate;
+    server.submit("t", compileFrame("blocker"), gate.hold());
+    awaitWorkerHeld(server);
+
+    // Queued behind the parked worker with a (sub-)microsecond
+    // deadline: by the time the worker frees up and picks it up, it
+    // has provably waited too long.
+    std::mutex m;
+    std::condition_variable cv;
+    std::string code;
+    bool got = false;
+    server.submit("t",
+                  "{\"id\":\"late\",\"op\":\"compile\",\"bench\":\"BV4\","
+                  "\"device\":\"IBMQ5\",\"timeout_ms\":0.0001}",
+                  [&](std::string reply) {
+                      JsonValue v = parsed(reply);
+                      std::lock_guard<std::mutex> lock(m);
+                      code = errorCode(v);
+                      got = true;
+                      cv.notify_all();
+                  });
+    gate.release();
+    {
+        std::unique_lock<std::mutex> lock(m);
+        cv.wait(lock, [&] { return got; });
+    }
+    EXPECT_EQ(code, "server.timeout");
+    ServerStats st = server.stats();
+    EXPECT_EQ(st.timeouts, 1);
+    server.drain();
+}
+
+TEST(ServerTest, DrainCancelsQueuedAndRefusesNew)
+{
+    ServerConfig cfg = quietConfig();
+    cfg.workers = 1;
+    cfg.drainMs = 0.0; // no grace window: cancel queued work at once
+    Server server(std::move(cfg));
+    server.start();
+
+    WorkerGate gate;
+    ReplyLog log;
+    server.submit("t", compileFrame("blocker"), gate.hold());
+    awaitWorkerHeld(server);
+    for (int i = 0; i < 3; ++i)
+        server.submit("t", compileFrame("d" + std::to_string(i)),
+                      log.tagged("d" + std::to_string(i)));
+
+    // Drain with the worker still parked: the queued three must be
+    // cancelled with structured replies *before* the in-flight blocker
+    // is waited out (cancellation precedes the in-flight wait).
+    std::thread drainer([&] { server.drain(); });
+    log.waitFor(3);
+    ServerStats mid = server.stats();
+    EXPECT_EQ(mid.cancelled, 3);
+    EXPECT_EQ(mid.active, 1); // the blocker is still in flight
+    gate.release();
+    drainer.join();
+
+    ServerStats st = server.stats();
+    EXPECT_EQ(st.cancelled, 3);
+    EXPECT_EQ(st.queueDepth, 0);
+    EXPECT_EQ(st.active, 0);
+    EXPECT_TRUE(server.draining());
+
+    // Post-drain submissions are refused, not dropped.
+    JsonValue r = parsed(server.processLine("t", compileFrame("x")));
+    EXPECT_EQ(errorCode(r), "server.draining");
+}
+
+TEST(ServerTest, StatsCountLatenciesAndCacheHeat)
+{
+    Server server(quietConfig());
+    for (int i = 0; i < 3; ++i)
+        parsed(server.processLine("t", compileFrame("r")));
+    ServerStats st = server.stats();
+    EXPECT_EQ(st.completed, 3);
+    EXPECT_EQ(st.latencyCount, 3);
+    EXPECT_GT(st.p50Ms, 0.0);
+    EXPECT_GE(st.p99Ms, st.p50Ms);
+    EXPECT_EQ(st.cache.hits, 2);
+    EXPECT_EQ(st.cache.misses, 1);
+}

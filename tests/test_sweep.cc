@@ -470,6 +470,112 @@ TEST(CompileCache, SurvivesConcurrentMixedAccess)
     }
 }
 
+TEST(CompileCache, ConcurrentEvictionPressureKeepsInvariants)
+{
+    // A capacity-4 FIFO hammered by 8 workers inserting 80 distinct
+    // keys: every counter identity must hold afterwards, nothing may be
+    // lost or corrupted, and the map must never exceed its cap. This is
+    // the worst case for the eviction bookkeeping (map_, order_ and
+    // newestByStable_ churning together under contention); under
+    // -DTRIQ_SANITIZE=ON it doubles as the race check.
+    Device dev = makeIbmQ5();
+    CompileOptions opts = baseOptions(OptLevel::OneQOptCN);
+
+    const char *names[] = {"BV4", "Toffoli", "Fredkin", "Or", "Peres"};
+    std::vector<CompileFingerprint> keys;
+    std::vector<std::shared_ptr<const CompileResult>> results;
+    for (const char *name : names) {
+        Circuit p = makeBenchmark(name);
+        Circuit lowered =
+            decomposeToCnotBasis(p, dev.gateSet().nativeCphase);
+        std::shared_ptr<const CompileResult> artifact =
+            std::make_shared<const CompileResult>(
+                compileForDevice(p, dev, dev.calibrate(0), opts,
+                                 &lowered));
+        // CN keys are calibration-sensitive, so 16 days x 5 programs
+        // give 80 distinct keys that all share 5 artifacts.
+        for (int day = 0; day < 16; ++day) {
+            keys.push_back(fingerprintCompile(lowered, dev,
+                                              dev.calibrate(day), opts));
+            results.push_back(artifact);
+        }
+    }
+
+    constexpr size_t kCapacity = 4;
+    CompileCache cache(kCapacity);
+    ThreadPool pool(8);
+    parallelFor(pool, 400, [&](int i) {
+        size_t k = static_cast<size_t>(i) % keys.size();
+        switch (i % 3) {
+          case 0:
+            cache.insert(keys[k], results[k], 0.5, 0);
+            break;
+          case 1: {
+            std::optional<CompileCache::Entry> e = cache.find(keys[k]);
+            // A hit must hand back the exact artifact inserted under
+            // that key — an eviction may lose the entry, never mangle
+            // it into a neighbor's.
+            if (e)
+                EXPECT_EQ(e->result.get(), results[k].get());
+            break;
+          }
+          default:
+            cache.contains(keys[k]);
+            break;
+        }
+    });
+
+    CompileCache::Stats st = cache.stats();
+    EXPECT_LE(cache.size(), kCapacity);
+    EXPECT_EQ(st.inserts - st.evictions,
+              static_cast<long>(cache.size()));
+    EXPECT_EQ(st.lookups, st.hits + st.misses);
+    EXPECT_GT(st.inserts, 0);
+    EXPECT_GT(st.evictions, 0); // ~134 inserts through 4 slots must evict
+
+    // Whatever survived is intact and findable.
+    size_t survivors = 0;
+    for (size_t k = 0; k < keys.size(); ++k) {
+        std::optional<CompileCache::Entry> e = cache.find(keys[k]);
+        if (!e)
+            continue;
+        ++survivors;
+        EXPECT_EQ(e->result.get(), results[k].get());
+    }
+    EXPECT_EQ(survivors, cache.size());
+}
+
+TEST(CompileCache, ConcurrentBudgetedCompilesNeverInsert)
+{
+    // Budget-armed compiles are wall-clock dependent, so the cache must
+    // refuse them even when many workers race through
+    // compileThroughCache on the same cell — zero inserts, every call
+    // a cold compile, no thread ever served another's deadline-shaped
+    // artifact.
+    Device dev = makeIbmQ5();
+    Calibration calib = dev.calibrate(0);
+    Circuit bv = makeBenchmark("BV4");
+    CompileOptions opts = baseOptions(OptLevel::OneQOptCN);
+    opts.budget = CompileBudget::withDeadlineMs(1e6); // armed, generous
+
+    CompileCache cache;
+    std::atomic<int> cold{0};
+    ThreadPool pool(8);
+    parallelFor(pool, 32, [&](int) {
+        CachedCompile out =
+            compileThroughCache(&cache, bv, dev, 0, calib, opts);
+        ASSERT_TRUE(out.result);
+        if (out.source == CellSource::Compiled)
+            cold.fetch_add(1);
+    });
+
+    EXPECT_EQ(cold.load(), 32);
+    EXPECT_EQ(cache.size(), 0u);
+    CompileCache::Stats st = cache.stats();
+    EXPECT_EQ(st.inserts, 0);
+    EXPECT_EQ(st.hits, 0);
+}
+
 TEST(Sweep, ConcurrentSweepsShareOneCacheSafely)
 {
     // Two full sweeps over the same grid run simultaneously against one

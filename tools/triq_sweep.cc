@@ -19,6 +19,9 @@
  *   threads 4                # worker threads; 0 = adaptive, optional
  *   budget_ms 200            # per-compile wall-clock budget, optional
  *   cache 0                  # disable the compile cache, optional
+ *   strict_calibration 1     # reject (don't sanitize) bad calibration;
+ *                            # failing cells become "error" entries and
+ *                            # the tool exits 1 with the partial matrix
  *
  * Env knobs (flags/manifest win): TRIQ_SWEEP_THREADS, TRIQ_CACHE,
  * TRIQ_SWEEP_DRIFT.
@@ -187,6 +190,10 @@ loadManifest(const std::string &path)
             int v = 1;
             ls >> v;
             cfg.useCache = v != 0;
+        } else if (key == "strict_calibration") {
+            int v = 1;
+            ls >> v;
+            cfg.options.strictCalibration = v != 0;
         } else {
             fatal("triq-sweep: ", path, ":", lineno,
                   ": unknown directive '", key, "'");
@@ -218,7 +225,9 @@ writeJson(std::ostream &os, const SweepConfig &cfg, const SweepResult &res,
            << "\", \"day\": " << c.day << ", \"level\": \""
            << levelToken(c.level) << "\", \"source\": \""
            << cellSourceName(c.source) << "\"";
-        if (c.source != CellSource::Skipped) {
+        if (c.source == CellSource::Error) {
+            os << ", \"error\": \"" << jsonEscape(c.error) << "\"";
+        } else if (c.source != CellSource::Skipped) {
             os << ", \"fingerprint\": \"" << c.fingerprint.str()
                << "\", \"esp\": " << c.esp
                << ", \"esp_at_compile\": " << c.espAtCompile
@@ -232,6 +241,7 @@ writeJson(std::ostream &os, const SweepConfig &cfg, const SweepResult &res,
     }
     os << "\n  ],\n";
     os << "  \"stats\": {\"cells\": " << res.stats.cells
+       << ", \"errors\": " << res.stats.errors
        << ", \"skipped\": " << res.stats.skipped
        << ", \"compiles\": " << res.stats.compiles
        << ", \"cache_hits\": " << res.stats.cacheHits
@@ -334,9 +344,19 @@ run(int argc, char **argv)
               << res.stats.compiles << " compiled, "
               << res.stats.cacheHits << " cache hits, "
               << res.stats.driftReuses << " drift reuses, "
-              << res.stats.skipped << " skipped) in "
+              << res.stats.skipped << " skipped, "
+              << res.stats.errors << " errors) in "
               << res.stats.wallMs << " ms on " << res.stats.threads
               << " thread(s)\n";
+    // Partial-failure contract: the matrix above is complete (failed
+    // cells carry structured "error" entries) but the run did not fully
+    // succeed — exit 1 (user-input error), never 2 (that would claim a
+    // TriQ bug).
+    if (res.stats.errors > 0) {
+        std::cerr << "triq-sweep: " << res.stats.errors
+                  << " cell(s) failed; results are partial\n";
+        return 1;
+    }
     return 0;
 }
 

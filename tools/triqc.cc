@@ -249,6 +249,19 @@ run(int argc, char **argv)
     // *after* any original fault injection.
     if (!args.replayDir.empty()) {
         CrashBundle b = CrashBundle::load(args.replayDir);
+        // Reproduce the crashing process's TRIQ_* knobs (sched
+        // calibration, dedup/fusion toggles, ...); TRIQ_FAULT* is
+        // skipped inside applyTriqEnv.
+        int applied = applyTriqEnv(b.envKnobs);
+        if (applied > 0)
+            std::cerr << "triqc: replay applied " << applied
+                      << " TRIQ_* knob(s) from the bundle\n";
+        // A server-mode run may have fanned out under the adaptive
+        // scheduler; pin the recorded decision so the replay's timing
+        // shape matches the crash, not a fresh quiet-machine choice.
+        if (b.schedMode == "threaded" && b.simThreads == 0 &&
+            b.schedThreads > 0)
+            b.simThreads = b.schedThreads;
         args.benchName = b.benchName;
         args.qasm = b.qasm;
         args.device = b.device;
@@ -291,6 +304,7 @@ run(int argc, char **argv)
     g_crash.trials = args.trials;
     g_crash.simThreads = args.simThreads;
     g_crash.simFusion = args.simFusion;
+    g_crash.envKnobs = captureTriqEnv();
 
     // Optional fault injection (TRIQ_FAULT env): corrupts the inputs
     // *before* they hit the front end / validator, to exercise exactly
@@ -397,6 +411,11 @@ run(int argc, char **argv)
         ExecutionResult run =
             executeNoisy(res.hwCircuit, dev, calib, args.trials, 12345,
                          exec_opts);
+        // Record the fan-out the scheduler actually took so a crash
+        // bundle written after this point replays the same shape.
+        g_crash.schedMode = run.sched.mode();
+        g_crash.schedThreads = run.sched.threads;
+        g_crash.schedItemsPerTask = run.sched.itemsPerTask;
         std::cerr << "== triqc report ==\n"
                   << "program:        " << program.name() << " ("
                   << program.numQubits() << " qubits)\n"
