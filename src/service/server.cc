@@ -130,6 +130,8 @@ ServerConfig::applyDefaults()
         timeoutMs = envDouble("TRIQ_SERVER_TIMEOUT_MS", 10000.0, 1.0);
     if (drainMs < 0.0)
         drainMs = envDouble("TRIQ_SERVER_DRAIN_MS", 2000.0, 0.0);
+    if (drainHardMs < 0.0)
+        drainHardMs = envDouble("TRIQ_SERVER_DRAIN_HARD_MS", 30000.0, 0.0);
     if (maxRequestBytes <= 0)
         maxRequestBytes = envInt("TRIQ_SERVER_MAX_BYTES", 1 << 20, 1024);
     if (budgetMs < 0.0)
@@ -326,11 +328,26 @@ Server::processLine(const std::string &client, const std::string &line)
 // ---------------------------------------------------------------------
 
 bool
+Server::hasEligibleLocked() const
+{
+    for (const auto &[client, q] : queues_)
+        if (!q.empty() && !activeClients_.count(client))
+            return true;
+    return false;
+}
+
+bool
 Server::popNext(Pending &out)
 {
     std::unique_lock<std::mutex> lock(mutex_);
-    workReady_.wait(lock, [this] { return queued_ > 0 || stopping_; });
-    if (queued_ == 0)
+    // A queued request is eligible only while its client has nothing in
+    // flight: one client never occupies two workers at once, so a
+    // pipelining client's replies come back in request order (the
+    // protocol's within-client guarantee) while distinct clients still
+    // execute concurrently.
+    workReady_.wait(lock,
+                    [this] { return stopping_ || hasEligibleLocked(); });
+    if (!hasEligibleLocked())
         return false; // stopping
 
     // Round-robin across clients: resume after the client served last,
@@ -340,14 +357,16 @@ Server::popNext(Pending &out)
     for (size_t step = 0; step <= queues_.size(); ++step, ++it) {
         if (it == queues_.end())
             it = queues_.begin();
-        if (!it->second.empty())
+        if (!it->second.empty() && !activeClients_.count(it->first))
             break;
     }
-    if (it == queues_.end() || it->second.empty())
-        panic("Server::popNext: queued_ > 0 but no pending request");
+    if (it == queues_.end() || it->second.empty() ||
+        activeClients_.count(it->first))
+        panic("Server::popNext: eligible request vanished under the lock");
     out = std::move(it->second.front());
     it->second.pop_front();
     lastClient_ = it->first;
+    activeClients_.insert(it->first);
     if (it->second.empty())
         queues_.erase(it);
     --queued_;
@@ -368,7 +387,10 @@ Server::finish(Pending &&p)
     {
         std::lock_guard<std::mutex> lock(mutex_);
         --active_;
+        activeClients_.erase(p.client);
     }
+    // This client's next queued request (if any) just became eligible.
+    workReady_.notify_all();
     idle_.notify_all();
 }
 
@@ -426,16 +448,40 @@ Server::drain()
         }
     }
 
-    // Phase 3: wait out in-flight requests (bounded by their budgets
-    // and trial caps), then stop and join the workers.
+    // Phase 3: wait out in-flight requests (normally bounded by their
+    // budgets and trial caps) under the hard cap, then stop the
+    // workers. The cap exists so a genuinely wedged request — a worker
+    // stuck on an unbudgeted compile, say — cannot hang SIGTERM or the
+    // destructor forever: past it the stuck workers are abandoned
+    // (detached) with a warning and the process is expected to exit,
+    // which is the only remaining way to reclaim them.
+    bool all_idle;
     {
+        auto hard =
+            Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                               std::chrono::duration<double, std::milli>(
+                                   cfg_.drainHardMs));
         std::unique_lock<std::mutex> lock(mutex_);
-        idle_.wait(lock, [this] { return active_ == 0; });
+        all_idle = idle_.wait_until(lock, hard,
+                                    [this] { return active_ == 0; });
         stopping_ = true;
     }
     workReady_.notify_all();
-    for (std::thread &t : workers_)
-        t.join();
+    if (all_idle) {
+        for (std::thread &t : workers_)
+            t.join();
+    } else {
+        int stuck;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            stuck = active_;
+        }
+        warn("Server::drain: ", stuck, " request(s) still in flight ",
+             "after the ", cfg_.drainHardMs,
+             " ms hard cap; abandoning worker threads (exit to reclaim)");
+        for (std::thread &t : workers_)
+            t.detach();
+    }
     workers_.clear();
 }
 

@@ -16,7 +16,9 @@
  *    never builds an unbounded backlog.
  *  - Fair queueing: queued requests are grouped per client and workers
  *    pop them round-robin across clients, so one client streaming a
- *    thousand compiles cannot starve an interactive neighbor.
+ *    thousand compiles cannot starve an interactive neighbor. At most
+ *    one request per client is ever in flight, which is what makes the
+ *    per-client reply-ordering guarantee below hold with many workers.
  *  - Timeouts: a request that waited in the queue past its deadline
  *    (request `timeout_ms`, default TRIQ_SERVER_TIMEOUT_MS) is answered
  *    with `server.timeout` instead of being run pointlessly.
@@ -27,6 +29,8 @@
  *  - Graceful drain: drain() stops admission, lets in-flight work
  *    finish, cancels whatever is still queued when the drain deadline
  *    (TRIQ_SERVER_DRAIN_MS) fires, and leaves the metrics readable.
+ *    A second, generous hard cap (TRIQ_SERVER_DRAIN_HARD_MS) bounds
+ *    even a wedged in-flight request, so SIGTERM always terminates.
  *
  * The engine is transport-free: submit() takes a raw frame plus a
  * respond callback, so the same code serves a Unix socket (triqd), a
@@ -63,6 +67,7 @@
 #include <functional>
 #include <map>
 #include <mutex>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -98,6 +103,16 @@ struct ServerConfig
      * long drain() waits for queued work before cancelling it.
      */
     double drainMs = -1.0;
+
+    /**
+     * Hard in-flight cap in ms (TRIQ_SERVER_DRAIN_HARD_MS, default
+     * 30000): after cancelling queued work, how long drain() waits for
+     * in-flight requests before abandoning their workers. In-flight
+     * work is normally bounded by budgets and trial caps, so this only
+     * fires for a genuinely wedged request — it guarantees SIGTERM
+     * terminates the daemon regardless.
+     */
+    double drainHardMs = -1.0;
 
     /** Frame size cap in bytes (TRIQ_SERVER_MAX_BYTES, default 1 MiB). */
     long maxRequestBytes = 0;
@@ -210,6 +225,9 @@ class Server
     bool popNext(Pending &out);
     void finish(Pending &&p);
 
+    /** Any queued request whose client has nothing in flight? (locked) */
+    bool hasEligibleLocked() const;
+
     /** Execute one admitted request; returns the reply line. */
     std::string execute(const Pending &p);
 
@@ -236,6 +254,12 @@ class Server
     std::condition_variable idle_;
     /** Per-client FIFO queues; fairness iterates round-robin. */
     std::map<std::string, std::deque<Pending>> queues_;
+    /**
+     * Clients with a request in flight. popNext skips them, so one
+     * client never runs on two workers at once — the protocol's
+     * within-client reply ordering depends on it.
+     */
+    std::set<std::string> activeClients_;
     /** Round-robin cursor: the client served last. */
     std::string lastClient_;
     int queued_ = 0;

@@ -485,6 +485,55 @@ TEST(ServerTest, RoundRobinInterleavesClients)
     server.drain();
 }
 
+TEST(ServerTest, PipeliningClientNeverRunsOnTwoWorkers)
+{
+    ServerConfig cfg = quietConfig();
+    cfg.workers = 2;
+    Server server(std::move(cfg));
+    server.start();
+
+    // Park client c's first request on worker one. c's second request
+    // must NOT be handed to the idle worker two — per-client
+    // serialization is what keeps a pipelining client's replies in
+    // request order — while a different client sails right through.
+    WorkerGate gate;
+    ReplyLog log;
+    server.submit("c", compileFrame("c1"), gate.hold());
+    awaitWorkerHeld(server);
+    server.submit("c", compileFrame("c2"), log.tagged("c2"));
+    server.submit("d", compileFrame("d1"), log.tagged("d1"));
+
+    // d1 completes on the free worker; c2 stays queued behind c1.
+    log.waitFor(1);
+    EXPECT_EQ(log.indexOf("d1"), 0);
+    EXPECT_EQ(log.indexOf("c2"), -1);
+
+    gate.release();
+    log.waitFor(2);
+    EXPECT_LT(log.indexOf("d1"), log.indexOf("c2"));
+    server.drain();
+}
+
+TEST(ServerTest, RepliesStayOrderedWithinOneClient)
+{
+    ServerConfig cfg = quietConfig();
+    cfg.workers = 4;
+    Server server(std::move(cfg));
+    server.start();
+
+    // A client pipelining eight requests against four workers gets its
+    // replies back strictly in request order (the protocol guarantee),
+    // because at most one of them is ever in flight.
+    ReplyLog log;
+    for (int i = 0; i < 8; ++i)
+        server.submit("pipeliner", compileFrame("p" + std::to_string(i)),
+                      log.tagged("p" + std::to_string(i)));
+    log.waitFor(8);
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(log.indexOf("p" + std::to_string(i)), i);
+    server.drain();
+}
+
 TEST(ServerTest, QueueWaitPastDeadlineTimesOut)
 {
     ServerConfig cfg = quietConfig();

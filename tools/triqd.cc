@@ -12,6 +12,8 @@
  *   --queue N         admission queue capacity (TRIQ_SERVER_QUEUE, 64)
  *   --timeout-ms T    queue-wait deadline (TRIQ_SERVER_TIMEOUT_MS, 10000)
  *   --drain-ms T      shutdown drain deadline (TRIQ_SERVER_DRAIN_MS, 2000)
+ *   --drain-hard-ms T in-flight hard cap at shutdown
+ *                     (TRIQ_SERVER_DRAIN_HARD_MS, 30000)
  *   --max-bytes B     frame size cap (TRIQ_SERVER_MAX_BYTES, 1 MiB)
  *   --budget-ms T     default compile budget (TRIQ_SERVER_BUDGET_MS, off)
  *   --crash-dir DIR   crash-bundle base directory (triq-crash-<pid>)
@@ -33,6 +35,7 @@
 
 #include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <csignal>
 #include <cstring>
 #include <iostream>
@@ -40,6 +43,7 @@
 #include <memory>
 #include <string>
 
+#include <fcntl.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
@@ -66,6 +70,13 @@ onSignal(int)
     (void)ignored;
 }
 
+/**
+ * How long sendLine waits for a reluctant reader before dropping the
+ * connection. Generous: a healthy client drains a reply line in
+ * microseconds, so only a peer that stopped reading ever gets here.
+ */
+constexpr int kSendTimeoutMs = 5000;
+
 /** One accepted connection; shared with in-flight respond callbacks. */
 struct Conn
 {
@@ -75,7 +86,15 @@ struct Conn
     std::string buffer;     //!< Bytes read, not yet framed.
     bool discarding = false; //!< Skipping an over-long frame's tail.
 
-    /** Send one reply line; silently drops it if the peer is gone. */
+    /**
+     * Send one reply line; silently drops it if the peer is gone. The
+     * socket is non-blocking: a peer that submits requests but never
+     * reads replies gets kSendTimeoutMs of POLLOUT grace and is then
+     * dropped — a slow reader must not wedge a worker thread (and with
+     * it every other client's requests). The drop is shutdown(2), not
+     * close(2): the accept loop still owns the descriptor and reaps it
+     * on the resulting EOF, so there is no fd-reuse race.
+     */
     void
     sendLine(const std::string &line)
     {
@@ -83,15 +102,32 @@ struct Conn
         if (fd < 0)
             return;
         std::string framed = line + "\n";
+        const auto deadline = std::chrono::steady_clock::now() +
+                              std::chrono::milliseconds(kSendTimeoutMs);
         size_t off = 0;
         while (off < framed.size()) {
             ssize_t n = write(fd, framed.data() + off, framed.size() - off);
-            if (n <= 0) {
-                if (n < 0 && errno == EINTR)
-                    continue;
-                return; // dead peer; the read side will reap the fd
+            if (n > 0) {
+                off += static_cast<size_t>(n);
+                continue;
             }
-            off += static_cast<size_t>(n);
+            if (n < 0 && errno == EINTR)
+                continue;
+            if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+                auto left =
+                    std::chrono::duration_cast<std::chrono::milliseconds>(
+                        deadline - std::chrono::steady_clock::now())
+                        .count();
+                if (left > 0) {
+                    pollfd pfd = {fd, POLLOUT, 0};
+                    int rc = poll(&pfd, 1, static_cast<int>(left));
+                    if (rc > 0 || (rc < 0 && errno == EINTR))
+                        continue;
+                }
+                shutdown(fd, SHUT_RDWR); // slow reader: drop the peer
+                return;
+            }
+            return; // dead peer; the read side will reap the fd
         }
     }
 
@@ -133,9 +169,16 @@ pumpConnection(Server &server, const std::shared_ptr<Conn> &conn)
                               c->sendLine(reply);
                       });
     }
+    if (conn->discarding) {
+        // Still mid-discard with no terminator in sight: every buffered
+        // byte is the rejected frame's tail. Drop them now, or a client
+        // streaming newline-free bytes after one oversized rejection
+        // would grow this buffer without bound.
+        conn->buffer.clear();
+        return;
+    }
     long cap = server.config().maxRequestBytes;
-    if (!conn->discarding &&
-        static_cast<long>(conn->buffer.size()) > cap) {
+    if (static_cast<long>(conn->buffer.size()) > cap) {
         // No newline yet and already past the frame cap: reject now and
         // skip until the frame's eventual terminator.
         conn->sendLine(server.processLine(
@@ -214,6 +257,8 @@ serveSocket(Server &server, const std::string &path)
         if (fds[1].revents & POLLIN) {
             int fd = accept(listen_fd, nullptr, nullptr);
             if (fd >= 0) {
+                // Non-blocking, so sendLine can bound its write stalls.
+                fcntl(fd, F_SETFL, fcntl(fd, F_GETFL, 0) | O_NONBLOCK);
                 auto conn = std::make_shared<Conn>();
                 conn->fd = fd;
                 conn->name = "conn-" + std::to_string(next_conn++);
@@ -265,6 +310,8 @@ usage()
            "  --timeout-ms T    queue-wait deadline "
            "(TRIQ_SERVER_TIMEOUT_MS)\n"
            "  --drain-ms T      drain deadline (TRIQ_SERVER_DRAIN_MS)\n"
+           "  --drain-hard-ms T in-flight hard cap at shutdown "
+           "(TRIQ_SERVER_DRAIN_HARD_MS)\n"
            "  --max-bytes B     frame size cap (TRIQ_SERVER_MAX_BYTES)\n"
            "  --budget-ms T     default compile budget "
            "(TRIQ_SERVER_BUDGET_MS)\n"
@@ -296,6 +343,8 @@ run(int argc, char **argv)
             cfg.timeoutMs = std::atof(next());
         else if (!std::strcmp(arg, "--drain-ms"))
             cfg.drainMs = std::atof(next());
+        else if (!std::strcmp(arg, "--drain-hard-ms"))
+            cfg.drainHardMs = std::atof(next());
         else if (!std::strcmp(arg, "--max-bytes"))
             cfg.maxRequestBytes = std::atol(next());
         else if (!std::strcmp(arg, "--budget-ms"))
