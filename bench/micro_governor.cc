@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Resource-governor microbenchmark: measures the two overheads the
+ * governor adds to hot paths and emits BENCH_governor.json.
+ *
+ *   admission   checkAdmission() latency — the predicate triqd runs
+ *               on every simulate request before queueing it. Target:
+ *               < 50 us mean (it is a handful of arithmetic ops plus
+ *               one SchedCalib estimate; anything slower would show up
+ *               on every request the daemon serves).
+ *
+ *   journal     wall-clock overhead of `--journal` on a sweep — the
+ *               same grid run with and without the fsync'd JSONL
+ *               journal. Target: < 2% (one write(2) + fdatasync per
+ *               cell, amortized against a full compile pipeline).
+ *
+ * The process exits 4 when the admission mean exceeds a lenient 10x
+ * gate (500 us) — the targets themselves are reported as booleans in
+ * the JSON so CI trends can flag soft regressions without making the
+ * suite flaky on slow or throttled runners.
+ *
+ * Usage:
+ *   micro_governor [--iters N] [--days N] [--reps N] [--json FILE]
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+#include "bench_util.hh"
+#include "common/logging.hh"
+#include "device/machines.hh"
+#include "service/cost_model.hh"
+#include "service/sweep.hh"
+#include "workloads/benchmarks.hh"
+
+using namespace triq;
+
+namespace
+{
+
+double
+sweepMs(const SweepConfig &cfg)
+{
+    CompileCache cache;
+    auto t0 = std::chrono::steady_clock::now();
+    runSweep(cfg, &cache);
+    auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+try {
+    int iters = 20000;
+    int days = 2;
+    int reps = 3;
+    std::string json_file;
+    for (int i = 1; i < argc; ++i) {
+        auto need_value = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc)
+                fatal("micro_governor: ", flag, " needs a value");
+            return argv[++i];
+        };
+        if (!std::strcmp(argv[i], "--iters"))
+            iters = std::atoi(need_value("--iters"));
+        else if (!std::strcmp(argv[i], "--days"))
+            days = std::atoi(need_value("--days"));
+        else if (!std::strcmp(argv[i], "--reps"))
+            reps = std::atoi(need_value("--reps"));
+        else if (!std::strcmp(argv[i], "--json"))
+            json_file = need_value("--json");
+        else
+            fatal("micro_governor: unknown argument '", argv[i], "'");
+    }
+    if (iters < 1 || days < 1 || reps < 1)
+        fatal("micro_governor: --iters, --days and --reps must be >= 1");
+
+    // --- admission latency: the per-request predicate, over the mix a
+    // daemon actually sees (small fits, wide rejects, compile-only).
+    struct Probe
+    {
+        int qubits, workers, gates2q, gates;
+        bool simulate;
+    };
+    const Probe probes[] = {
+        {5, 1, 10, 60, true},    // small simulate — always fits
+        {14, 4, 40, 200, true},  // mid-size threaded simulate
+        {72, 1, 500, 2000, true}, // fig13-wide — rejects under a budget
+        {16, 1, 80, 400, false}, // compile-only — memory exempt
+    };
+    volatile uint64_t sink = 0; // keep the verdicts from being elided
+    // Warm the SchedCalib path once so the measurement is steady-state.
+    sink = sink + checkAdmission(5, 1, 10, 60, 0.0, true).predictedBytes;
+
+    std::vector<double> us;
+    us.reserve(static_cast<size_t>(iters));
+    for (int i = 0; i < iters; ++i) {
+        const Probe &p = probes[static_cast<size_t>(i) % 4];
+        auto t0 = std::chrono::steady_clock::now();
+        AdmissionVerdict v = checkAdmission(p.qubits, p.workers,
+                                            p.gates2q, p.gates, 0.0,
+                                            p.simulate);
+        auto t1 = std::chrono::steady_clock::now();
+        sink = sink + v.predictedBytes;
+        us.push_back(
+            std::chrono::duration<double, std::micro>(t1 - t0).count());
+    }
+    std::sort(us.begin(), us.end());
+    double mean_us = 0.0;
+    for (double u : us)
+        mean_us += u;
+    mean_us /= static_cast<double>(us.size());
+    double p99_us = us[static_cast<size_t>(
+        0.99 * static_cast<double>(us.size() - 1))];
+
+    // --- journal overhead: the same grid with and without --journal.
+    // The cells are fig13-style supremacy circuits on the 72-qubit
+    // machine — the hours-long-sweep regime journaling exists for,
+    // where one fsync'd record amortizes against a real compile. (On
+    // the paper's small benchmarks a cell costs tens of microseconds
+    // and the fsync dominates; nobody needs crash recovery there.)
+    SweepConfig cfg;
+    cfg.programs.push_back({"Sup3x4d8", makeBenchmark("Sup3x4d8")});
+    cfg.programs.push_back({"Sup4x4d8", makeBenchmark("Sup4x4d8")});
+    cfg.devices.push_back(makeGoogle72());
+    for (int d = 0; d < days; ++d)
+        cfg.days.push_back(d);
+    cfg.levels = {OptLevel::OneQOptCN};
+    cfg.options.emitAssembly = false;
+    cfg.threads = 1;        // serial: no pool noise in the comparison
+    cfg.useCache = false;   // cold every rep: maximal per-cell work
+    cfg.driftThreshold = -1.0;
+
+    char journal_dir[] = "/tmp/triq_governor_XXXXXX";
+    if (!mkdtemp(journal_dir))
+        fatal("micro_governor: mkdtemp failed");
+    std::string journal_path = std::string(journal_dir) + "/cells.jsonl";
+
+    double plain_ms = sweepMs(cfg);
+    SweepConfig journaled = cfg;
+    journaled.journalPath = journal_path;
+    double journal_ms = sweepMs(journaled);
+    for (int rep = 1; rep < reps; ++rep) {
+        plain_ms = std::min(plain_ms, sweepMs(cfg));
+        journal_ms = std::min(journal_ms, sweepMs(journaled));
+    }
+    long cells = 0;
+    {
+        std::ifstream in(journal_path);
+        std::string line;
+        while (std::getline(in, line))
+            ++cells;
+    }
+    unlink(journal_path.c_str());
+    rmdir(journal_dir);
+
+    double overhead =
+        plain_ms > 0.0 ? (journal_ms - plain_ms) / plain_ms : 0.0;
+    double per_record_us =
+        cells > 0 ? (journal_ms - plain_ms) * 1000.0 /
+                        static_cast<double>(cells)
+                  : 0.0;
+
+    std::ostringstream json;
+    json << "{\n"
+         << "  \"admission\": {\"iters\": " << iters
+         << ", \"mean_us\": " << mean_us << ", \"p99_us\": " << p99_us
+         << ", \"target_us\": 50, \"meets_target\": "
+         << (mean_us < 50.0 ? "true" : "false") << "},\n"
+         << "  \"journal\": {\"days\": " << days << ", \"reps\": " << reps
+         << ", \"plain_ms\": " << plain_ms << ", \"journal_ms\": "
+         << journal_ms << ", \"records\": " << cells
+         << ", \"per_record_us\": " << per_record_us
+         << ", \"overhead\": " << overhead
+         << ", \"target_overhead\": 0.02, \"meets_target\": "
+         << (overhead < 0.02 ? "true" : "false") << "}\n"
+         << "}\n";
+
+    std::cout << json.str();
+    if (!json_file.empty()) {
+        std::ofstream out(json_file);
+        if (!out)
+            fatal("micro_governor: cannot write '", json_file, "'");
+        out << json.str();
+    }
+    // Hard gate only at 10x the admission target: the check must stay
+    // cheap enough to run on every request, but CI runners jitter.
+    if (mean_us > 500.0)
+        return 4;
+    return 0;
+} catch (const FatalError &) {
+    return 1;
+}

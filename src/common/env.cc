@@ -45,4 +45,46 @@ envDouble(const char *name, double fallback, double min_value)
     return v;
 }
 
+unsigned long long
+envBytes(const char *name, unsigned long long fallback,
+         unsigned long long min_value)
+{
+    const char *env = std::getenv(name);
+    if (!env)
+        return fallback;
+    errno = 0;
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(env, &end, 10);
+    // strtoull wraps negative input instead of failing; reject any '-'
+    // ahead of the digits explicitly.
+    bool negative = false;
+    for (const char *p = env; p != end; ++p)
+        negative = negative || *p == '-';
+    bool parsed = end != env && errno == 0 && !negative;
+    unsigned long long shift = 0;
+    if (parsed && *end != '\0') {
+        switch (*end) {
+        case 'k': case 'K': shift = 10; ++end; break;
+        case 'm': case 'M': shift = 20; ++end; break;
+        case 'g': case 'G': shift = 30; ++end; break;
+        case 't': case 'T': shift = 40; ++end; break;
+        default: parsed = false; break;
+        }
+        // Tolerate an explicit unit tail: "256MB", "2GiB".
+        if (parsed && (*end == 'i' || *end == 'I'))
+            ++end;
+        if (parsed && (*end == 'b' || *end == 'B'))
+            ++end;
+        if (*end != '\0')
+            parsed = false;
+    }
+    bool overflow = shift > 0 && v > (~0ULL >> shift);
+    if (!parsed || overflow || v << shift < min_value) {
+        warn(name, "='", env, "' is not a byte count >= ", min_value,
+             " (expected e.g. 1073741824, 256M, 2G); using ", fallback);
+        return fallback;
+    }
+    return v << shift;
+}
+
 } // namespace triq

@@ -34,6 +34,17 @@ int envInt(const char *name, int fallback, int min_value = 1);
 double envDouble(const char *name, double fallback,
                  double min_value = 0.0);
 
+/**
+ * Read a byte-count environment variable (e.g. TRIQ_MEM_BUDGET).
+ * Accepts a plain decimal byte count or one with a case-insensitive
+ * K/M/G/T suffix (KiB multiples: "256M" = 256·2^20), optionally
+ * followed by "B"/"iB" ("256MiB"). Unset returns `fallback` silently;
+ * a malformed value, one below `min_value`, or one that overflows
+ * uint64 triggers one warn() line and returns `fallback`.
+ */
+unsigned long long envBytes(const char *name, unsigned long long fallback,
+                            unsigned long long min_value = 0);
+
 } // namespace triq
 
 #endif // TRIQ_COMMON_ENV_HH

@@ -1,0 +1,192 @@
+#include "common/resource.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/env.hh"
+#include "common/logging.hh"
+
+namespace triq
+{
+
+std::string
+formatBytes(uint64_t bytes)
+{
+    static const char *kUnits[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+    int unit = 0;
+    double v = static_cast<double>(bytes);
+    while (v >= 1024.0 && unit < 4) {
+        v /= 1024.0;
+        ++unit;
+    }
+    char buf[32];
+    if (unit == 0)
+        std::snprintf(buf, sizeof(buf), "%llu B",
+                      static_cast<unsigned long long>(bytes));
+    else
+        std::snprintf(buf, sizeof(buf), "%.1f %s", v, kUnits[unit]);
+    return buf;
+}
+
+uint64_t
+ResourceGovernor::budgetBytes() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return budget_;
+}
+
+void
+ResourceGovernor::setBudgetBytes(uint64_t bytes)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    budget_ = bytes;
+}
+
+uint64_t
+ResourceGovernor::committedBytes() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return committed_;
+}
+
+bool
+ResourceGovernor::wouldFit(uint64_t bytes) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return budget_ == 0 || bytes <= budget_ - std::min(budget_, committed_);
+}
+
+bool
+ResourceGovernor::tryReserve(uint64_t bytes)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (budget_ != 0 &&
+        bytes > budget_ - std::min(budget_, committed_)) {
+        ++stats_.refusals;
+        return false;
+    }
+    committed_ += bytes;
+    ++stats_.reservations;
+    stats_.peakBytes = std::max(stats_.peakBytes, committed_);
+    return true;
+}
+
+void
+ResourceGovernor::reserve(uint64_t bytes, const std::string &what)
+{
+    uint64_t budget, committed;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (budget_ == 0 ||
+            bytes <= budget_ - std::min(budget_, committed_)) {
+            committed_ += bytes;
+            ++stats_.reservations;
+            stats_.peakBytes = std::max(stats_.peakBytes, committed_);
+            return;
+        }
+        ++stats_.refusals;
+        budget = budget_;
+        committed = committed_;
+    }
+    std::ostringstream msg;
+    msg << what << " needs " << formatBytes(bytes)
+        << " but the memory budget is " << formatBytes(budget) << " ("
+        << formatBytes(committed) << " already committed)";
+    throw ResourceError(msg.str(), bytes, budget, committed);
+}
+
+void
+ResourceGovernor::release(uint64_t bytes)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (bytes > committed_) {
+        warn("ResourceGovernor::release(", bytes, ") exceeds committed ",
+             committed_, "; clamping");
+        bytes = committed_;
+    }
+    committed_ -= bytes;
+}
+
+ResourceStats
+ResourceGovernor::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ResourceStats s = stats_;
+    s.committedBytes = committed_;
+    s.budgetBytes = budget_;
+    return s;
+}
+
+namespace
+{
+
+/** First line of `path` parsed as a decimal u64; 0 when unreadable. */
+uint64_t
+readLimitFile(const char *path)
+{
+    std::ifstream in(path);
+    if (!in)
+        return 0;
+    std::string tok;
+    in >> tok;
+    if (tok.empty() || tok == "max")
+        return 0;
+    errno = 0;
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(tok.c_str(), &end, 10);
+    if (end == tok.c_str() || *end != '\0' || errno != 0)
+        return 0;
+    // cgroup v1 reports "no limit" as a huge page-rounded sentinel.
+    if (v >= (1ULL << 60))
+        return 0;
+    return v;
+}
+
+/** MemAvailable from /proc/meminfo in bytes; 0 when unreadable. */
+uint64_t
+readMemAvailable()
+{
+    std::ifstream in("/proc/meminfo");
+    std::string key;
+    uint64_t kib = 0;
+    while (in >> key) {
+        if (key == "MemAvailable:") {
+            in >> kib;
+            return kib * 1024;
+        }
+        in.ignore(4096, '\n');
+    }
+    return 0;
+}
+
+} // namespace
+
+uint64_t
+detectMemoryBudget()
+{
+    uint64_t tightest = 0;
+    for (uint64_t limit : {
+             readLimitFile("/sys/fs/cgroup/memory.max"),
+             readLimitFile("/sys/fs/cgroup/memory/memory.limit_in_bytes"),
+             readMemAvailable(),
+         }) {
+        if (limit != 0 && (tightest == 0 || limit < tightest))
+            tightest = limit;
+    }
+    return tightest;
+}
+
+ResourceGovernor &
+processGovernor()
+{
+    static ResourceGovernor gov = [] {
+        uint64_t budget = envBytes("TRIQ_MEM_BUDGET",
+                                   detectMemoryBudget());
+        return ResourceGovernor(budget);
+    }();
+    return gov;
+}
+
+} // namespace triq

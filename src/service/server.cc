@@ -7,12 +7,14 @@
 #include "common/env.hh"
 #include "common/fault_injector.hh"
 #include "common/logging.hh"
+#include "common/resource.hh"
 #include "core/compiler.hh"
 #include "core/crash_report.hh"
 #include "core/mapper.hh"
 #include "device/machines.hh"
 #include "lang/lower.hh"
 #include "lang/qasm_parser.hh"
+#include "service/cost_model.hh"
 #include "service/sweep.hh"
 #include "sim/executor.hh"
 #include "workloads/benchmarks.hh"
@@ -111,6 +113,73 @@ percentile(std::vector<double> sample, double p)
     rank = std::min(rank, sample.size() - 1);
     std::nth_element(sample.begin(), sample.begin() + rank, sample.end());
     return sample[rank];
+}
+
+/**
+ * The machines triqd serves: the seven study devices plus the
+ * 72-qubit scaling-study grid (its 2^72-amplitude state vector is
+ * exactly what predictive admission exists to refuse).
+ */
+const std::vector<Device> &
+serverDevices()
+{
+    static const std::vector<Device> devices = [] {
+        std::vector<Device> d = allStudyDevices();
+        d.push_back(makeGoogle72());
+        return d;
+    }();
+    return devices;
+}
+
+const Device *
+findServerDevice(const std::string &name)
+{
+    for (const Device &d : serverDevices())
+        if (d.name() == name)
+            return &d;
+    return nullptr;
+}
+
+/** Benchmark shape admission feeds the cost predictors. */
+struct BenchCost
+{
+    bool known = false;
+    int qubits = 0;
+    int gates2q = 0;
+    int gates = 0;
+};
+
+/**
+ * Memoized benchmark gate counts for the submit-time cost prediction.
+ * Building a benchmark circuit is cheap but not free (a Sup6x12d128 is
+ * thousands of gates), and admission runs on the transport thread —
+ * each name is priced once per process. Unknown names report
+ * known=false and admission leaves the rejection to the worker's
+ * front end (input.invalid carries the better message).
+ */
+BenchCost
+benchCost(const std::string &bench)
+{
+    static std::mutex m;
+    static std::map<std::string, BenchCost> memo;
+    if (bench.empty())
+        return {};
+    std::lock_guard<std::mutex> lock(m);
+    auto it = memo.find(bench);
+    if (it != memo.end())
+        return it->second;
+    BenchCost out;
+    try {
+        Circuit c = makeBenchmark(bench);
+        out.known = true;
+        out.qubits = c.numQubits();
+        out.gates2q = c.count2q();
+        out.gates = c.numGates();
+    } catch (const FatalError &) {
+        // Leave known=false; the worker will refuse it properly.
+    }
+    memo.emplace(bench, out);
+    return out;
 }
 
 } // namespace
@@ -268,6 +337,51 @@ Server::submit(const std::string &client, std::string line, Respond respond)
                                ? "request has no \"op\" member"
                                : "unknown op '" + op + "'"));
         return;
+    }
+
+    // Predictive admission (the resource governor's front door): a
+    // simulate request whose state memory provably cannot fit the
+    // budget — even in the executor's degraded serial plan — is
+    // refused *now*, before it occupies a queue slot or a worker.
+    // The daemon keeps serving; under-budget requests are unaffected.
+    // The simulator runs on the *compacted* mapped register, whose
+    // width is at least the benchmark's and at most the device's, so
+    // the benchmark width (capped by the device) is the optimistic
+    // estimate that never falsely rejects — the executor's own
+    // reservation enforces the truth for whatever routing adds.
+    // Unknown devices, unknown benchmarks and inline programs fall
+    // through to the worker's front end, which owns the better error
+    // message (and, for admitted-but-unaffordable runs, the
+    // structured sim.oom reply).
+    if (op == "simulate") {
+        const std::string dev_name =
+            parsed.value.getString("device", "IBMQ5");
+        const Device *dev = findServerDevice(dev_name);
+        BenchCost bc = benchCost(parsed.value.getString("bench"));
+        if (dev && bc.known) {
+            // Workers = 1: triqd executes each request serially (see
+            // executeCompileOrSimulate).
+            AdmissionVerdict v = checkAdmission(
+                std::min(bc.qubits, dev->numQubits()), 1, bc.gates2q,
+                bc.gates, 0.0, true);
+            if (!v.fits) {
+                {
+                    std::lock_guard<std::mutex> lock(statsMutex_);
+                    ++counters_.budgetRejected;
+                }
+                std::string extra =
+                    "\"predicted_bytes\": " +
+                    std::to_string(v.predictedBytes) +
+                    ", \"budget_bytes\": " +
+                    std::to_string(v.budgetBytes);
+                if (bc.known)
+                    extra += ", \"predicted_compile_ms\": " +
+                             std::to_string(v.predictedCompileMs);
+                respond(errorReply(id_json, "server.budget", v.reason,
+                                   extra));
+                return;
+            }
+        }
     }
 
     start();
@@ -626,15 +740,11 @@ Server::executeCompileOrSimulate(const Pending &p, CrashBundle &crash)
     }
 
     // Device and calibration day.
-    static const std::vector<Device> kDevices = allStudyDevices();
     const std::string dev_name = rq.getString("device", "IBMQ5");
-    const Device *dev = nullptr;
-    for (const Device &d : kDevices)
-        if (d.name() == dev_name)
-            dev = &d;
+    const Device *dev = findServerDevice(dev_name);
     if (!dev) {
         std::string known;
-        for (const Device &d : kDevices)
+        for (const Device &d : serverDevices())
             known += (known.empty() ? "" : ", ") + d.name();
         throw refuse("proto.bad-request", "unknown device '" + dev_name +
                                               "' (known: " + known + ")");
@@ -728,9 +838,20 @@ Server::executeCompileOrSimulate(const Pending &p, CrashBundle &crash)
         ExecOptions eo;
         eo.threads = 1;
         crash.simThreads = 1;
-        ExecutionResult run =
-            executeNoisy(cc.result->hwCircuit, *dev, calib, trials, seed,
-                         eo);
+        ExecutionResult run;
+        try {
+            run = executeNoisy(cc.result->hwCircuit, *dev, calib, trials,
+                               seed, eo);
+        } catch (const ResourceError &e) {
+            // Predicted-overrun refusal or a translated bad_alloc from
+            // inside the simulator: a resource outcome, not a TriQ bug
+            // — answer structurally, no crash bundle, keep serving.
+            throw refuse("sim.oom", e.what(),
+                         "\"attempted_bytes\": " +
+                             std::to_string(e.attemptedBytes) +
+                             ", \"budget_bytes\": " +
+                             std::to_string(e.budgetBytes));
+        }
         crash.schedMode = run.sched.mode();
         crash.schedThreads = run.sched.threads;
         crash.schedItemsPerTask = run.sched.itemsPerTask;
@@ -817,6 +938,7 @@ Server::statsJson() const
     w.key("completed").value(s.completed);
     w.key("failed").value(s.failed);
     w.key("rejected").value(s.rejected);
+    w.key("budget_rejected").value(s.budgetRejected);
     w.key("timeouts").value(s.timeouts);
     w.key("cancelled").value(s.cancelled);
     w.key("crashes").value(s.crashes);

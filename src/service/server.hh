@@ -54,6 +54,14 @@
  *   proto.parse proto.oversized proto.bad-request   — bad frames
  *   input.parse input.invalid input.too-large       — bad programs/data
  *   server.overloaded server.timeout server.draining — load shedding
+ *   server.budget — predictive admission: the request's simulation
+ *     state provably cannot fit TRIQ_MEM_BUDGET even in the executor's
+ *     degraded low-memory plan (+ predicted_bytes / budget_bytes /
+ *     predicted_compile_ms); the daemon keeps serving everyone else
+ *   sim.oom — the admitted simulation still could not get its memory
+ *     (reservation refused mid-flight, or the allocator failed); a
+ *     structured resource outcome (+ attempted_bytes / budget_bytes),
+ *     never an abort
  *   internal.panic                                  — a TriQ bug
  *     (+ crash_dir: the replayable bundle, tagged with the request id)
  */
@@ -142,6 +150,7 @@ struct ServerStats
     long completed = 0;  //!< Requests answered ok:true.
     long failed = 0;     //!< Structured error replies (bad input etc.).
     long rejected = 0;   //!< server.overloaded admissions.
+    long budgetRejected = 0; //!< server.budget admissions (cost model).
     long timeouts = 0;   //!< server.timeout replies.
     long cancelled = 0;  //!< server.draining replies.
     long crashes = 0;    //!< internal.panic replies (bundles written).

@@ -5,7 +5,9 @@
 #include <chrono>
 #include <functional>
 #include <map>
+#include <memory>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "common/env.hh"
 #include "common/fault_injector.hh"
@@ -14,6 +16,7 @@
 #include "common/thread_pool.hh"
 #include "core/decompose.hh"
 #include "core/esp.hh"
+#include "service/sweep_journal.hh"
 
 namespace triq
 {
@@ -287,6 +290,147 @@ runSweep(const SweepConfig &config, CompileCache *cache)
                     out.cells.push_back(std::move(cell));
                 }
 
+    // Crash-safe journal: restore already-completed cells from an
+    // existing journal (--resume), then open the append-only writer
+    // every cell resolved by *this* run is recorded into. Restored
+    // artifacts warm the cache so cells computed after a kill get the
+    // same source labels an uninterrupted run would give them.
+    std::unique_ptr<SweepJournal> journal;
+    std::map<int, int> day_index;
+    for (size_t i = 0; i < days.size(); ++i)
+        day_index[days[i]] = static_cast<int>(i);
+    if (!config.journalPath.empty()) {
+        const uint64_t grid_fp = sweepGridFingerprint(config);
+        std::unordered_map<uint64_t, JournalArtifact> restored_art;
+        bool appending = false;
+        if (config.resume) {
+            JournalData jd;
+            if (loadSweepJournal(config.journalPath, jd)) {
+                if (jd.gridFingerprint != grid_fp)
+                    fatal("runSweep: journal '", config.journalPath,
+                          "' was written for a different grid "
+                          "(fingerprint mismatch); refusing to resume");
+                appending = true;
+                for (JournalArtifact &art : jd.artifacts) {
+                    uint64_t k = art.fingerprint.combined();
+                    restored_art.emplace(k, std::move(art));
+                }
+                // Fingerprints whose *compiled* cell record survived.
+                // Only these may warm the cache: a kill between an
+                // artifact write and its cell write leaves an orphan
+                // artifact, and warming the cache from it would flip
+                // the recomputed cell from "compiled" to "cache_hit",
+                // breaking byte-identity with an uninterrupted run.
+                std::unordered_set<uint64_t> compiled_fps;
+                for (const JournalCell &jc : jd.cells) {
+                    auto di = day_index.find(jc.day);
+                    bool ok = jc.programIndex >= 0 &&
+                              jc.programIndex < np &&
+                              jc.deviceIndex >= 0 &&
+                              jc.deviceIndex < nd &&
+                              jc.levelIndex >= 0 && jc.levelIndex < nl &&
+                              di != day_index.end();
+                    if (ok) {
+                        size_t ci =
+                            ((static_cast<size_t>(jc.programIndex) * nd +
+                              jc.deviceIndex) *
+                                 days.size() +
+                             di->second) *
+                                nl +
+                            jc.levelIndex;
+                        SweepCell &cell = out.cells[ci];
+                        // The grid fingerprint matched, so a computed
+                        // cell fingerprint differing from the journaled
+                        // one means the record is corrupt — recompute.
+                        ok = cell.fingerprint == jc.fingerprint;
+                        if (ok) {
+                            cell.source = jc.source;
+                            cell.esp = jc.esp;
+                            cell.espAtCompile = jc.espAtCompile;
+                            cell.error = jc.error;
+                            cell.ms = 0.0;
+                            cell.restored = true;
+                            auto art = restored_art.find(
+                                jc.fingerprint.combined());
+                            if (art != restored_art.end())
+                                cell.result = art->second.result;
+                            if (jc.source == CellSource::Compiled)
+                                compiled_fps.insert(
+                                    jc.fingerprint.combined());
+                            ++out.stats.restoredCells;
+                        }
+                    }
+                    if (!ok)
+                        warn("runSweep: ignoring journaled cell that "
+                             "does not match this grid; recomputing it");
+                }
+                if (use_cache && !budgeted) {
+                    // Warm the cache in day-ascending order: an
+                    // uninterrupted run inserts day by day, and the
+                    // drift path trusts insertion recency to find the
+                    // *latest* artifact under a stable key. Hash-map
+                    // order here could leave an older day "most
+                    // recent" and flip a later drift_recompile into a
+                    // drift_reuse, breaking byte-identity.
+                    std::vector<const JournalArtifact *> warm;
+                    for (const auto &[k, art] : restored_art)
+                        if (art.cacheable && compiled_fps.count(k))
+                            warm.push_back(&art);
+                    std::stable_sort(warm.begin(), warm.end(),
+                                     [](const JournalArtifact *a,
+                                        const JournalArtifact *b) {
+                                         return a->day < b->day;
+                                     });
+                    for (const JournalArtifact *art : warm)
+                        cache->insert(art->fingerprint, art->result,
+                                      art->espAtCompile, art->day);
+                }
+            } else {
+                warn("runSweep: --resume found no usable journal at '",
+                     config.journalPath, "'; starting fresh");
+            }
+        }
+        journal = std::make_unique<SweepJournal>(config.journalPath,
+                                                 grid_fp, appending);
+        for (const auto &[k, art] : restored_art) {
+            (void)k;
+            journal->noteArtifact(art.fingerprint);
+        }
+    }
+
+    auto journal_cell = [&](int ci) {
+        if (!journal)
+            return;
+        const SweepCell &cell = out.cells[static_cast<size_t>(ci)];
+        if (cell.restored)
+            return;
+        JournalCell jc;
+        jc.programIndex = cell.programIndex;
+        jc.deviceIndex = cell.deviceIndex;
+        jc.day = cell.day;
+        jc.levelIndex = ci % nl;
+        jc.source = cell.source;
+        jc.fingerprint = cell.fingerprint;
+        jc.esp = cell.esp;
+        jc.espAtCompile = cell.espAtCompile;
+        jc.error = cell.error;
+        // A cache hit's ESP is normally scored in the final pass;
+        // journal records must be complete, so score it here with the
+        // same pure function the final pass applies.
+        if (cell.source == CellSource::CacheHit && cell.result)
+            jc.esp = estimatedSuccessProbability(
+                cell.result->hwCircuit,
+                config.devices[cell.deviceIndex].topology(),
+                day_calib[cell.deviceIndex].at(cell.day).calib);
+        journal->recordCell(jc, cell.result, cell.day,
+                            cell.source != CellSource::DriftReuse);
+    };
+    if (journal)
+        for (int ci = 0; ci < static_cast<int>(out.cells.size()); ++ci)
+            if (out.cells[static_cast<size_t>(ci)].source ==
+                CellSource::Skipped)
+                journal_cell(ci);
+
     // Drift-recompile accounting must be observable per day even
     // though workers run concurrently.
     std::mutex stats_mutex;
@@ -306,7 +450,7 @@ runSweep(const SweepConfig &config, CompileCache *cache)
         for (int ci = 0; ci < static_cast<int>(out.cells.size()); ++ci) {
             SweepCell &cell = out.cells[ci];
             if (cell.day != day ||
-                cell.source == CellSource::Skipped)
+                cell.source == CellSource::Skipped || cell.restored)
                 continue;
             uint64_t k = cell.fingerprint.combined();
             auto it = rep_of.find(k);
@@ -366,6 +510,10 @@ runSweep(const SweepConfig &config, CompileCache *cache)
             const Circuit &low =
                 *lowered[cell.programIndex][variant];
 
+            // The resolution proper lives in an inner lambda so that
+            // its early returns (cache hit, drift reuse) still fall
+            // through to the journal append below.
+            auto resolve = [&] {
             auto t0 = Clock::now();
             bool drift_refused = false;
             // A throwing cell (strict calibration rejecting a corrupt
@@ -423,6 +571,9 @@ runSweep(const SweepConfig &config, CompileCache *cache)
                 cell.espAtCompile = 0.0;
                 cell.ms = msSince(t0);
             }
+            };
+            resolve();
+            journal_cell(ci);
         });
         dec.actualMs = msSince(t_day);
         recordDecision(out.stats, dec, first_day);
@@ -442,6 +593,11 @@ runSweep(const SweepConfig &config, CompileCache *cache)
                 cell.espAtCompile = rep.espAtCompile;
                 cell.error = rep.error; // Error reps poison their twins
                 cell.ms = 0.0;
+                // A DriftReuse member's own-calibration ESP is only
+                // scored in the final pass; the journal record carries
+                // it as written here and resume's final pass re-scores
+                // it identically from the restored artifact.
+                journal_cell(ci);
             }
         }
     }

@@ -96,6 +96,23 @@ struct SweepConfig
      * CompileReport as usual.
      */
     CompileOptions options;
+
+    /**
+     * Crash-safe journal path ("" = no journal). Every resolved cell
+     * is appended and fsync'd as it completes (see
+     * service/sweep_journal.hh), so a killed sweep loses at most the
+     * cell being written.
+     */
+    std::string journalPath;
+
+    /**
+     * Resume from `journalPath`: cells already journaled are restored
+     * (their artifacts warm the compile cache) instead of recomputed,
+     * and the journal is appended to rather than truncated. The final
+     * matrix is byte-identical to an uninterrupted journaled run.
+     * Requires the journal's grid fingerprint to match this config.
+     */
+    bool resume = false;
 };
 
 /** How a cell's artifact was obtained. */
@@ -152,6 +169,13 @@ struct SweepCell
 
     /** Why the cell failed ("" unless source == CellSource::Error). */
     std::string error;
+
+    /**
+     * True when this cell was restored from a resume journal instead
+     * of being computed in this run. `source`, `esp`, `espAtCompile`
+     * and `error` carry the original run's values; `ms` is 0.
+     */
+    bool restored = false;
 };
 
 /** Aggregate counters of one runSweep call. */
@@ -164,6 +188,7 @@ struct SweepStats
     int cacheHits = 0;  //!< Exact-fingerprint reuses.
     int driftReuses = 0;    //!< Within-threshold stale reuses.
     int driftRecompiles = 0; //!< CN recompiles forced past the threshold.
+    int restoredCells = 0;   //!< Cells restored from a resume journal.
     double wallMs = 0.0;     //!< End-to-end engine wall clock.
     int threads = 1;         //!< Workers actually used (max over days).
 

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Crash-safe sweep journal: an append-only JSONL file recording every
+ * resolved sweep cell (and, once per fingerprint, the full compiled
+ * artifact) so a killed `triq-sweep --journal` run can restart with
+ * `--resume` and complete without recomputing finished cells — and
+ * emit a final matrix byte-identical to an uninterrupted run.
+ *
+ * File format (one JSON object per line):
+ *   {"type":"header","version":1,"grid":"<16 hex>"}
+ *   {"type":"artifact","fp":["..","..","..",".."], circuit codec...,
+ *    "esp_at_compile":"<f64 bits hex>","day":N}
+ *   {"type":"cell","p":0,"d":1,"day":3,"l":2,"source":"compiled",
+ *    "fp":[...],"esp":"<hex>","esp_at_compile":"<hex>","error":""}
+ *
+ * Durability: every record is one write(2) to an O_APPEND descriptor
+ * followed by fdatasync, so a SIGKILL can lose at most the line being
+ * written — and the loader tolerates exactly one truncated tail line.
+ *
+ * Exactness: doubles (gate parameters, ESPs, mapper objective) are
+ * serialized as IEEE-754 bit patterns in hex, so a restored artifact
+ * is bit-identical to the compiled one. Restored artifacts warm the
+ * CompileCache on resume, which is what keeps the source labels
+ * ("compiled" vs "cache_hit") of cells computed *after* the kill
+ * identical to an uninterrupted run's.
+ *
+ * The `grid` header is a fingerprint of the entire sweep configuration
+ * (programs, devices, days, levels, options, drift, cache flag);
+ * --resume refuses a journal whose grid does not match, because cell
+ * coordinates are only meaningful against the grid that wrote them.
+ */
+
+#ifndef TRIQ_SERVICE_SWEEP_JOURNAL_HH
+#define TRIQ_SERVICE_SWEEP_JOURNAL_HH
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "service/sweep.hh"
+
+namespace triq
+{
+
+/** One journaled (resolved) cell, keyed by its grid coordinates. */
+struct JournalCell
+{
+    int programIndex = 0;
+    int deviceIndex = 0;
+    int day = 0;
+    int levelIndex = 0;
+    CellSource source = CellSource::Skipped;
+    CompileFingerprint fingerprint;
+    double esp = 0.0;
+    double espAtCompile = 0.0;
+    std::string error;
+};
+
+/** One journaled artifact (exact CompileResult round trip). */
+struct JournalArtifact
+{
+    CompileFingerprint fingerprint;
+    std::shared_ptr<const CompileResult> result;
+    double espAtCompile = 0.0;
+    int day = 0;
+
+    /**
+     * False for an artifact journaled under a *drift-reuse* cell's
+     * fingerprint: the artifact really lives under an older
+     * calibration's key, so on resume it may be used to render the
+     * restored cell but must NOT warm the compile cache under this
+     * fingerprint — later cells would flip from drift_reuse to
+     * cache_hit and break byte-identity with an uninterrupted run.
+     */
+    bool cacheable = true;
+};
+
+/** Everything a journal file holds after loading. */
+struct JournalData
+{
+    uint64_t gridFingerprint = 0;
+    std::vector<JournalCell> cells; //!< Deduplicated, last record wins.
+    std::vector<JournalArtifact> artifacts;
+};
+
+/**
+ * Fingerprint of the entire sweep grid configuration: program
+ * circuits, device structure + average calibration, days, levels,
+ * compile options, drift threshold and cache flag. Two configs with
+ * equal fingerprints evaluate the same grid cell for cell.
+ */
+uint64_t sweepGridFingerprint(const SweepConfig &config);
+
+/**
+ * The append-only writer. Thread-safe: runSweep's workers record
+ * cells concurrently. Each record is one write + fdatasync.
+ */
+class SweepJournal
+{
+  public:
+    /**
+     * Open `path` for journaling. Fresh mode truncates and writes a
+     * new header; resume mode appends (the caller has already loaded
+     * and validated the existing records). @throws FatalError when the
+     * file cannot be opened.
+     */
+    SweepJournal(const std::string &path, uint64_t grid_fingerprint,
+                 bool resume);
+
+    ~SweepJournal();
+
+    SweepJournal(const SweepJournal &) = delete;
+    SweepJournal &operator=(const SweepJournal &) = delete;
+
+    /**
+     * Mark `fp` as already journaled (loaded from an existing journal
+     * on resume), so recordCell does not re-write its artifact.
+     */
+    void noteArtifact(const CompileFingerprint &fp);
+
+    /**
+     * Append one resolved cell — and, first, its artifact if `result`
+     * is non-null and this fingerprint has not been journaled yet.
+     * Both records are fsync'd before the call returns.
+     * `artifact_cacheable` must be false for drift-reuse cells (see
+     * JournalArtifact::cacheable).
+     */
+    void recordCell(const JournalCell &cell,
+                    const std::shared_ptr<const CompileResult> &result,
+                    int artifact_day, bool artifact_cacheable);
+
+    /** Cell+artifact records written by this writer (tests/bench). */
+    long recordsWritten() const;
+
+  private:
+    void writeLine(const std::string &line);
+
+    mutable std::mutex mutex_;
+    int fd_ = -1;
+    long written_ = 0;
+    std::unordered_set<uint64_t> journaledArtifacts_;
+};
+
+/**
+ * Load a journal file. Returns false (with a warn) when the file is
+ * missing or has no valid header. A truncated tail line — the one a
+ * SIGKILL can leave behind — is skipped silently; any other malformed
+ * line is skipped with a warning. Duplicate cell coordinates keep the
+ * last record.
+ */
+bool loadSweepJournal(const std::string &path, JournalData &out);
+
+} // namespace triq
+
+#endif // TRIQ_SERVICE_SWEEP_JOURNAL_HH

@@ -1,0 +1,91 @@
+#include "service/sweep_matrix.hh"
+
+#include "common/diagnostics.hh"
+
+namespace triq
+{
+
+const char *
+optLevelToken(OptLevel level)
+{
+    switch (level) {
+      case OptLevel::N:
+        return "n";
+      case OptLevel::OneQOpt:
+        return "1q";
+      case OptLevel::OneQOptC:
+        return "c";
+      case OptLevel::OneQOptCN:
+        return "cn";
+    }
+    return "?";
+}
+
+void
+writeSweepMatrix(std::ostream &os, const SweepConfig &config,
+                 const SweepResult &result,
+                 const CompileCache::Stats *cache_stats,
+                 bool deterministic)
+{
+    os << "{\n  \"cells\": [\n";
+    bool first = true;
+    for (const SweepCell &c : result.cells) {
+        if (!first)
+            os << ",\n";
+        first = false;
+        os << "    {\"program\": \""
+           << jsonEscape(config.programs[c.programIndex].name)
+           << "\", \"device\": \""
+           << jsonEscape(config.devices[c.deviceIndex].name())
+           << "\", \"day\": " << c.day << ", \"level\": \""
+           << optLevelToken(c.level) << "\", \"source\": \""
+           << cellSourceName(c.source) << "\"";
+        if (c.source == CellSource::Error) {
+            os << ", \"error\": \"" << jsonEscape(c.error) << "\"";
+        } else if (c.source != CellSource::Skipped) {
+            os << ", \"fingerprint\": \"" << c.fingerprint.str()
+               << "\", \"esp\": " << c.esp
+               << ", \"esp_at_compile\": " << c.espAtCompile
+               << ", \"cnots\": " << c.result->stats.twoQ
+               << ", \"swaps\": " << c.result->swapCount
+               << ", \"degraded\": "
+               << (c.result->report.degraded ? "true" : "false");
+            if (!deterministic)
+                os << ", \"ms\": " << c.ms;
+        }
+        os << "}";
+    }
+    os << "\n  ],\n";
+    os << "  \"stats\": {\"cells\": " << result.stats.cells
+       << ", \"errors\": " << result.stats.errors
+       << ", \"skipped\": " << result.stats.skipped
+       << ", \"compiles\": " << result.stats.compiles
+       << ", \"cache_hits\": " << result.stats.cacheHits
+       << ", \"drift_reuses\": " << result.stats.driftReuses;
+    if (!deterministic) {
+        os << ", \"drift_recompiles\": " << result.stats.driftRecompiles
+           << ", \"restored_cells\": " << result.stats.restoredCells
+           << ", \"threads\": " << result.stats.threads
+           << ", \"wall_ms\": " << result.stats.wallMs
+           << ", \"sched_mode\": \"" << result.stats.schedMode << "\""
+           << ", \"sched_items_per_task\": "
+           << result.stats.schedItemsPerTask
+           << ", \"sched_tasks\": " << result.stats.schedTasks
+           << ", \"sched_predicted_ms\": " << result.stats.schedPredictedMs
+           << ", \"sched_actual_ms\": " << result.stats.schedActualMs;
+    }
+    os << "}";
+    if (cache_stats && !deterministic) {
+        os << ",\n  \"cache\": {\"lookups\": " << cache_stats->lookups
+           << ", \"hits\": " << cache_stats->hits
+           << ", \"misses\": " << cache_stats->misses
+           << ", \"inserts\": " << cache_stats->inserts
+           << ", \"drift_checks\": " << cache_stats->driftChecks
+           << ", \"drift_reuses\": " << cache_stats->driftReuses
+           << ", \"drift_invalidations\": "
+           << cache_stats->driftInvalidations << "}";
+    }
+    os << "\n}\n";
+}
+
+} // namespace triq

@@ -5,9 +5,11 @@
 #include <climits>
 #include <cmath>
 #include <cstdlib>
+#include <sstream>
 
 #include "common/env.hh"
 #include "common/logging.hh"
+#include "common/resource.hh"
 #include "common/rng.hh"
 #include "common/sched.hh"
 #include "common/thread_pool.hh"
@@ -15,6 +17,7 @@
 #include "sim/compact.hh"
 #include "sim/fusion.hh"
 #include "sim/noise.hh"
+#include "sim/sim_cost.hh"
 #include "sim/statevector.hh"
 
 namespace triq
@@ -461,20 +464,16 @@ runGroupSlice(const TrajectoryContext &ctx,
     }
 }
 
-} // namespace
-
-std::vector<std::pair<uint64_t, int>>
-ExecutionResult::sortedHistogram() const
-{
-    std::vector<std::pair<uint64_t, int>> out(histogram.begin(),
-                                              histogram.end());
-    std::sort(out.begin(), out.end());
-    return out;
-}
-
+/**
+ * The executeNoisy body. `planned_bytes` reports the reservation the
+ * run held, so the public wrapper can attribute a std::bad_alloc that
+ * escapes any allocation in here (including ones rethrown from pool
+ * workers) to a sized, structured ResourceError.
+ */
 ExecutionResult
-executeNoisy(const Circuit &hw, const Device &dev, const Calibration &calib,
-             int trials, uint64_t seed, const ExecOptions &opts)
+executeNoisyImpl(const Circuit &hw, const Device &dev,
+                 const Calibration &calib, int trials, uint64_t seed,
+                 const ExecOptions &opts, uint64_t &planned_bytes)
 {
     if (trials < 1)
         fatal("executeNoisy: need at least one trial");
@@ -517,6 +516,44 @@ executeNoisy(const Circuit &hw, const Device &dev, const Calibration &calib,
         ro_err[k] = safe.errRO[static_cast<size_t>(hq)];
     }
 
+    // Thread request: > 0 forces that many workers (1 = true serial
+    // path), < 0 is adaptive; 0 defers to TRIQ_SIM_THREADS where 0
+    // again means adaptive. After this block, 0 = adaptive.
+    int threads_req = opts.threads;
+    if (threads_req == 0)
+        threads_req = defaultSimThreads(1);
+    if (threads_req < 0)
+        threads_req = 0;
+
+    // Reserve the run's predicted peak memory against the process
+    // budget before the first state vector exists. When the full plan
+    // does not fit, degrade to the low-memory plan (serial, no
+    // checkpoints, no dedup: ideal + one trajectory state) before
+    // giving up; only when even that cannot fit does the reservation
+    // throw a structured ResourceError.
+    ResourceGovernor &gov = processGovernor();
+    const int active_qubits = cc.circuit.numQubits();
+    const int planned_workers =
+        threads_req > 0 ? threads_req
+                        : std::max(schedCalib().hardwareThreads, 1);
+    bool low_mem = false;
+    planned_bytes = predictSimulationBytes(active_qubits, planned_workers);
+    MemReservation reservation;
+    try {
+        reservation = MemReservation(gov, planned_bytes,
+                                     "simulation of " + hw.name());
+    } catch (const ResourceError &) {
+        planned_bytes = predictLowMemSimulationBytes(active_qubits);
+        reservation = MemReservation(
+            gov, planned_bytes, "low-memory simulation of " + hw.name());
+        low_mem = true;
+        threads_req = 1;
+        warn("executeNoisy: memory budget ",
+             formatBytes(gov.budgetBytes()), " forces the low-memory ",
+             "plan for ", hw.name(),
+             " (serial, no checkpoints, no dedup)");
+    }
+
     // Ideal reference evolution, snapshotted every K gates so faulty
     // trajectories can resume mid-circuit. K is chosen so the snapshots
     // stay within a fixed memory budget; the final state doubles as the
@@ -526,7 +563,7 @@ executeNoisy(const Circuit &hw, const Device &dev, const Calibration &calib,
     // independent of the fusion setting.
     const int num_gates = cc.circuit.numGates();
     StateVector ideal(cc.circuit.numQubits());
-    int interval = opts.checkpointInterval;
+    int interval = low_mem ? -1 : opts.checkpointInterval;
     if (interval == 0) {
         uint64_t bytes_per = ideal.dim() * sizeof(Cplx);
         int max_ckpts = static_cast<int>(std::clamp<uint64_t>(
@@ -586,7 +623,8 @@ executeNoisy(const Circuit &hw, const Device &dev, const Calibration &calib,
     const bool use_fusion =
         opts.fusion > 0 || (opts.fusion == 0 && defaultSimFusion());
     const bool use_dedup =
-        opts.dedup > 0 || (opts.dedup == 0 && defaultSimDedup());
+        !low_mem &&
+        (opts.dedup > 0 || (opts.dedup == 0 && defaultSimDedup()));
     FusedProgram fused_program;
     if (use_fusion) {
         // Align fused operators to the checkpoint interval so replays
@@ -621,14 +659,6 @@ executeNoisy(const Circuit &hw, const Device &dev, const Calibration &calib,
     const int num_chunks = (trials + chunk_size - 1) / chunk_size;
     const uint64_t stream_seed = seed ^ 0xABCDEF1234567890ull;
 
-    // Thread request: > 0 forces that many workers (1 = true serial
-    // path), < 0 is adaptive; 0 defers to TRIQ_SIM_THREADS where 0
-    // again means adaptive. After this block, 0 = adaptive.
-    int threads_req = opts.threads;
-    if (threads_req == 0)
-        threads_req = defaultSimThreads(1);
-    if (threads_req < 0)
-        threads_req = 0;
     const SchedCalib &scal = schedCalib();
     const double faulty_frac =
         std::clamp(1.0 - res.noErrorProb, 0.0, 1.0);
@@ -852,6 +882,41 @@ executeNoisy(const Circuit &hw, const Device &dev, const Calibration &calib,
             modal_count = count;
     res.correctIsModal = successes == modal_count;
     return res;
+}
+
+} // namespace
+
+std::vector<std::pair<uint64_t, int>>
+ExecutionResult::sortedHistogram() const
+{
+    std::vector<std::pair<uint64_t, int>> out(histogram.begin(),
+                                              histogram.end());
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+ExecutionResult
+executeNoisy(const Circuit &hw, const Device &dev, const Calibration &calib,
+             int trials, uint64_t seed, const ExecOptions &opts)
+{
+    uint64_t planned_bytes = 0;
+    try {
+        return executeNoisyImpl(hw, dev, calib, trials, seed, opts,
+                                planned_bytes);
+    } catch (const std::bad_alloc &) {
+        // An allocation the reservation did not cover (or an untracked
+        // ancillary one) failed. Surface it as the same structured
+        // resource error the reservation path throws, never as an
+        // unhandled abort.
+        ResourceGovernor &gov = processGovernor();
+        std::ostringstream msg;
+        msg << "simulation of " << hw.name()
+            << " failed to allocate (planned "
+            << formatBytes(planned_bytes) << ", budget "
+            << formatBytes(gov.budgetBytes()) << ")";
+        throw ResourceError(msg.str(), planned_bytes, gov.budgetBytes(),
+                            gov.committedBytes());
+    }
 }
 
 uint64_t

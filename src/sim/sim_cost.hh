@@ -1,0 +1,50 @@
+/**
+ * @file
+ * The simulator's memory cost model: how many bytes a noisy-simulation
+ * run will commit, as a pure function of qubit count and worker fan-out.
+ * executeNoisy reserves exactly these predictions against the process
+ * ResourceGovernor before allocating, and triqd admission (via
+ * service/cost_model.hh) checks the same formulas — one model, so the
+ * layers cannot disagree about what fits.
+ */
+
+#ifndef TRIQ_SIM_SIM_COST_HH
+#define TRIQ_SIM_SIM_COST_HH
+
+#include <cstdint>
+
+namespace triq
+{
+
+/**
+ * Bytes of one state vector over `qubits` qubits (2^n amplitudes x
+ * 16 B). Saturates at UINT64_MAX — a 72-qubit state is 2^76 bytes,
+ * and a saturated prediction still compares correctly against any
+ * real budget.
+ */
+uint64_t stateVectorBytes(int qubits);
+
+/** Bytes of one density matrix over `qubits` qubits (4^n x 16 B). */
+uint64_t densityMatrixBytes(int qubits);
+
+/**
+ * Predicted peak committed bytes for executeNoisy over a compact
+ * circuit of `active_qubits` qubits fanned out across `workers`
+ * concurrent trial chunks: the cached ideal state, one trajectory
+ * state per worker, a dedup/LCP snapshot allowance per worker, and
+ * the executor's bounded checkpoint budget (charged only when the
+ * executor would actually take checkpoints).
+ */
+uint64_t predictSimulationBytes(int active_qubits, int workers);
+
+/**
+ * Predicted bytes of the degraded low-memory plan: serial, no
+ * checkpoints, no dedup — the ideal state plus a single trajectory
+ * state (~2 x stateVectorBytes). executeNoisy falls back to this plan
+ * automatically when the full plan does not fit the budget.
+ */
+uint64_t predictLowMemSimulationBytes(int active_qubits);
+
+} // namespace triq
+
+#endif // TRIQ_SIM_SIM_COST_HH

@@ -1,9 +1,11 @@
 #include "workloads/benchmarks.hh"
 
 #include <cmath>
+#include <cstdio>
 
 #include "common/logging.hh"
 #include "sim/statevector.hh"
+#include "workloads/supremacy.hh"
 
 namespace triq
 {
@@ -341,6 +343,18 @@ makeBenchmark(const std::string &name)
         return makeQft();
     if (name == "Adder")
         return makeAdder();
+    // "Sup<rows>x<cols>d<depth>" — parameterized supremacy grids, the
+    // Sec. 6.5 compile-time-scaling workloads (e.g. Sup6x12d8 is the
+    // 72-qubit Bristlecone-class circuit). Deliberately not listed in
+    // benchmarkNames(): "program all" sweeps must stay tractable.
+    {
+        int rows = 0, cols = 0, depth = 0;
+        char tail = 0;
+        if (std::sscanf(name.c_str(), "Sup%dx%dd%d%c", &rows, &cols,
+                        &depth, &tail) == 3 &&
+            rows >= 1 && cols >= 1 && depth >= 1)
+            return makeSupremacy(rows, cols, depth);
+    }
     fatal("makeBenchmark: unknown benchmark '", name, "'");
 }
 

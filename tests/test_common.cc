@@ -302,6 +302,12 @@ TEST(Env, EnvIntParsesAndFallsBack)
     EXPECT_EQ(envInt("TRIQ_TEST_ENVINT", 42, 0), 0);   // min 0 accepts
     setenv("TRIQ_TEST_ENVINT", "-3", 1);
     EXPECT_EQ(envInt("TRIQ_TEST_ENVINT", 42, 0), 42);
+    // Out of range: past the explicit 1e9 cap and past LONG_MAX (the
+    // strtol ERANGE path) both fall back, never truncate or wrap.
+    setenv("TRIQ_TEST_ENVINT", "1000000001", 1);
+    EXPECT_EQ(envInt("TRIQ_TEST_ENVINT", 42), 42);
+    setenv("TRIQ_TEST_ENVINT", "99999999999999999999999", 1);
+    EXPECT_EQ(envInt("TRIQ_TEST_ENVINT", 42), 42);
     unsetenv("TRIQ_TEST_ENVINT");
 }
 
@@ -334,6 +340,10 @@ TEST(Env, EnvDoubleParsesAndFallsBack)
     EXPECT_DOUBLE_EQ(envDouble("TRIQ_TEST_ENVDBL", 0.25), 1e-3);
     setenv("TRIQ_TEST_ENVDBL", "-1", 1);
     EXPECT_DOUBLE_EQ(envDouble("TRIQ_TEST_ENVDBL", 0.25, -5.0), -1.0);
+    // Out of range: a value past DBL_MAX overflows to +inf under
+    // strtod (ERANGE) and must fall back, not propagate infinity.
+    setenv("TRIQ_TEST_ENVDBL", "1e999", 1);
+    EXPECT_DOUBLE_EQ(envDouble("TRIQ_TEST_ENVDBL", 0.25), 0.25);
     unsetenv("TRIQ_TEST_ENVDBL");
 }
 

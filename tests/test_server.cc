@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "common/logging.hh"
+#include "common/resource.hh"
 #include "core/crash_report.hh"
 #include "service/server.hh"
 
@@ -623,4 +624,86 @@ TEST(ServerTest, StatsCountLatenciesAndCacheHeat)
     EXPECT_GE(st.p99Ms, st.p50Ms);
     EXPECT_EQ(st.cache.hits, 2);
     EXPECT_EQ(st.cache.misses, 1);
+}
+
+// --- predictive admission (resource governor) ----------------------------
+
+namespace
+{
+
+/** Scoped budget override on the process governor (always restored). */
+struct BudgetGuard
+{
+    explicit BudgetGuard(uint64_t bytes)
+        : old_(processGovernor().budgetBytes())
+    {
+        processGovernor().setBudgetBytes(bytes);
+    }
+    ~BudgetGuard() { processGovernor().setBudgetBytes(old_); }
+    uint64_t old_;
+};
+
+} // namespace
+
+TEST(ServerTest, BudgetRejectsOversizedSimulationAndKeepsServing)
+{
+    BudgetGuard budget(256ull << 20); // 256 MiB
+    Server server(quietConfig());
+
+    // The fig. 13 shape: a 72-qubit supremacy circuit on the 72-qubit
+    // grid. Its state vector saturates the predictor; the reply must be
+    // an immediate structured refusal carrying the predicted cost.
+    JsonValue r = parsed(server.processLine(
+        "t", "{\"id\":\"big\",\"op\":\"simulate\",\"bench\":"
+             "\"Sup6x12d8\",\"device\":\"Google72\",\"trials\":10}"));
+    EXPECT_EQ(errorCode(r), "server.budget");
+    const JsonValue *err = r.find("error");
+    ASSERT_NE(err, nullptr);
+    EXPECT_GT(err->getNumber("predicted_bytes"), 0.0);
+    EXPECT_EQ(err->getNumber("budget_bytes"),
+              static_cast<double>(256ull << 20));
+
+    // The daemon keeps serving: an under-budget request on the same
+    // connection succeeds, and a *compile* of the very circuit that was
+    // refused for simulation is still admitted (no state vector).
+    JsonValue ok = parsed(server.processLine(
+        "t", "{\"id\":\"small\",\"op\":\"simulate\",\"bench\":\"BV4\","
+             "\"device\":\"IBMQ5\",\"trials\":50}"));
+    EXPECT_TRUE(ok.getBool("ok", false));
+    JsonValue co = parsed(server.processLine(
+        "t", "{\"id\":\"co\",\"op\":\"compile\",\"bench\":\"Sup6x12d8\","
+             "\"device\":\"Google72\"}"));
+    EXPECT_TRUE(co.getBool("ok", false));
+
+    ServerStats st = server.stats();
+    EXPECT_EQ(st.budgetRejected, 1);
+    EXPECT_EQ(st.completed, 2);
+}
+
+TEST(ServerTest, SmallProgramOnWideDeviceIsNotFalselyRejected)
+{
+    BudgetGuard budget(256ull << 20);
+    Server server(quietConfig());
+    // BV4 compacts to a handful of qubits even though Google72 is 72
+    // wide; admission prices the benchmark, not the device.
+    JsonValue r = parsed(server.processLine(
+        "t", "{\"id\":1,\"op\":\"simulate\",\"bench\":\"BV4\","
+             "\"device\":\"Google72\",\"trials\":10}"));
+    EXPECT_TRUE(r.getBool("ok", false)) << r.getString("error");
+}
+
+TEST(ServerTest, UnlimitedBudgetAdmitsEverythingAtTheDoor)
+{
+    BudgetGuard budget(0);
+    Server server(quietConfig());
+    // With no budget the 72-qubit request passes admission; the
+    // executor's own reservation is unlimited too, so the refusal (if
+    // any) would come from the allocator — which is exactly why this
+    // test only checks the *admission* outcome via stats, using a
+    // compile op to avoid actually allocating 2^72 amplitudes.
+    JsonValue co = parsed(server.processLine(
+        "t", "{\"id\":1,\"op\":\"compile\",\"bench\":\"Sup6x12d8\","
+             "\"device\":\"Google72\"}"));
+    EXPECT_TRUE(co.getBool("ok", false));
+    EXPECT_EQ(server.stats().budgetRejected, 0);
 }

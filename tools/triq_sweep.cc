@@ -5,7 +5,15 @@
  *
  * Usage:
  *   triq-sweep --manifest sweep.txt [-o out.json] [--threads N]
- *              [--drift T] [--no-cache]
+ *              [--drift T] [--no-cache] [--journal cells.jsonl]
+ *              [--resume]
+ *
+ * --journal appends every resolved cell (fsync'd) to a crash-safe
+ * JSONL file; --resume restores the finished cells of a killed run
+ * from it and completes the grid without recomputing them. Journaled
+ * runs emit the matrix in deterministic mode (no wall-clock fields),
+ * so kill + resume reproduces the uninterrupted run's output byte for
+ * byte.
  *
  * Manifest format — one directive per line, '#' comments; program,
  * device, days and level accept multiple values per line:
@@ -16,6 +24,7 @@
  *   days 0..6                # inclusive range, or "days 0 2 5"
  *   level c cn               # n | 1q | c | cn | all
  *   drift 0.05               # drift threshold (CN reuse), optional
+ *   journal cells.jsonl      # crash-safe journal path, optional
  *   threads 4                # worker threads; 0 = adaptive, optional
  *   budget_ms 200            # per-compile wall-clock budget, optional
  *   cache 0                  # disable the compile cache, optional
@@ -38,28 +47,13 @@
 #include "lang/lower.hh"
 #include "lang/qasm_parser.hh"
 #include "service/sweep.hh"
+#include "service/sweep_matrix.hh"
 #include "workloads/benchmarks.hh"
 
 namespace triq
 {
 namespace
 {
-
-const char *
-levelToken(OptLevel level)
-{
-    switch (level) {
-      case OptLevel::N:
-        return "n";
-      case OptLevel::OneQOpt:
-        return "1q";
-      case OptLevel::OneQOptC:
-        return "c";
-      case OptLevel::OneQOptCN:
-        return "cn";
-    }
-    return "?";
-}
 
 OptLevel
 parseLevel(const std::string &s)
@@ -102,6 +96,10 @@ deviceByName(const std::string &name)
     for (Device &d : allStudyDevices())
         if (d.name() == name)
             return d;
+    // The 72-qubit scaling-study grid: addressable by name, but not
+    // part of "device all" (that keeps the paper's 7-machine grid).
+    if (name == "Google72")
+        return makeGoogle72();
     fatal("triq-sweep: unknown device '", name,
           "' (see triqc --list-devices)");
 }
@@ -182,6 +180,8 @@ loadManifest(const std::string &path)
             }
         } else if (key == "drift") {
             ls >> cfg.driftThreshold;
+        } else if (key == "journal") {
+            ls >> cfg.journalPath;
         } else if (key == "threads") {
             ls >> cfg.threads;
         } else if (key == "budget_ms") {
@@ -209,61 +209,6 @@ loadManifest(const std::string &path)
 }
 
 void
-writeJson(std::ostream &os, const SweepConfig &cfg, const SweepResult &res,
-          const CompileCache::Stats &cs)
-{
-    os << "{\n  \"cells\": [\n";
-    bool first = true;
-    for (const SweepCell &c : res.cells) {
-        if (!first)
-            os << ",\n";
-        first = false;
-        os << "    {\"program\": \""
-           << jsonEscape(cfg.programs[c.programIndex].name)
-           << "\", \"device\": \""
-           << jsonEscape(cfg.devices[c.deviceIndex].name())
-           << "\", \"day\": " << c.day << ", \"level\": \""
-           << levelToken(c.level) << "\", \"source\": \""
-           << cellSourceName(c.source) << "\"";
-        if (c.source == CellSource::Error) {
-            os << ", \"error\": \"" << jsonEscape(c.error) << "\"";
-        } else if (c.source != CellSource::Skipped) {
-            os << ", \"fingerprint\": \"" << c.fingerprint.str()
-               << "\", \"esp\": " << c.esp
-               << ", \"esp_at_compile\": " << c.espAtCompile
-               << ", \"cnots\": " << c.result->stats.twoQ
-               << ", \"swaps\": " << c.result->swapCount
-               << ", \"degraded\": "
-               << (c.result->report.degraded ? "true" : "false")
-               << ", \"ms\": " << c.ms;
-        }
-        os << "}";
-    }
-    os << "\n  ],\n";
-    os << "  \"stats\": {\"cells\": " << res.stats.cells
-       << ", \"errors\": " << res.stats.errors
-       << ", \"skipped\": " << res.stats.skipped
-       << ", \"compiles\": " << res.stats.compiles
-       << ", \"cache_hits\": " << res.stats.cacheHits
-       << ", \"drift_reuses\": " << res.stats.driftReuses
-       << ", \"drift_recompiles\": " << res.stats.driftRecompiles
-       << ", \"threads\": " << res.stats.threads
-       << ", \"wall_ms\": " << res.stats.wallMs
-       << ", \"sched_mode\": \"" << res.stats.schedMode << "\""
-       << ", \"sched_items_per_task\": " << res.stats.schedItemsPerTask
-       << ", \"sched_tasks\": " << res.stats.schedTasks
-       << ", \"sched_predicted_ms\": " << res.stats.schedPredictedMs
-       << ", \"sched_actual_ms\": " << res.stats.schedActualMs << "},\n";
-    os << "  \"cache\": {\"lookups\": " << cs.lookups
-       << ", \"hits\": " << cs.hits << ", \"misses\": " << cs.misses
-       << ", \"inserts\": " << cs.inserts
-       << ", \"drift_checks\": " << cs.driftChecks
-       << ", \"drift_reuses\": " << cs.driftReuses
-       << ", \"drift_invalidations\": " << cs.driftInvalidations
-       << "}\n}\n";
-}
-
-void
 usage()
 {
     std::cerr
@@ -276,16 +221,23 @@ usage()
            "                    the cost model decides per day)\n"
            "  --drift T         reuse CN artifacts whose predicted ESP\n"
            "                    degraded <= T (relative); default off\n"
-           "  --no-cache        disable the compile cache\n";
+           "  --no-cache        disable the compile cache\n"
+           "  --journal FILE    append every resolved cell to a\n"
+           "                    crash-safe fsync'd JSONL journal (also\n"
+           "                    switches the matrix to deterministic\n"
+           "                    mode: no wall-clock fields)\n"
+           "  --resume          restore finished cells from --journal\n"
+           "                    instead of recomputing them\n";
 }
 
 int
 run(int argc, char **argv)
 {
-    std::string manifest, out_path;
+    std::string manifest, out_path, journal_path;
     int threads = -1;
     double drift = -3.0;
     bool no_cache = false;
+    bool resume = false;
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
         auto next = [&]() -> const char * {
@@ -303,6 +255,10 @@ run(int argc, char **argv)
             drift = std::atof(next());
         else if (!std::strcmp(arg, "--no-cache"))
             no_cache = true;
+        else if (!std::strcmp(arg, "--journal"))
+            journal_path = next();
+        else if (!std::strcmp(arg, "--resume"))
+            resume = true;
         else if (!std::strcmp(arg, "-h") || !std::strcmp(arg, "--help")) {
             usage();
             return 0;
@@ -322,6 +278,12 @@ run(int argc, char **argv)
         cfg.driftThreshold = drift;
     if (no_cache)
         cfg.useCache = false;
+    if (!journal_path.empty())
+        cfg.journalPath = journal_path;
+    cfg.resume = resume;
+    if (resume && cfg.journalPath.empty())
+        fatal("triq-sweep: --resume needs --journal FILE (or a "
+              "'journal' manifest directive)");
     if (cfg.programs.empty())
         fatal("triq-sweep: manifest lists no programs");
     if (cfg.devices.empty())
@@ -338,7 +300,8 @@ run(int argc, char **argv)
             fatal("triq-sweep: cannot write '", out_path, "'");
         os = &file;
     }
-    writeJson(*os, cfg, res, cache.stats());
+    CompileCache::Stats cs = cache.stats();
+    writeSweepMatrix(*os, cfg, res, &cs, !cfg.journalPath.empty());
 
     std::cerr << "triq-sweep: " << res.stats.cells << " cells ("
               << res.stats.compiles << " compiled, "
@@ -348,6 +311,10 @@ run(int argc, char **argv)
               << res.stats.errors << " errors) in "
               << res.stats.wallMs << " ms on " << res.stats.threads
               << " thread(s)\n";
+    if (res.stats.restoredCells > 0)
+        std::cerr << "triq-sweep: " << res.stats.restoredCells
+                  << " cell(s) restored from journal '" << cfg.journalPath
+                  << "'\n";
     // Partial-failure contract: the matrix above is complete (failed
     // cells carry structured "error" entries) but the run did not fully
     // succeed — exit 1 (user-input error), never 2 (that would claim a

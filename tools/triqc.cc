@@ -39,6 +39,7 @@
 
 #include "common/fault_injector.hh"
 #include "common/logging.hh"
+#include "common/resource.hh"
 #include "core/compiler.hh"
 #include "core/crash_report.hh"
 #include "core/esp.hh"
@@ -448,6 +449,16 @@ main(int argc, char **argv)
         return run(argc, argv);
     } catch (const FatalError &) {
         return 1; // message already printed by fatal()
+    } catch (const ResourceError &e) {
+        // The simulation could not get its memory (budget refusal or a
+        // failed allocation): a resource outcome, not a TriQ bug — one
+        // structured diagnostic line and exit 1, never an abort or a
+        // crash bundle.
+        std::cerr << "triqc: error: " << e.what()
+                  << "\n{\"code\": \"sim.oom\", \"attempted_bytes\": "
+                  << e.attemptedBytes
+                  << ", \"budget_bytes\": " << e.budgetBytes << "}\n";
+        return 1;
     } catch (const PanicError &e) {
         // Message already printed by panic(); dump the captured inputs
         // so the bug reproduces from one artifact (triqc --replay).
