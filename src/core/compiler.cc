@@ -20,7 +20,19 @@ CompileReport::str() const
     if (mapperEngine != requestedMapper)
         os << " -> " << mapperEngine << " (degraded)";
     os << (mapperOptimal ? " [optimal]" : "") << ", " << mapperNodes
-       << " nodes\n";
+       << " nodes";
+    if (!mapperBoundType.empty()) {
+        os << " (" << mapperBoundType << " bound; pruned "
+           << mapperBoundPruned << " bound / " << mapperSymmetryPruned
+           << " symmetry / " << mapperDominancePruned << " dominance)";
+    }
+    if (mapperWarmStarted) {
+        os << " [warm start";
+        if (!mapperWarmStartOrigin.empty())
+            os << ": " << mapperWarmStartOrigin;
+        os << "]";
+    }
+    os << "\n";
     os << "status:    "
        << (degraded ? (deadlineHit ? "degraded (deadline hit)"
                                    : "degraded")
@@ -45,7 +57,15 @@ CompileReport::json() const
        << "\",\"mapperEngine\":\"" << jsonEscape(mapperEngine)
        << "\",\"mapperNodes\":" << mapperNodes
        << ",\"mapperOptimal\":" << (mapperOptimal ? "true" : "false")
-       << ",\"degraded\":" << (degraded ? "true" : "false")
+       << ",\"mapperBoundType\":\"" << jsonEscape(mapperBoundType)
+       << "\",\"mapperBoundPruned\":" << mapperBoundPruned
+       << ",\"mapperSymmetryPruned\":" << mapperSymmetryPruned
+       << ",\"mapperDominancePruned\":" << mapperDominancePruned
+       << ",\"mapperWarmStarted\":"
+       << (mapperWarmStarted ? "true" : "false")
+       << ",\"mapperWarmStartOrigin\":\""
+       << jsonEscape(mapperWarmStartOrigin)
+       << "\",\"degraded\":" << (degraded ? "true" : "false")
        << ",\"deadlineHit\":" << (deadlineHit ? "true" : "false")
        << ",\"calibrationRepairs\":" << calibrationRepairs
        << ",\"degradations\":[";
@@ -166,6 +186,12 @@ compileForDevice(const Circuit &program, const Device &dev,
     report.mapperEngine = mapping.engine;
     report.mapperNodes = mapping.nodesExplored;
     report.mapperOptimal = mapping.optimal;
+    report.mapperBoundType = mapping.boundType;
+    report.mapperBoundPruned = mapping.boundPruned;
+    report.mapperSymmetryPruned = mapping.symmetryPruned;
+    report.mapperDominancePruned = mapping.dominancePruned;
+    report.mapperWarmStarted = mapping.warmStarted;
+    report.mapperWarmStartOrigin = mapping.warmStartOrigin;
     if (mapping.timedOut)
         report.deadlineHit = true;
     if (!mapping.notes.empty()) {

@@ -105,6 +105,24 @@ struct CompileReport
     /** True when the mapper proved its objective optimal. */
     bool mapperOptimal = false;
 
+    /** B&B bound used: "row-relax", "legacy", or "" (non-B&B engine). */
+    std::string mapperBoundType;
+
+    /** Candidate placements cut by the admissible/incumbent bound. */
+    long mapperBoundPruned = 0;
+
+    /** Candidates skipped as equivalence-class duplicates. */
+    long mapperSymmetryPruned = 0;
+
+    /** Candidates cut by sibling-dominance substitution. */
+    long mapperDominancePruned = 0;
+
+    /** True when the search was seeded from a warm-start placement. */
+    bool mapperWarmStarted = false;
+
+    /** Warm-start provenance (e.g. "drift(day 3)"), "" when cold. */
+    std::string mapperWarmStartOrigin;
+
     /** True when any fallback or early stop was taken. */
     bool degraded = false;
 

@@ -4,9 +4,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <limits>
 #include <map>
 #include <numeric>
 
+#include "common/env.hh"
 #include "common/logging.hh"
 
 namespace triq
@@ -368,53 +371,511 @@ localSearch(const ProgramInfo &info, const ReliabilityMatrix &rel,
 }
 
 /**
- * Exact product-objective search with optimistic suffix bounds: the
- * [46]-style whole-graph objective the paper contrasts with max-min.
- * Pruning needs an upper bound on the unplaced suffix (every remaining
- * operation at the device's best reliability), which is far weaker than
- * the max-min rule "any single bad operation kills the branch" — the
- * ablation harness measures the node-count difference.
+ * Shared node-accounting core of the exact searches. One place owns
+ * the node budget, the sparse wall-clock poll, and the pruning
+ * counters, so the two objective-specific engines cannot drift apart
+ * in their anytime behavior (the deadline-check stride used to be
+ * copy-pasted in both).
  */
-struct BnbProductSearch
+struct SearchCore
 {
-    const SearchContext &ctx;
     long budget;
     const CompileBudget &clock;
     long nodes = 0;
+    long boundPruned = 0;
+    long symmetryPruned = 0;
+    long dominancePruned = 0;
     bool exhausted = false;
     bool timedOut = false;
-    double bestSum;
+
+    SearchCore(long node_budget, const CompileBudget &clk)
+        : budget(node_budget), clock(clk)
+    {
+    }
+
+    /** Charge one node expansion; false when the search must stop. */
+    bool
+    tick()
+    {
+        if (++nodes > budget) {
+            exhausted = true;
+            return false;
+        }
+        // Poll the wall clock sparsely: a clock read per node would
+        // dominate the search itself.
+        if ((nodes & 0xFFF) == 0 && clock.expired()) {
+            exhausted = true;
+            timedOut = true;
+            return false;
+        }
+        return true;
+    }
+};
+
+/**
+ * Precomputed pruning machinery shared by both B&B engines.
+ *
+ * Bound (degree-aware row relaxation). rowMax[h] is the best symmetric
+ * pair reliability reachable through hardware qubit h, so any single
+ * mapped 2Q op with an endpoint on h scores <= rowMax[h]. The sharper
+ * observation is that a program qubit with f *forward* pairs (partners
+ * still unplaced when it is placed at h) forces f distinct sites, so
+ * the worst of those f pair scores is <= the f-th best entry of h's
+ * partner-score row — on sparse devices the f-th best is a swap chain,
+ * far below the best edge, which is what makes the cap bite.
+ *  - Max-min: for every program qubit q, the final objective is
+ *    <= kth-best(h, fwdDeg) when q has forward pairs, <= rowMax[h]
+ *    when its pairs are all backward, and <= ro(h) when q is measured;
+ *    maximizing those caps over all hardware sites gives an admissible
+ *    per-qubit cap, and suffixCap[k] (the min of caps over order
+ *    positions >= k) bounds any completion of a prefix in one
+ *    comparison. At search time each candidate additionally gets the
+ *    *free-site* version of its cap (f-th best partner score over the
+ *    sites actually still free), which is inherited down the subtree —
+ *    the free set only shrinks, so a placement-time cap stays
+ *    admissible for every descendant.
+ *  - Product: each still-unscored pair is attributed to its earlier
+ *    placement-order endpoint and charged weight * logRowMax of that
+ *    endpoint's row — the actual row once the endpoint is placed
+ *    (dyn_pot), the max_h fold otherwise (capE/suffixCapE). Every
+ *    charge is <= the legacy global-max suffix potential's charge for
+ *    the same op, so this bound is pointwise at least as tight.
+ *
+ * Symmetry. hwClass comes from ReliabilityMatrix::equivalenceClasses();
+ * expanding more than one free member of a class at a node only
+ * re-derives permuted copies of the same subtree, so the candidate scan
+ * keeps the lowest-indexed free member per class.
+ *
+ * Dominance. domGE[h2][h1] = h2's scoring row is pointwise >= h1's on
+ * every third qubit (readout included). At depths where the qubit being
+ * placed has no *forward* pairs, a candidate h2 whose placement score
+ * is <= an already-expanded sibling h1's can be pruned: any completion
+ * under h2 maps to a pointwise-no-worse completion under h1 by swapping
+ * the two hardware qubits in the remainder. The no-forward-pairs
+ * restriction is what keeps this sound — the current qubit's own future
+ * pairs would need the opposite row inequality.
+ */
+struct PruneTables
+{
+    bool useBound = false;
+    bool useSymmetry = false;
+    bool useDominance = false;
+
+    std::vector<double> rowMax, logRowMax, ro, logRo;
+    // Per hardware qubit: every other qubit with its symmetric pair
+    // score, sorted best-first (ties by index, for determinism).
+    std::vector<std::vector<std::pair<double, HwQubit>>> partnerScore;
+    // Number of *forward* pairs of order[k]: partners placed later.
+    std::vector<int> fwdDeg;
+    // Max-min: admissible cap on the final objective chargeable to the
+    // unplaced order-position suffix [k..end); size order+1, last 1.0.
+    std::vector<double> suffixCap;
+    // Product: forward weight of order[k] (pairs whose earlier endpoint
+    // is order[k]) and the admissible suffix potential (size order+1).
+    std::vector<double> attrW;
+    std::vector<double> suffixCapE;
+    // Highest order position among partners of order[k] (-1: no pairs).
+    std::vector<int> lastPartnerPos;
+    // First position of the trailing run of pair-free qubits.
+    size_t firstIsolated = 0;
+    std::vector<int> hwClass;
+    int numClasses = 0;
+    std::vector<std::vector<uint8_t>> domGE;
+
+    bool
+    hasForward(size_t k) const
+    {
+        return lastPartnerPos[k] > static_cast<int>(k);
+    }
+
+    /** f-th best partner score of h over all sites (f >= 1). */
+    double
+    kthBestAll(HwQubit h, int f) const
+    {
+        const auto &row = partnerScore[static_cast<size_t>(h)];
+        return static_cast<size_t>(f) <= row.size()
+                   ? row[static_cast<size_t>(f - 1)].first
+                   : 0.0;
+    }
+
+    /**
+     * f-th best partner score of h over the currently *free* sites
+     * (f >= 1): the f forward partners of a qubit placed at h must
+     * occupy f distinct free sites, so the worst of their pair scores
+     * cannot exceed this.
+     */
+    double
+    kthBestFree(HwQubit h, int f, const std::vector<bool> &used) const
+    {
+        int seen = 0;
+        for (const auto &[score, x] : partnerScore[static_cast<size_t>(h)]) {
+            if (used[static_cast<size_t>(x)])
+                continue;
+            if (++seen == f)
+                return score;
+        }
+        return 0.0;
+    }
+};
+
+PruneTables
+buildPruneTables(const SearchContext &ctx, bool use_bound,
+                 bool use_symmetry, bool use_dominance)
+{
+    PruneTables t;
+    t.useBound = use_bound;
+    t.useSymmetry = use_symmetry;
+    t.useDominance = use_dominance;
+    const int mhw = ctx.rel.numQubits();
+    const size_t n = ctx.order.size();
+
+    t.rowMax.resize(static_cast<size_t>(mhw));
+    t.logRowMax.resize(static_cast<size_t>(mhw));
+    t.ro.resize(static_cast<size_t>(mhw));
+    t.logRo.resize(static_cast<size_t>(mhw));
+    for (HwQubit h = 0; h < mhw; ++h) {
+        t.rowMax[static_cast<size_t>(h)] = ctx.rel.bestPairReliability(h);
+        t.logRowMax[static_cast<size_t>(h)] =
+            std::log(std::max(t.rowMax[static_cast<size_t>(h)], 1e-300));
+        t.ro[static_cast<size_t>(h)] = ctx.rel.readoutReliability(h);
+        t.logRo[static_cast<size_t>(h)] =
+            std::log(std::max(t.ro[static_cast<size_t>(h)], 1e-300));
+    }
+
+    std::vector<int> pos(static_cast<size_t>(ctx.info.numProgQubits), 0);
+    for (size_t k = 0; k < n; ++k)
+        pos[static_cast<size_t>(ctx.order[k])] = static_cast<int>(k);
+    t.lastPartnerPos.assign(n, -1);
+    t.attrW.assign(n, 0.0);
+    t.fwdDeg.assign(n, 0);
+    for (const auto &p : ctx.info.pairs) {
+        int pa = pos[static_cast<size_t>(p.a)];
+        int pb = pos[static_cast<size_t>(p.b)];
+        int lo = std::min(pa, pb), hi = std::max(pa, pb);
+        t.lastPartnerPos[static_cast<size_t>(lo)] =
+            std::max(t.lastPartnerPos[static_cast<size_t>(lo)], hi);
+        t.lastPartnerPos[static_cast<size_t>(hi)] =
+            std::max(t.lastPartnerPos[static_cast<size_t>(hi)], lo);
+        t.attrW[static_cast<size_t>(lo)] += p.weight;
+        ++t.fwdDeg[static_cast<size_t>(lo)];
+    }
+    t.firstIsolated = n;
+    while (t.firstIsolated > 0 &&
+           t.lastPartnerPos[t.firstIsolated - 1] == -1)
+        --t.firstIsolated;
+
+    if (use_bound) {
+        t.partnerScore.resize(static_cast<size_t>(mhw));
+        for (HwQubit h = 0; h < mhw; ++h) {
+            auto &row = t.partnerScore[static_cast<size_t>(h)];
+            row.reserve(static_cast<size_t>(mhw - 1));
+            for (HwQubit x = 0; x < mhw; ++x)
+                if (x != h)
+                    row.push_back({pairScore(ctx.rel, h, x), x});
+            std::sort(row.begin(), row.end(),
+                      [](const auto &a, const auto &b) {
+                          if (a.first != b.first)
+                              return a.first > b.first;
+                          return a.second < b.second;
+                      });
+        }
+        t.suffixCap.assign(n + 1, 1.0);
+        t.suffixCapE.assign(n + 1, 0.0);
+        for (size_t k = n; k-- > 0;) {
+            ProgQubit q = ctx.order[k];
+            bool has_pair = t.lastPartnerPos[k] != -1;
+            bool measured = ctx.includeReadout &&
+                            ctx.measuredFlag[static_cast<size_t>(q)];
+            double cap_q = has_pair || measured ? 0.0 : 1.0;
+            double cap_e = measured || t.attrW[k] > 0.0
+                               ? -std::numeric_limits<double>::infinity()
+                               : 0.0;
+            for (HwQubit h = 0; h < mhw; ++h) {
+                if (has_pair || measured) {
+                    double c = 1.0;
+                    if (t.fwdDeg[k] > 0)
+                        c = std::min(c, t.kthBestAll(h, t.fwdDeg[k]));
+                    else if (has_pair)
+                        c = std::min(c, t.rowMax[static_cast<size_t>(h)]);
+                    if (measured)
+                        c = std::min(c, t.ro[static_cast<size_t>(h)]);
+                    cap_q = std::max(cap_q, c);
+                }
+                if (measured || t.attrW[k] > 0.0) {
+                    double e =
+                        t.attrW[k] * t.logRowMax[static_cast<size_t>(h)];
+                    if (measured)
+                        e += t.logRo[static_cast<size_t>(h)];
+                    cap_e = std::max(cap_e, e);
+                }
+            }
+            t.suffixCap[k] = std::min(t.suffixCap[k + 1], cap_q);
+            t.suffixCapE[k] = t.suffixCapE[k + 1] + cap_e;
+        }
+    }
+
+    if (use_symmetry) {
+        t.hwClass = ctx.rel.equivalenceClasses();
+        for (int c : t.hwClass)
+            t.numClasses = std::max(t.numClasses, c + 1);
+    }
+
+    if (use_dominance) {
+        t.domGE.assign(static_cast<size_t>(mhw),
+                       std::vector<uint8_t>(static_cast<size_t>(mhw), 0));
+        for (HwQubit h2 = 0; h2 < mhw; ++h2)
+            for (HwQubit h1 = 0; h1 < mhw; ++h1) {
+                if (h1 == h2)
+                    continue;
+                if (ctx.includeReadout &&
+                    t.ro[static_cast<size_t>(h2)] <
+                        t.ro[static_cast<size_t>(h1)])
+                    continue;
+                bool ge = true;
+                for (HwQubit x = 0; x < mhw && ge; ++x) {
+                    if (x == h1 || x == h2)
+                        continue;
+                    ge = pairScore(ctx.rel, h2, x) >=
+                         pairScore(ctx.rel, h1, x);
+                }
+                t.domGE[static_cast<size_t>(h2)][static_cast<size_t>(h1)] =
+                    ge ? 1 : 0;
+            }
+    }
+    return t;
+}
+
+/**
+ * The free hardware qubits sorted best-readout-first (ties by index):
+ * the assignment order used by the exact isolated-suffix closure.
+ */
+std::vector<HwQubit>
+freeByReadout(const SearchContext &ctx, const std::vector<bool> &used)
+{
+    std::vector<HwQubit> free_hw;
+    for (HwQubit h = 0; h < ctx.rel.numQubits(); ++h)
+        if (!used[static_cast<size_t>(h)])
+            free_hw.push_back(h);
+    std::sort(free_hw.begin(), free_hw.end(),
+              [&](HwQubit a, HwQubit b) {
+                  double ra = ctx.rel.readoutReliability(a);
+                  double rb = ctx.rel.readoutReliability(b);
+                  if (ra != rb)
+                      return ra > rb;
+                  return a < b;
+              });
+    return free_hw;
+}
+
+/** Exact max-min search with incumbent + admissible-bound pruning. */
+struct BnbSearch
+{
+    const SearchContext &ctx;
+    const PruneTables &tab;
+    SearchCore core;
+    double bestMin;
     std::vector<HwQubit> bestMap;
     std::vector<HwQubit> map;
     std::vector<bool> used;
-    // suffixPotential[k]: upper bound on the objective contribution of
-    // placements k..end.
-    std::vector<double> suffixPotential;
-    double maxRoLog;
 
-    BnbProductSearch(const SearchContext &c, long node_budget,
-                     const CompileBudget &clk, double incumbent,
-                     std::vector<HwQubit> incumbent_map)
-        : ctx(c), budget(node_budget), clock(clk), bestSum(incumbent),
+    BnbSearch(const SearchContext &c, const PruneTables &t,
+              long node_budget, const CompileBudget &clk,
+              double incumbent, std::vector<HwQubit> incumbent_map)
+        : ctx(c), tab(t), core(node_budget, clk), bestMin(incumbent),
           bestMap(std::move(incumbent_map)),
           map(static_cast<size_t>(c.info.numProgQubits), -1),
           used(static_cast<size_t>(c.rel.numQubits()), false)
     {
-        double max_pair_log =
-            std::log(std::max(ctx.rel.maxPairReliability(), 1e-300));
-        double best_ro = 0.0;
-        for (int h = 0; h < ctx.rel.numQubits(); ++h)
-            best_ro = std::max(best_ro, ctx.rel.readoutReliability(h));
-        maxRoLog = std::log(std::max(best_ro, 1e-300));
-        suffixPotential.assign(ctx.order.size() + 1, 0.0);
-        for (size_t k = ctx.order.size(); k-- > 0;) {
-            double pot = suffixPotential[k + 1];
-            for (const auto &p : ctx.backPairs[k])
-                pot += p.weight * max_pair_log;
+    }
+
+    /**
+     * Exact closure for the trailing pair-free qubits: only their
+     * readouts can score, so handing the r measured ones the r best
+     * free readouts is optimal — one node instead of a factorial tail.
+     */
+    void
+    closeIsolatedSuffix(size_t k, double cur_min)
+    {
+        std::vector<HwQubit> free_hw = freeByReadout(ctx, used);
+        size_t r = 0;
+        for (size_t j = k; j < ctx.order.size(); ++j)
             if (ctx.includeReadout &&
-                ctx.measuredFlag[static_cast<size_t>(ctx.order[k])])
-                pot += maxRoLog;
-            suffixPotential[k] = pot;
+                ctx.measuredFlag[static_cast<size_t>(ctx.order[j])])
+                ++r;
+        double value = cur_min;
+        if (r > 0)
+            value = std::min(value, ctx.rel.readoutReliability(
+                                        free_hw[r - 1]));
+        if (value <= bestMin + 1e-15)
+            return;
+        size_t mi = 0, oi = r;
+        for (size_t j = k; j < ctx.order.size(); ++j) {
+            ProgQubit q = ctx.order[j];
+            bool meas = ctx.includeReadout &&
+                        ctx.measuredFlag[static_cast<size_t>(q)];
+            map[static_cast<size_t>(q)] = free_hw[meas ? mi++ : oi++];
+        }
+        bestMin = value;
+        bestMap = map;
+        for (size_t j = k; j < ctx.order.size(); ++j)
+            map[static_cast<size_t>(ctx.order[j])] = -1;
+    }
+
+    /**
+     * @param inherited Min over the placed prefix of each qubit's
+     *        placement-time free-site degree cap — an admissible bound
+     *        on the final objective that only tightens down the path
+     *        (the free set shrinks, so caps taken earlier stay valid).
+     */
+    void
+    dfs(size_t k, double cur_min, double inherited)
+    {
+        if (core.exhausted)
+            return;
+        if (k == ctx.order.size()) {
+            if (cur_min > bestMin + 1e-15) {
+                bestMin = cur_min;
+                bestMap = map;
+            }
+            return;
+        }
+        if (!core.tick())
+            return;
+        if (tab.useBound && k == tab.firstIsolated) {
+            closeIsolatedSuffix(k, cur_min);
+            return;
+        }
+        ProgQubit q = ctx.order[k];
+        // Node-constant bound: the unplaced-suffix cap and the prefix's
+        // inherited degree caps.
+        const double static_cap =
+            tab.useBound ? std::min(tab.suffixCap[k + 1], inherited)
+                         : 1.0;
+        const int fdeg = tab.fwdDeg[k];
+        const bool fwd = tab.hasForward(k);
+        // Order candidates by score so good branches are explored first.
+        struct Cand
+        {
+            double nm;  // objective prefix after this placement
+            double ub;  // admissible bound on any completion below it
+            double cap; // this site's own forward-degree cap
+            HwQubit h;
+        };
+        std::vector<Cand> cands;
+        std::vector<uint8_t> class_seen;
+        if (tab.useSymmetry)
+            class_seen.assign(static_cast<size_t>(tab.numClasses), 0);
+        for (HwQubit h = 0; h < ctx.rel.numQubits(); ++h) {
+            if (used[static_cast<size_t>(h)])
+                continue;
+            if (tab.useSymmetry) {
+                uint8_t &seen = class_seen[static_cast<size_t>(
+                    tab.hwClass[static_cast<size_t>(h)])];
+                if (seen) {
+                    ++core.symmetryPruned;
+                    continue;
+                }
+                seen = 1;
+            }
+            double s = ctx.placementScore(k, h, map);
+            double nm = std::min(cur_min, s);
+            double ub = std::min(nm, static_cap);
+            double cap = 1.0;
+            if (tab.useBound && fdeg > 0) {
+                // q's fdeg forward partners need fdeg distinct free
+                // sites, so the worst of those pairs cannot beat the
+                // fdeg-th best free partner of h.
+                cap = tab.kthBestFree(h, fdeg, used);
+                ub = std::min(ub, cap);
+            }
+            if (ub > bestMin + 1e-15)
+                cands.push_back({nm, ub, cap, h});
+            else
+                ++core.boundPruned;
+        }
+        std::sort(cands.begin(), cands.end(),
+                  [](const Cand &a, const Cand &b) {
+                      return a.nm > b.nm;
+                  });
+        std::vector<HwQubit> expanded;
+        for (const auto &c : cands) {
+            if (c.ub <= bestMin + 1e-15) {
+                // Incumbent improved since candidate listing.
+                ++core.boundPruned;
+                continue;
+            }
+            if (tab.useDominance && !fwd) {
+                bool dominated = false;
+                for (HwQubit h1 : expanded)
+                    if (tab.domGE[static_cast<size_t>(c.h)]
+                                 [static_cast<size_t>(h1)]) {
+                        dominated = true;
+                        break;
+                    }
+                if (dominated) {
+                    ++core.dominancePruned;
+                    continue;
+                }
+            }
+            map[static_cast<size_t>(q)] = c.h;
+            used[static_cast<size_t>(c.h)] = true;
+            dfs(k + 1, c.nm, std::min(inherited, c.cap));
+            used[static_cast<size_t>(c.h)] = false;
+            map[static_cast<size_t>(q)] = -1;
+            if (core.exhausted)
+                return;
+            if (tab.useDominance && !fwd)
+                expanded.push_back(c.h);
+        }
+    }
+};
+
+/**
+ * Exact product-objective search: the [46]-style whole-graph objective
+ * the paper contrasts with max-min. With the row relaxation off it
+ * falls back to the legacy static suffix potential (every remaining
+ * operation at the device-wide best reliability), which is what the
+ * micro_mapper ablation rows measure against.
+ */
+struct BnbProductSearch
+{
+    const SearchContext &ctx;
+    const PruneTables &tab;
+    SearchCore core;
+    double bestSum;
+    std::vector<HwQubit> bestMap;
+    std::vector<HwQubit> map;
+    std::vector<bool> used;
+    // Legacy bound: suffixPotential[k] caps the contribution of
+    // placements k..end at the device-wide best reliabilities.
+    std::vector<double> suffixPotential;
+
+    BnbProductSearch(const SearchContext &c, const PruneTables &t,
+                     long node_budget, const CompileBudget &clk,
+                     double incumbent, std::vector<HwQubit> incumbent_map)
+        : ctx(c), tab(t), core(node_budget, clk), bestSum(incumbent),
+          bestMap(std::move(incumbent_map)),
+          map(static_cast<size_t>(c.info.numProgQubits), -1),
+          used(static_cast<size_t>(c.rel.numQubits()), false)
+    {
+        if (!tab.useBound) {
+            double max_pair_log =
+                std::log(std::max(ctx.rel.maxPairReliability(), 1e-300));
+            double best_ro = 0.0;
+            for (int h = 0; h < ctx.rel.numQubits(); ++h)
+                best_ro =
+                    std::max(best_ro, ctx.rel.readoutReliability(h));
+            double max_ro_log = std::log(std::max(best_ro, 1e-300));
+            suffixPotential.assign(ctx.order.size() + 1, 0.0);
+            for (size_t k = ctx.order.size(); k-- > 0;) {
+                double pot = suffixPotential[k + 1];
+                for (const auto &p : ctx.backPairs[k])
+                    pot += p.weight * max_pair_log;
+                if (ctx.includeReadout &&
+                    ctx.measuredFlag[static_cast<size_t>(ctx.order[k])])
+                    pot += max_ro_log;
+                suffixPotential[k] = pot;
+            }
         }
     }
 
@@ -437,10 +898,63 @@ struct BnbProductSearch
         return s;
     }
 
-    void
-    dfs(size_t k, double cur_sum)
+    /**
+     * Row-relaxation charge released by scoring order[k]'s back pairs:
+     * each was provisionally counted in dyn_pot at its earlier
+     * endpoint's rowMax when that endpoint was placed.
+     */
+    double
+    backAdjust(size_t k) const
     {
-        if (exhausted)
+        double adj = 0.0;
+        ProgQubit q = ctx.order[k];
+        for (const auto &p : ctx.backPairs[k]) {
+            ProgQubit other = p.a == q ? p.b : p.a;
+            adj += p.weight *
+                   tab.logRowMax[static_cast<size_t>(
+                       map[static_cast<size_t>(other)])];
+        }
+        return adj;
+    }
+
+    /** Product-objective twin of BnbSearch::closeIsolatedSuffix. */
+    void
+    closeIsolatedSuffix(size_t k, double cur_sum)
+    {
+        std::vector<HwQubit> free_hw = freeByReadout(ctx, used);
+        size_t r = 0;
+        for (size_t j = k; j < ctx.order.size(); ++j)
+            if (ctx.includeReadout &&
+                ctx.measuredFlag[static_cast<size_t>(ctx.order[j])])
+                ++r;
+        double value = cur_sum;
+        for (size_t i = 0; i < r; ++i)
+            value += std::log(std::max(
+                ctx.rel.readoutReliability(free_hw[i]), 1e-300));
+        if (value <= bestSum + 1e-12)
+            return;
+        size_t mi = 0, oi = r;
+        for (size_t j = k; j < ctx.order.size(); ++j) {
+            ProgQubit q = ctx.order[j];
+            bool meas = ctx.includeReadout &&
+                        ctx.measuredFlag[static_cast<size_t>(q)];
+            map[static_cast<size_t>(q)] = free_hw[meas ? mi++ : oi++];
+        }
+        bestSum = value;
+        bestMap = map;
+        for (size_t j = k; j < ctx.order.size(); ++j)
+            map[static_cast<size_t>(ctx.order[j])] = -1;
+    }
+
+    /**
+     * @param dyn_pot Row-relaxation potential of the placed prefix:
+     *        sum over placed qubits' still-unscored pairs of
+     *        weight * logRowMax at the qubit's actual hardware row.
+     */
+    void
+    dfs(size_t k, double cur_sum, double dyn_pot)
+    {
+        if (core.exhausted)
             return;
         if (k == ctx.order.size()) {
             if (cur_sum > bestSum + 1e-12) {
@@ -449,118 +963,134 @@ struct BnbProductSearch
             }
             return;
         }
-        if (++nodes > budget) {
-            exhausted = true;
+        if (!core.tick())
+            return;
+        if (tab.useBound && k == tab.firstIsolated) {
+            closeIsolatedSuffix(k, cur_sum);
             return;
         }
-        // Poll the wall clock sparsely: a clock read per node would
-        // dominate the search itself.
-        if ((nodes & 0xFFF) == 0 && clock.expired()) {
-            exhausted = true;
-            timedOut = true;
-            return;
-        }
-        std::vector<std::pair<double, HwQubit>> cands;
+        const double back_adj = tab.useBound ? backAdjust(k) : 0.0;
+        const bool fwd = tab.hasForward(k);
+        struct Cand
+        {
+            double ns;  // objective prefix after this placement
+            double ub;  // admissible bound on any completion below it
+            double pot; // dyn_pot to carry into the child
+            HwQubit h;
+        };
+        std::vector<Cand> cands;
+        std::vector<uint8_t> class_seen;
+        if (tab.useSymmetry)
+            class_seen.assign(static_cast<size_t>(tab.numClasses), 0);
         for (HwQubit h = 0; h < ctx.rel.numQubits(); ++h) {
             if (used[static_cast<size_t>(h)])
                 continue;
-            double ns = cur_sum + contribution(k, h);
-            if (ns + suffixPotential[k + 1] > bestSum + 1e-12)
-                cands.emplace_back(ns, h);
-        }
-        std::sort(cands.begin(), cands.end(),
-                  [](const auto &a, const auto &b) {
-                      return a.first > b.first;
-                  });
-        for (const auto &[ns, h] : cands) {
-            if (ns + suffixPotential[k + 1] <= bestSum + 1e-12)
-                continue;
-            map[static_cast<size_t>(ctx.order[k])] = h;
-            used[static_cast<size_t>(h)] = true;
-            dfs(k + 1, ns);
-            used[static_cast<size_t>(h)] = false;
-            map[static_cast<size_t>(ctx.order[k])] = -1;
-            if (exhausted)
-                return;
-        }
-    }
-};
-
-/** Exact max-min search with incumbent pruning. */
-struct BnbSearch
-{
-    const SearchContext &ctx;
-    long budget;
-    const CompileBudget &clock;
-    long nodes = 0;
-    bool exhausted = false;
-    bool timedOut = false;
-    double bestMin;
-    std::vector<HwQubit> bestMap;
-    std::vector<HwQubit> map;
-    std::vector<bool> used;
-
-    BnbSearch(const SearchContext &c, long node_budget,
-              const CompileBudget &clk, double incumbent,
-              std::vector<HwQubit> incumbent_map)
-        : ctx(c), budget(node_budget), clock(clk), bestMin(incumbent),
-          bestMap(std::move(incumbent_map)),
-          map(static_cast<size_t>(c.info.numProgQubits), -1),
-          used(static_cast<size_t>(c.rel.numQubits()), false)
-    {
-    }
-
-    void
-    dfs(size_t k, double cur_min)
-    {
-        if (exhausted)
-            return;
-        if (k == ctx.order.size()) {
-            if (cur_min > bestMin + 1e-15) {
-                bestMin = cur_min;
-                bestMap = map;
+            if (tab.useSymmetry) {
+                uint8_t &seen = class_seen[static_cast<size_t>(
+                    tab.hwClass[static_cast<size_t>(h)])];
+                if (seen) {
+                    ++core.symmetryPruned;
+                    continue;
+                }
+                seen = 1;
             }
-            return;
-        }
-        if (++nodes > budget) {
-            exhausted = true;
-            return;
-        }
-        // Poll the wall clock sparsely: a clock read per node would
-        // dominate the search itself.
-        if ((nodes & 0xFFF) == 0 && clock.expired()) {
-            exhausted = true;
-            timedOut = true;
-            return;
-        }
-        ProgQubit q = ctx.order[k];
-        // Order candidates by score so good branches are explored first.
-        std::vector<std::pair<double, HwQubit>> cands;
-        for (HwQubit h = 0; h < ctx.rel.numQubits(); ++h) {
-            if (used[static_cast<size_t>(h)])
-                continue;
-            double s = ctx.placementScore(k, h, map);
-            double nm = std::min(cur_min, s);
-            if (nm > bestMin + 1e-15)
-                cands.emplace_back(nm, h);
+            double ns = cur_sum + contribution(k, h);
+            double ub;
+            double child_pot = 0.0;
+            if (tab.useBound) {
+                child_pot = dyn_pot - back_adj +
+                            tab.attrW[k] *
+                                tab.logRowMax[static_cast<size_t>(h)];
+                ub = ns + child_pot + tab.suffixCapE[k + 1];
+            } else {
+                ub = ns + suffixPotential[k + 1];
+            }
+            if (ub > bestSum + 1e-12)
+                cands.push_back({ns, ub, child_pot, h});
+            else
+                ++core.boundPruned;
         }
         std::sort(cands.begin(), cands.end(),
-                  [](const auto &a, const auto &b) {
-                      return a.first > b.first;
+                  [](const Cand &a, const Cand &b) {
+                      return a.ns > b.ns;
                   });
-        for (const auto &[nm, h] : cands) {
-            if (nm <= bestMin + 1e-15)
-                continue; // Incumbent improved since candidate listing.
-            map[static_cast<size_t>(q)] = h;
-            used[static_cast<size_t>(h)] = true;
-            dfs(k + 1, nm);
-            used[static_cast<size_t>(h)] = false;
-            map[static_cast<size_t>(q)] = -1;
-            if (exhausted)
+        std::vector<HwQubit> expanded;
+        for (const auto &c : cands) {
+            if (c.ub <= bestSum + 1e-12) {
+                // Incumbent improved since candidate listing.
+                ++core.boundPruned;
+                continue;
+            }
+            if (tab.useDominance && !fwd) {
+                bool dominated = false;
+                for (HwQubit h1 : expanded)
+                    if (tab.domGE[static_cast<size_t>(c.h)]
+                                 [static_cast<size_t>(h1)]) {
+                        dominated = true;
+                        break;
+                    }
+                if (dominated) {
+                    ++core.dominancePruned;
+                    continue;
+                }
+            }
+            map[static_cast<size_t>(ctx.order[k])] = c.h;
+            used[static_cast<size_t>(c.h)] = true;
+            dfs(k + 1, c.ns, c.pot);
+            used[static_cast<size_t>(c.h)] = false;
+            map[static_cast<size_t>(ctx.order[k])] = -1;
+            if (core.exhausted)
                 return;
+            if (tab.useDominance && !fwd)
+                expanded.push_back(c.h);
         }
     }
 };
+
+/** True when `map` is a complete injective placement for the program. */
+bool
+validPlacement(const std::vector<HwQubit> &map, int n_prog, int n_hw)
+{
+    if (static_cast<int>(map.size()) != n_prog)
+        return false;
+    std::vector<bool> used(static_cast<size_t>(n_hw), false);
+    for (HwQubit h : map) {
+        if (h < 0 || h >= n_hw || used[static_cast<size_t>(h)])
+            return false;
+        used[static_cast<size_t>(h)] = true;
+    }
+    return true;
+}
+
+/**
+ * A warm start is a floor, not a ceiling: when yesterday's placement
+ * polishes into a worse local optimum than today's constructive seed
+ * would, keep the greedy seed instead. This is what makes the
+ * warm-start contract ("never worse than a cold search") a theorem —
+ * the warm incumbent is >= the cold incumbent, and a higher incumbent
+ * with sound pruning dominates at every node budget. Replaces `seed`
+ * when the greedy one scores higher; returns false when the deadline
+ * fired during the extra polish.
+ */
+bool
+keepBetterSeed(const ProgramInfo &info, const ReliabilityMatrix &rel,
+               const MappingOptions &opts, const SearchContext &ctx,
+               std::vector<HwQubit> &seed)
+{
+    std::vector<HwQubit> cold = greedyPlace(ctx);
+    bool converged = localSearch(info, rel, opts.includeReadout,
+                                 opts.objective, cold, opts.budget);
+    auto value = [&](const std::vector<HwQubit> &m) {
+        return opts.objective == MappingObjective::MaxMin
+                   ? mappingMinReliability(info, rel, m,
+                                           opts.includeReadout)
+                   : mappingLogProduct(info, rel, m,
+                                       opts.includeReadout);
+    };
+    if (value(cold) > value(seed))
+        seed = std::move(cold);
+    return converged;
+}
 
 } // namespace
 
@@ -587,17 +1117,40 @@ mapQubits(const ProgramInfo &info, const ReliabilityMatrix &rel,
         return finishMapping(info, rel, {}, opts.includeReadout, true, 0,
                              "trivial");
 
+    // Warm-start handling is shared by the seeded engines: a valid
+    // placement (typically a drift-stale mapping from the compile
+    // cache) replaces the constructive greedy seed as the anytime
+    // incumbent. Invalid warm starts degrade to greedy with a note.
+    bool warm_requested = !opts.warmStart.empty();
+    bool warm = warm_requested &&
+                validPlacement(opts.warmStart, info.numProgQubits,
+                               rel.numQubits()) &&
+                envInt("TRIQ_MAPPER_WARM", 1, 0) != 0;
+    auto mark_warm = [&](Mapping &m) {
+        m.warmStarted = warm;
+        if (warm)
+            m.warmStartOrigin = opts.warmStartOrigin;
+        else if (warm_requested &&
+                 !validPlacement(opts.warmStart, info.numProgQubits,
+                                 rel.numQubits()))
+            m.notes.push_back("invalid warm-start placement ignored; "
+                              "seeded from greedy instead");
+    };
+
     switch (opts.kind) {
       case MapperKind::Trivial:
         return trivialMapping(info, rel);
       case MapperKind::Greedy: {
         SearchContext ctx(info, rel, opts.includeReadout);
-        auto map = greedyPlace(ctx);
+        auto map = warm ? opts.warmStart : greedyPlace(ctx);
         bool converged = localSearch(info, rel, opts.includeReadout,
                                      opts.objective, map, opts.budget);
+        if (warm && converged)
+            converged = keepBetterSeed(info, rel, opts, ctx, map);
         Mapping m = finishMapping(info, rel, std::move(map),
                                   opts.includeReadout, false, 0,
                                   "greedy");
+        mark_warm(m);
         if (!converged) {
             m.timedOut = true;
             m.notes.push_back("deadline fired during greedy local "
@@ -607,59 +1160,69 @@ mapQubits(const ProgramInfo &info, const ReliabilityMatrix &rel,
       }
       case MapperKind::BranchAndBound: {
         SearchContext ctx(info, rel, opts.includeReadout);
-        auto seed = greedyPlace(ctx);
+        auto seed = warm ? opts.warmStart : greedyPlace(ctx);
         bool converged = localSearch(info, rel, opts.includeReadout,
                                      opts.objective, seed, opts.budget);
-        // The greedy incumbent is the anytime floor: if the deadline
-        // already fired, skip the exact search and return it.
+        if (warm && converged)
+            converged = keepBetterSeed(info, rel, opts, ctx, seed);
+        // The seed is the anytime floor: if the deadline already
+        // fired, skip the exact search and return it.
         if (!converged || opts.budget.expired()) {
             Mapping m = finishMapping(info, rel, std::move(seed),
                                       opts.includeReadout, false, 0,
-                                      "greedy");
+                                      warm ? "warm" : "greedy");
             m.timedOut = true;
+            mark_warm(m);
             m.notes.push_back(
                 "deadline fired before branch-and-bound could run; "
-                "degraded to the greedy incumbent");
+                "degraded to the seed incumbent");
             return m;
         }
-        if (opts.objective == MappingObjective::Product) {
-            double incumbent = mappingLogProduct(info, rel, seed,
-                                                 opts.includeReadout);
-            BnbProductSearch search(ctx, opts.nodeBudget, opts.budget,
-                                    incumbent, seed);
-            search.dfs(0, 0.0);
-            Mapping m = finishMapping(info, rel, search.bestMap,
+        bool use_bound = opts.useStrongBound &&
+                         envInt("TRIQ_MAPPER_BOUND", 1, 0) != 0;
+        bool use_sym = opts.useSymmetry &&
+                       envInt("TRIQ_MAPPER_SYMMETRY", 1, 0) != 0;
+        bool use_dom = opts.useDominance &&
+                       envInt("TRIQ_MAPPER_DOMINANCE", 1, 0) != 0;
+        PruneTables tab =
+            buildPruneTables(ctx, use_bound, use_sym, use_dom);
+        auto finish = [&](const SearchCore &core,
+                          std::vector<HwQubit> best_map) {
+            Mapping m = finishMapping(info, rel, std::move(best_map),
                                       opts.includeReadout,
-                                      !search.exhausted, search.nodes,
+                                      !core.exhausted, core.nodes,
                                       "bnb");
-            m.timedOut = search.timedOut;
-            if (search.timedOut)
+            m.timedOut = core.timedOut;
+            m.boundPruned = core.boundPruned;
+            m.symmetryPruned = core.symmetryPruned;
+            m.dominancePruned = core.dominancePruned;
+            m.boundType = use_bound ? "row-relax" : "legacy";
+            mark_warm(m);
+            if (core.timedOut)
                 m.notes.push_back(
                     "deadline fired during branch-and-bound; returning "
                     "the best incumbent found");
-            else if (search.exhausted)
+            else if (core.exhausted)
                 m.notes.push_back("branch-and-bound node budget "
                                   "exhausted; returning the incumbent");
             return m;
+        };
+        if (opts.objective == MappingObjective::Product) {
+            double incumbent = mappingLogProduct(info, rel, seed,
+                                                 opts.includeReadout);
+            BnbProductSearch search(ctx, tab, opts.nodeBudget,
+                                    opts.budget, incumbent, seed);
+            search.dfs(0, 0.0, 0.0);
+            return finish(search.core, search.bestMap);
         }
         double incumbent = mappingMinReliability(info, rel, seed,
                                                  opts.includeReadout);
         // Search strictly above the incumbent; the incumbent map is
         // returned when nothing better exists.
-        BnbSearch search(ctx, opts.nodeBudget, opts.budget, incumbent,
-                         seed);
-        search.dfs(0, 1.0);
-        Mapping m = finishMapping(info, rel, search.bestMap,
-                                  opts.includeReadout, !search.exhausted,
-                                  search.nodes, "bnb");
-        m.timedOut = search.timedOut;
-        if (search.timedOut)
-            m.notes.push_back("deadline fired during branch-and-bound; "
-                              "returning the best incumbent found");
-        else if (search.exhausted)
-            m.notes.push_back("branch-and-bound node budget exhausted; "
-                              "returning the incumbent");
-        return m;
+        BnbSearch search(ctx, tab, opts.nodeBudget, opts.budget,
+                         incumbent, seed);
+        search.dfs(0, 1.0, 1.0);
+        return finish(search.core, search.bestMap);
       }
       case MapperKind::Smt:
         if (opts.objective == MappingObjective::Product) {

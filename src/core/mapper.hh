@@ -98,6 +98,38 @@ struct MappingOptions
     unsigned smtTimeoutMs = 60000;
 
     /**
+     * Planner-grade pruning toggles for the B&B engines (all on by
+     * default; each can also be vetoed at runtime with
+     * TRIQ_MAPPER_BOUND / TRIQ_MAPPER_SYMMETRY / TRIQ_MAPPER_DOMINANCE
+     * = 0). All three are *sound*: they never change the optimal
+     * objective value, only the number of nodes needed to prove it.
+     * Turning them off reproduces the legacy search, which is what the
+     * micro_mapper ablation rows measure against.
+     */
+    bool useStrongBound = true;  //!< Row-relaxation admissible bound.
+    bool useSymmetry = true;     //!< Equivalence-class representatives.
+    bool useDominance = true;    //!< Sibling-dominance substitution.
+
+    /**
+     * Optional warm-start placement (program -> hardware, injective,
+     * sized numProgQubits). When valid it is polished by local search
+     * and the *better* of it and the constructive greedy seed becomes
+     * the anytime incumbent — the use case is incremental remapping
+     * after calibration drift, where yesterday's mapping is usually
+     * within a few swaps of today's optimum, so the incumbent starts
+     * tight and the B&B proof tree collapses. Because the warm
+     * incumbent is never below the cold one and pruning is sound, the
+     * returned objective value is never worse than a cold search's at
+     * any node budget. Empty or invalid vectors are ignored (falling
+     * back to the greedy seed), and TRIQ_MAPPER_WARM=0 disables warm
+     * starting globally.
+     */
+    std::vector<HwQubit> warmStart;
+
+    /** Provenance label for the warm start (e.g. "drift(day 3)"). */
+    std::string warmStartOrigin;
+
+    /**
      * Wall-clock budget for the search. Every engine is *anytime* under
      * it: when the deadline fires mid-search the best incumbent found
      * so far is returned (marked Mapping::timedOut) instead of running
@@ -121,6 +153,28 @@ struct Mapping
 
     /** Search nodes explored (B&B) or 0. */
     long nodesExplored = 0;
+
+    /** Candidate placements cut by the admissible/incumbent bound. */
+    long boundPruned = 0;
+
+    /** Candidates skipped as equivalence-class duplicates. */
+    long symmetryPruned = 0;
+
+    /** Candidates cut by sibling-dominance substitution. */
+    long dominancePruned = 0;
+
+    /**
+     * Which upper bound the B&B engine ran with: "row-relax" (the
+     * per-qubit best-edge relaxation), "legacy" (static suffix
+     * potential / bare incumbent cut), or "" for non-B&B engines.
+     */
+    std::string boundType;
+
+    /** True when the search was seeded from MappingOptions::warmStart. */
+    bool warmStarted = false;
+
+    /** Copied from MappingOptions::warmStartOrigin when warmStarted. */
+    std::string warmStartOrigin;
 
     /** True when the engine proved max-min optimality. */
     bool optimal = false;

@@ -217,6 +217,60 @@ ReliabilityMatrix::readoutReliability(HwQubit q) const
 }
 
 double
+ReliabilityMatrix::bestPairReliability(HwQubit h) const
+{
+    checkQubit(h);
+    double best = 0.0;
+    for (int x = 0; x < numQubits_; ++x) {
+        if (x == h)
+            continue;
+        best = std::max(
+            best,
+            std::max(pairRel_[static_cast<size_t>(h)][static_cast<size_t>(x)],
+                     pairRel_[static_cast<size_t>(x)][static_cast<size_t>(h)]));
+    }
+    return best;
+}
+
+std::vector<int>
+ReliabilityMatrix::equivalenceClasses() const
+{
+    const int n = numQubits_;
+    auto sym = [this](int a, int b) {
+        return std::max(
+            pairRel_[static_cast<size_t>(a)][static_cast<size_t>(b)],
+            pairRel_[static_cast<size_t>(b)][static_cast<size_t>(a)]);
+    };
+    std::vector<int> cls(static_cast<size_t>(n), -1);
+    std::vector<int> reps; // lowest qubit index of each class
+    for (int h = 0; h < n; ++h) {
+        for (size_t c = 0; c < reps.size() && cls[static_cast<size_t>(h)] < 0;
+             ++c) {
+            int r = reps[c];
+            // Exact equality on purpose: the classes exist to prune
+            // *provably* interchangeable qubits; near-equal rows are
+            // the bound's and dominance's job.
+            if (readoutRel_[static_cast<size_t>(h)] !=
+                readoutRel_[static_cast<size_t>(r)])
+                continue;
+            bool eq = true;
+            for (int x = 0; x < n && eq; ++x) {
+                if (x == h || x == r)
+                    continue;
+                eq = sym(h, x) == sym(r, x);
+            }
+            if (eq)
+                cls[static_cast<size_t>(h)] = static_cast<int>(c);
+        }
+        if (cls[static_cast<size_t>(h)] < 0) {
+            cls[static_cast<size_t>(h)] = static_cast<int>(reps.size());
+            reps.push_back(h);
+        }
+    }
+    return cls;
+}
+
+double
 ReliabilityMatrix::maxPairReliability() const
 {
     double best = 0.0;

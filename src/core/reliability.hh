@@ -80,6 +80,31 @@ class ReliabilityMatrix
     /** The largest pair reliability anywhere in the matrix. */
     double maxPairReliability() const;
 
+    /**
+     * The best symmetric pair reliability achievable *through* qubit h:
+     * max over partners x of max(pair(h,x), pair(x,h)). This is the
+     * optimistic cap the mapper's admissible bound charges for any
+     * not-yet-scored 2Q operation incident to a qubit placed at h.
+     */
+    double bestPairReliability(HwQubit h) const;
+
+    /**
+     * Hardware-qubit equivalence classes with respect to the mapper's
+     * scoring function: h1 and h2 share a class iff they have equal
+     * readout reliability and, for every third qubit x, equal symmetric
+     * pair scores max(pair(h1,x), pair(x,h1)) == max(pair(h2,x),
+     * pair(x,h2)). Swapping two same-class qubits in any placement
+     * leaves every mapped-operation score unchanged, so a search need
+     * only expand one representative per class at each depth
+     * (automorphism-lite: exact row/column signature equality, which is
+     * what uniform calibrations — the noise-unaware levels and
+     * synthetic DSE devices — actually produce).
+     *
+     * @return classOf[h] = class id in [0, numClasses), ids assigned in
+     *         ascending order of each class's lowest qubit index.
+     */
+    std::vector<int> equivalenceClasses() const;
+
   private:
     int numQubits_;
     Vendor vendor_;

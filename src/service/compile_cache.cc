@@ -52,7 +52,8 @@ std::optional<CompileCache::Entry>
 CompileCache::findDriftTolerant(const CompileFingerprint &key,
                                 const Topology &topo,
                                 const Calibration &new_calib,
-                                double threshold, double *esp_new_out)
+                                double threshold, double *esp_new_out,
+                                std::optional<Entry> *stale_out)
 {
     if (esp_new_out)
         *esp_new_out = 0.0;
@@ -71,6 +72,8 @@ CompileCache::findDriftTolerant(const CompileFingerprint &key,
             return std::nullopt; // evicted
         candidate = it->second;
     }
+    if (stale_out)
+        *stale_out = candidate;
 
     // ESP evaluation outside the lock: it walks the whole routed
     // circuit, and concurrent sweep workers must not serialize on it.

@@ -127,13 +127,19 @@ class CompileCache
      * @param esp_new_out When non-null, receives the re-scored ESP of
      *        the candidate (0 when there was no candidate) so the
      *        caller can report the delta.
+     * @param stale_out When non-null, receives the drift candidate even
+     *        when reuse is refused — the recompile path warm-starts the
+     *        mapper from the stale placement (it is usually within a
+     *        few swaps of the new optimum). Untouched when there was no
+     *        candidate at all.
      * @return The reusable entry, or nullopt when there is no
      *         candidate or it degraded past the threshold.
      */
     std::optional<Entry>
     findDriftTolerant(const CompileFingerprint &key, const Topology &topo,
                       const Calibration &new_calib, double threshold,
-                      double *esp_new_out = nullptr);
+                      double *esp_new_out = nullptr,
+                      std::optional<Entry> *stale_out = nullptr);
 
     Stats stats() const;
     size_t size() const;

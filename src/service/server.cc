@@ -822,6 +822,25 @@ Server::executeCompileOrSimulate(const Pending &p, CrashBundle &crash)
     w.key("compile_ms").value(cc.result->compileMs);
     w.key("degraded").value(cc.result->report.degraded);
     w.key("deadline_hit").value(cc.result->report.deadlineHit);
+    // Mapper-search observability: lets clients (and the loadgen
+    // report) see engine fallbacks and search-effort regressions in
+    // production traffic, not just in benches. Cache/drift-reused
+    // artifacts carry the search stats of the compile that produced
+    // them.
+    w.key("mapper_engine").value(cc.result->report.mapperEngine);
+    w.key("mapper_nodes")
+        .value(static_cast<double>(cc.result->report.mapperNodes));
+    w.key("mapper_optimal").value(cc.result->report.mapperOptimal);
+    w.key("mapper_bound_pruned")
+        .value(static_cast<double>(cc.result->report.mapperBoundPruned));
+    w.key("mapper_symmetry_pruned")
+        .value(static_cast<double>(
+            cc.result->report.mapperSymmetryPruned));
+    w.key("mapper_dominance_pruned")
+        .value(static_cast<double>(
+            cc.result->report.mapperDominancePruned));
+    w.key("mapper_warm_start")
+        .value(cc.result->report.mapperWarmStarted);
     if (rq.getBool("assembly", false))
         w.key("assembly").value(cc.result->assembly);
 

@@ -117,6 +117,8 @@ compileThroughCache(CompileCache *cache, const Circuit &program,
         decomposeToCnotBasis(program, dev.gateSet().nativeCphase);
     out.fingerprint = fingerprintCompile(lowered, dev, calib, opts);
 
+    std::optional<CompileCache::Entry> drift_stale;
+    bool drift_refused = false;
     if (cache) {
         if (auto hit = cache->find(out.fingerprint)) {
             out.result = hit->result;
@@ -130,18 +132,27 @@ compileThroughCache(CompileCache *cache, const Circuit &program,
             double esp_new = 0.0;
             if (auto stale = cache->findDriftTolerant(
                     out.fingerprint, dev.topology(), calib,
-                    drift_threshold, &esp_new)) {
+                    drift_threshold, &esp_new, &drift_stale)) {
                 out.result = stale->result;
                 out.source = CellSource::DriftReuse;
                 out.espAtCompile = stale->espAtCompile;
                 out.esp = esp_new;
                 return out;
             }
+            drift_refused = esp_new > 0.0;
         }
     }
 
+    // Incremental remapping on a refused drift reuse: warm-start the
+    // mapper from the stale placement instead of the greedy seed.
+    CompileOptions warm_opts = opts;
+    if (drift_refused && drift_stale && drift_stale->result) {
+        warm_opts.mapping.warmStart = drift_stale->result->initialMap;
+        warm_opts.mapping.warmStartOrigin =
+            "drift(day " + std::to_string(drift_stale->day) + ")";
+    }
     auto compiled = std::make_shared<const CompileResult>(
-        compileForDevice(program, dev, calib, opts, &lowered));
+        compileForDevice(program, dev, calib, warm_opts, &lowered));
     out.result = compiled;
     out.source = CellSource::Compiled;
     out.esp = estimatedSuccessProbability(compiled->hwCircuit,
@@ -516,6 +527,7 @@ runSweep(const SweepConfig &config, CompileCache *cache)
             auto resolve = [&] {
             auto t0 = Clock::now();
             bool drift_refused = false;
+            std::optional<CompileCache::Entry> drift_stale;
             // A throwing cell (strict calibration rejecting a corrupt
             // feed, or any pipeline failure) is recorded and contained
             // *inside* the worker: letting it escape would poison
@@ -533,7 +545,7 @@ runSweep(const SweepConfig &config, CompileCache *cache)
                     double esp_new = 0.0;
                     if (auto stale = cache->findDriftTolerant(
                             cell.fingerprint, dev.topology(), dc.calib,
-                            drift, &esp_new)) {
+                            drift, &esp_new, &drift_stale)) {
                         cell.result = stale->result;
                         cell.source = CellSource::DriftReuse;
                         cell.espAtCompile = stale->espAtCompile;
@@ -547,6 +559,15 @@ runSweep(const SweepConfig &config, CompileCache *cache)
 
             CompileOptions opts = config.options;
             opts.level = cell.level;
+            // Incremental remapping: a drift-invalidated placement is
+            // usually within a few swaps of the new optimum, so the
+            // recompile warm-starts the mapper search from it instead
+            // of the greedy seed.
+            if (drift_refused && drift_stale && drift_stale->result) {
+                opts.mapping.warmStart = drift_stale->result->initialMap;
+                opts.mapping.warmStartOrigin =
+                    "drift(day " + std::to_string(drift_stale->day) + ")";
+            }
             auto compiled = std::make_shared<const CompileResult>(
                 compileForDevice(prog.circuit, dev, dc.calib, opts,
                                  &low));
@@ -559,9 +580,21 @@ runSweep(const SweepConfig &config, CompileCache *cache)
             if (use_cache && !budgeted)
                 cache->insert(cell.fingerprint, compiled,
                               cell.espAtCompile, cell.day);
-            if (drift_refused) {
+            {
+                const CompileReport &rep = compiled->report;
                 std::lock_guard<std::mutex> lock(stats_mutex);
-                ++out.stats.driftRecompiles;
+                if (drift_refused)
+                    ++out.stats.driftRecompiles;
+                out.stats.mapperNodes += rep.mapperNodes;
+                out.stats.mapperBoundPruned += rep.mapperBoundPruned;
+                out.stats.mapperSymmetryPruned +=
+                    rep.mapperSymmetryPruned;
+                out.stats.mapperDominancePruned +=
+                    rep.mapperDominancePruned;
+                if (rep.mapperEngine != rep.requestedMapper)
+                    ++out.stats.mapperFallbacks;
+                if (rep.mapperWarmStarted)
+                    ++out.stats.mapperWarmStarts;
             }
             } catch (const std::exception &e) {
                 cell.result.reset();

@@ -189,6 +189,22 @@ struct SweepStats
     int driftReuses = 0;    //!< Within-threshold stale reuses.
     int driftRecompiles = 0; //!< CN recompiles forced past the threshold.
     int restoredCells = 0;   //!< Cells restored from a resume journal.
+
+    /**
+     * Mapper-search aggregates over the cells *compiled by this run*
+     * (cache hits, drift reuses and restored cells carry no fresh
+     * search): total B&B nodes, per-pruning-rule cut counts, cells
+     * whose mapper degraded below the requested engine, and drift
+     * recompiles that warm-started from the stale placement. These make
+     * search regressions observable in production sweeps, not just in
+     * the micro_mapper bench.
+     */
+    long mapperNodes = 0;
+    long mapperBoundPruned = 0;
+    long mapperSymmetryPruned = 0;
+    long mapperDominancePruned = 0;
+    int mapperFallbacks = 0;
+    int mapperWarmStarts = 0;
     double wallMs = 0.0;     //!< End-to-end engine wall clock.
     int threads = 1;         //!< Workers actually used (max over days).
 

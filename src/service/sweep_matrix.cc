@@ -50,8 +50,20 @@ writeSweepMatrix(std::ostream &os, const SweepConfig &config,
                << ", \"swaps\": " << c.result->swapCount
                << ", \"degraded\": "
                << (c.result->report.degraded ? "true" : "false");
-            if (!deterministic)
-                os << ", \"ms\": " << c.ms;
+            if (!deterministic) {
+                // Mapper detail is only meaningful for cells this run
+                // compiled (restored/reused cells carry no fresh
+                // search), and lives outside the deterministic matrix:
+                // the resume journal round-trips only `degraded`.
+                const CompileReport &rep = c.result->report;
+                os << ", \"ms\": " << c.ms << ", \"mapper_engine\": \""
+                   << jsonEscape(rep.mapperEngine)
+                   << "\", \"mapper_nodes\": " << rep.mapperNodes
+                   << ", \"mapper_bound_pruned\": "
+                   << rep.mapperBoundPruned
+                   << ", \"mapper_warm_start\": "
+                   << (rep.mapperWarmStarted ? "true" : "false");
+            }
         }
         os << "}";
     }
@@ -72,7 +84,17 @@ writeSweepMatrix(std::ostream &os, const SweepConfig &config,
            << result.stats.schedItemsPerTask
            << ", \"sched_tasks\": " << result.stats.schedTasks
            << ", \"sched_predicted_ms\": " << result.stats.schedPredictedMs
-           << ", \"sched_actual_ms\": " << result.stats.schedActualMs;
+           << ", \"sched_actual_ms\": " << result.stats.schedActualMs
+           << ", \"mapper_nodes\": " << result.stats.mapperNodes
+           << ", \"mapper_bound_pruned\": "
+           << result.stats.mapperBoundPruned
+           << ", \"mapper_symmetry_pruned\": "
+           << result.stats.mapperSymmetryPruned
+           << ", \"mapper_dominance_pruned\": "
+           << result.stats.mapperDominancePruned
+           << ", \"mapper_fallbacks\": " << result.stats.mapperFallbacks
+           << ", \"mapper_warm_starts\": "
+           << result.stats.mapperWarmStarts;
     }
     os << "}";
     if (cache_stats && !deterministic) {

@@ -6,7 +6,9 @@
  */
 
 #include <algorithm>
+#include <cstdlib>
 #include <numeric>
+#include <tuple>
 
 #include <gtest/gtest.h>
 
@@ -318,6 +320,282 @@ TEST(MapperTest, GreedyNeverBeatenBadlyByTrivial)
         EXPECT_GE(greedy.minReliability,
                   trivial.minReliability - 1e-12);
     }
+}
+
+// ---------------------------------------------------------------------
+// Planner-grade search: every pruning feature must be sound (same
+// optimum as exhaustive search) in isolation and in combination, the
+// warm-start path must honor its never-worse contract, and the runtime
+// vetoes must actually veto.
+
+MappingOptions
+plannerOpts(bool bound, bool symmetry, bool dominance)
+{
+    MappingOptions opts;
+    opts.kind = MapperKind::BranchAndBound;
+    opts.useStrongBound = bound;
+    opts.useSymmetry = symmetry;
+    opts.useDominance = dominance;
+    return opts;
+}
+
+/** The symmetric pair score the search uses (mapper-internal). */
+double
+symScore(const ReliabilityMatrix &rel, HwQubit a, HwQubit b)
+{
+    return std::max(rel.pairReliability(a, b),
+                    rel.pairReliability(b, a));
+}
+
+class ToggleOptimality
+    : public ::testing::TestWithParam<std::tuple<uint64_t, int>>
+{
+};
+
+TEST_P(ToggleOptimality, MaxMinMatchesExhaustiveSearch)
+{
+    auto [seed, combo] = GetParam();
+    Device dev = makeIbmQ5();
+    ReliabilityMatrix rel = randomMatrix(dev, seed);
+    Circuit c = decomposeToCnotBasis(makeBenchmark("Adder"));
+    ProgramInfo info = ProgramInfo::fromCircuit(c);
+    MappingOptions opts =
+        plannerOpts(combo & 1, combo & 2, combo & 4);
+    Mapping m = mapQubits(info, rel, opts);
+    EXPECT_TRUE(m.optimal);
+    EXPECT_EQ(m.boundType, (combo & 1) ? "row-relax" : "legacy");
+    double best = bruteForceBest(info, rel, opts.includeReadout);
+    EXPECT_NEAR(m.minReliability, best, 1e-9);
+}
+
+TEST_P(ToggleOptimality, ProductMatchesExhaustiveSearch)
+{
+    auto [seed, combo] = GetParam();
+    Device dev = makeIbmQ5();
+    ReliabilityMatrix rel = randomMatrix(dev, seed + 1000);
+    Circuit c = decomposeToCnotBasis(makeBenchmark("Adder"));
+    ProgramInfo info = ProgramInfo::fromCircuit(c);
+    MappingOptions opts =
+        plannerOpts(combo & 1, combo & 2, combo & 4);
+    opts.objective = MappingObjective::Product;
+    Mapping m = mapQubits(info, rel, opts);
+    EXPECT_TRUE(m.optimal);
+    double best = bruteForceBestProduct(info, rel, opts.includeReadout);
+    EXPECT_NEAR(m.logProduct, best, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllToggleCombos, ToggleOptimality,
+    ::testing::Combine(::testing::Range(uint64_t{10}, uint64_t{14}),
+                       ::testing::Range(0, 8)));
+
+TEST(PlannerSearch, UniformCalibrationKeepsOptimalityWithSymmetry)
+{
+    // The average calibration is uniform per gate type, so the bowtie's
+    // graph automorphisms become real equivalence classes — the case
+    // where symmetry pruning actually collapses subtrees. The optimum
+    // must survive.
+    Device dev = makeIbmQ5();
+    ReliabilityMatrix rel(dev.topology(), dev.averageCalibration(),
+                          dev.vendor());
+    std::vector<int> cls = rel.equivalenceClasses();
+    ASSERT_EQ(cls.size(), static_cast<size_t>(rel.numQubits()));
+    int num_classes = 0;
+    for (size_t h = 0; h < cls.size(); ++h) {
+        ASSERT_GE(cls[h], 0);
+        ASSERT_LT(cls[h], rel.numQubits());
+        num_classes = std::max(num_classes, cls[h] + 1);
+        // Same class => identical scoring signature.
+        for (size_t h2 = 0; h2 < h; ++h2) {
+            if (cls[h2] != cls[h])
+                continue;
+            EXPECT_EQ(rel.readoutReliability(static_cast<HwQubit>(h2)),
+                      rel.readoutReliability(static_cast<HwQubit>(h)));
+            for (HwQubit x = 0; x < rel.numQubits(); ++x) {
+                if (x == static_cast<HwQubit>(h) ||
+                    x == static_cast<HwQubit>(h2))
+                    continue;
+                EXPECT_EQ(symScore(rel, static_cast<HwQubit>(h), x),
+                          symScore(rel, static_cast<HwQubit>(h2), x));
+            }
+        }
+    }
+    Circuit c = decomposeToCnotBasis(makeBenchmark("Adder"));
+    ProgramInfo info = ProgramInfo::fromCircuit(c);
+    Mapping m = mapQubits(info, rel, plannerOpts(true, true, true));
+    EXPECT_TRUE(m.optimal);
+    EXPECT_NEAR(m.minReliability, bruteForceBest(info, rel, true),
+                1e-9);
+    if (num_classes < rel.numQubits()) {
+        EXPECT_GT(m.symmetryPruned, 0);
+    }
+}
+
+TEST(PlannerSearch, StrongBoundNeverExpandsMoreNodes)
+{
+    // Anytime dominance: the stronger bound prunes a superset of the
+    // subtrees the bare incumbent cut prunes, so at any budget the new
+    // engine explores no more nodes and returns no worse a value.
+    Device dev = makeIbmQ14();
+    Circuit c = decomposeToCnotBasis(makeBenchmark("Adder"));
+    ProgramInfo info = ProgramInfo::fromCircuit(c);
+    for (uint64_t seed : {21u, 22u, 23u}) {
+        ReliabilityMatrix rel = randomMatrix(dev, seed);
+        Mapping legacy =
+            mapQubits(info, rel, plannerOpts(false, false, false));
+        Mapping fresh =
+            mapQubits(info, rel, plannerOpts(true, true, true));
+        EXPECT_LE(fresh.nodesExplored, legacy.nodesExplored);
+        EXPECT_GE(fresh.minReliability, legacy.minReliability - 1e-12);
+        EXPECT_GT(fresh.boundPruned, 0);
+    }
+}
+
+TEST(PlannerSearch, EnvVetoFallsBackToLegacyBound)
+{
+    Device dev = makeIbmQ5();
+    ReliabilityMatrix rel = randomMatrix(dev, 31);
+    Circuit c = decomposeToCnotBasis(makeBenchmark("Adder"));
+    ProgramInfo info = ProgramInfo::fromCircuit(c);
+    setenv("TRIQ_MAPPER_BOUND", "0", 1);
+    Mapping m = mapQubits(info, rel, plannerOpts(true, true, true));
+    unsetenv("TRIQ_MAPPER_BOUND");
+    EXPECT_EQ(m.boundType, "legacy");
+    EXPECT_TRUE(m.optimal);
+    EXPECT_NEAR(m.minReliability, bruteForceBest(info, rel, true),
+                1e-9);
+}
+
+TEST(WarmStart, MatchesColdSearchValue)
+{
+    // A warm start changes where the incumbent comes from, never what
+    // the search proves: value identity with the cold search (the maps
+    // themselves may differ between equal-valued optima).
+    Device dev = makeIbmQ14();
+    Circuit c = decomposeToCnotBasis(makeBenchmark("Adder"));
+    ProgramInfo info = ProgramInfo::fromCircuit(c);
+    for (uint64_t seed : {61u, 62u, 63u}) {
+        ReliabilityMatrix rel = randomMatrix(dev, seed);
+        MappingOptions cold_opts;
+        Mapping cold = mapQubits(info, rel, cold_opts);
+        ASSERT_TRUE(cold.optimal);
+        MappingOptions warm_opts;
+        warm_opts.warmStart.resize(
+            static_cast<size_t>(info.numProgQubits));
+        std::iota(warm_opts.warmStart.begin(),
+                  warm_opts.warmStart.end(), 0);
+        warm_opts.warmStartOrigin = "test(identity)";
+        Mapping warm = mapQubits(info, rel, warm_opts);
+        EXPECT_TRUE(warm.optimal);
+        EXPECT_TRUE(warm.warmStarted);
+        EXPECT_EQ(warm.warmStartOrigin, "test(identity)");
+        EXPECT_NEAR(warm.minReliability, cold.minReliability, 1e-12);
+    }
+}
+
+TEST(WarmStart, StaleOptimumShrinksProofTree)
+{
+    // The drift scenario: seeding from the (already optimal) cold map
+    // can only tighten the root incumbent, so the proof tree shrinks
+    // and the value is unchanged.
+    Device dev = makeIbmQ14();
+    ReliabilityMatrix rel = randomMatrix(dev, 71);
+    Circuit c = decomposeToCnotBasis(makeBenchmark("Adder"));
+    ProgramInfo info = ProgramInfo::fromCircuit(c);
+    Mapping cold = mapQubits(info, rel, MappingOptions{});
+    ASSERT_TRUE(cold.optimal);
+    MappingOptions warm_opts;
+    warm_opts.warmStart = cold.progToHw;
+    warm_opts.warmStartOrigin = "drift(test)";
+    Mapping warm = mapQubits(info, rel, warm_opts);
+    EXPECT_TRUE(warm.optimal);
+    EXPECT_TRUE(warm.warmStarted);
+    EXPECT_LE(warm.nodesExplored, cold.nodesExplored);
+    EXPECT_NEAR(warm.minReliability, cold.minReliability, 1e-12);
+}
+
+TEST(WarmStart, NeverWorseThanColdUnderExhaustedBudget)
+{
+    // A deliberately terrible warm seed plus a node budget too small
+    // to search: the engine must still return at least the cold
+    // (greedy-seeded) value, because it keeps the better of the warm
+    // and constructive seeds as its incumbent.
+    Device dev = makeIbmQ14();
+    ReliabilityMatrix rel = randomMatrix(dev, 81);
+    Circuit c = decomposeToCnotBasis(makeBenchmark("Adder"));
+    ProgramInfo info = ProgramInfo::fromCircuit(c);
+    MappingOptions greedy_opts;
+    greedy_opts.kind = MapperKind::Greedy;
+    Mapping greedy = mapQubits(info, rel, greedy_opts);
+    MappingOptions warm_opts;
+    warm_opts.nodeBudget = 1;
+    warm_opts.warmStart.resize(
+        static_cast<size_t>(info.numProgQubits));
+    for (int p = 0; p < info.numProgQubits; ++p)
+        warm_opts.warmStart[static_cast<size_t>(p)] =
+            dev.numQubits() - 1 - p;
+    Mapping warm = mapQubits(info, rel, warm_opts);
+    EXPECT_FALSE(warm.optimal);
+    EXPECT_GE(warm.minReliability, greedy.minReliability - 1e-12);
+}
+
+TEST(WarmStart, InvalidPlacementDegradesToGreedySeed)
+{
+    Device dev = makeIbmQ5();
+    ReliabilityMatrix rel = randomMatrix(dev, 91);
+    Circuit c = decomposeToCnotBasis(makeBenchmark("Adder"));
+    ProgramInfo info = ProgramInfo::fromCircuit(c);
+    MappingOptions opts;
+    opts.warmStart.assign(static_cast<size_t>(info.numProgQubits), 0);
+    opts.warmStartOrigin = "test(bogus)";
+    Mapping m = mapQubits(info, rel, opts);
+    EXPECT_FALSE(m.warmStarted);
+    EXPECT_TRUE(m.warmStartOrigin.empty());
+    EXPECT_TRUE(m.optimal);
+    bool noted = false;
+    for (const std::string &n : m.notes)
+        noted = noted || n.find("invalid warm-start") != std::string::npos;
+    EXPECT_TRUE(noted);
+    EXPECT_NEAR(m.minReliability, bruteForceBest(info, rel, true),
+                1e-9);
+}
+
+TEST(WarmStart, AnytimeUnderExpiredDeadline)
+{
+    // Deadline already fired: the engine must return the warm seed
+    // verbatim (no search, no polish), marked timed out — the anytime
+    // floor of the drift-remap path.
+    Device dev = makeIbmQ14();
+    ReliabilityMatrix rel = randomMatrix(dev, 95);
+    Circuit c = decomposeToCnotBasis(makeBenchmark("Adder"));
+    ProgramInfo info = ProgramInfo::fromCircuit(c);
+    MappingOptions opts;
+    opts.budget = CompileBudget::withDeadlineMs(0.0);
+    opts.warmStart.resize(static_cast<size_t>(info.numProgQubits));
+    std::iota(opts.warmStart.begin(), opts.warmStart.end(), 0);
+    opts.warmStartOrigin = "drift(test)";
+    Mapping m = mapQubits(info, rel, opts);
+    EXPECT_EQ(m.engine, "warm");
+    EXPECT_TRUE(m.timedOut);
+    EXPECT_TRUE(m.warmStarted);
+    EXPECT_FALSE(m.optimal);
+    EXPECT_EQ(m.progToHw, opts.warmStart);
+}
+
+TEST(WarmStart, EnvVetoDisablesWarmStart)
+{
+    Device dev = makeIbmQ5();
+    ReliabilityMatrix rel = randomMatrix(dev, 97);
+    Circuit c = decomposeToCnotBasis(makeBenchmark("Adder"));
+    ProgramInfo info = ProgramInfo::fromCircuit(c);
+    MappingOptions opts;
+    opts.warmStart.resize(static_cast<size_t>(info.numProgQubits));
+    std::iota(opts.warmStart.begin(), opts.warmStart.end(), 0);
+    setenv("TRIQ_MAPPER_WARM", "0", 1);
+    Mapping m = mapQubits(info, rel, opts);
+    unsetenv("TRIQ_MAPPER_WARM");
+    EXPECT_FALSE(m.warmStarted);
+    EXPECT_TRUE(m.optimal);
 }
 
 } // namespace
