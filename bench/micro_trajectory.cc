@@ -1,21 +1,26 @@
 /**
  * @file
  * Trajectory-engine microbenchmark: measures executeNoisy throughput
- * (trials/sec) on fig07-style compiled workloads in three
+ * (trials/sec) on fig07-style compiled workloads in four
  * configurations — serial without prefix checkpointing, serial with
- * it, and multi-threaded — and emits one JSON object with a row per
- * benchmark so CI can track the simulator's performance trajectory
- * across PRs. The default row set (BV8, QFT, Adder) spans the study's
- * width range: BV8 is wide and shallow, QFT and Adder are narrow and
- * gate-dense, which is where checkpointing and threading trade places.
+ * it, multi-threaded trajectories, and serial trajectories with
+ * adaptive intra-state kernel threading — and emits one JSON object
+ * with a row per benchmark so CI can track the simulator's
+ * performance trajectory across PRs. The default row set (BV8, QFT,
+ * Adder) spans the study's width range: BV8 is wide and shallow, QFT
+ * and Adder are narrow and gate-dense, which is where checkpointing
+ * and threading trade places. --wide appends 20-24-qubit GHZ
+ * round-trip and QFT rows compiled onto the Google72 grid — the
+ * register sizes where kernel threading (which shards amplitude
+ * loops, not trials) starts to matter.
  *
- * The run doubles as a determinism check: the serial and threaded
- * configurations must produce bit-identical results per row, and the
- * JSON records whether they did.
+ * The run doubles as a determinism check: all four configurations
+ * must produce bit-identical results per row, and the JSON records
+ * whether they did.
  *
  * Usage:
  *   micro_trajectory [--bench NAME]... [--device NAME] [--trials N]
- *                    [--threads N] [--json FILE]
+ *                    [--threads N] [--wide] [--json FILE]
  *
  * --bench may be repeated; when given, only the named benchmarks run.
  */
@@ -66,6 +71,7 @@ try {
     std::string json_file;
     int trials = defaultTrials(2000);
     int threads = std::max(2, ThreadPool::hardwareThreads());
+    bool wide = false;
     for (int i = 1; i < argc; ++i) {
         auto need_value = [&](const char *flag) -> const char * {
             if (i + 1 >= argc)
@@ -80,6 +86,8 @@ try {
             trials = std::atoi(need_value("--trials"));
         else if (!std::strcmp(argv[i], "--threads"))
             threads = std::atoi(need_value("--threads"));
+        else if (!std::strcmp(argv[i], "--wide"))
+            wide = true;
         else if (!std::strcmp(argv[i], "--json"))
             json_file = need_value("--json");
         else
@@ -94,15 +102,63 @@ try {
     int day = bench::defaultDay();
     Calibration calib = dev.calibrate(day);
 
-    bool all_identical = true;
-    std::ostringstream rows;
-    for (size_t bi = 0; bi < bench_names.size(); ++bi) {
-        const std::string &bench_name = bench_names[bi];
+    // One compiled row per benchmark. Wide rows ride on the Google72
+    // grid with the greedy mapper (B&B search over 72 qubits is a
+    // mapper benchmark, not a simulator one) and a reduced trial
+    // count: each faulty 20-24-qubit trajectory replays hundreds of
+    // gates over megabytes of amplitudes, so a fraction of the
+    // default trial count already dominates the narrow rows' work.
+    struct RowSpec
+    {
+        std::string name;
+        Circuit hw;
+        Device dev;
+        Calibration calib;
+        int trials = 0;
+    };
+    std::vector<RowSpec> specs;
+    for (const std::string &bench_name : bench_names) {
         Circuit program = makeBenchmark(bench_name);
         CompileOptions copts;
         copts.emitAssembly = false;
         CompileResult compiled =
             compileForDevice(program, dev, calib, copts);
+        specs.push_back(
+            {bench_name, compiled.hwCircuit, dev, calib, trials});
+    }
+    if (wide) {
+        Device grid = makeGoogle72();
+        Calibration gcal = grid.calibrate(day);
+        int wide_trials = std::max(16, trials / 64);
+        struct WideSpec
+        {
+            const char *name;
+            Circuit program;
+        };
+        const WideSpec wide_specs[] = {
+            {"GHZ20", makeGhzRoundTrip(20)},
+            {"GHZ24", makeGhzRoundTrip(24)},
+            {"QFT20", makeQft(20, 0b0101)},
+        };
+        for (const WideSpec &w : wide_specs) {
+            CompileOptions copts;
+            copts.emitAssembly = false;
+            copts.mapping.kind = MapperKind::Greedy;
+            CompileResult compiled =
+                compileForDevice(w.program, grid, gcal, copts);
+            specs.push_back(
+                {w.name, compiled.hwCircuit, grid, gcal, wide_trials});
+        }
+    }
+
+    bool all_identical = true;
+    std::ostringstream rows;
+    for (size_t bi = 0; bi < specs.size(); ++bi) {
+        const RowSpec &spec = specs[bi];
+        const std::string &bench_name = spec.name;
+        const Device &row_dev = spec.dev;
+        const Calibration &row_calib = spec.calib;
+        const int row_trials = spec.trials;
 
         // Serial baseline with checkpointing off: every faulty
         // trajectory replays the full circuit from |0...0>, the
@@ -111,59 +167,84 @@ try {
         no_ckpt.threads = 1;
         no_ckpt.checkpointInterval = -1;
         ExecutionResult r_base;
-        double base_ms = runMs(compiled.hwCircuit, dev, calib, trials,
+        double base_ms = runMs(spec.hw, row_dev, row_calib, row_trials,
                                no_ckpt, &r_base);
 
         // Serial with automatic prefix checkpointing.
         ExecOptions serial;
         serial.threads = 1;
+        serial.kernelThreads = 1;
         ExecutionResult r_serial;
-        double serial_ms = runMs(compiled.hwCircuit, dev, calib, trials,
-                                 serial, &r_serial);
+        double serial_ms = runMs(spec.hw, row_dev, row_calib,
+                                 row_trials, serial, &r_serial);
 
         // Threaded with checkpointing; must match the serial run bit
         // for bit (chunk-sharded RNG + chunk-ordered merge).
         ExecOptions threaded;
         threaded.threads = threads;
         ExecutionResult r_threaded;
-        double threaded_ms = runMs(compiled.hwCircuit, dev, calib,
-                                   trials, threaded, &r_threaded);
+        double threaded_ms = runMs(spec.hw, row_dev, row_calib,
+                                   row_trials, threaded, &r_threaded);
+
+        // Serial trajectories with adaptive intra-state kernel
+        // threading: the same memory plan as `serial` (kernel workers
+        // add no state copies), sharding amplitude loops instead of
+        // trials — the configuration the governor's low-memory plan
+        // degrades to on big registers.
+        ExecOptions kernel;
+        kernel.threads = 1;
+        kernel.kernelThreads = -1;
+        ExecutionResult r_kernel;
+        double kernel_ms = runMs(spec.hw, row_dev, row_calib,
+                                 row_trials, kernel, &r_kernel);
 
         bool identical =
             r_serial.successRate == r_threaded.successRate &&
             r_serial.successRate == r_base.successRate &&
+            r_serial.successRate == r_kernel.successRate &&
             r_serial.simulatedTrajectories ==
                 r_threaded.simulatedTrajectories &&
             r_serial.simulatedTrajectories ==
                 r_base.simulatedTrajectories &&
+            r_serial.simulatedTrajectories ==
+                r_kernel.simulatedTrajectories &&
             r_serial.histogram == r_threaded.histogram &&
-            r_serial.histogram == r_base.histogram;
+            r_serial.histogram == r_base.histogram &&
+            r_serial.histogram == r_kernel.histogram;
         all_identical = all_identical && identical;
 
         rows << "    {\n"
              << "      \"benchmark\": \"" << bench_name << "\",\n"
+             << "      \"device\": \"" << row_dev.name() << "\",\n"
+             << "      \"trials\": " << row_trials << ",\n"
              << "      \"simulated_trajectories\": "
              << r_serial.simulatedTrajectories << ",\n"
              << "      \"success_rate\": " << r_serial.successRate
              << ",\n"
              << "      \"serial_no_checkpoint_ms\": " << base_ms << ",\n"
              << "      \"serial_no_checkpoint_trials_per_sec\": "
-             << trialsPerSec(trials, base_ms) << ",\n"
+             << trialsPerSec(row_trials, base_ms) << ",\n"
              << "      \"serial_ms\": " << serial_ms << ",\n"
              << "      \"serial_trials_per_sec\": "
-             << trialsPerSec(trials, serial_ms) << ",\n"
+             << trialsPerSec(row_trials, serial_ms) << ",\n"
              << "      \"checkpoint_speedup\": "
              << (serial_ms > 0.0 ? base_ms / serial_ms : 0.0) << ",\n"
              << "      \"threaded_ms\": " << threaded_ms << ",\n"
              << "      \"threaded_trials_per_sec\": "
-             << trialsPerSec(trials, threaded_ms) << ",\n"
+             << trialsPerSec(row_trials, threaded_ms) << ",\n"
              << "      \"thread_speedup\": "
              << (threaded_ms > 0.0 ? serial_ms / threaded_ms : 0.0)
+             << ",\n"
+             << "      \"kernel_ms\": " << kernel_ms << ",\n"
+             << "      \"kernel_trials_per_sec\": "
+             << trialsPerSec(row_trials, kernel_ms) << ",\n"
+             << "      \"kernel_speedup\": "
+             << (kernel_ms > 0.0 ? serial_ms / kernel_ms : 0.0)
              << ",\n"
              << "      \"identical_across_configs\": "
              << (identical ? "true" : "false") << "\n"
              << "    }"
-             << (bi + 1 == bench_names.size() ? "\n" : ",\n");
+             << (bi + 1 == specs.size() ? "\n" : ",\n");
     }
 
     std::ostringstream json;

@@ -98,6 +98,15 @@ struct TrajectoryContext
     const FusedProgram *fused;                  // null = replay plain gates
     uint64_t correctOutcome;
     bool flatHistogram;
+
+    /**
+     * Kernel-thread setting for trajectory states (see
+     * StateVector::setKernelThreads). Must be 1 whenever the
+     * trajectory fan-out itself is threaded: chunk workers live on the
+     * shared process pool and pool jobs must not submit to it. The
+     * fan-out planner sets this per phase.
+     */
+    int kernelThreads = 1;
 };
 
 /** Per-chunk accumulator; merged into the result in chunk order. */
@@ -217,6 +226,7 @@ runChunk(const TrajectoryContext &ctx, Rng rng, int chunk_trials,
     const int num_gates = circuit.numGates();
 
     StateVector traj(circuit.numQubits());
+    traj.setKernelThreads(ctx.kernelThreads);
     std::vector<bool> fired(sites.size(), false);
     if (ctx.flatHistogram)
         out.flat.assign(uint64_t{1} << measured.size(), 0);
@@ -413,6 +423,7 @@ runGroupSlice(const TrajectoryContext &ctx,
 {
     const std::vector<ErrorSite> &sites = *ctx.sites;
     StateVector traj(ctx.circuit->numQubits());
+    traj.setKernelThreads(ctx.kernelThreads);
     std::vector<StateVector> snaps; // state after injection k
     std::vector<int> snapPos;       // gates applied at that point
     int valid_depth = 0;            // prefix of snaps shared with `traj`'s
@@ -525,6 +536,15 @@ executeNoisyImpl(const Circuit &hw, const Device &dev,
     if (threads_req < 0)
         threads_req = 0;
 
+    // Intra-state kernel threading, same convention. Kernel sharding
+    // adds no state copies (workers write disjoint slices of the one
+    // state), so it is orthogonal to the memory plan below.
+    int kernel_threads = opts.kernelThreads;
+    if (kernel_threads == 0)
+        kernel_threads = defaultKernelThreads(1);
+    if (kernel_threads < 0)
+        kernel_threads = 0;
+
     // Reserve the run's predicted peak memory against the process
     // budget before the first state vector exists. When the full plan
     // does not fit, degrade to the low-memory plan (serial, no
@@ -550,8 +570,9 @@ executeNoisyImpl(const Circuit &hw, const Device &dev,
         threads_req = 1;
         warn("executeNoisy: memory budget ",
              formatBytes(gov.budgetBytes()), " forces the low-memory ",
-             "plan for ", hw.name(),
-             " (serial, no checkpoints, no dedup)");
+             "plan for ", hw.name(), " (serial trajectories, no ",
+             "checkpoints, no dedup; kernel threading unaffected — it ",
+             "adds no state copies)");
     }
 
     // Ideal reference evolution, snapshotted every K gates so faulty
@@ -563,6 +584,10 @@ executeNoisyImpl(const Circuit &hw, const Device &dev,
     // independent of the fusion setting.
     const int num_gates = cc.circuit.numGates();
     StateVector ideal(cc.circuit.numQubits());
+    // The ideal evolution runs on the control thread, so it may always
+    // shard its kernels; on small registers the adaptive plan (and the
+    // serial default) keeps it serial.
+    ideal.setKernelThreads(kernel_threads);
     int interval = low_mem ? -1 : opts.checkpointInterval;
     if (interval == 0) {
         uint64_t bytes_per = ideal.dim() * sizeof(Cplx);
@@ -764,6 +789,12 @@ executeNoisyImpl(const Circuit &hw, const Device &dev,
             plan(num_groups,
                  estimateGroupUs(scal, cc.circuit.numQubits(),
                                  num_gates));
+        // Kernel threading and the group fan-out share the process
+        // pool: when the fan-out is threaded, trajectory kernels must
+        // stay serial (pool jobs cannot submit to the pool); when it
+        // is serial, the kernels get the whole pool. Bit-identical
+        // either way.
+        ctx.kernelThreads = dec.threaded ? 1 : kernel_threads;
         auto t_run = std::chrono::steady_clock::now();
         if (!dec.threaded) {
             runGroupSlice(ctx, groups, order, 0,
@@ -846,6 +877,12 @@ executeNoisyImpl(const Circuit &hw, const Device &dev,
         plan(num_chunks, estimateChunkUs(scal, cc.circuit.numQubits(),
                                          num_gates, chunk_size,
                                          faulty_frac));
+    // Same pool-sharing rule as the dedup path: threaded chunk fan-out
+    // means serial trajectory kernels, and vice versa. The low-memory
+    // degraded plan lands here with threads_req == 1, so its lone
+    // trajectory state keeps full kernel threading at the same 2-state
+    // footprint.
+    ctx.kernelThreads = dec.threaded ? 1 : kernel_threads;
     auto t_run = std::chrono::steady_clock::now();
     runPerPlan(dec, num_chunks, run_chunk);
     dec.actualMs = msSince(t_run);
@@ -953,6 +990,13 @@ defaultSimThreads(int fallback)
 {
     // min 0: TRIQ_SIM_THREADS=0 is valid and means "adaptive".
     return envInt("TRIQ_SIM_THREADS", fallback, 0);
+}
+
+int
+defaultKernelThreads(int fallback)
+{
+    // min 0: TRIQ_KERNEL_THREADS=0 is valid and means "adaptive".
+    return envInt("TRIQ_KERNEL_THREADS", fallback, 0);
 }
 
 bool

@@ -33,6 +33,18 @@
  * bit-identical to the per-gate path (only equivalent to ~1e-15 per
  * gate, locked by tests/test_fusion.cc), so the kernels are free to
  * pick the fastest association.
+ *
+ * Range structure: every dense kernel is expressed over its flattened
+ * group space — group index t is the basis index with the operand bits
+ * deleted, so the whole pass is [0, dim >> nq). kernels::forSegments
+ * expands any sub-range of t back into maximal contiguous amplitude
+ * runs and the same inner bodies run over them, which is what lets one
+ * implementation serve three callers bit-identically: the full serial
+ * pass, the sharded parallel pass (disjoint t-ranges per worker), and
+ * the fusion pass's cache tiles (applyFused*Range over one tile's
+ * groups). Per-vector-unit arithmetic never depends on where a range
+ * boundary falls — ranges are aligned so two-amplitude vector units
+ * are never split — so every caller computes identical bits.
  */
 
 #include "sim/statevector.hh"
@@ -41,6 +53,7 @@
 #include <bit>
 
 #include "common/logging.hh"
+#include "sim/kernel_dispatch.hh"
 
 #if defined(__AVX2__) && defined(__FMA__)
 #define TRIQ_KERNELS_AVX2 1
@@ -49,6 +62,22 @@
 
 namespace triq
 {
+
+namespace
+{
+
+/**
+ * Alignment mask for a ranged kernel: bounds must be multiples of
+ * 2^(q_max + 1) (range closed under the operator) and of
+ * 8 * 2^nq (group-space shard/vector grain). See statevector.hh.
+ */
+uint64_t
+rangeMask(uint64_t top_bit, uint64_t group_grain)
+{
+    return std::max(top_bit << 1, group_grain * 8) - 1;
+}
+
+} // namespace
 
 #ifdef TRIQ_KERNELS_AVX2
 
@@ -89,12 +118,16 @@ cmul2(__m256d x, __m256d mr, __m256d mi)
  *
  * `m` is the (2^{k+1})^2 row-major matrix, `c0` qubit 0's column bit,
  * `hcol[g]`/`hoff[g]` the column bits and amplitude offset (doubles) of
- * high-operand combination g.
+ * high-operand combination g, `strides` the high operands' amplitude
+ * strides ascending. One vector unit covers one group; the group range
+ * [t_lo, t_hi) walks them in halved-stride space (vector unit w holds
+ * amplitudes 2w and 2w+1), so any sub-range computes the same bits as
+ * the full pass.
  */
 template <int K>
 inline void
-applyStride1Dense(double *ad, uint64_t dim, const Cplx *m, int c0,
-                  const int *hcol, const uint64_t *hoff,
+applyStride1Dense(double *ad, uint64_t t_lo, uint64_t t_hi, const Cplx *m,
+                  int c0, const int *hcol, const uint64_t *hoff,
                   const uint64_t *strides)
 {
     constexpr int G = 1 << K;      // high-bit combinations
@@ -110,14 +143,13 @@ applyStride1Dense(double *ad, uint64_t dim, const Cplx *m, int c0,
                                       b.imag());
         }
     }
-    // Iterate even i with every high-operand bit clear, K levels deep.
-    const uint64_t s1 = strides[0];
-    uint64_t s2 = dim;
-    if constexpr (K > 1)
-        s2 = strides[1];
-    for (uint64_t a = 0; a < dim; a += s2 << 1) {
-        for (uint64_t b = a; b < a + s2 && b < dim; b += s1 << 1) {
-            for (uint64_t i = b; i < b + s1; i += 2) {
+    uint64_t vstrides[K];
+    for (int j = 0; j < K; ++j)
+        vstrides[j] = strides[j] >> 1;
+    kernels::forSegments(
+        t_lo, t_hi, vstrides, K, [&](uint64_t w0, uint64_t n) {
+            for (uint64_t w = w0; w < w0 + n; ++w) {
+                const uint64_t i = 2 * w;
                 __m256d v[G], dup[NC];
                 for (int g = 0; g < G; ++g) {
                     v[g] = _mm256_loadu_pd(ad + 2 * i + hoff[g]);
@@ -133,8 +165,7 @@ applyStride1Dense(double *ad, uint64_t dim, const Cplx *m, int c0,
                     _mm256_storeu_pd(ad + 2 * i + hoff[g], acc);
                 }
             }
-        }
-    }
+        });
 }
 
 } // namespace
@@ -142,9 +173,9 @@ applyStride1Dense(double *ad, uint64_t dim, const Cplx *m, int c0,
 #endif // TRIQ_KERNELS_AVX2
 
 void
-StateVector::applyFused1(const Cplx *m, int q)
+StateVector::fused1Groups(const Cplx *m, int q, uint64_t t_lo,
+                          uint64_t t_hi)
 {
-    checkQubit(q);
     const uint64_t bit = uint64_t{1} << q;
     const double m00r = m[0].real(), m00i = m[0].imag();
     const double m01r = m[1].real(), m01i = m[1].imag();
@@ -153,18 +184,19 @@ StateVector::applyFused1(const Cplx *m, int q)
     double *ad = reinterpret_cast<double *>(amps_.data());
 #ifdef TRIQ_KERNELS_AVX2
     if (bit == 1) {
-        // Adjacent pairs: one vector holds both amplitudes; split it
-        // into broadcast halves and apply both matrix rows at once.
+        // Adjacent pairs: one vector holds both amplitudes of group t;
+        // split it into broadcast halves and apply both matrix rows at
+        // once.
         const __m256d ar = _mm256_setr_pd(m00r, m00r, m10r, m10r);
         const __m256d ai = _mm256_setr_pd(m00i, m00i, m10i, m10i);
         const __m256d br = _mm256_setr_pd(m01r, m01r, m11r, m11r);
         const __m256d bi = _mm256_setr_pd(m01i, m01i, m11i, m11i);
-        for (uint64_t i = 0; i < dim(); i += 2) {
-            __m256d v = _mm256_loadu_pd(ad + 2 * i);
+        for (uint64_t t = t_lo; t < t_hi; ++t) {
+            __m256d v = _mm256_loadu_pd(ad + 4 * t);
             __m256d xlo = _mm256_permute2f128_pd(v, v, 0x00);
             __m256d xhi = _mm256_permute2f128_pd(v, v, 0x11);
             __m256d y = cmulAdd2(xhi, br, bi, cmul2(xlo, ar, ai));
-            _mm256_storeu_pd(ad + 2 * i, y);
+            _mm256_storeu_pd(ad + 4 * t, y);
         }
         return;
     }
@@ -173,54 +205,78 @@ StateVector::applyFused1(const Cplx *m, int q)
         const __m256d r01 = _mm256_set1_pd(m01r), i01 = _mm256_set1_pd(m01i);
         const __m256d r10 = _mm256_set1_pd(m10r), i10 = _mm256_set1_pd(m10i);
         const __m256d r11 = _mm256_set1_pd(m11r), i11 = _mm256_set1_pd(m11i);
-        for (uint64_t base = 0; base < dim(); base += bit << 1) {
-            for (uint64_t i = base; i < base + bit; i += 2) {
-                double *p0 = ad + 2 * i;
-                double *p1 = ad + 2 * (i | bit);
-                __m256d x0 = _mm256_loadu_pd(p0);
-                __m256d x1 = _mm256_loadu_pd(p1);
-                __m256d y0 = cmulAdd2(x1, r01, i01, cmul2(x0, r00, i00));
-                __m256d y1 = cmulAdd2(x1, r11, i11, cmul2(x0, r10, i10));
-                _mm256_storeu_pd(p0, y0);
-                _mm256_storeu_pd(p1, y1);
-            }
-        }
+        kernels::forSegments(
+            t_lo, t_hi, &bit, 1, [&](uint64_t i0, uint64_t n) {
+                for (uint64_t i = i0; i < i0 + n; i += 2) {
+                    double *p0 = ad + 2 * i;
+                    double *p1 = ad + 2 * (i | bit);
+                    __m256d x0 = _mm256_loadu_pd(p0);
+                    __m256d x1 = _mm256_loadu_pd(p1);
+                    __m256d y0 =
+                        cmulAdd2(x1, r01, i01, cmul2(x0, r00, i00));
+                    __m256d y1 =
+                        cmulAdd2(x1, r11, i11, cmul2(x0, r10, i10));
+                    _mm256_storeu_pd(p0, y0);
+                    _mm256_storeu_pd(p1, y1);
+                }
+            });
         return;
     }
 #else
-    for (uint64_t base = 0; base < dim(); base += bit << 1) {
-        for (uint64_t i = base; i < base + bit; ++i) {
-            double *p0 = ad + 2 * i;
-            double *p1 = ad + 2 * (i | bit);
-            const double x0 = p0[0], y0 = p0[1];
-            const double x1 = p1[0], y1 = p1[1];
-            p0[0] = m00r * x0 - m00i * y0 + m01r * x1 - m01i * y1;
-            p0[1] = m00r * y0 + m00i * x0 + m01r * y1 + m01i * x1;
-            p1[0] = m10r * x0 - m10i * y0 + m11r * x1 - m11i * y1;
-            p1[1] = m10r * y0 + m10i * x0 + m11r * y1 + m11i * x1;
-        }
-    }
+    kernels::forSegments(
+        t_lo, t_hi, &bit, 1, [&](uint64_t i0, uint64_t n) {
+            for (uint64_t i = i0; i < i0 + n; ++i) {
+                double *p0 = ad + 2 * i;
+                double *p1 = ad + 2 * (i | bit);
+                const double x0 = p0[0], y0 = p0[1];
+                const double x1 = p1[0], y1 = p1[1];
+                p0[0] = m00r * x0 - m00i * y0 + m01r * x1 - m01i * y1;
+                p0[1] = m00r * y0 + m00i * x0 + m01r * y1 + m01i * x1;
+                p1[0] = m10r * x0 - m10i * y0 + m11r * x1 - m11i * y1;
+                p1[1] = m10r * y0 + m10i * x0 + m11r * y1 + m11i * x1;
+            }
+        });
 #endif
 }
 
 void
-StateVector::applyFused2(const Cplx *m, int q0, int q1)
+StateVector::applyFused1(const Cplx *m, int q)
 {
-    checkQubit(q0);
-    checkQubit(q1);
-    if (q0 == q1)
-        panic("applyFused2: identical qubits");
+    checkQubit(q);
+    kernels::shard(kernelThreads_, dim() >> 1, 8,
+                   static_cast<double>(dim()),
+                   [&](uint64_t lo, uint64_t hi) {
+                       fused1Groups(m, q, lo, hi);
+                   });
+}
+
+void
+StateVector::applyFused1Range(const Cplx *m, int q, uint64_t lo,
+                              uint64_t hi)
+{
+    checkQubit(q);
+    const uint64_t bit = uint64_t{1} << q;
+    if (((lo | hi) & rangeMask(bit, 2)) || hi > dim())
+        panic("applyFused1Range: misaligned range");
+    fused1Groups(m, q, lo >> 1, hi >> 1);
+}
+
+void
+StateVector::fused2Groups(const Cplx *m, int q0, int q1, uint64_t t_lo,
+                          uint64_t t_hi)
+{
     const uint64_t b0 = uint64_t{1} << q0;
     const uint64_t b1 = uint64_t{1} << q1;
     const uint64_t bl = std::min(b0, b1);
     const uint64_t bh = std::max(b0, b1);
+    const uint64_t strides[2] = {bl, bh};
     const double *md = reinterpret_cast<const double *>(m);
     double *ad = reinterpret_cast<double *>(amps_.data());
 #ifdef TRIQ_KERNELS_AVX2
     if (bl >= 2) {
-        for (uint64_t a = 0; a < dim(); a += bh << 1) {
-            for (uint64_t b = a; b < a + bh; b += bl << 1) {
-                for (uint64_t i = b; i < b + bl; i += 2) {
+        kernels::forSegments(
+            t_lo, t_hi, strides, 2, [&](uint64_t i0, uint64_t n) {
+                for (uint64_t i = i0; i < i0 + n; i += 2) {
                     double *p[4] = {ad + 2 * i, ad + 2 * (i | b0),
                                     ad + 2 * (i | b1),
                                     ad + 2 * (i | b0 | b1)};
@@ -233,15 +289,13 @@ StateVector::applyFused2(const Cplx *m, int q0, int q1)
                             cmul2(x[0], _mm256_set1_pd(row[0]),
                                   _mm256_set1_pd(row[1]));
                         for (int c = 1; c < 4; ++c)
-                            acc = cmulAdd2(x[c],
-                                           _mm256_set1_pd(row[2 * c]),
-                                           _mm256_set1_pd(row[2 * c + 1]),
-                                           acc);
+                            acc = cmulAdd2(
+                                x[c], _mm256_set1_pd(row[2 * c]),
+                                _mm256_set1_pd(row[2 * c + 1]), acc);
                         _mm256_storeu_pd(p[r], acc);
                     }
                 }
-            }
-        }
+            });
         return;
     }
     {
@@ -249,14 +303,15 @@ StateVector::applyFused2(const Cplx *m, int q0, int q1)
         const int c0 = b0 == 1 ? 1 : 2;
         const int hcol[2] = {0, b0 == 1 ? 2 : 1};
         const uint64_t hoff[2] = {0, 2 * bh};
-        const uint64_t strides[1] = {bh};
-        applyStride1Dense<1>(ad, dim(), m, c0, hcol, hoff, strides);
+        const uint64_t hstrides[1] = {bh};
+        applyStride1Dense<1>(ad, t_lo, t_hi, m, c0, hcol, hoff,
+                             hstrides);
         return;
     }
 #endif
-    for (uint64_t a = 0; a < dim(); a += bh << 1) {
-        for (uint64_t b = a; b < a + bh; b += bl << 1) {
-            for (uint64_t i = b; i < b + bl; ++i) {
+    kernels::forSegments(
+        t_lo, t_hi, strides, 2, [&](uint64_t i0, uint64_t n) {
+            for (uint64_t i = i0; i < i0 + n; ++i) {
                 double *p[4] = {ad + 2 * i, ad + 2 * (i | b0),
                                 ad + 2 * (i | b1),
                                 ad + 2 * (i | b0 | b1)};
@@ -278,18 +333,40 @@ StateVector::applyFused2(const Cplx *m, int q0, int q1)
                     p[r][1] = si;
                 }
             }
-        }
-    }
+        });
 }
 
 void
-StateVector::applyFused3(const Cplx *m, int q0, int q1, int q2)
+StateVector::applyFused2(const Cplx *m, int q0, int q1)
 {
     checkQubit(q0);
     checkQubit(q1);
-    checkQubit(q2);
-    if (q0 == q1 || q0 == q2 || q1 == q2)
-        panic("applyFused3: identical qubits");
+    if (q0 == q1)
+        panic("applyFused2: identical qubits");
+    kernels::shard(kernelThreads_, dim() >> 2, 8, 2.0 * dim(),
+                   [&](uint64_t lo, uint64_t hi) {
+                       fused2Groups(m, q0, q1, lo, hi);
+                   });
+}
+
+void
+StateVector::applyFused2Range(const Cplx *m, int q0, int q1, uint64_t lo,
+                              uint64_t hi)
+{
+    checkQubit(q0);
+    checkQubit(q1);
+    if (q0 == q1)
+        panic("applyFused2Range: identical qubits");
+    const uint64_t top = uint64_t{1} << std::max(q0, q1);
+    if (((lo | hi) & rangeMask(top, 4)) || hi > dim())
+        panic("applyFused2Range: misaligned range");
+    fused2Groups(m, q0, q1, lo >> 2, hi >> 2);
+}
+
+void
+StateVector::fused3Groups(const Cplx *m, int q0, int q1, int q2,
+                          uint64_t t_lo, uint64_t t_hi)
+{
     const uint64_t b0 = uint64_t{1} << q0;
     const uint64_t b1 = uint64_t{1} << q1;
     const uint64_t b2 = uint64_t{1} << q2;
@@ -300,44 +377,40 @@ StateVector::applyFused3(const Cplx *m, int q0, int q1, int q2)
         std::swap(s1, s2);
     if (s0 > s1)
         std::swap(s0, s1);
+    const uint64_t strides[3] = {s0, s1, s2};
     const double *md = reinterpret_cast<const double *>(m);
     double *ad = reinterpret_cast<double *>(amps_.data());
 #ifdef TRIQ_KERNELS_AVX2
     if (s0 >= 2) {
-        for (uint64_t a = 0; a < dim(); a += s2 << 1) {
-            for (uint64_t b = a; b < a + s2; b += s1 << 1) {
-                for (uint64_t c = b; c < b + s1; c += s0 << 1) {
-                    for (uint64_t i = c; i < c + s0; i += 2) {
-                        double *p[8];
-                        __m256d x[8];
-                        for (int k = 0; k < 8; ++k) {
-                            uint64_t j = i;
-                            if (k & 1)
-                                j |= b0;
-                            if (k & 2)
-                                j |= b1;
-                            if (k & 4)
-                                j |= b2;
-                            p[k] = ad + 2 * j;
-                            x[k] = _mm256_loadu_pd(p[k]);
-                        }
-                        for (int r = 0; r < 8; ++r) {
-                            const double *row = md + 16 * r;
-                            __m256d acc =
-                                cmul2(x[0], _mm256_set1_pd(row[0]),
-                                      _mm256_set1_pd(row[1]));
-                            for (int col = 1; col < 8; ++col)
-                                acc = cmulAdd2(
-                                    x[col],
-                                    _mm256_set1_pd(row[2 * col]),
-                                    _mm256_set1_pd(row[2 * col + 1]),
-                                    acc);
-                            _mm256_storeu_pd(p[r], acc);
-                        }
+        kernels::forSegments(
+            t_lo, t_hi, strides, 3, [&](uint64_t i0, uint64_t n) {
+                for (uint64_t i = i0; i < i0 + n; i += 2) {
+                    double *p[8];
+                    __m256d x[8];
+                    for (int k = 0; k < 8; ++k) {
+                        uint64_t j = i;
+                        if (k & 1)
+                            j |= b0;
+                        if (k & 2)
+                            j |= b1;
+                        if (k & 4)
+                            j |= b2;
+                        p[k] = ad + 2 * j;
+                        x[k] = _mm256_loadu_pd(p[k]);
+                    }
+                    for (int r = 0; r < 8; ++r) {
+                        const double *row = md + 16 * r;
+                        __m256d acc =
+                            cmul2(x[0], _mm256_set1_pd(row[0]),
+                                  _mm256_set1_pd(row[1]));
+                        for (int col = 1; col < 8; ++col)
+                            acc = cmulAdd2(
+                                x[col], _mm256_set1_pd(row[2 * col]),
+                                _mm256_set1_pd(row[2 * col + 1]), acc);
+                        _mm256_storeu_pd(p[r], acc);
                     }
                 }
-            }
-        }
+            });
         return;
     }
     {
@@ -360,55 +433,78 @@ StateVector::applyFused3(const Cplx *m, int q0, int q1, int q2)
         const uint64_t sa = bq[ka], sb = bq[kb];
         const int hcol[4] = {0, ca, cb, ca | cb};
         const uint64_t hoff[4] = {0, 2 * sa, 2 * sb, 2 * (sa | sb)};
-        const uint64_t strides[2] = {sa, sb};
-        applyStride1Dense<2>(ad, dim(), m, c0, hcol, hoff, strides);
+        const uint64_t hstrides[2] = {sa, sb};
+        applyStride1Dense<2>(ad, t_lo, t_hi, m, c0, hcol, hoff,
+                             hstrides);
         return;
     }
 #endif
-    for (uint64_t a = 0; a < dim(); a += s2 << 1) {
-        for (uint64_t b = a; b < a + s2; b += s1 << 1) {
-            for (uint64_t c = b; c < b + s1; c += s0 << 1) {
-                for (uint64_t i = c; i < c + s0; ++i) {
-                    double *p[8];
-                    double xr[8], xi[8];
-                    for (int k = 0; k < 8; ++k) {
-                        uint64_t j = i;
-                        if (k & 1)
-                            j |= b0;
-                        if (k & 2)
-                            j |= b1;
-                        if (k & 4)
-                            j |= b2;
-                        p[k] = ad + 2 * j;
-                        xr[k] = p[k][0];
-                        xi[k] = p[k][1];
+    kernels::forSegments(
+        t_lo, t_hi, strides, 3, [&](uint64_t i0, uint64_t n) {
+            for (uint64_t i = i0; i < i0 + n; ++i) {
+                double *p[8];
+                double xr[8], xi[8];
+                for (int k = 0; k < 8; ++k) {
+                    uint64_t j = i;
+                    if (k & 1)
+                        j |= b0;
+                    if (k & 2)
+                        j |= b1;
+                    if (k & 4)
+                        j |= b2;
+                    p[k] = ad + 2 * j;
+                    xr[k] = p[k][0];
+                    xi[k] = p[k][1];
+                }
+                for (int r = 0; r < 8; ++r) {
+                    const double *row = md + 16 * r;
+                    double sr = 0.0, si = 0.0;
+                    for (int col = 0; col < 8; ++col) {
+                        const double br = row[2 * col];
+                        const double bi = row[2 * col + 1];
+                        sr += br * xr[col] - bi * xi[col];
+                        si += br * xi[col] + bi * xr[col];
                     }
-                    for (int r = 0; r < 8; ++r) {
-                        const double *row = md + 16 * r;
-                        double sr = 0.0, si = 0.0;
-                        for (int col = 0; col < 8; ++col) {
-                            const double br = row[2 * col];
-                            const double bi = row[2 * col + 1];
-                            sr += br * xr[col] - bi * xi[col];
-                            si += br * xi[col] + bi * xr[col];
-                        }
-                        p[r][0] = sr;
-                        p[r][1] = si;
-                    }
+                    p[r][0] = sr;
+                    p[r][1] = si;
                 }
             }
-        }
-    }
+        });
 }
 
 void
-StateVector::applyDiagonal(const Cplx *diag, const int *qubits,
-                           int num_qubits)
+StateVector::applyFused3(const Cplx *m, int q0, int q1, int q2)
 {
-    if (num_qubits < 1)
-        panic("applyDiagonal: need at least one qubit");
-    for (int k = 0; k < num_qubits; ++k)
-        checkQubit(qubits[k]);
+    checkQubit(q0);
+    checkQubit(q1);
+    checkQubit(q2);
+    if (q0 == q1 || q0 == q2 || q1 == q2)
+        panic("applyFused3: identical qubits");
+    kernels::shard(kernelThreads_, dim() >> 3, 8, 4.0 * dim(),
+                   [&](uint64_t lo, uint64_t hi) {
+                       fused3Groups(m, q0, q1, q2, lo, hi);
+                   });
+}
+
+void
+StateVector::applyFused3Range(const Cplx *m, int q0, int q1, int q2,
+                              uint64_t lo, uint64_t hi)
+{
+    checkQubit(q0);
+    checkQubit(q1);
+    checkQubit(q2);
+    if (q0 == q1 || q0 == q2 || q1 == q2)
+        panic("applyFused3Range: identical qubits");
+    const uint64_t top = uint64_t{1} << std::max({q0, q1, q2});
+    if (((lo | hi) & rangeMask(top, 8)) || hi > dim())
+        panic("applyFused3Range: misaligned range");
+    fused3Groups(m, q0, q1, q2, lo >> 3, hi >> 3);
+}
+
+void
+StateVector::diagonalRange(const Cplx *diag, const int *qubits,
+                           int num_qubits, uint64_t lo, uint64_t hi)
+{
     const double *dd = reinterpret_cast<const double *>(diag);
     double *ad = reinterpret_cast<double *>(amps_.data());
 
@@ -417,7 +513,7 @@ StateVector::applyDiagonal(const Cplx *diag, const int *qubits,
     // precompute the table-index contribution of the low and middle 8
     // basis bits once; per amplitude the local index is then two
     // lookups (plus a rare residual term for qubits above bit 15).
-    uint32_t lo[256], mid[256];
+    uint32_t lo8[256], mid[256];
     uint32_t contrib_lo[8] = {}, contrib_mid[8] = {};
     bool has_mid = false, has_res = false;
     for (int k = 0; k < num_qubits; ++k) {
@@ -433,11 +529,11 @@ StateVector::applyDiagonal(const Cplx *diag, const int *qubits,
     }
     // Fill each table from its already-filled prefix: entry b extends
     // entry b with its lowest bit cleared.
-    lo[0] = 0;
+    lo8[0] = 0;
     const uint64_t lo_n = std::min(dim(), uint64_t{256});
     for (uint64_t b = 1; b < lo_n; ++b) {
         const uint64_t low = b & (0 - b);
-        lo[b] = lo[b ^ low] | contrib_lo[std::countr_zero(low)];
+        lo8[b] = lo8[b ^ low] | contrib_lo[std::countr_zero(low)];
     }
     if (has_mid) {
         mid[0] = 0;
@@ -448,7 +544,7 @@ StateVector::applyDiagonal(const Cplx *diag, const int *qubits,
         }
     }
     auto localIdx = [&](uint64_t i) -> uint32_t {
-        uint32_t local = lo[i & 255];
+        uint32_t local = lo8[i & 255];
         if (has_mid)
             local |= mid[(i >> 8) & 255];
         if (has_res)
@@ -459,7 +555,7 @@ StateVector::applyDiagonal(const Cplx *diag, const int *qubits,
     };
 
 #ifdef TRIQ_KERNELS_AVX2
-    for (uint64_t i = 0; i < dim(); i += 2) {
+    for (uint64_t i = lo; i < hi; i += 2) {
         const uint32_t l0 = localIdx(i), l1 = localIdx(i + 1);
         __m256d c = _mm256_set_m128d(_mm_loadu_pd(dd + 2 * l1),
                                      _mm_loadu_pd(dd + 2 * l0));
@@ -469,7 +565,7 @@ StateVector::applyDiagonal(const Cplx *diag, const int *qubits,
         _mm256_storeu_pd(ad + 2 * i, y);
     }
 #else
-    for (uint64_t i = 0; i < dim(); ++i) {
+    for (uint64_t i = lo; i < hi; ++i) {
         const uint32_t local = localIdx(i);
         const double br = dd[2 * local], bi = dd[2 * local + 1];
         const double xr = ad[2 * i], xi = ad[2 * i + 1];
@@ -477,6 +573,36 @@ StateVector::applyDiagonal(const Cplx *diag, const int *qubits,
         ad[2 * i + 1] = br * xi + bi * xr;
     }
 #endif
+}
+
+void
+StateVector::applyDiagonal(const Cplx *diag, const int *qubits,
+                           int num_qubits)
+{
+    if (num_qubits < 1)
+        panic("applyDiagonal: need at least one qubit");
+    for (int k = 0; k < num_qubits; ++k)
+        checkQubit(qubits[k]);
+    // Sharded callers rebuild the (tiny) index tables per range; the
+    // threshold in kernels::shard guarantees ranges are large enough
+    // that the rebuild is noise.
+    kernels::shard(kernelThreads_, dim(), 8, 0.75 * dim(),
+                   [&](uint64_t lo, uint64_t hi) {
+                       diagonalRange(diag, qubits, num_qubits, lo, hi);
+                   });
+}
+
+void
+StateVector::applyDiagonalRange(const Cplx *diag, const int *qubits,
+                                int num_qubits, uint64_t lo, uint64_t hi)
+{
+    if (num_qubits < 1)
+        panic("applyDiagonalRange: need at least one qubit");
+    for (int k = 0; k < num_qubits; ++k)
+        checkQubit(qubits[k]);
+    if (((lo | hi) & 7) || hi > dim())
+        panic("applyDiagonalRange: misaligned range");
+    diagonalRange(diag, qubits, num_qubits, lo, hi);
 }
 
 } // namespace triq

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Internal sharding helper for the intra-state parallel kernels
+ * (statevector.cc, fused_kernels.cc, fusion.cc). Not part of the
+ * public simulator API.
+ *
+ * A kernel pass is one homogeneous loop over an index space (raw
+ * amplitudes, or the flattened group space of a fused kernel). shard()
+ * plans it through common/sched.hh and either runs the body once over
+ * the whole range (serial — the pool is never touched) or splits the
+ * range into one contiguous, alignment-preserving slice per worker on
+ * the shared process pool.
+ *
+ * Determinism: slices are disjoint index ranges and the body performs
+ * identical per-index arithmetic wherever its range boundaries fall,
+ * so results are bit-identical for every thread count and every shard
+ * boundary. `align` keeps vector units (2 interleaved complex lanes)
+ * intact across boundaries; 8 also keeps boundary cache-line sharing
+ * negligible.
+ *
+ * Threading discipline: shard() may only run threaded on the control
+ * thread (ThreadPool jobs must not submit to their own pool). The
+ * per-StateVector kernel-thread setting defaults to 1 (serial)
+ * precisely so states living inside pool workers can never recurse
+ * into the pool; the executor enables threading only on states it
+ * drives from the control thread.
+ */
+
+#ifndef TRIQ_SIM_KERNEL_DISPATCH_HH
+#define TRIQ_SIM_KERNEL_DISPATCH_HH
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/sched.hh"
+#include "common/thread_pool.hh"
+
+namespace triq
+{
+namespace kernels
+{
+
+/**
+ * Run `body(lo, hi)` over [0, total) per the kernel plan for
+ * `setting` (1 = serial, 0 = adaptive, N > 1 = forced; see
+ * planKernel). Range boundaries are multiples of `align` (a power of
+ * two dividing `total`, except possibly in the final slice, which
+ * absorbs the remainder). `amp_ops` is the pass's modeled work in
+ * amplitude updates.
+ */
+template <typename Body>
+inline void
+shard(int setting, uint64_t total, uint64_t align, double amp_ops,
+      const Body &body)
+{
+    if (total == 0)
+        return;
+    if (setting == 1 || total < 2 * align) {
+        body(0, total);
+        return;
+    }
+    const SchedDecision d =
+        planKernel(schedCalib(), amp_ops, setting, processPoolStarted());
+    const uint64_t blocks = total / align;
+    const int shards = static_cast<int>(
+        std::min<uint64_t>(d.threaded ? d.tasks : 1, blocks));
+    if (!d.threaded || shards <= 1) {
+        body(0, total);
+        return;
+    }
+    ThreadPool &pool = processPool(d.threads);
+    parallelFor(pool, shards, [&](int s) {
+        const uint64_t lo =
+            align * (blocks * static_cast<uint64_t>(s) / shards);
+        const uint64_t hi =
+            s + 1 == shards
+                ? total
+                : align * (blocks * (static_cast<uint64_t>(s) + 1) /
+                           shards);
+        if (lo < hi)
+            body(lo, hi);
+    });
+}
+
+/**
+ * Enumerate the maximal contiguous amplitude-index segments of the
+ * flattened group range [t_lo, t_hi) of a fused kernel.
+ *
+ * Group index t is the basis index with the k operand bits deleted;
+ * `strides` are the operand bit values in ascending order. Expanding t
+ * back to the group's base amplitude index inserts a zero bit at each
+ * stride position; consecutive t values below the lowest stride map to
+ * consecutive amplitudes, so each callback fn(i, n) covers one
+ * contiguous run [i, i + n) of group bases (n <= strides[0]).
+ *
+ * Segment lengths inherit the parity of the range bounds: when t_lo
+ * and t_hi are even and strides[0] >= 2, every n is even, which is
+ * what the two-amplitude AVX2 vector bodies require.
+ */
+template <typename Fn>
+inline void
+forSegments(uint64_t t_lo, uint64_t t_hi, const uint64_t *strides, int k,
+            const Fn &fn)
+{
+    const uint64_t s0 = strides[0];
+    uint64_t t = t_lo;
+    while (t < t_hi) {
+        uint64_t i = t;
+        for (int j = 0; j < k; ++j)
+            i = ((i & ~(strides[j] - 1)) << 1) | (i & (strides[j] - 1));
+        const uint64_t n =
+            std::min(s0 - (t & (s0 - 1)), t_hi - t);
+        fn(i, n);
+        t += n;
+    }
+}
+
+} // namespace kernels
+} // namespace triq
+
+#endif // TRIQ_SIM_KERNEL_DISPATCH_HH

@@ -5,9 +5,20 @@
 
 #include "common/logging.hh"
 #include "core/unitary.hh"
+#include "sim/kernel_dispatch.hh"
 
 namespace triq
 {
+
+// Kernel loops below run through kernels::shard: serial by default
+// (kernelThreads_ == 1 touches no pool and plans nothing), sharded
+// into disjoint amplitude ranges on the process pool when the owner
+// enabled kernel threading. Each body performs identical per-amplitude
+// arithmetic wherever its range boundaries fall, so results are
+// bit-identical for every thread count. Cumulative scans
+// (sampleMeasurement, dominantBasisState, normSquared, fidelityWith)
+// stay serial: their accumulation order is part of the sampling
+// contract.
 
 StateVector::StateVector(int num_qubits) : numQubits_(num_qubits)
 {
@@ -55,14 +66,17 @@ StateVector::applyMatrix1(const Matrix &m, int q)
         panic("applyMatrix1: matrix is not 2x2");
     const uint64_t bit = uint64_t{1} << q;
     const Cplx m00 = m(0, 0), m01 = m(0, 1), m10 = m(1, 0), m11 = m(1, 1);
-    for (uint64_t i = 0; i < dim(); ++i) {
-        if (i & bit)
-            continue;
-        Cplx a0 = amps_[i];
-        Cplx a1 = amps_[i | bit];
-        amps_[i] = m00 * a0 + m01 * a1;
-        amps_[i | bit] = m10 * a0 + m11 * a1;
-    }
+    kernels::shard(kernelThreads_, dim(), 8, static_cast<double>(dim()),
+                   [&](uint64_t lo, uint64_t hi) {
+                       for (uint64_t i = lo; i < hi; ++i) {
+                           if (i & bit)
+                               continue;
+                           Cplx a0 = amps_[i];
+                           Cplx a1 = amps_[i | bit];
+                           amps_[i] = m00 * a0 + m01 * a1;
+                           amps_[i | bit] = m10 * a0 + m11 * a1;
+                       }
+                   });
 }
 
 void
@@ -80,20 +94,25 @@ StateVector::applyMatrix2(const Matrix &m, int q0, int q1)
     for (int r = 0; r < 4; ++r)
         for (int c = 0; c < 4; ++c)
             mm[r][c] = m(r, c);
-    for (uint64_t i = 0; i < dim(); ++i) {
-        if (i & (b0 | b1))
-            continue;
-        const uint64_t idx[4] = {i, i | b0, i | b1, i | b0 | b1};
-        Cplx a[4];
-        for (int k = 0; k < 4; ++k)
-            a[k] = amps_[idx[k]];
-        for (int r = 0; r < 4; ++r) {
-            Cplx v(0, 0);
-            for (int c = 0; c < 4; ++c)
-                v += mm[r][c] * a[c];
-            amps_[idx[r]] = v;
-        }
-    }
+    kernels::shard(
+        kernelThreads_, dim(), 8, 2.0 * dim(),
+        [&](uint64_t lo, uint64_t hi) {
+            for (uint64_t i = lo; i < hi; ++i) {
+                if (i & (b0 | b1))
+                    continue;
+                const uint64_t idx[4] = {i, i | b0, i | b1,
+                                         i | b0 | b1};
+                Cplx a[4];
+                for (int k = 0; k < 4; ++k)
+                    a[k] = amps_[idx[k]];
+                for (int r = 0; r < 4; ++r) {
+                    Cplx v(0, 0);
+                    for (int c = 0; c < 4; ++c)
+                        v += mm[r][c] * a[c];
+                    amps_[idx[r]] = v;
+                }
+            }
+        });
 }
 
 void
@@ -101,9 +120,12 @@ StateVector::applyX(int q)
 {
     checkQubit(q);
     const uint64_t bit = uint64_t{1} << q;
-    for (uint64_t i = 0; i < dim(); ++i)
-        if (!(i & bit))
-            std::swap(amps_[i], amps_[i | bit]);
+    kernels::shard(kernelThreads_, dim(), 8, 0.75 * dim(),
+                   [&](uint64_t lo, uint64_t hi) {
+                       for (uint64_t i = lo; i < hi; ++i)
+                           if (!(i & bit))
+                               std::swap(amps_[i], amps_[i | bit]);
+                   });
 }
 
 void
@@ -112,14 +134,17 @@ StateVector::applyY(int q)
     checkQubit(q);
     const uint64_t bit = uint64_t{1} << q;
     const Cplx i1(0, 1);
-    for (uint64_t i = 0; i < dim(); ++i) {
-        if (i & bit)
-            continue;
-        Cplx a0 = amps_[i];
-        Cplx a1 = amps_[i | bit];
-        amps_[i] = -i1 * a1;
-        amps_[i | bit] = i1 * a0;
-    }
+    kernels::shard(kernelThreads_, dim(), 8, static_cast<double>(dim()),
+                   [&](uint64_t lo, uint64_t hi) {
+                       for (uint64_t i = lo; i < hi; ++i) {
+                           if (i & bit)
+                               continue;
+                           Cplx a0 = amps_[i];
+                           Cplx a1 = amps_[i | bit];
+                           amps_[i] = -i1 * a1;
+                           amps_[i | bit] = i1 * a0;
+                       }
+                   });
 }
 
 void
@@ -127,9 +152,12 @@ StateVector::applyZ(int q)
 {
     checkQubit(q);
     const uint64_t bit = uint64_t{1} << q;
-    for (uint64_t i = 0; i < dim(); ++i)
-        if (i & bit)
-            amps_[i] = -amps_[i];
+    kernels::shard(kernelThreads_, dim(), 8, 0.75 * dim(),
+                   [&](uint64_t lo, uint64_t hi) {
+                       for (uint64_t i = lo; i < hi; ++i)
+                           if (i & bit)
+                               amps_[i] = -amps_[i];
+                   });
 }
 
 void
@@ -137,9 +165,12 @@ StateVector::applyPhase1(int q, Cplx phase)
 {
     checkQubit(q);
     const uint64_t bit = uint64_t{1} << q;
-    for (uint64_t i = 0; i < dim(); ++i)
-        if (i & bit)
-            amps_[i] *= phase;
+    kernels::shard(kernelThreads_, dim(), 8, 0.75 * dim(),
+                   [&](uint64_t lo, uint64_t hi) {
+                       for (uint64_t i = lo; i < hi; ++i)
+                           if (i & bit)
+                               amps_[i] *= phase;
+                   });
 }
 
 void
@@ -147,10 +178,13 @@ StateVector::applyRz(int q, double theta)
 {
     checkQubit(q);
     const uint64_t bit = uint64_t{1} << q;
-    const Cplx lo = std::exp(Cplx(0, -theta / 2));
-    const Cplx hi = std::exp(Cplx(0, theta / 2));
-    for (uint64_t i = 0; i < dim(); ++i)
-        amps_[i] *= (i & bit) ? hi : lo;
+    const Cplx plo = std::exp(Cplx(0, -theta / 2));
+    const Cplx phi = std::exp(Cplx(0, theta / 2));
+    kernels::shard(kernelThreads_, dim(), 8, static_cast<double>(dim()),
+                   [&](uint64_t lo, uint64_t hi) {
+                       for (uint64_t i = lo; i < hi; ++i)
+                           amps_[i] *= (i & bit) ? phi : plo;
+                   });
 }
 
 void
@@ -162,9 +196,12 @@ StateVector::applyCnot(int control, int target)
         panic("applyCnot: identical qubits");
     const uint64_t cb = uint64_t{1} << control;
     const uint64_t tb = uint64_t{1} << target;
-    for (uint64_t i = 0; i < dim(); ++i)
-        if ((i & cb) && !(i & tb))
-            std::swap(amps_[i], amps_[i | tb]);
+    kernels::shard(kernelThreads_, dim(), 8, 0.75 * dim(),
+                   [&](uint64_t lo, uint64_t hi) {
+                       for (uint64_t i = lo; i < hi; ++i)
+                           if ((i & cb) && !(i & tb))
+                               std::swap(amps_[i], amps_[i | tb]);
+                   });
 }
 
 void
@@ -175,9 +212,12 @@ StateVector::applyCz(int a, int b)
     if (a == b)
         panic("applyCz: identical qubits");
     const uint64_t mask = (uint64_t{1} << a) | (uint64_t{1} << b);
-    for (uint64_t i = 0; i < dim(); ++i)
-        if ((i & mask) == mask)
-            amps_[i] = -amps_[i];
+    kernels::shard(kernelThreads_, dim(), 8, 0.75 * dim(),
+                   [&](uint64_t lo, uint64_t hi) {
+                       for (uint64_t i = lo; i < hi; ++i)
+                           if ((i & mask) == mask)
+                               amps_[i] = -amps_[i];
+                   });
 }
 
 void
@@ -189,9 +229,12 @@ StateVector::applyCphase(int a, int b, double lambda)
         panic("applyCphase: identical qubits");
     const uint64_t mask = (uint64_t{1} << a) | (uint64_t{1} << b);
     const Cplx phase = std::exp(Cplx(0, lambda));
-    for (uint64_t i = 0; i < dim(); ++i)
-        if ((i & mask) == mask)
-            amps_[i] *= phase;
+    kernels::shard(kernelThreads_, dim(), 8, 0.75 * dim(),
+                   [&](uint64_t lo, uint64_t hi) {
+                       for (uint64_t i = lo; i < hi; ++i)
+                           if ((i & mask) == mask)
+                               amps_[i] *= phase;
+                   });
 }
 
 void
@@ -203,9 +246,13 @@ StateVector::applySwap(int a, int b)
         panic("applySwap: identical qubits");
     const uint64_t ba = uint64_t{1} << a;
     const uint64_t bb = uint64_t{1} << b;
-    for (uint64_t i = 0; i < dim(); ++i)
-        if ((i & ba) && !(i & bb))
-            std::swap(amps_[i], amps_[(i & ~ba) | bb]);
+    kernels::shard(
+        kernelThreads_, dim(), 8, 0.75 * dim(),
+        [&](uint64_t lo, uint64_t hi) {
+            for (uint64_t i = lo; i < hi; ++i)
+                if ((i & ba) && !(i & bb))
+                    std::swap(amps_[i], amps_[(i & ~ba) | bb]);
+        });
 }
 
 // applyFused1/2/3 and applyDiagonal — the cache-blocked kernels used by
@@ -280,26 +327,30 @@ StateVector::applyGate(const Gate &g)
                                uint64_t{1} << g.qubit(1),
                                uint64_t{1} << g.qubit(2)};
         const uint64_t mask = b[0] | b[1] | b[2];
-        for (uint64_t i = 0; i < dim(); ++i) {
-            if (i & mask)
-                continue;
-            uint64_t idx[8];
-            Cplx a[8];
-            for (int k = 0; k < 8; ++k) {
-                uint64_t j = i;
-                for (int t = 0; t < 3; ++t)
-                    if (k & (1 << t))
-                        j |= b[t];
-                idx[k] = j;
-                a[k] = amps_[j];
-            }
-            for (int r = 0; r < 8; ++r) {
-                Cplx v(0, 0);
-                for (int c = 0; c < 8; ++c)
-                    v += m(r, c) * a[c];
-                amps_[idx[r]] = v;
-            }
-        }
+        kernels::shard(
+            kernelThreads_, dim(), 8, 4.0 * dim(),
+            [&](uint64_t lo, uint64_t hi) {
+                for (uint64_t i = lo; i < hi; ++i) {
+                    if (i & mask)
+                        continue;
+                    uint64_t idx[8];
+                    Cplx a[8];
+                    for (int k = 0; k < 8; ++k) {
+                        uint64_t j = i;
+                        for (int t = 0; t < 3; ++t)
+                            if (k & (1 << t))
+                                j |= b[t];
+                        idx[k] = j;
+                        a[k] = amps_[j];
+                    }
+                    for (int r = 0; r < 8; ++r) {
+                        Cplx v(0, 0);
+                        for (int c = 0; c < 8; ++c)
+                            v += m(r, c) * a[c];
+                        amps_[idx[r]] = v;
+                    }
+                }
+            });
         return;
       }
       default:

@@ -34,10 +34,36 @@ class StateVector
     /** Construct n qubits in |0...0>. @pre 0 < n <= maxQubits(). */
     explicit StateVector(int num_qubits);
 
-    /** Largest register this simulator accepts (memory bound). */
-    static constexpr int maxQubits() { return 24; }
+    /**
+     * Largest register this simulator accepts. 30 qubits is a 16 GiB
+     * state — the constant is a sanity bound on the *representation*,
+     * not an admission decision: whether a given register actually
+     * fits this process is decided by the ResourceGovernor /
+     * sim_cost admission path, which rejects oversized requests as
+     * structured sim.oom / server.budget errors before any amplitude
+     * array is allocated.
+     */
+    static constexpr int maxQubits() { return 30; }
 
     int numQubits() const { return numQubits_; }
+
+    /**
+     * Intra-state kernel threading: how gate kernels shard their
+     * amplitude loops. 1 (the default) is the true serial path — no
+     * pool, no scheduler; 0 lets the common/sched.hh cost model decide
+     * per kernel pass (small registers stay serial); N > 1 forces N
+     * workers. Results are bit-identical for every value: shards are
+     * disjoint amplitude groups with identical per-group arithmetic
+     * and no cross-shard reductions.
+     *
+     * Only enable threading (0 or N > 1) on a state driven from the
+     * control thread: kernels fan out on the shared process pool,
+     * whose jobs must not submit to it (see common/thread_pool.hh).
+     * The executor enables it exactly when its own trajectory fan-out
+     * is serial.
+     */
+    void setKernelThreads(int setting) { kernelThreads_ = setting < 0 ? 0 : setting; }
+    int kernelThreadSetting() const { return kernelThreads_; }
 
     /** Reset to |0...0>. */
     void reset();
@@ -103,6 +129,31 @@ class StateVector
                        int num_qubits);
 
     /**
+     * Tile-ranged variants of the fused kernels, used by the fusion
+     * pass's cache-blocked tile groups (sim/fusion.hh): apply the
+     * operator to the amplitude range [lo, hi) only. Expert interface
+     * with alignment preconditions instead of runtime dispatch:
+     *
+     * @pre lo and hi are multiples of 2^(q_max + 1) (every operand
+     *      stride divides the range, so it is closed under the
+     *      operator) AND of 8 * 2^nq (shard/vector alignment of the
+     *      flattened group space); hi <= dim(). The fusion pass
+     *      guarantees both by requiring tile size >= 2^(nq + 3) and
+     *      all operands below the tile boundary.
+     *
+     * The range is applied serially (tile loops parallelize over
+     * tiles, not within them) with per-group arithmetic identical to
+     * the full-state kernels, so tiling is bit-exact.
+     */
+    void applyFused1Range(const Cplx *m, int q, uint64_t lo, uint64_t hi);
+    void applyFused2Range(const Cplx *m, int q0, int q1, uint64_t lo,
+                          uint64_t hi);
+    void applyFused3Range(const Cplx *m, int q0, int q1, int q2,
+                          uint64_t lo, uint64_t hi);
+    void applyDiagonalRange(const Cplx *diag, const int *qubits,
+                            int num_qubits, uint64_t lo, uint64_t hi);
+
+    /**
      * Sample a full measurement outcome (all qubits) without collapsing.
      * @return Basis index distributed according to |amplitude|^2.
      */
@@ -140,8 +191,18 @@ class StateVector
   private:
     int numQubits_;
     std::vector<Cplx> amps_;
+    int kernelThreads_ = 1; //!< See setKernelThreads().
 
     void checkQubit(int q) const;
+
+    /** Group-space bodies shared by the full and ranged fused kernels. */
+    void fused1Groups(const Cplx *m, int q, uint64_t t_lo, uint64_t t_hi);
+    void fused2Groups(const Cplx *m, int q0, int q1, uint64_t t_lo,
+                      uint64_t t_hi);
+    void fused3Groups(const Cplx *m, int q0, int q1, int q2,
+                      uint64_t t_lo, uint64_t t_hi);
+    void diagonalRange(const Cplx *diag, const int *qubits,
+                       int num_qubits, uint64_t lo, uint64_t hi);
 };
 
 /**
